@@ -1,0 +1,102 @@
+"""E10 (§V scalability): verification cost vs sub-network size.
+
+The whole point of layer abstraction is that only the close-to-output
+slice enters the solver.  This bench measures MILP solve time as the
+verified suffix grows in width and depth, and the effect of big-M bound
+quality on branch-and-bound node counts.
+
+Instances are "near-frontier" (risk threshold slightly above the
+empirically reachable maximum), the hard UNSAT regime; sizes are kept
+moderate so the bench finishes in seconds per case — the growth trend,
+not the absolute wall-clock, is the result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.properties.risk import RiskCondition, output_geq
+from repro.verification.assume_guarantee import box_with_diffs_from_data
+from repro.verification.milp.encoder import encode_verification_problem
+from repro.verification.sets import Box
+from repro.verification.solver import BranchAndBoundSolver, HighsSolver
+
+
+def _instance(width: int, depth: int, seed: int = 0, slack: float = 1.5):
+    """A suffix-like ReLU net plus a near-frontier risk threshold."""
+    rng = np.random.default_rng(seed)
+    layers = []
+    for _ in range(depth):
+        layers.extend([Dense(width), ReLU()])
+    layers.append(Dense(2))
+    model = Sequential(layers, input_shape=(8,), seed=seed)
+    net = model.full_network()
+    features = rng.normal(size=(200, 8))
+    sbox = box_with_diffs_from_data(features)
+    outputs = net.apply(features)
+    threshold = float(outputs[:, 0].max()) + slack
+    risk = RiskCondition("near-frontier", (output_geq(2, 0, threshold),))
+    return net, sbox, risk
+
+
+@pytest.mark.parametrize("width", [6, 10, 14])
+@pytest.mark.benchmark(group="e10-width")
+def test_e10_solve_time_vs_width(benchmark, width):
+    net, sbox, risk = _instance(width=width, depth=2)
+    problem = encode_verification_problem(net, sbox, risk)
+    solver = HighsSolver(time_limit=60.0)
+    result = benchmark.pedantic(
+        lambda: solver.solve(problem.model), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.status.value in ("sat", "unsat")
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+@pytest.mark.benchmark(group="e10-depth")
+def test_e10_solve_time_vs_depth(benchmark, depth):
+    net, sbox, risk = _instance(width=10, depth=depth)
+    problem = encode_verification_problem(net, sbox, risk)
+    solver = HighsSolver(time_limit=60.0)
+    result = benchmark.pedantic(
+        lambda: solver.solve(problem.model), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.status.value in ("sat", "unsat")
+
+
+@pytest.mark.benchmark(group="e10-bigm")
+def test_e10_tight_bounds_reduce_nodes(benchmark):
+    """Ablation: interval-derived big-M constants vs inflated ones.
+
+    The feasible region must stay *identical* (same input-variable
+    bounds and constraints); only the ReLU big-M constants differ.  We
+    encode from an inflated hull, then clamp the input variables back to
+    the tight bounds — every intermediate big-M stays inflated.
+    """
+    net, sbox, risk = _instance(width=10, depth=2)
+
+    tight = encode_verification_problem(net, sbox, risk)
+
+    lo, hi = sbox.bounds()
+    inflated_set = Box(lo - 10.0, hi + 10.0)
+    loose = encode_verification_problem(net, inflated_set, risk)
+    for position, var in enumerate(loose.input_vars):
+        loose.model.lower[var] = float(lo[position])
+        loose.model.upper[var] = float(hi[position])
+    # re-add the relational rows the inflated Box encoding dropped
+    a_extra, b_extra = sbox.linear_constraints()
+    for row, rhs in zip(a_extra, b_extra):
+        coeffs = {
+            loose.input_vars[j]: float(row[j])
+            for j in range(len(loose.input_vars))
+            if row[j] != 0.0
+        }
+        loose.model.add_leq(coeffs, float(rhs))
+
+    solver = BranchAndBoundSolver(node_limit=20_000, time_limit=120.0)
+    tight_result = solver.solve(tight.model)
+    loose_result = benchmark.pedantic(
+        lambda: solver.solve(loose.model), rounds=1, iterations=1
+    )
+    # same answer, no fewer nodes with sloppy big-M
+    assert tight_result.status == loose_result.status
+    assert tight_result.nodes_explored <= loose_result.nodes_explored

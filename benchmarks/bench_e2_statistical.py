@@ -1,0 +1,41 @@
+"""E2 (Table I): statistical guarantee estimation.
+
+Regenerates the paper's Table I decomposition — alpha / beta / gamma /
+delta per characterizer on held-out data — and benchmarks the estimation
+plus the Clopper–Pearson bound computation.
+"""
+
+import pytest
+
+from repro.verification.statistical import estimate_confusion, residual_risk_bound
+
+
+@pytest.mark.benchmark(group="e2-statistical")
+def test_e2_confusion_estimation(benchmark, system):
+    """Table I cells from held-out decisions (both properties)."""
+
+    def estimate_all():
+        table = {}
+        for name, characterizer in system.characterizers.items():
+            decisions = characterizer.decide(system.val_features)
+            labels = system.val_data.property_labels(name).astype(bool)
+            table[name] = estimate_confusion(decisions, labels)
+        return table
+
+    table = benchmark(estimate_all)
+    for name, confusion in table.items():
+        # Table I rows: cells sum to one, gamma drives the guarantee
+        assert 0.0 <= confusion.gamma < 0.5, name
+        assert confusion.guarantee_lower <= confusion.guarantee
+
+
+@pytest.mark.benchmark(group="e2-statistical")
+def test_e2_residual_risk_bound(benchmark, system):
+    """1 - gamma guarantee with exact confidence bound (Section III)."""
+    characterizer = system.characterizers["bends_right"]
+    decisions = characterizer.decide(system.val_features)
+    labels = system.val_data.property_labels("bends_right").astype(bool)
+    confusion = estimate_confusion(decisions, labels)
+
+    bound = benchmark(lambda: residual_risk_bound(confusion, proof_holds=True))
+    assert confusion.gamma <= bound <= 1.0

@@ -1,0 +1,68 @@
+"""E5 (§V claim 3): the information bottleneck on characterizers.
+
+"for some input properties such as traffic participants in adjacent
+lanes, it is very difficult to construct the corresponding input property
+characterizers by taking neuron values from close-to-output layers (the
+trained classifier almost acts like fair coin flipping)."
+
+Benchmarks characterizer training per property at the close-to-output
+cut layer and asserts the accuracy ordering the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perception.characterizer import train_characterizer
+from repro.perception.features import extract_features
+from repro.scenario.dataset import balanced_property_dataset
+
+
+def _balanced_accuracy(decisions: np.ndarray, labels: np.ndarray) -> float:
+    labels = labels.astype(bool)
+    if labels.all() or not labels.any():
+        return 0.5
+    return 0.5 * (
+        float(decisions[labels].mean()) + float((~decisions[~labels]).mean())
+    )
+
+
+def _train_for(system, prop: str, seed: int):
+    char_data = balanced_property_dataset(300, prop, system.config.scene, seed=seed)
+    char_features = extract_features(system.model, char_data.images, system.cut_layer)
+    characterizer, _ = train_characterizer(
+        prop,
+        system.cut_layer,
+        char_features,
+        char_data.property_labels(prop),
+        system.val_features,
+        system.val_data.property_labels(prop),
+        hidden=(16,),
+        epochs=150,
+        seed=0,
+    )
+    return characterizer
+
+
+@pytest.mark.benchmark(group="e5-bottleneck")
+def test_e5_bend_property_characterizable(benchmark, system):
+    characterizer = benchmark(lambda: _train_for(system, "bends_right", seed=50))
+    ba = _balanced_accuracy(
+        characterizer.decide(system.val_features),
+        system.val_data.property_labels("bends_right"),
+    )
+    assert ba > 0.62  # clearly above coin flipping
+
+
+@pytest.mark.benchmark(group="e5-bottleneck")
+def test_e5_traffic_property_bottlenecked(benchmark, system):
+    characterizer = benchmark(lambda: _train_for(system, "adjacent_traffic", seed=51))
+    traffic_ba = _balanced_accuracy(
+        characterizer.decide(system.val_features),
+        system.val_data.property_labels("adjacent_traffic"),
+    )
+    bend_ba = _balanced_accuracy(
+        system.characterizers["bends_right"].decide(system.val_features),
+        system.val_data.property_labels("bends_right"),
+    )
+    # the paper's finding: traffic is much closer to fair coin flipping
+    assert traffic_ba < bend_ba - 0.05

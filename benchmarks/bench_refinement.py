@@ -1,0 +1,80 @@
+"""Ablation bench: layer-wise incremental refinement (future-work feature).
+
+Measures the refinement loop's cost profile on the MLP system used by
+the refinement tests: the baseline level, one chained level, and the
+full loop including spuriousness checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perception.features import extract_features
+from repro.perception.network import build_mlp_perception_network
+from repro.properties.risk import RiskCondition, output_geq
+from repro.verification.assume_guarantee import feature_set_from_data
+from repro.verification.refinement import (
+    encode_chained_problem,
+    verify_with_refinement,
+)
+from repro.verification.solver import BranchAndBoundSolver, HighsSolver
+
+
+@pytest.fixture(scope="module")
+def refinement_system():
+    rng = np.random.default_rng(77)
+    model = build_mlp_perception_network(
+        input_dim=6, hidden=(12, 12), feature_width=6, seed=8
+    )
+    images = rng.uniform(0, 1, size=(250, 6))
+    cuts = [l for l in model.piecewise_linear_cut_points() if 0 < l < model.num_layers]
+    envelopes = {
+        layer: feature_set_from_data(
+            extract_features(model, images, layer), kind="box+diff"
+        )
+        for layer in cuts
+    }
+
+    def chained_max(active):
+        risk = RiskCondition("any", (output_geq(2, 0, -1e9),))
+        problem = encode_chained_problem(model, active, envelopes, risk)
+        problem.model.set_objective({problem.output_vars[0]: -1.0})
+        return -BranchAndBoundSolver().minimize(problem.model).objective
+
+    baseline = chained_max(cuts[-1:])
+    deepest = chained_max(cuts)
+    return model, images, cuts, envelopes, baseline, deepest
+
+
+@pytest.mark.benchmark(group="refinement")
+def test_refinement_baseline_level(benchmark, refinement_system):
+    model, _, cuts, envelopes, baseline, deepest = refinement_system
+    risk = RiskCondition("between", (output_geq(2, 0, baseline + 1.0),))
+    problem = encode_chained_problem(model, cuts[-1:], envelopes, risk)
+    result = benchmark(lambda: HighsSolver().solve(problem.model))
+    assert result.is_unsat
+
+
+@pytest.mark.benchmark(group="refinement")
+def test_refinement_deepest_level(benchmark, refinement_system):
+    model, _, cuts, envelopes, baseline, deepest = refinement_system
+    risk = RiskCondition("between", (output_geq(2, 0, deepest + 0.1),))
+    problem = encode_chained_problem(model, cuts, envelopes, risk)
+    result = benchmark(lambda: HighsSolver().solve(problem.model))
+    assert result.is_unsat
+
+
+@pytest.mark.benchmark(group="refinement")
+def test_refinement_full_loop(benchmark, refinement_system):
+    model, images, cuts, envelopes, baseline, deepest = refinement_system
+    if not deepest < baseline - 0.05:
+        pytest.skip("no refinement gap on this seed")
+    threshold = 0.5 * (deepest + baseline)
+    risk = RiskCondition("between", (output_geq(2, 0, threshold),))
+
+    result = benchmark.pedantic(
+        lambda: verify_with_refinement(model, images, risk, cut_layers=cuts),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.proved
+    assert result.refinements_used >= 1

@@ -1,0 +1,88 @@
+"""Runtime monitoring of the assume-guarantee assumption (footnote 2).
+
+A conditional proof is only as good as its monitor.  This example deploys
+the monitor on three camera streams:
+
+1. an in-ODD stream (same distribution as training) — violations here are
+   *false alarms*, tunable via the envelope margin;
+2. a night stream (brightness far below the training weather range);
+3. heavy fog beyond anything in training.
+
+The monitor flags frames whose close-to-output features leave the
+recorded envelope — which the paper notes is useful "regardless of
+formal verification" as a detector of incomplete data collection or ODD
+exit.
+
+Run:  python examples/runtime_monitoring.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import ExperimentConfig, build_verified_system
+from repro.monitor.runtime import RuntimeMonitor
+from repro.scenario.dataset import SceneConfig, render_scene, sample_scene
+from repro.scenario.weather import Weather
+from repro.verification.assume_guarantee import box_with_diffs_from_data
+
+
+def _stream_with_weather(
+    n: int, scene_config: SceneConfig, weather: Weather, seed: int
+) -> np.ndarray:
+    """In-ODD scenes re-rendered under a fixed out-of-ODD weather."""
+    rng = np.random.default_rng(seed)
+    images = []
+    for _ in range(n):
+        scene = sample_scene(rng, scene_config)
+        scene = dataclasses.replace(scene, weather=weather)
+        images.append(render_scene(scene, scene_config))
+    return np.stack(images)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        train_scenes=400, val_scenes=150, epochs=25, properties=(), seed=0
+    )
+    system = build_verified_system(config)
+
+    night = _stream_with_weather(
+        100, config.scene, Weather(brightness=0.35, noise_sigma=0.04), seed=123
+    )
+    fog = _stream_with_weather(
+        100, config.scene, Weather(fog_density=0.3, noise_sigma=0.05), seed=456
+    )
+
+    print("margin   in-ODD false alarms   night violations   fog violations")
+    for margin in (0.0, 0.1, 0.25):
+        feature_set = box_with_diffs_from_data(system.train_features, margin=margin)
+        rates = []
+        for stream in (system.val_data.images, night, fog):
+            monitor = RuntimeMonitor(
+                system.model, system.cut_layer, feature_set, keep_events=False
+            )
+            rates.append(monitor.run(stream).violation_rate)
+        print(
+            f"{margin:>6.2f}   {rates[0]:>19.1%}   {rates[1]:>16.1%}   "
+            f"{rates[2]:>14.1%}"
+        )
+
+    # one annotated violation, to show the actionable diagnostics
+    feature_set = box_with_diffs_from_data(system.train_features, margin=0.1)
+    monitor = RuntimeMonitor(system.model, system.cut_layer, feature_set)
+    monitor.run(night[:20])
+    for event in monitor.report.events:
+        if event.violation:
+            print(f"\nexample warning: {event}")
+            break
+
+    print(
+        "\nInterpretation: a violation means the conditional safety proof "
+        "does not cover the frame; the vehicle must fall back to its "
+        "mediated perception channel (the paper's hot-standby setup). The "
+        "margin trades in-ODD false alarms against ODD-exit sensitivity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin shim enabling legacy editable installs (no `wheel` package offline)."""
+
+from setuptools import setup
+
+setup()

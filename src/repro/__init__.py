@@ -1,0 +1,49 @@
+"""repro — safety verification of direct perception neural networks.
+
+A from-scratch reproduction of
+
+    Cheng, Huang, Brunner, Hashemi:
+    "Towards Safety Verification of Direct Perception Neural Networks",
+    DATE 2020 (arXiv:1904.04706).
+
+The package is organised as a stack:
+
+``repro.nn``
+    A numpy deep-learning framework (layers, training, serialization)
+    standing in for TensorFlow.
+``repro.scenario``
+    A parametric synthetic road-scene generator standing in for the
+    proprietary Audi A9 highway recordings.
+``repro.perception``
+    Direct-perception network builders and the learned *input property
+    characterizer* of Section II.A of the paper.
+``repro.properties``
+    The specification DSL: input properties ``phi`` and linear risk
+    conditions ``psi``.
+``repro.verification``
+    The paper's contribution: layer abstraction (Lemmas 1 and 2),
+    assume-guarantee feature sets, a MILP encoding of the close-to-output
+    sub-network, exact solvers, and the statistical guarantee of
+    Section III.
+``repro.monitor``
+    The runtime monitor discharging the assume-guarantee assumption.
+``repro.core``
+    The end-to-end workflow of Figure 1.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["SafetyVerifier", "Verdict", "VerificationVerdict", "__version__"]
+
+
+def __getattr__(name: str):
+    """Lazy top-level re-exports (avoids importing the full stack eagerly)."""
+    if name == "SafetyVerifier":
+        from repro.core.workflow import SafetyVerifier
+
+        return SafetyVerifier
+    if name in ("Verdict", "VerificationVerdict"):
+        from repro.core import verdict
+
+        return getattr(verdict, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

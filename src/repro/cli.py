@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro build    --out system_dir      # train + persist
+    python -m repro verify   --out system_dir      # run the campaign
+    python -m repro monitor  --out system_dir      # stream monitoring demo
+    python -m repro range    --out system_dir      # output-range frontier
+
+The ``build`` step persists the perception model, the feature envelope
+and characterizers into a directory; the other commands reload from it
+so experiments are repeatable without retraining.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ExperimentConfig, build_verified_system
+from repro.core.workflow import SafetyVerifier
+from repro.nn.serialization import load_model, save_model
+from repro.perception.characterizer import Characterizer
+from repro.properties.library import STEER_STRAIGHT, steer_far_left
+from repro.scenario.dataset import generate_dataset
+from repro.verification.output_range import output_range
+
+
+def _build(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        train_scenes=args.scenes,
+        val_scenes=max(args.scenes // 4, 50),
+        epochs=args.epochs,
+        seed=args.seed,
+        properties=tuple(args.properties),
+    )
+    system = build_verified_system(config, verbose=args.verbose)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    save_model(system.model, out / "perception.npz")
+    np.savez(
+        out / "features.npz",
+        train_features=system.train_features,
+        val_features=system.val_features,
+    )
+    meta = {
+        "cut_layer": system.cut_layer,
+        "seed": config.seed,
+        "scenes": config.train_scenes,
+        "properties": list(config.properties),
+        "confusions": {
+            name: {"gamma": c.gamma, "n": c.n, "gamma_count": c.gamma_count}
+            for name, c in system.confusions.items()
+        },
+    }
+    (out / "meta.json").write_text(json.dumps(meta, indent=2))
+    for name, characterizer in system.characterizers.items():
+        save_model(characterizer.network, out / f"characterizer_{name}.npz")
+        meta_c = {
+            "property_name": name,
+            "cut_layer": characterizer.cut_layer,
+            "train_accuracy": characterizer.train_accuracy,
+            "val_accuracy": characterizer.val_accuracy,
+            "threshold": characterizer.threshold,
+        }
+        (out / f"characterizer_{name}.json").write_text(json.dumps(meta_c, indent=2))
+    print(system.summary())
+    print(f"\nsystem persisted to {out}/")
+    return 0
+
+
+def _load(out: Path) -> tuple[SafetyVerifier, dict]:
+    meta = json.loads((out / "meta.json").read_text())
+    model = load_model(out / "perception.npz")
+    with np.load(out / "features.npz") as arrays:
+        train_features = arrays["train_features"]
+    verifier = SafetyVerifier(model, meta["cut_layer"])
+    verifier.add_feature_set_from_features(train_features, kind="box+diff")
+    for name in meta["properties"]:
+        network = load_model(out / f"characterizer_{name}.npz")
+        meta_c = json.loads((out / f"characterizer_{name}.json").read_text())
+        verifier.attach_characterizer(
+            Characterizer(
+                property_name=name,
+                cut_layer=meta_c["cut_layer"],
+                network=network,
+                train_accuracy=meta_c["train_accuracy"],
+                val_accuracy=meta_c["val_accuracy"],
+                threshold=meta_c["threshold"],
+            )
+        )
+    return verifier, meta
+
+
+def _verify(args: argparse.Namespace) -> int:
+    verifier, meta = _load(Path(args.out))
+    prop = meta["properties"][0]
+    reach = output_range(
+        verifier.suffix,
+        verifier.feature_set("data"),
+        verifier.characterizers[prop].as_piecewise_linear(),
+    )
+    campaign = [
+        (prop, steer_far_left(reach.upper + 0.25)),
+        (prop, STEER_STRAIGHT),
+    ]
+    failures = 0
+    for name, risk in campaign:
+        verdict = verifier.verify(risk, property_name=name)
+        print(f"\nphi={name} psi={risk.name}")
+        print(verdict.summary())
+        if not verdict.proved:
+            failures += 1
+    return 0 if args.allow_unsafe else min(failures, 1)
+
+
+def _monitor(args: argparse.Namespace) -> int:
+    verifier, _ = _load(Path(args.out))
+    data = generate_dataset(args.frames, seed=args.seed + 1)
+    monitor = verifier.make_monitor(keep_events=False)
+    report = monitor.run(data.images)
+    print(report.summary())
+    return 0
+
+
+def _range(args: argparse.Namespace) -> int:
+    verifier, meta = _load(Path(args.out))
+    for name in meta["properties"]:
+        characterizer = verifier.characterizers[name].as_piecewise_linear()
+        for index, label in ((0, "waypoint"), (1, "orientation")):
+            reach = output_range(
+                verifier.suffix,
+                verifier.feature_set("data"),
+                characterizer,
+                output_index=index,
+            )
+            print(
+                f"{name}: {label} in [{reach.lower:.3f}, {reach.upper:.3f}]"
+                f"{'' if reach.exact else ' (not proved optimal)'}"
+            )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Safety verification of direct perception neural networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="train and persist a verified system")
+    build.add_argument("--out", default="system", help="output directory")
+    build.add_argument("--scenes", type=int, default=500)
+    build.add_argument("--epochs", type=int, default=30)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--properties", nargs="+", default=["bends_right", "bends_left"]
+    )
+    build.add_argument("--verbose", action="store_true")
+    build.set_defaults(func=_build)
+
+    verify = sub.add_parser("verify", help="run the canonical campaign")
+    verify.add_argument("--out", default="system")
+    verify.add_argument(
+        "--allow-unsafe",
+        action="store_true",
+        help="exit 0 even when a property has a counterexample",
+    )
+    verify.set_defaults(func=_verify)
+
+    monitor = sub.add_parser("monitor", help="monitor a fresh in-ODD stream")
+    monitor.add_argument("--out", default="system")
+    monitor.add_argument("--frames", type=int, default=100)
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.set_defaults(func=_monitor)
+
+    rng = sub.add_parser("range", help="exact output-range frontier")
+    rng.add_argument("--out", default="system")
+    rng.set_defaults(func=_range)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

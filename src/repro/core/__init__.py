@@ -1,0 +1,22 @@
+"""End-to-end workflow (Figure 1 of the paper).
+
+:class:`~repro.core.workflow.SafetyVerifier` wires the pieces together:
+cut-layer selection, characterizer attachment, feature-set construction
+(data-derived ``S~`` or statically propagated ``S``), MILP encoding,
+solving, and verdict interpretation.  :mod:`repro.core.pipeline` builds
+a fully trained system from a config in one call.
+"""
+
+from repro.core.config import ExperimentConfig
+from repro.core.pipeline import VerifiedSystem, build_verified_system
+from repro.core.verdict import Verdict, VerificationVerdict
+from repro.core.workflow import SafetyVerifier
+
+__all__ = [
+    "ExperimentConfig",
+    "SafetyVerifier",
+    "Verdict",
+    "VerificationVerdict",
+    "VerifiedSystem",
+    "build_verified_system",
+]

@@ -1,0 +1,279 @@
+"""The Figure 1 safety-verification workflow.
+
+:class:`SafetyVerifier` holds a trained direct-perception model, a cut
+layer ``l``, trained characterizers and one or more feature sets, and
+answers Definition 1 queries by MILP:
+
+1. lower the suffix ``g^(l+1..L)`` to piecewise-linear ops,
+2. conjoin: ``n̂ ∈ S`` (bounds + shape constraints), characterizer
+   acceptance ``h(n̂) >= 0``, and the risk condition ``psi`` on outputs,
+3. solve; UNSAT is a proof (Lemma 2), SAT a feature-space
+   counterexample.
+
+Whether the proof is conditional (monitor required) depends on how the
+feature set was built: data-derived sets (``from_data``) need the
+runtime monitor; statically propagated sets (``static``) are sound for
+every input in the chosen input box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.verdict import Verdict, VerificationVerdict
+from repro.monitor.runtime import RuntimeMonitor
+from repro.nn.sequential import Sequential
+from repro.perception.characterizer import Characterizer
+from repro.perception.features import extract_features
+from repro.properties.risk import RiskCondition
+from repro.verification.abstraction.octagon import box_with_diffs_from_zonotope
+from repro.verification.abstraction.propagate import propagate_input_box
+from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
+from repro.verification.assume_guarantee import feature_set_from_data
+from repro.verification.counterexample import decode_witness
+from repro.verification.milp.encoder import encode_verification_problem
+from repro.verification.milp.relaxed import encode_relaxed_problem
+from repro.verification.prescreen import prescreen
+from repro.verification.solver.case_split import PhaseSplitSolver
+from repro.verification.sets import FeatureSet
+from repro.verification.solver import make_solver
+from repro.verification.solver.result import SolveResult, SolveStatus
+from repro.verification.statistical import ConfusionEstimate
+
+
+@dataclass(frozen=True)
+class _RegisteredSet:
+    """A feature set plus its provenance (decides verdict semantics)."""
+
+    feature_set: FeatureSet
+    kind: str
+    sound: bool  #: True = valid for all inputs (Lemma 2); False = needs monitor
+
+
+class SafetyVerifier:
+    """End-to-end verifier for one model at one cut layer."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        cut_layer: int,
+        solver: str = "branch-and-bound",
+        **solver_options,
+    ):
+        model._check_index(cut_layer, allow_zero=True)
+        if cut_layer not in model.piecewise_linear_cut_points():
+            raise ValueError(
+                f"layers after cut {cut_layer} are not all piecewise-linear; "
+                f"valid cuts: {model.piecewise_linear_cut_points()}"
+            )
+        self.model = model
+        self.cut_layer = cut_layer
+        self.suffix = model.suffix_network(cut_layer)
+        self.solver_name = solver
+        self.solver_options = dict(solver_options)
+        self.characterizers: dict[str, Characterizer] = {}
+        self._sets: dict[str, _RegisteredSet] = {}
+
+    # -- characterizers ------------------------------------------------------
+
+    def attach_characterizer(self, characterizer: Characterizer) -> None:
+        """Register a trained ``h^phi_l`` (must match the cut layer)."""
+        if characterizer.cut_layer != self.cut_layer:
+            raise ValueError(
+                f"characterizer was trained at layer {characterizer.cut_layer}, "
+                f"verifier cuts at {self.cut_layer}"
+            )
+        expected = self.model.feature_dim(self.cut_layer)
+        if characterizer.network.input_shape != (expected,):
+            raise ValueError(
+                f"characterizer input shape {characterizer.network.input_shape} "
+                f"does not match feature dimension {expected}"
+            )
+        self.characterizers[characterizer.property_name] = characterizer
+
+    # -- feature sets ------------------------------------------------------------
+
+    def add_feature_set_from_data(
+        self,
+        images: np.ndarray,
+        kind: str = "box+diff",
+        margin: float = 0.0,
+        name: str = "data",
+    ) -> FeatureSet:
+        """Build ``S~`` from training images (assume-guarantee, Section II.B.b)."""
+        features = extract_features(self.model, images, self.cut_layer)
+        feature_set = feature_set_from_data(features, kind=kind, margin=margin)
+        self._sets[name] = _RegisteredSet(feature_set, f"{kind}(data)", sound=False)
+        return feature_set
+
+    def add_feature_set_from_features(
+        self,
+        features: np.ndarray,
+        kind: str = "box+diff",
+        margin: float = 0.0,
+        name: str = "data",
+    ) -> FeatureSet:
+        """Like :meth:`add_feature_set_from_data` on precomputed features."""
+        feature_set = feature_set_from_data(features, kind=kind, margin=margin)
+        self._sets[name] = _RegisteredSet(feature_set, f"{kind}(data)", sound=False)
+        return feature_set
+
+    def add_static_feature_set(
+        self,
+        input_lower: float | np.ndarray = 0.0,
+        input_upper: float | np.ndarray = 1.0,
+        domain: str = "interval",
+        name: str = "static",
+    ) -> FeatureSet:
+        """Sound ``S`` by abstract interpretation from an input box (Lemma 2)."""
+        if domain == "interval":
+            feature_set: FeatureSet = propagate_input_box(
+                self.model, input_lower, input_upper, self.cut_layer
+            )
+        elif domain == "zonotope":
+            box = propagate_input_box(self.model, input_lower, input_upper, 0)
+            prefix = self.model.suffix_network(0)  # full net as PL ops
+            # propagate only up to the cut: lower the prefix explicitly
+            from repro.nn.graph import lower_layers
+
+            prefix_net = lower_layers(
+                self.model.layers[: self.cut_layer],
+                self.model.feature_dim(0),
+            )
+            zonotope = propagate_zonotope(prefix_net, Zonotope.from_box(box))
+            feature_set = box_with_diffs_from_zonotope(zonotope)
+        else:
+            raise ValueError(f"unknown domain {domain!r}; use interval or zonotope")
+        self._sets[name] = _RegisteredSet(feature_set, f"{domain}(static)", sound=True)
+        return feature_set
+
+    def add_raw_set(self, feature_set: FeatureSet, sound: bool, name: str) -> None:
+        """Register a caller-constructed set (e.g. Lemma 1 surrogate box)."""
+        if feature_set.dim != self.model.feature_dim(self.cut_layer):
+            raise ValueError(
+                f"set dimension {feature_set.dim} does not match cut layer "
+                f"dimension {self.model.feature_dim(self.cut_layer)}"
+            )
+        self._sets[name] = _RegisteredSet(
+            feature_set, f"{type(feature_set).__name__}(raw)", sound=sound
+        )
+
+    def feature_set(self, name: str) -> FeatureSet:
+        return self._registered(name).feature_set
+
+    def _registered(self, name: str) -> _RegisteredSet:
+        if name not in self._sets:
+            raise KeyError(f"no feature set {name!r}; known: {sorted(self._sets)}")
+        return self._sets[name]
+
+    # -- verification ------------------------------------------------------------
+
+    def verify(
+        self,
+        risk: RiskCondition,
+        property_name: str | None = None,
+        set_name: str = "data",
+        confusion: ConfusionEstimate | None = None,
+        prescreen_domain: str | None = "interval",
+    ) -> VerificationVerdict:
+        """Answer Definition 1 for ``(phi = property_name, psi = risk)``.
+
+        With ``property_name=None`` the query drops the characterizer
+        conjunct and asks whether the risk is reachable from *anywhere*
+        in the feature set.
+
+        ``prescreen_domain`` enables the cheap sound bound-propagation
+        check (:mod:`repro.verification.prescreen`) before the exact MILP
+        solve; pass ``None`` to always run the solver.
+        """
+        registered = self._registered(set_name)
+
+        if prescreen_domain is not None:
+            screen = prescreen(
+                self.suffix, registered.feature_set, risk, domain=prescreen_domain
+            )
+            if screen.excluded:
+                verdict = (
+                    Verdict.SAFE if registered.sound else Verdict.CONDITIONALLY_SAFE
+                )
+                return VerificationVerdict(
+                    verdict=verdict,
+                    property_name=property_name,
+                    risk=risk,
+                    feature_set_kind=registered.kind,
+                    monitored=not registered.sound,
+                    solve_result=SolveResult(
+                        status=SolveStatus.UNSAT,
+                        stats={"prescreen": screen.domain},
+                    ),
+                    confusion=confusion,
+                )
+        characterizer_net = None
+        if property_name is not None:
+            if property_name not in self.characterizers:
+                raise KeyError(
+                    f"no characterizer for {property_name!r}; "
+                    f"attached: {sorted(self.characterizers)}"
+                )
+            characterizer = self.characterizers[property_name]
+            characterizer_net = characterizer.as_piecewise_linear()
+
+        threshold = (
+            self.characterizers[property_name].threshold
+            if property_name is not None
+            else 0.0
+        )
+        if self.solver_name in ("phase-split", "planet"):
+            # the ReLUplex/Planet lineage: relaxation LP + case splitting
+            problem = encode_relaxed_problem(
+                self.suffix,
+                registered.feature_set,
+                risk,
+                characterizer=characterizer_net,
+                characterizer_threshold=threshold,
+            )
+            solver = PhaseSplitSolver(**self.solver_options)
+            result = solver.solve(problem)
+        else:
+            problem = encode_verification_problem(
+                self.suffix,
+                registered.feature_set,
+                risk,
+                characterizer=characterizer_net,
+                characterizer_threshold=threshold,
+            )
+            solver = make_solver(self.solver_name, **self.solver_options)
+            result = solver.solve(problem.model)
+
+        counterexample = None
+        if result.status is SolveStatus.SAT:
+            verdict = Verdict.UNSAFE_IN_SET
+            counterexample = decode_witness(
+                problem, result.witness, self.model, self.cut_layer, risk
+            )
+        elif result.status is SolveStatus.UNSAT:
+            verdict = Verdict.SAFE if registered.sound else Verdict.CONDITIONALLY_SAFE
+        else:
+            verdict = Verdict.UNKNOWN
+
+        return VerificationVerdict(
+            verdict=verdict,
+            property_name=property_name,
+            risk=risk,
+            feature_set_kind=registered.kind,
+            monitored=not registered.sound,
+            solve_result=result,
+            counterexample=counterexample,
+            confusion=confusion,
+        )
+
+    # -- deployment ---------------------------------------------------------------
+
+    def make_monitor(self, set_name: str = "data", keep_events: bool = True) -> RuntimeMonitor:
+        """Runtime monitor discharging the assume-guarantee assumption."""
+        registered = self._registered(set_name)
+        return RuntimeMonitor(
+            self.model, self.cut_layer, registered.feature_set, keep_events=keep_events
+        )

@@ -1,0 +1,32 @@
+"""Runtime monitoring of the assume-guarantee assumption.
+
+Section II.B.b: a proof obtained with the data-derived set ``S~`` is
+conditional on ``f^(l)(in) ∈ S~`` holding in operation; "one shall
+monitor in runtime whether the computed value … has fallen outside" the
+recorded bounds.  Footnote 2 adds that such monitoring is useful
+regardless of verification, as out-of-bounds features signal incomplete
+data collection or ODD exit.
+"""
+
+from repro.monitor.coverage import (
+    ActivationPatternSet,
+    CoverageReport,
+    coverage_report,
+    k_section_coverage,
+    neuron_onoff_coverage,
+)
+from repro.monitor.events import MonitorEvent, MonitorReport
+from repro.monitor.runtime import RuntimeMonitor
+from repro.monitor.throughput import monitor_feature_batch
+
+__all__ = [
+    "ActivationPatternSet",
+    "CoverageReport",
+    "MonitorEvent",
+    "MonitorReport",
+    "RuntimeMonitor",
+    "coverage_report",
+    "k_section_coverage",
+    "monitor_feature_batch",
+    "neuron_onoff_coverage",
+]

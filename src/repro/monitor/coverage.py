@@ -1,0 +1,138 @@
+"""Neuron activation-pattern coverage metrics.
+
+The paper's tool substrate, nn-dependability-kit, accompanies runtime
+monitoring with *coverage metrics* over close-to-output neuron
+activations: how much of the reachable activation space has the training
+data actually visited?  Low coverage warns that the recorded envelope
+``S~`` (and hence the conditional proof) rests on thin evidence —
+footnote 2's "hints for incomplete data collection".
+
+Two classic metrics are implemented over cut-layer features:
+
+- :func:`neuron_onoff_coverage` — fraction of neurons observed both
+  active (> 0) and inactive (== 0 after ReLU) — the simplest pattern
+  coverage;
+- :func:`k_section_coverage` — each neuron's recorded range is split
+  into ``k`` sections; coverage is the fraction of (neuron, section)
+  cells hit by the data;
+- :class:`ActivationPatternSet` — the set of binary on/off patterns seen
+  during training, with a membership monitor for novel patterns in
+  operation (a discrete companion to the interval envelope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_ACTIVE_TOL = 1e-9
+
+
+def _validate(features: np.ndarray) -> np.ndarray:
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2 or features.shape[0] == 0:
+        raise ValueError(f"features must be non-empty (N, d), got {features.shape}")
+    return features
+
+
+def neuron_onoff_coverage(features: np.ndarray) -> float:
+    """Fraction of neurons seen in *both* the active and inactive state."""
+    features = _validate(features)
+    active = (features > _ACTIVE_TOL).any(axis=0)
+    inactive = (features <= _ACTIVE_TOL).any(axis=0)
+    return float((active & inactive).mean())
+
+
+def k_section_coverage(features: np.ndarray, k: int = 8) -> float:
+    """Fraction of per-neuron range sections visited by the data.
+
+    Degenerate neurons (constant over the data) count as a single,
+    covered section.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    features = _validate(features)
+    lo = features.min(axis=0)
+    hi = features.max(axis=0)
+    span = hi - lo
+    covered = 0
+    total = 0
+    for j in range(features.shape[1]):
+        if span[j] <= _ACTIVE_TOL:
+            covered += 1
+            total += 1
+            continue
+        sections = np.clip(
+            ((features[:, j] - lo[j]) / span[j] * k).astype(int), 0, k - 1
+        )
+        covered += len(np.unique(sections))
+        total += k
+    return covered / total
+
+
+@dataclass
+class ActivationPatternSet:
+    """The set of binary on/off patterns observed during training."""
+
+    dim: int
+    _patterns: set[bytes]
+
+    @classmethod
+    def from_features(cls, features: np.ndarray) -> "ActivationPatternSet":
+        features = _validate(features)
+        patterns = {
+            np.packbits(row > _ACTIVE_TOL).tobytes() for row in features
+        }
+        return cls(dim=features.shape[1], _patterns=patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def contains(self, features: np.ndarray) -> np.ndarray:
+        """Per-row: was this exact on/off pattern seen in training?"""
+        features = _validate(features)
+        if features.shape[1] != self.dim:
+            raise ValueError(
+                f"expected {self.dim}-d features, got {features.shape[1]}"
+            )
+        return np.array(
+            [
+                np.packbits(row > _ACTIVE_TOL).tobytes() in self._patterns
+                for row in features
+            ]
+        )
+
+    def novelty_rate(self, features: np.ndarray) -> float:
+        """Fraction of frames with a never-seen activation pattern."""
+        return float(1.0 - self.contains(features).mean())
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """All coverage metrics for one cut layer, in one record."""
+
+    onoff: float
+    k_section: float
+    k: int
+    patterns_seen: int
+    samples: int
+
+    def summary(self) -> str:
+        return (
+            f"on/off coverage {self.onoff:.1%}, {self.k}-section coverage "
+            f"{self.k_section:.1%}, {self.patterns_seen} activation patterns "
+            f"over {self.samples} samples"
+        )
+
+
+def coverage_report(features: np.ndarray, k: int = 8) -> CoverageReport:
+    """Compute every metric at once."""
+    features = _validate(features)
+    return CoverageReport(
+        onoff=neuron_onoff_coverage(features),
+        k_section=k_section_coverage(features, k),
+        k=k,
+        patterns_seen=len(ActivationPatternSet.from_features(features)),
+        samples=features.shape[0],
+    )

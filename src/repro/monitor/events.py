@@ -1,0 +1,65 @@
+"""Monitor event records and aggregate reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One monitored frame.
+
+    ``violation`` is True when the cut-layer features fell outside the
+    assume-guarantee set — the conditional proof does not cover this
+    frame and the vehicle should fall back (e.g. to the mediated
+    perception channel).
+    """
+
+    frame_index: int
+    violation: bool
+    features: np.ndarray
+    worst_coordinate: int | None = None
+    worst_excess: float = 0.0
+
+    def __str__(self) -> str:
+        if not self.violation:
+            return f"frame {self.frame_index}: in ODD envelope"
+        return (
+            f"frame {self.frame_index}: ASSUMPTION VIOLATED "
+            f"(coordinate {self.worst_coordinate}, excess {self.worst_excess:.4g})"
+        )
+
+
+@dataclass
+class MonitorReport:
+    """Aggregate statistics over a monitored stream."""
+
+    frames: int = 0
+    violations: int = 0
+    events: list[MonitorEvent] = field(default_factory=list)
+    keep_events: bool = True
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / self.frames if self.frames else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of frames on which the conditional proof applied."""
+        return 1.0 - self.violation_rate
+
+    def record(self, event: MonitorEvent) -> None:
+        self.frames += 1
+        if event.violation:
+            self.violations += 1
+        if self.keep_events:
+            self.events.append(event)
+
+    def summary(self) -> str:
+        return (
+            f"{self.frames} frames monitored, {self.violations} assumption "
+            f"violations ({self.violation_rate:.2%}); proof coverage "
+            f"{self.coverage:.2%}"
+        )

@@ -1,0 +1,105 @@
+"""The runtime monitor: ``f^(l)(in) ∈ S~`` checks per camera frame."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monitor.events import MonitorEvent, MonitorReport
+from repro.nn.sequential import Sequential
+from repro.verification.sets import Box, BoxWithDiffs, FeatureSet
+
+
+class RuntimeMonitor:
+    """Checks each frame's cut-layer features against the proof assumption.
+
+    The monitor owns the perception model reference so callers hand it
+    raw images; :meth:`check_features` is the feature-level primitive for
+    pipelines that already computed ``f^(l)``.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        cut_layer: int,
+        feature_set: FeatureSet,
+        keep_events: bool = True,
+    ):
+        if feature_set.dim != model.feature_dim(cut_layer):
+            raise ValueError(
+                f"feature set dimension {feature_set.dim} does not match "
+                f"layer {cut_layer} dimension {model.feature_dim(cut_layer)}"
+            )
+        self.model = model
+        self.cut_layer = cut_layer
+        self.feature_set = feature_set
+        self.report = MonitorReport(keep_events=keep_events)
+        self._frame_index = 0
+
+    # -- per-frame API ----------------------------------------------------
+
+    def check_image(self, image: np.ndarray) -> MonitorEvent:
+        """Monitor one camera frame (feature extraction + membership)."""
+        image = np.asarray(image, dtype=float)
+        if image.ndim == len(self.model.input_shape):
+            image = image[None, ...]
+        features = self.model.prefix_apply(image, self.cut_layer, flat=True)[0]
+        return self.check_features(features)
+
+    def check_features(self, features: np.ndarray) -> MonitorEvent:
+        """Monitor one already-extracted feature vector."""
+        features = np.asarray(features, dtype=float).ravel()
+        inside = bool(self.feature_set.contains(features[None, :])[0])
+        worst_coord, worst_excess = (None, 0.0)
+        if not inside:
+            worst_coord, worst_excess = self._diagnose(features)
+        event = MonitorEvent(
+            frame_index=self._frame_index,
+            violation=not inside,
+            features=features,
+            worst_coordinate=worst_coord,
+            worst_excess=worst_excess,
+        )
+        self._frame_index += 1
+        self.report.record(event)
+        return event
+
+    def run(self, images: np.ndarray) -> MonitorReport:
+        """Monitor a stream of frames; returns the aggregate report."""
+        images = np.asarray(images, dtype=float)
+        for image in images:
+            self.check_image(image)
+        return self.report
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def _diagnose(self, features: np.ndarray) -> tuple[int, float]:
+        """Most-violated box coordinate (for actionable warnings)."""
+        lower, upper = self.feature_set.bounds()
+        excess = np.maximum(lower - features, features - upper)
+        if isinstance(self.feature_set, BoxWithDiffs) and features.shape[0] > 1:
+            diffs = np.diff(features)
+            diff_excess = np.maximum(
+                self.feature_set.diff_lower - diffs,
+                diffs - self.feature_set.diff_upper,
+            )
+            if diff_excess.max(initial=-np.inf) > excess.max(initial=-np.inf):
+                worst = int(np.argmax(diff_excess))
+                return worst, float(diff_excess[worst])
+        worst = int(np.argmax(excess))
+        return worst, float(excess[worst])
+
+
+def false_alarm_rate(
+    model: Sequential,
+    cut_layer: int,
+    feature_set: FeatureSet,
+    images: np.ndarray,
+) -> float:
+    """Violation rate on in-ODD data (monitor false alarms).
+
+    Measured on held-out in-distribution images; the paper's margin
+    parameter trades this rate against proof tightness.
+    """
+    monitor = RuntimeMonitor(model, cut_layer, feature_set, keep_events=False)
+    report = monitor.run(images)
+    return report.violation_rate

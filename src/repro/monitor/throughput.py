@@ -1,0 +1,34 @@
+"""Vectorized batch monitoring.
+
+Footnote 8 of the paper argues monitoring is cheap because min/max and
+adjacent-difference checks vectorize (``diff(n)`` in numpy, ``n[1:] -
+n[:-1]`` in TensorFlow).  This module is that vectorized path; experiment
+E8 benchmarks it against the network forward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.verification.sets import FeatureSet
+
+
+def monitor_feature_batch(
+    feature_set: FeatureSet, features: np.ndarray
+) -> np.ndarray:
+    """Vectorized violation mask for a feature batch ``(N, d_l)``.
+
+    ``True`` entries are frames whose features left the envelope.
+    """
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise ValueError(f"expected (N, d) features, got shape {features.shape}")
+    return ~feature_set.contains(features)
+
+
+def adjacent_differences(features: np.ndarray) -> np.ndarray:
+    """The paper's monitored statistic ``n[1:] - n[:-1]`` per frame."""
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2 or features.shape[1] < 2:
+        raise ValueError(f"expected (N, d>=2) features, got shape {features.shape}")
+    return np.diff(features, axis=1)

@@ -1,0 +1,53 @@
+"""A small, self-contained deep-learning framework on numpy.
+
+This subpackage is the substrate standing in for TensorFlow in the
+original paper.  It provides:
+
+- layers with forward *and* backward passes (:mod:`repro.nn.layers`),
+- a :class:`~repro.nn.sequential.Sequential` container exposing the
+  paper's ``f^(l)`` prefix / ``g^(l+1..L)`` suffix decomposition,
+- losses, optimizers, and a minibatch training loop,
+- serialization to ``.npz`` archives,
+- :mod:`repro.nn.graph`, a piecewise-linear view of a trained network
+  consumed by the verification stack.
+"""
+
+from repro.nn.layers.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+from repro.nn.layers.reshape import Flatten
+from repro.nn.losses import bce_loss, cross_entropy_loss, mse_loss
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.sequential import Sequential
+from repro.nn.serialization import load_model, save_model
+from repro.nn.training import TrainingHistory, train
+
+__all__ = [
+    "Adam",
+    "AvgPool2D",
+    "BatchNorm",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "Layer",
+    "LeakyReLU",
+    "MaxPool2D",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "TrainingHistory",
+    "bce_loss",
+    "cross_entropy_loss",
+    "load_model",
+    "mse_loss",
+    "save_model",
+    "train",
+]

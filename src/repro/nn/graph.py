@@ -1,0 +1,204 @@
+"""Piecewise-linear view of a trained network.
+
+The verification stack does not work on :class:`~repro.nn.layers.base.Layer`
+objects directly.  Instead, every layer that admits an exact
+piecewise-linear semantics lowers itself (via
+``Layer.as_verification_ops``) to a list of primitive ops over *flat*
+feature vectors:
+
+- :class:`AffineOp` — ``y = W x + b`` (Dense, eval-mode BatchNorm,
+  Conv2D, AvgPool2D all lower to this),
+- :class:`ReLUOp` / :class:`LeakyReLUOp` — elementwise activations,
+- :class:`MaxGroupOp` — ``y_j = max(x[group_j])`` (MaxPool2D).
+
+A :class:`PiecewiseLinearNetwork` is the chained list of such ops and is
+what the MILP encoder and the abstract domains consume.  This is the
+"gray sub-network" of Figure 1 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.tensor import FLOAT
+
+
+@dataclass
+class AffineOp:
+    """``y = weight @ x + bias`` with ``weight`` of shape ``(out, in)``."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=FLOAT)
+        self.bias = np.asarray(self.bias, dtype=FLOAT)
+        if self.weight.ndim != 2:
+            raise ValueError(f"weight must be 2-D, got shape {self.weight.shape}")
+        if self.bias.shape != (self.weight.shape[0],):
+            raise ValueError(
+                f"bias shape {self.bias.shape} incompatible with weight "
+                f"shape {self.weight.shape}"
+            )
+
+    @property
+    def in_dim(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_dim(self) -> int:
+        return self.weight.shape[0]
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Apply to a flat vector or a batch of flat vectors."""
+        return x @ self.weight.T + self.bias
+
+
+@dataclass
+class ReLUOp:
+    """Elementwise ``y = max(x, 0)``."""
+
+    dim: int
+
+    @property
+    def in_dim(self) -> int:
+        return self.dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.dim
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+
+@dataclass
+class LeakyReLUOp:
+    """Elementwise ``y = x if x >= 0 else alpha * x`` with ``0 <= alpha < 1``."""
+
+    dim: int
+    alpha: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {self.alpha}")
+
+    @property
+    def in_dim(self) -> int:
+        return self.dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.dim
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x >= 0.0, x, self.alpha * x)
+
+
+@dataclass
+class MaxGroupOp:
+    """``y_j = max(x[groups[j]])`` — the flat form of max pooling."""
+
+    in_dim: int
+    groups: list[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.groups = [np.asarray(g, dtype=np.intp) for g in self.groups]
+        for g in self.groups:
+            if g.size == 0:
+                raise ValueError("empty max group")
+            if g.min() < 0 or g.max() >= self.in_dim:
+                raise ValueError(f"group indices out of range for in_dim={self.in_dim}")
+
+    @property
+    def out_dim(self) -> int:
+        return len(self.groups)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=FLOAT)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        out = np.empty((x.shape[0], self.out_dim), dtype=FLOAT)
+        for j, g in enumerate(self.groups):
+            out[:, j] = x[:, g].max(axis=1)
+        return out[0] if single else out
+
+
+PLOp = AffineOp | ReLUOp | LeakyReLUOp | MaxGroupOp
+
+
+class PiecewiseLinearNetwork:
+    """A chain of primitive piecewise-linear ops over flat vectors.
+
+    This is the exact semantics of the sub-network handed to the MILP
+    encoder and the abstraction domains.  ``apply`` must agree with the
+    original :class:`~repro.nn.sequential.Sequential` suffix to machine
+    precision — a property-based test enforces this.
+    """
+
+    def __init__(self, ops: list[PLOp], in_dim: int):
+        if in_dim <= 0:
+            raise ValueError(f"in_dim must be positive, got {in_dim}")
+        dim = in_dim
+        for i, op in enumerate(ops):
+            if op.in_dim != dim:
+                raise ValueError(
+                    f"op {i} ({type(op).__name__}) expects input dim "
+                    f"{op.in_dim}, previous op produces {dim}"
+                )
+            dim = op.out_dim
+        self.ops = list(ops)
+        self.in_dim = in_dim
+        self.out_dim = dim
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate on a flat vector or a batch of flat vectors."""
+        x = np.asarray(x, dtype=FLOAT)
+        if x.shape[-1] != self.in_dim:
+            raise ValueError(f"expected trailing dim {self.in_dim}, got {x.shape}")
+        for op in self.ops:
+            x = op.apply(x)
+        return x
+
+    def num_relu(self) -> int:
+        """Number of scalar ReLU decisions (the MILP binary count)."""
+        total = 0
+        for op in self.ops:
+            if isinstance(op, (ReLUOp, LeakyReLUOp)):
+                total += op.dim
+            elif isinstance(op, MaxGroupOp):
+                total += sum(len(g) for g in op.groups)
+        return total
+
+    def compose(self, other: "PiecewiseLinearNetwork") -> "PiecewiseLinearNetwork":
+        """``self`` followed by ``other``."""
+        if other.in_dim != self.out_dim:
+            raise ValueError(
+                f"cannot compose: {self.out_dim} outputs vs {other.in_dim} inputs"
+            )
+        return PiecewiseLinearNetwork(self.ops + other.ops, self.in_dim)
+
+    def __repr__(self) -> str:
+        kinds = ">".join(type(op).__name__.removesuffix("Op") for op in self.ops)
+        return f"PiecewiseLinearNetwork({self.in_dim}->{self.out_dim}: {kinds})"
+
+
+def lower_layers(layers, in_dim: int) -> PiecewiseLinearNetwork:
+    """Lower a list of built layers to a :class:`PiecewiseLinearNetwork`.
+
+    Raises :class:`ValueError` if any layer lacks a piecewise-linear
+    semantics (``as_verification_ops() is None``).
+    """
+    ops: list[PLOp] = []
+    for layer in layers:
+        layer_ops = layer.as_verification_ops()
+        if layer_ops is None:
+            raise ValueError(
+                f"layer {layer!r} is not piecewise-linear and cannot be part "
+                f"of the verified sub-network; choose a later cut layer"
+            )
+        ops.extend(layer_ops)
+    return PiecewiseLinearNetwork(ops, in_dim)

@@ -1,0 +1,37 @@
+"""Weight initializers.
+
+All initializers take an ``rng`` so that experiments are reproducible
+end-to-end from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import FLOAT
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He-normal initialization, appropriate for ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(FLOAT)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, appropriate for tanh/sigmoid."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in/fan_out must be positive, got {fan_in}/{fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(FLOAT)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=FLOAT)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=FLOAT)

@@ -1,0 +1,26 @@
+"""Layer implementations for :mod:`repro.nn`."""
+
+from repro.nn.layers.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+from repro.nn.layers.reshape import Flatten
+
+__all__ = [
+    "AvgPool2D",
+    "BatchNorm",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "Layer",
+    "LeakyReLU",
+    "MaxPool2D",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+]

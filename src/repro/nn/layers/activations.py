@@ -1,0 +1,128 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.nn.graph import LeakyReLUOp, ReLUOp
+from repro.nn.layers.base import Layer
+from repro.nn.tensor import flat_size
+
+
+class _Elementwise(Layer):
+    """Shared scaffolding: shape-preserving, parameter-free."""
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(input_shape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if getattr(self, "_cache", None) is None:
+            raise RuntimeError("backward called before a training forward pass")
+        return grad_out * self._grad_from_cache()
+
+    def _grad_from_cache(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ReLU(_Elementwise):
+    """``y = max(x, 0)`` — the activation the paper's MILP encoding targets."""
+
+    def __init__(self) -> None:
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0.0
+        if training:
+            self._cache = mask
+        return x * mask
+
+    def _grad_from_cache(self) -> np.ndarray:
+        return self._cache
+
+    def as_verification_ops(self) -> list:
+        assert self.input_shape is not None, "layer not built"
+        return [ReLUOp(flat_size(self.input_shape))]
+
+
+class LeakyReLU(_Elementwise):
+    """``y = x if x >= 0 else alpha * x``; still exactly piecewise-linear."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x >= 0.0
+        if training:
+            self._cache = mask
+        return np.where(mask, x, self.alpha * x)
+
+    def _grad_from_cache(self) -> np.ndarray:
+        return np.where(self._cache, 1.0, self.alpha)
+
+    def config(self) -> dict[str, Any]:
+        return {"alpha": self.alpha}
+
+    def as_verification_ops(self) -> list:
+        assert self.input_shape is not None, "layer not built"
+        return [LeakyReLUOp(flat_size(self.input_shape), self.alpha)]
+
+
+class Sigmoid(_Elementwise):
+    """Logistic activation.
+
+    Not piecewise-linear: it may only appear before the verification cut
+    layer, or as the final read-out of a *characterizer* whose decision
+    threshold is re-expressed as a linear constraint on the pre-sigmoid
+    logit (``sigmoid(z) >= 1/2  iff  z >= 0``).
+    """
+
+    def __init__(self) -> None:
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -500.0, 500.0)))
+        if training:
+            self._cache = out
+        return out
+
+    def _grad_from_cache(self) -> np.ndarray:
+        return self._cache * (1.0 - self._cache)
+
+
+class Tanh(_Elementwise):
+    """Hyperbolic tangent activation (not piecewise-linear)."""
+
+    def __init__(self) -> None:
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if training:
+            self._cache = out
+        return out
+
+    def _grad_from_cache(self) -> np.ndarray:
+        return 1.0 - self._cache**2
+
+
+class Identity(_Elementwise):
+    """No-op layer, occasionally convenient as a named cut point."""
+
+    def __init__(self) -> None:
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._cache = np.ones_like(x)
+        return x
+
+    def _grad_from_cache(self) -> np.ndarray:
+        return self._cache
+
+    def as_verification_ops(self) -> list:
+        return []

@@ -1,0 +1,100 @@
+"""The layer protocol.
+
+Each layer ``g^(i)`` of the paper's network decomposition
+``f^(l) = g^(l) ∘ … ∘ g^(1)`` is an object with
+
+- ``forward(x, training)``: compute the layer output for a batch,
+  caching whatever the backward pass needs;
+- ``backward(grad_out)``: propagate the loss gradient to the layer input
+  and accumulate parameter gradients;
+- ``parameters()``: trainable :class:`~repro.nn.tensor.Parameter`s;
+- ``output_shape(input_shape)``: static shape inference, used both by
+  :class:`~repro.nn.sequential.Sequential` and by the verification stack
+  to size abstract domains;
+- ``config() / from_config``: serialization.
+
+Verification additionally relies on :meth:`Layer.as_verification_ops`,
+which expresses the layer as a list of primitive piecewise-linear
+operations (see :mod:`repro.nn.graph`).  Layers that cannot be expressed
+that way (e.g. ``Sigmoid``) return ``None`` and may only appear *before*
+the verification cut layer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+
+class Layer(ABC):
+    """Base class of all layers."""
+
+    #: set by Sequential.build(); feature shape excluding batch dim
+    input_shape: tuple[int, ...] | None = None
+    output_shape_: tuple[int, ...] | None = None
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for a batch ``x``."""
+
+    @abstractmethod
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``dL/d(output)`` to ``dL/d(input)``."""
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters of this layer (default: none)."""
+        return []
+
+    @abstractmethod
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Infer the output feature shape from the input feature shape."""
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate parameters once the input shape is known."""
+        self.input_shape = tuple(input_shape)
+        self.output_shape_ = self.output_shape(self.input_shape)
+
+    # -- serialization ----------------------------------------------------
+
+    def config(self) -> dict[str, Any]:
+        """JSON-serializable constructor arguments."""
+        return {}
+
+    @classmethod
+    def from_config(cls, config: dict[str, Any]) -> "Layer":
+        return cls(**config)
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Arrays to persist (parameters plus e.g. BatchNorm statistics)."""
+        return {p.name: p.value for p in self.parameters()}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        for p in self.parameters():
+            if p.name not in state:
+                raise KeyError(f"missing parameter {p.name!r} in state")
+            loaded = np.asarray(state[p.name])
+            if loaded.shape != p.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {p.name!r}: "
+                    f"{loaded.shape} != {p.value.shape}"
+                )
+            p.value[...] = loaded
+
+    # -- verification hooks ------------------------------------------------
+
+    def as_verification_ops(self) -> list | None:
+        """Primitive piecewise-linear ops equivalent to this layer.
+
+        Returns ``None`` when the layer has no exact piecewise-linear
+        representation; such layers may only occur before the verification
+        cut layer ``l``.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.config().items())
+        return f"{type(self).__name__}({args})"

@@ -1,0 +1,147 @@
+"""Batch normalization.
+
+The paper's Audi network has ReLU and BatchNorm close-to-output layers;
+in *eval* mode BatchNorm is an affine map, which is why the MILP
+reduction (Section V) applies.  This implementation supports
+
+- flat inputs ``(N, F)`` — per-feature statistics, and
+- convolutional inputs ``(N, C, H, W)`` — per-channel statistics,
+
+with running statistics updated during training and used in eval mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.nn.graph import AffineOp
+from repro.nn.layers.base import Layer
+from repro.nn.tensor import FLOAT, Parameter, flat_size
+
+
+class BatchNorm(Layer):
+    """Batch normalization with learnable scale/shift."""
+
+    def __init__(self, momentum: float = 0.9, eps: float = 1e-5):
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma: Parameter | None = None
+        self.beta: Parameter | None = None
+        self.running_mean: np.ndarray | None = None
+        self.running_var: np.ndarray | None = None
+        self._cache: tuple | None = None
+
+    # -- shape handling ----------------------------------------------------
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) not in (1, 3):
+            raise ValueError(
+                f"BatchNorm expects flat (F,) or conv (C, H, W) features, "
+                f"got {input_shape}"
+            )
+        return tuple(input_shape)
+
+    def _num_features(self) -> int:
+        assert self.input_shape is not None
+        return self.input_shape[0]
+
+    def _reduce_axes(self, x: np.ndarray) -> tuple[int, ...]:
+        return (0,) if x.ndim == 2 else (0, 2, 3)
+
+    def _bcast(self, v: np.ndarray, ndim: int) -> np.ndarray:
+        return v if ndim == 2 else v[:, None, None]
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        super().build(input_shape, rng)
+        n = self._num_features()
+        self.gamma = Parameter("gamma", np.ones(n, dtype=FLOAT))
+        self.beta = Parameter("beta", np.zeros(n, dtype=FLOAT))
+        self.running_mean = np.zeros(n, dtype=FLOAT)
+        self.running_var = np.ones(n, dtype=FLOAT)
+
+    def parameters(self) -> list[Parameter]:
+        if self.gamma is None or self.beta is None:
+            return []
+        return [self.gamma, self.beta]
+
+    # -- forward / backward --------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        assert self.gamma is not None and self.beta is not None, "layer not built"
+        axes = self._reduce_axes(x)
+        if training:
+            if x.shape[0] < 2:
+                raise ValueError("BatchNorm training requires batch size >= 2")
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.running_mean = m * self.running_mean + (1.0 - m) * mean
+            self.running_var = m * self.running_var + (1.0 - m) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._bcast(mean, x.ndim)) * self._bcast(inv_std, x.ndim)
+        out = self._bcast(self.gamma.value, x.ndim) * x_hat + self._bcast(
+            self.beta.value, x.ndim
+        )
+        if training:
+            self._cache = (x_hat, inv_std, axes, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self.gamma is not None and self.beta is not None
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x_hat, inv_std, axes, shape = self._cache
+        m = float(np.prod([shape[a] for a in axes]))
+        self.gamma.grad += (grad_out * x_hat).sum(axis=axes)
+        self.beta.grad += grad_out.sum(axis=axes)
+        g = self._bcast(self.gamma.value, grad_out.ndim)
+        dxhat = grad_out * g
+        # standard batchnorm backward through the batch statistics
+        term1 = dxhat
+        term2 = self._bcast(dxhat.sum(axis=axes) / m, grad_out.ndim)
+        term3 = x_hat * self._bcast((dxhat * x_hat).sum(axis=axes) / m, grad_out.ndim)
+        return self._bcast(inv_std, grad_out.ndim) * (term1 - term2 - term3)
+
+    # -- eval-mode affine view ------------------------------------------------
+
+    def affine_coefficients(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-feature ``(scale, shift)`` of the eval-mode affine map."""
+        assert self.gamma is not None and self.beta is not None, "layer not built"
+        scale = self.gamma.value / np.sqrt(self.running_var + self.eps)
+        shift = self.beta.value - self.running_mean * scale
+        return scale, shift
+
+    def as_verification_ops(self) -> list:
+        assert self.input_shape is not None, "layer not built"
+        scale, shift = self.affine_coefficients()
+        if len(self.input_shape) == 3:
+            # per-channel coefficients repeat across the spatial extent
+            spatial = flat_size(self.input_shape[1:])
+            scale = np.repeat(scale, spatial)
+            shift = np.repeat(shift, spatial)
+        return [AffineOp(np.diag(scale), shift)]
+
+    # -- (de)serialization ------------------------------------------------------
+
+    def config(self) -> dict[str, Any]:
+        return {"momentum": self.momentum, "eps": self.eps}
+
+    def state(self) -> dict[str, np.ndarray]:
+        out = super().state()
+        out["running_mean"] = self.running_mean
+        out["running_var"] = self.running_var
+        return out
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state(state)
+        self.running_mean = np.asarray(state["running_mean"], dtype=FLOAT).copy()
+        self.running_var = np.asarray(state["running_var"], dtype=FLOAT).copy()

@@ -1,0 +1,71 @@
+"""Fully connected (affine) layer."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.graph import AffineOp
+from repro.nn.layers.base import Layer
+from repro.nn.tensor import Parameter
+
+
+class Dense(Layer):
+    """``y = x @ W + b`` with ``W`` of shape ``(in_features, out_features)``."""
+
+    def __init__(self, units: int, *, init: str = "he"):
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        if init not in ("he", "xavier"):
+            raise ValueError(f"unknown init {init!r}")
+        self.units = units
+        self.init = init
+        self.weight: Parameter | None = None
+        self.bias: Parameter | None = None
+        self._x: np.ndarray | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"Dense expects flat input, got feature shape {input_shape}; "
+                f"insert a Flatten layer first"
+            )
+        return (self.units,)
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        super().build(input_shape, rng)
+        fan_in = input_shape[0]
+        if self.init == "he":
+            w = initializers.he_normal(rng, (fan_in, self.units), fan_in)
+        else:
+            w = initializers.xavier_uniform(rng, (fan_in, self.units), fan_in, self.units)
+        self.weight = Parameter("weight", w)
+        self.bias = Parameter("bias", initializers.zeros((self.units,)))
+
+    def parameters(self) -> list[Parameter]:
+        if self.weight is None or self.bias is None:
+            return []
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        assert self.weight is not None and self.bias is not None, "layer not built"
+        if training:
+            self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self.weight is not None and self.bias is not None
+        if self._x is None:
+            raise RuntimeError("backward called before a training forward pass")
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def config(self) -> dict[str, Any]:
+        return {"units": self.units, "init": self.init}
+
+    def as_verification_ops(self) -> list:
+        assert self.weight is not None and self.bias is not None, "layer not built"
+        return [AffineOp(self.weight.value.T.copy(), self.bias.value.copy())]

@@ -1,0 +1,46 @@
+"""Inverted dropout (train-time only regularizer)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Dropout(Layer):
+    """Zero each activation with probability ``rate`` during training.
+
+    At inference (and hence for verification) the layer is the identity,
+    so it lowers to no ops.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(input_shape)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training forward pass")
+        return grad_out * self._mask
+
+    def config(self) -> dict[str, Any]:
+        return {"rate": self.rate, "seed": self.seed}
+
+    def as_verification_ops(self) -> list:
+        return []

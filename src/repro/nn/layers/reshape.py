@@ -1,0 +1,35 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.tensor import flat_size
+
+
+class Flatten(Layer):
+    """Collapse feature dimensions to a vector; identity on flat data.
+
+    In the verification view every tensor is already flat (row-major), so
+    this layer lowers to *no* ops.
+    """
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (flat_size(input_shape),)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before a training forward pass")
+        return grad_out.reshape(self._shape)
+
+    def as_verification_ops(self) -> list:
+        return []

@@ -1,0 +1,79 @@
+"""Loss functions returning ``(loss_value, grad_wrt_predictions)``.
+
+Gradients are already divided by the batch size so that the training
+loop can pass them straight to ``Sequential.backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import FLOAT
+
+_EPS = 1e-12
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error over all entries."""
+    pred = np.asarray(pred, dtype=FLOAT)
+    target = np.asarray(target, dtype=FLOAT)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def bce_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Binary cross-entropy on probabilities in ``(0, 1)``."""
+    pred = np.asarray(pred, dtype=FLOAT)
+    target = np.asarray(target, dtype=FLOAT)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    p = np.clip(pred, _EPS, 1.0 - _EPS)
+    loss = float(-np.mean(target * np.log(p) + (1.0 - target) * np.log(1.0 - p)))
+    grad = (p - target) / (p * (1.0 - p)) / p.size
+    return loss, grad
+
+
+def bce_with_logits_loss(
+    logits: np.ndarray, target: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Numerically stable binary cross-entropy on raw logits."""
+    logits = np.asarray(logits, dtype=FLOAT)
+    target = np.asarray(target, dtype=FLOAT)
+    if logits.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: logits {logits.shape} vs target {target.shape}"
+        )
+    # log(1 + exp(-|z|)) + max(z, 0) - z*t, the standard stable form
+    loss_terms = np.maximum(logits, 0.0) - logits * target + np.log1p(
+        np.exp(-np.abs(logits))
+    )
+    loss = float(np.mean(loss_terms))
+    sigmoid = 1.0 / (1.0 + np.exp(-np.clip(logits, -500.0, 500.0)))
+    grad = (sigmoid - target) / logits.size
+    return loss, grad
+
+
+def cross_entropy_loss(
+    logits: np.ndarray, target_index: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Softmax cross-entropy on logits ``(N, K)`` and class indices ``(N,)``."""
+    logits = np.asarray(logits, dtype=FLOAT)
+    target_index = np.asarray(target_index)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, K), got {logits.shape}")
+    if target_index.shape != (logits.shape[0],):
+        raise ValueError(
+            f"target_index must be (N,) = ({logits.shape[0]},), "
+            f"got {target_index.shape}"
+        )
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    n = logits.shape[0]
+    loss = float(-log_probs[np.arange(n), target_index].mean())
+    grad = np.exp(log_probs)
+    grad[np.arange(n), target_index] -= 1.0
+    return loss, grad / n

@@ -1,0 +1,183 @@
+"""Sequential network container.
+
+Implements the paper's operational view of a deep network as a
+composition of ``L`` layer functions ``g^(1) … g^(L)`` (Section II):
+
+- :meth:`Sequential.prefix_apply` computes ``f^(l)(in)``, the feature
+  vector at the *cut layer* ``l`` — what the input property characterizer
+  and the runtime monitor observe;
+- :meth:`Sequential.suffix_network` lowers ``g^(l+1) ∘ … ∘ g^(L)`` to a
+  :class:`~repro.nn.graph.PiecewiseLinearNetwork` — the gray sub-network
+  of Figure 1 that is actually verified.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.graph import PiecewiseLinearNetwork, lower_layers
+from repro.nn.layers.base import Layer
+from repro.nn.tensor import FLOAT, Parameter, flat_size
+
+
+class Sequential:
+    """A feed-forward stack of layers with 1-based layer indexing.
+
+    Layer indices follow the paper: layer ``l`` for ``l in 1..L``;
+    ``f^(l)`` is the composition of the first ``l`` layers, and layer
+    ``0`` denotes the network input.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        input_shape: tuple[int, ...],
+        seed: int = 0,
+    ):
+        if not layers:
+            raise ValueError("a Sequential network needs at least one layer")
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        shape = self.input_shape
+        for layer in self.layers:
+            layer.build(shape, rng)
+            shape = layer.output_shape_
+        self.output_shape = shape
+
+    # -- basic facts --------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def layer_dims(self) -> list[int]:
+        """Flat dimension ``d_l`` of every layer output, ``l = 0 .. L``."""
+        dims = [flat_size(self.input_shape)]
+        dims.extend(flat_size(layer.output_shape_) for layer in self.layers)
+        return dims
+
+    def feature_shape(self, layer_index: int) -> tuple[int, ...]:
+        """Feature shape at the output of layer ``layer_index`` (0 = input)."""
+        self._check_index(layer_index, allow_zero=True)
+        if layer_index == 0:
+            return self.input_shape
+        return self.layers[layer_index - 1].output_shape_
+
+    def feature_dim(self, layer_index: int) -> int:
+        return flat_size(self.feature_shape(layer_index))
+
+    def _check_index(self, layer_index: int, allow_zero: bool = False) -> None:
+        low = 0 if allow_zero else 1
+        if not low <= layer_index <= self.num_layers:
+            raise IndexError(
+                f"layer index {layer_index} out of range "
+                f"[{low}, {self.num_layers}]"
+            )
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def num_parameters(self) -> int:
+        return sum(p.value.size for p in self.parameters())
+
+    # -- evaluation ------------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Full forward pass ``f^(L)`` on a batch."""
+        x = np.asarray(x, dtype=FLOAT)
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, training=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate through all layers (after a training forward)."""
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def prefix_apply(
+        self, x: np.ndarray, layer_index: int, flat: bool = True
+    ) -> np.ndarray:
+        """Compute ``f^(l)(x)`` — the features at the cut layer.
+
+        With ``flat=True`` (the verification convention) the feature
+        tensor is flattened per sample, row-major.
+        """
+        self._check_index(layer_index, allow_zero=True)
+        x = np.asarray(x, dtype=FLOAT)
+        for layer in self.layers[:layer_index]:
+            x = layer.forward(x, training=False)
+        if flat and x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return x
+
+    def suffix_apply(self, features: np.ndarray, layer_index: int) -> np.ndarray:
+        """Evaluate ``g^(l+1) ∘ … ∘ g^(L)`` on flat feature vectors."""
+        return self.suffix_network(layer_index).apply(features)
+
+    # -- verification views ------------------------------------------------------
+
+    def suffix_network(self, layer_index: int) -> PiecewiseLinearNetwork:
+        """Lower layers ``l+1 .. L`` to a piecewise-linear network."""
+        self._check_index(layer_index, allow_zero=True)
+        in_dim = self.feature_dim(layer_index)
+        return lower_layers(self.layers[layer_index:], in_dim)
+
+    def full_network(self) -> PiecewiseLinearNetwork:
+        """Lower the whole model (requires every layer piecewise-linear)."""
+        return self.suffix_network(0)
+
+    def piecewise_linear_cut_points(self) -> list[int]:
+        """Layer indices ``l`` whose suffix is entirely piecewise-linear."""
+        valid = []
+        boundary = 0
+        for i, layer in enumerate(self.layers):
+            if layer.as_verification_ops() is None:
+                boundary = i + 1
+        for l in range(boundary, self.num_layers + 1):
+            valid.append(l)
+        return valid
+
+    # -- structure ----------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable layer table."""
+        lines = [f"Sequential(input={self.input_shape}, seed={self.seed})"]
+        shape = self.input_shape
+        for i, layer in enumerate(self.layers, start=1):
+            shape = layer.output_shape_
+            n_params = sum(p.value.size for p in layer.parameters())
+            lines.append(f"  [{i:>2}] {layer!r:<40} -> {shape}  params={n_params}")
+        lines.append(f"  total parameters: {self.num_parameters()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Sequential({self.num_layers} layers, "
+            f"{self.input_shape} -> {self.output_shape})"
+        )
+
+
+def iter_minibatches(
+    rng: np.random.Generator, n: int, batch_size: int
+) -> Iterable[np.ndarray]:
+    """Yield shuffled index batches covering ``range(n)`` once."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    order = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]

@@ -1,0 +1,99 @@
+"""Model persistence: one ``.npz`` archive with a JSON architecture header.
+
+The archive layout is:
+
+- key ``__architecture__``: a JSON string with the input shape, seed and
+  per-layer ``(class_name, config)`` pairs;
+- keys ``layer{i}/{name}``: every array returned by ``Layer.state()``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Identity,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.sequential import Sequential
+
+_LAYER_REGISTRY = {
+    cls.__name__: cls
+    for cls in (
+        AvgPool2D,
+        BatchNorm,
+        Conv2D,
+        Dense,
+        Dropout,
+        Flatten,
+        Identity,
+        LeakyReLU,
+        MaxPool2D,
+        ReLU,
+        Sigmoid,
+        Tanh,
+    )
+}
+
+
+def save_model(model: Sequential, path: str | Path) -> None:
+    """Persist a built :class:`Sequential` to ``path`` (``.npz``)."""
+    architecture = {
+        "input_shape": list(model.input_shape),
+        "seed": model.seed,
+        "layers": [
+            {"class": type(layer).__name__, "config": layer.config()}
+            for layer in model.layers
+        ],
+    }
+    arrays: dict[str, np.ndarray] = {
+        "__architecture__": np.frombuffer(
+            json.dumps(architecture).encode("utf-8"), dtype=np.uint8
+        )
+    }
+    for i, layer in enumerate(model.layers):
+        for name, value in layer.state().items():
+            arrays[f"layer{i}/{name}"] = value
+    np.savez(Path(path), **arrays)
+
+
+def load_model(path: str | Path) -> Sequential:
+    """Load a model saved by :func:`save_model`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        raw = bytes(archive["__architecture__"].tobytes())
+        architecture = json.loads(raw.decode("utf-8"))
+        layers = []
+        for spec in architecture["layers"]:
+            cls_name = spec["class"]
+            if cls_name not in _LAYER_REGISTRY:
+                raise ValueError(f"unknown layer class {cls_name!r} in {path}")
+            layers.append(_LAYER_REGISTRY[cls_name].from_config(spec["config"]))
+        model = Sequential(
+            layers,
+            input_shape=tuple(architecture["input_shape"]),
+            seed=architecture["seed"],
+        )
+        for i, layer in enumerate(model.layers):
+            prefix = f"layer{i}/"
+            state = {
+                key.removeprefix(prefix): archive[key]
+                for key in archive.files
+                if key.startswith(prefix)
+            }
+            if state:
+                layer.load_state(state)
+    return model

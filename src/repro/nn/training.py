@@ -1,0 +1,139 @@
+"""Minibatch training loop with history, validation and early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.optimizers import Optimizer
+from repro.nn.sequential import Sequential, iter_minibatches
+from repro.nn.tensor import FLOAT
+
+LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+MetricFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of losses and metrics."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_metric: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+    def best_val_loss(self) -> float:
+        if not self.val_loss:
+            raise ValueError("no validation losses recorded")
+        return min(self.val_loss)
+
+
+def evaluate_loss(
+    model: Sequential, loss_fn: LossFn, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+) -> float:
+    """Average loss over a dataset, in eval mode, batched to bound memory."""
+    total = 0.0
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    for start in range(0, n, batch_size):
+        xb = x[start : start + batch_size]
+        yb = y[start : start + batch_size]
+        pred = model.forward(xb, training=False)
+        loss, _ = loss_fn(pred, yb)
+        total += loss * xb.shape[0]
+    return total / n
+
+
+def train(
+    model: Sequential,
+    optimizer: Optimizer,
+    loss_fn: LossFn,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    *,
+    epochs: int = 10,
+    batch_size: int = 32,
+    x_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+    metric_fn: MetricFn | None = None,
+    patience: int | None = None,
+    seed: int = 0,
+    verbose: bool = False,
+) -> TrainingHistory:
+    """Train ``model`` by minibatch gradient descent.
+
+    ``patience`` enables early stopping on the validation loss (requires
+    ``x_val``/``y_val``).  ``metric_fn(pred, target)`` is an optional
+    scalar evaluation metric recorded per epoch.
+    """
+    x_train = np.asarray(x_train, dtype=FLOAT)
+    y_train = np.asarray(y_train, dtype=FLOAT)
+    if x_train.shape[0] != y_train.shape[0]:
+        raise ValueError(
+            f"inconsistent dataset: {x_train.shape[0]} inputs vs "
+            f"{y_train.shape[0]} targets"
+        )
+    if x_train.shape[0] == 0:
+        raise ValueError("cannot train on an empty dataset")
+    has_val = x_val is not None and y_val is not None
+    if patience is not None and not has_val:
+        raise ValueError("early stopping requires validation data")
+
+    rng = np.random.default_rng(seed)
+    history = TrainingHistory()
+    best_val = np.inf
+    bad_epochs = 0
+
+    for epoch in range(epochs):
+        epoch_loss = 0.0
+        seen = 0
+        for idx in iter_minibatches(rng, x_train.shape[0], batch_size):
+            xb, yb = x_train[idx], y_train[idx]
+            model.zero_grad()
+            pred = model.forward(xb, training=True)
+            loss, grad = loss_fn(pred, yb)
+            model.backward(grad)
+            optimizer.step()
+            epoch_loss += loss * xb.shape[0]
+            seen += xb.shape[0]
+        history.train_loss.append(epoch_loss / seen)
+
+        if has_val:
+            val_loss = evaluate_loss(model, loss_fn, x_val, y_val)
+            history.val_loss.append(val_loss)
+            if metric_fn is not None:
+                pred = model.forward(np.asarray(x_val, dtype=FLOAT), training=False)
+                history.val_metric.append(float(metric_fn(pred, y_val)))
+            if verbose:  # pragma: no cover - logging only
+                print(
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"train={history.train_loss[-1]:.5f} val={val_loss:.5f}"
+                )
+            if patience is not None:
+                if val_loss < best_val - 1e-9:
+                    best_val = val_loss
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                    if bad_epochs > patience:
+                        history.stopped_early = True
+                        break
+        elif verbose:  # pragma: no cover - logging only
+            print(f"epoch {epoch + 1}/{epochs}: train={history.train_loss[-1]:.5f}")
+
+    return history
+
+
+def binary_accuracy(pred: np.ndarray, target: np.ndarray) -> float:
+    """Accuracy of probabilities/logits against 0-1 targets (0.5 / 0 cut)."""
+    pred = np.asarray(pred).ravel()
+    target = np.asarray(target).ravel()
+    threshold = 0.5 if pred.min() >= 0.0 and pred.max() <= 1.0 else 0.0
+    return float(np.mean((pred >= threshold) == (target >= 0.5)))

@@ -1,0 +1,30 @@
+"""The direct-perception stack.
+
+- :mod:`repro.perception.network` — builders for the direct perception
+  network (camera image → affordances) whose close-to-output layers are
+  Dense / BatchNorm / ReLU, matching the paper's Audi network structure;
+- :mod:`repro.perception.train` — training entry points;
+- :mod:`repro.perception.features` — extraction of cut-layer feature
+  vectors ``f^(l)(in)`` over datasets;
+- :mod:`repro.perception.characterizer` — the learned input property
+  characterizer ``h^phi_l`` of Section II.A.
+"""
+
+from repro.perception.characterizer import Characterizer, train_characterizer
+from repro.perception.features import extract_features
+from repro.perception.network import (
+    build_direct_perception_network,
+    build_mlp_perception_network,
+    default_cut_layer,
+)
+from repro.perception.train import train_direct_perception
+
+__all__ = [
+    "Characterizer",
+    "build_direct_perception_network",
+    "build_mlp_perception_network",
+    "default_cut_layer",
+    "extract_features",
+    "train_characterizer",
+    "train_direct_perception",
+]

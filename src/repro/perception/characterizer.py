@@ -1,0 +1,173 @@
+"""The input property characterizer ``h^phi_l`` (Section II.A).
+
+A small binary classifier whose input is the cut-layer feature vector of
+the direct perception network and whose single output is an acceptance
+logit: ``h(n̂) = 1  iff  logit(n̂) >= 0``.  Per the paper it is trained
+to (ideally) 100% training accuracy; its residual held-out error feeds
+the statistical guarantee of Section III.
+
+The characterizer is itself a pure Dense/ReLU network, so the MILP
+encoder can conjoin its acceptance condition with the verified
+sub-network — the key trick that turns an image-level ``phi`` into a
+linear-arithmetic constraint at the cut layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import Adam, Dense, ReLU, Sequential, TrainingHistory
+from repro.nn.graph import PiecewiseLinearNetwork
+from repro.nn.losses import bce_with_logits_loss
+from repro.nn.training import train
+
+
+@dataclass
+class Characterizer:
+    """A trained input property characterizer attached at a cut layer."""
+
+    property_name: str
+    cut_layer: int
+    network: Sequential  #: features (d_l,) -> logit (1,)
+    train_accuracy: float
+    val_accuracy: float
+    threshold: float = 0.0
+
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        """Acceptance logits for a feature matrix ``(N, d_l)``."""
+        return self.network.forward(np.asarray(features, dtype=float))[:, 0]
+
+    def decide(self, features: np.ndarray) -> np.ndarray:
+        """Boolean decisions ``h(n̂) = 1`` per feature vector."""
+        return self.logits(features) >= self.threshold
+
+    def as_piecewise_linear(self) -> PiecewiseLinearNetwork:
+        """Lower to primitive ops for the MILP encoder."""
+        return self.network.full_network()
+
+    @property
+    def is_perfect_on_training(self) -> bool:
+        """Did training reach the paper's 100% training-accuracy target?"""
+        return self.train_accuracy >= 1.0 - 1e-12
+
+
+def build_characterizer_network(
+    feature_dim: int, hidden: tuple[int, ...] = (8,), seed: int = 0
+) -> Sequential:
+    """Dense/ReLU binary classifier ending in a single logit."""
+    if feature_dim < 1:
+        raise ValueError(f"feature_dim must be positive, got {feature_dim}")
+    layers: list = []
+    for width in hidden:
+        layers.extend([Dense(width), ReLU()])
+    layers.append(Dense(1))
+    return Sequential(layers, input_shape=(feature_dim,), seed=seed)
+
+
+def train_characterizer(
+    property_name: str,
+    cut_layer: int,
+    train_features: np.ndarray,
+    train_labels: np.ndarray,
+    val_features: np.ndarray,
+    val_labels: np.ndarray,
+    *,
+    hidden: tuple[int, ...] = (8,),
+    epochs: int = 200,
+    batch_size: int = 32,
+    lr: float = 5e-3,
+    seed: int = 0,
+    target_train_accuracy: float = 1.0,
+    verbose: bool = False,
+) -> tuple[Characterizer, TrainingHistory]:
+    """Train ``h^phi_l`` on cut-layer features and oracle labels.
+
+    Training runs for at most ``epochs`` epochs but stops as soon as the
+    training accuracy reaches ``target_train_accuracy`` (the paper's
+    "100% success rate on the training data" requirement — achievable
+    for properties the features still carry information about, and
+    conspicuously *not* achievable for bottlenecked properties like
+    adjacent-lane traffic; see experiment E5).
+    """
+    train_features = np.asarray(train_features, dtype=float)
+    train_labels = np.asarray(train_labels, dtype=float).reshape(-1, 1)
+    val_features = np.asarray(val_features, dtype=float)
+    val_labels = np.asarray(val_labels, dtype=float).reshape(-1, 1)
+    if train_features.shape[0] != train_labels.shape[0]:
+        raise ValueError("train features/labels length mismatch")
+
+    network = build_characterizer_network(train_features.shape[1], hidden, seed)
+    optimizer = Adam(network.parameters(), lr=lr)
+    history = TrainingHistory()
+    for _ in range(epochs):
+        epoch_history = train(
+            network,
+            optimizer,
+            bce_with_logits_loss,
+            train_features,
+            train_labels,
+            epochs=1,
+            batch_size=batch_size,
+            seed=seed,
+            verbose=False,
+        )
+        history.train_loss.extend(epoch_history.train_loss)
+        train_acc = _accuracy(network, train_features, train_labels)
+        if verbose:  # pragma: no cover - logging only
+            print(f"characterizer[{property_name}] acc={train_acc:.4f}")
+        if train_acc >= target_train_accuracy:
+            break
+
+    characterizer = Characterizer(
+        property_name=property_name,
+        cut_layer=cut_layer,
+        network=network,
+        train_accuracy=_accuracy(network, train_features, train_labels),
+        val_accuracy=_accuracy(network, val_features, val_labels),
+    )
+    return characterizer, history
+
+
+def _accuracy(network: Sequential, features: np.ndarray, labels: np.ndarray) -> float:
+    logits = network.forward(features, training=False)
+    return float(np.mean((logits >= 0.0) == (labels >= 0.5)))
+
+
+def calibrate_threshold(
+    characterizer: Characterizer,
+    features: np.ndarray,
+    labels: np.ndarray,
+    target_gamma: float,
+) -> Characterizer:
+    """Lower the acceptance threshold until ``gamma <= target_gamma``.
+
+    Section III: the dangerous Table-I cell is ``gamma = P(h = 0, phi)``
+    — positive samples the characterizer rejects.  Lowering the logit
+    threshold moves rejected positives into the accepted region (raising
+    ``beta``, which is harmless for the safety argument: the proof then
+    simply covers more inputs).  Returns a copy of the characterizer with
+    the calibrated threshold; raises if even accepting everything cannot
+    reach the target (impossible for ``target_gamma >= 0``).
+    """
+    if not 0.0 <= target_gamma < 1.0:
+        raise ValueError(f"target_gamma must be in [0, 1), got {target_gamma}")
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels).astype(bool).ravel()
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError("features/labels length mismatch")
+    n = labels.shape[0]
+    logits = characterizer.logits(features)
+
+    current_gamma = float(np.sum((logits < characterizer.threshold) & labels)) / n
+    if current_gamma <= target_gamma or not labels.any():
+        return characterizer
+
+    # accept the (m+1)-th smallest positive logit and everything above:
+    # at most m positives (those strictly below) remain rejected
+    allowed_misses = int(np.floor(target_gamma * n))
+    positive_logits = np.sort(logits[labels])
+    index = min(allowed_misses, positive_logits.size - 1)
+    return dataclasses.replace(characterizer, threshold=float(positive_logits[index]))

@@ -1,0 +1,27 @@
+"""Cut-layer feature extraction ``f^(l)`` over datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.sequential import Sequential
+
+
+def extract_features(
+    model: Sequential,
+    images: np.ndarray,
+    cut_layer: int,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Flat feature matrix ``(N, d_l)`` of ``f^(l)`` over a batch of images.
+
+    Batched to bound the memory of the convolutional prefix.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    images = np.asarray(images, dtype=float)
+    chunks = []
+    for start in range(0, images.shape[0], batch_size):
+        chunk = images[start : start + batch_size]
+        chunks.append(model.prefix_apply(chunk, cut_layer, flat=True))
+    return np.concatenate(chunks, axis=0)

@@ -1,0 +1,90 @@
+"""Direct-perception network builders.
+
+The architecture mirrors the paper's setting at reduced scale: a
+convolutional feature stack ("deep layers with convolution" in Figure 1)
+followed by close-to-output layers that are exclusively Dense, BatchNorm
+and ReLU — precisely the layer algebra the MILP reduction of Section V
+supports.  The regression head outputs the two affordances
+``(waypoint_lateral, orientation)``.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+
+def build_direct_perception_network(
+    input_shape: tuple[int, int, int] = (1, 32, 32),
+    feature_width: int = 16,
+    seed: int = 0,
+) -> Sequential:
+    """Convolutional direct-perception network.
+
+    Layer indices (1-based, as in the paper's ``g^(l)`` convention)::
+
+         1  Conv2D(8, 5x5, stride 2, pad 2)
+         2  ReLU
+         3  MaxPool2D(2)
+         4  Conv2D(16, 3x3, stride 2, pad 1)
+         5  ReLU
+         6  Flatten
+         7  Dense(32)
+         8  BatchNorm
+         9  ReLU
+        10  Dense(feature_width)      <- close-to-output features
+        11  ReLU                      <- default verification cut layer l
+        12  Dense(2)                  <- affordance outputs (layer L)
+
+    The default cut layer (:func:`default_cut_layer`) is 11: its
+    ``feature_width`` post-ReLU neurons are the ``n^17_i`` of Figure 1.
+    """
+    if feature_width < 2:
+        raise ValueError(f"feature_width must be >= 2, got {feature_width}")
+    return Sequential(
+        [
+            Conv2D(8, 5, stride=2, padding=2),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(16, 3, stride=2, padding=1),
+            ReLU(),
+            Flatten(),
+            Dense(32),
+            BatchNorm(),
+            ReLU(),
+            Dense(feature_width),
+            ReLU(),
+            Dense(2),
+        ],
+        input_shape=input_shape,
+        seed=seed,
+    )
+
+
+def default_cut_layer(model: Sequential) -> int:
+    """The canonical close-to-output cut: the last ReLU before the head."""
+    for index in range(model.num_layers - 1, 0, -1):
+        if type(model.layers[index - 1]).__name__ == "ReLU":
+            return index
+    raise ValueError("model has no ReLU layer to cut at")
+
+
+def build_mlp_perception_network(
+    input_dim: int = 8,
+    hidden: tuple[int, ...] = (16, 16),
+    feature_width: int = 8,
+    seed: int = 0,
+) -> Sequential:
+    """Small all-dense variant used by tests and fast examples."""
+    layers: list = []
+    for width in hidden:
+        layers.extend([Dense(width), ReLU()])
+    layers.extend([Dense(feature_width), ReLU(), Dense(2)])
+    return Sequential(layers, input_shape=(input_dim,), seed=seed)

@@ -1,0 +1,60 @@
+"""Training entry point for the direct-perception network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import Adam, Sequential, TrainingHistory, mse_loss, train
+from repro.scenario.dataset import Dataset
+
+
+@dataclass
+class PerceptionTrainingResult:
+    """Trained model plus basic fit diagnostics."""
+
+    model: Sequential
+    history: TrainingHistory
+    val_mae: np.ndarray  #: per-affordance mean absolute error on validation
+
+    def summary(self) -> str:
+        return (
+            f"epochs={self.history.epochs_run} "
+            f"train_loss={self.history.train_loss[-1]:.5f} "
+            f"val_mae(waypoint)={self.val_mae[0]:.3f}m "
+            f"val_mae(orientation)={self.val_mae[1]:.4f}rad"
+        )
+
+
+def train_direct_perception(
+    model: Sequential,
+    train_data: Dataset,
+    val_data: Dataset,
+    *,
+    epochs: int = 30,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    patience: int | None = 8,
+    seed: int = 0,
+    verbose: bool = False,
+) -> PerceptionTrainingResult:
+    """Fit the affordance regression with Adam + MSE + early stopping."""
+    optimizer = Adam(model.parameters(), lr=lr)
+    history = train(
+        model,
+        optimizer,
+        mse_loss,
+        train_data.images,
+        train_data.affordances,
+        epochs=epochs,
+        batch_size=batch_size,
+        x_val=val_data.images,
+        y_val=val_data.affordances,
+        patience=patience,
+        seed=seed,
+        verbose=verbose,
+    )
+    predictions = model.forward(val_data.images, training=False)
+    val_mae = np.mean(np.abs(predictions - val_data.affordances), axis=0)
+    return PerceptionTrainingResult(model=model, history=history, val_mae=val_mae)

@@ -1,0 +1,36 @@
+"""Specification DSL: input properties ``phi`` and risk conditions ``psi``.
+
+Definition 1 of the paper: the network is *safe under input constraint
+phi and output risk constraint psi* iff no input satisfying ``phi``
+produces an output satisfying ``psi``.  ``psi`` is a conjunction of
+linear inequalities over the network output
+(:class:`~repro.properties.risk.RiskCondition`); ``phi`` is an
+oracle-defined image property
+(:class:`~repro.properties.phi.InputProperty`) that the verification
+workflow replaces by a learned characterizer.
+"""
+
+from repro.properties.phi import InputProperty
+from repro.properties.risk import LinearInequality, RiskCondition
+from repro.properties.library import (
+    STEER_FAR_LEFT,
+    STEER_FAR_RIGHT,
+    STEER_STRAIGHT,
+    steer_far_left,
+    steer_far_right,
+    steer_straight,
+    canonical_specifications,
+)
+
+__all__ = [
+    "InputProperty",
+    "LinearInequality",
+    "RiskCondition",
+    "STEER_FAR_LEFT",
+    "STEER_FAR_RIGHT",
+    "STEER_STRAIGHT",
+    "canonical_specifications",
+    "steer_far_left",
+    "steer_far_right",
+    "steer_straight",
+]

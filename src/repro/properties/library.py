@@ -1,0 +1,95 @@
+"""Canonical specifications from the paper's running examples.
+
+The affordance output is ``y = (waypoint_lateral [m], orientation [rad])``
+with *left positive*.  The paper's examples:
+
+- "impossibility to suggest steering to the far left, when the road
+  image is bending to the right" — provable with assume-guarantee bounds;
+- "impossibility to suggest steering straight, when the road image is
+  bending to the right" — *not* provable for the network under analysis.
+
+The thresholds below express "far left" / "straight" in waypoint space.
+A road strongly bending right (curvature below ``-4e-3`` 1/m) has its
+20 m waypoint well to the right, so a far-left waypoint suggestion is a
+genuine malfunction.
+"""
+
+from __future__ import annotations
+
+from repro.properties.phi import InputProperty
+from repro.properties.risk import (
+    LinearInequality,
+    RiskCondition,
+    output_geq,
+    output_in_band,
+    output_leq,
+)
+
+#: affordance output dimension
+OUTPUT_DIM = 2
+
+#: waypoint lateral offsets (m) counted as "far" in examples
+FAR_LEFT_WAYPOINT = 1.5
+FAR_RIGHT_WAYPOINT = -1.5
+
+#: |waypoint| below this is "steering straight"
+STRAIGHT_BAND = 0.3
+
+
+def steer_far_left(threshold: float = FAR_LEFT_WAYPOINT) -> RiskCondition:
+    """Risk: the network suggests a waypoint far to the left."""
+    return RiskCondition(
+        name="steer_far_left",
+        inequalities=(output_geq(OUTPUT_DIM, 0, threshold),),
+        description=f"suggested waypoint >= {threshold} m to the left",
+    )
+
+
+def steer_far_right(threshold: float = FAR_RIGHT_WAYPOINT) -> RiskCondition:
+    """Risk: the network suggests a waypoint far to the right."""
+    return RiskCondition(
+        name="steer_far_right",
+        inequalities=(output_leq(OUTPUT_DIM, 0, threshold),),
+        description=f"suggested waypoint <= {threshold} m (to the right)",
+    )
+
+
+def steer_straight(band: float = STRAIGHT_BAND) -> RiskCondition:
+    """Risk: the network suggests driving straight (waypoint near center)."""
+    return RiskCondition(
+        name="steer_straight",
+        inequalities=tuple(output_in_band(OUTPUT_DIM, 0, -band, band)),
+        description=f"suggested waypoint within +-{band} m of center",
+    )
+
+
+def orientation_hard_left(threshold: float = 0.1) -> RiskCondition:
+    """Risk: the network suggests a strong left orientation change."""
+    return RiskCondition(
+        name="orientation_hard_left",
+        inequalities=(output_geq(OUTPUT_DIM, 1, threshold),),
+        description=f"suggested orientation >= {threshold} rad to the left",
+    )
+
+
+#: module-level instances with default thresholds
+STEER_FAR_LEFT = steer_far_left()
+STEER_FAR_RIGHT = steer_far_right()
+STEER_STRAIGHT = steer_straight()
+ORIENTATION_HARD_LEFT = orientation_hard_left()
+
+
+def canonical_specifications() -> list[tuple[InputProperty, RiskCondition, bool]]:
+    """The paper's (phi, psi) pairs with the expected provability.
+
+    The boolean is the *expected* outcome reported in Section V:
+    ``True``  — conditionally provable under assume-guarantee bounds,
+    ``False`` — not provable (a counterexample exists within the bounds).
+    """
+    bends_right = InputProperty.from_registry("bends_right")
+    bends_left = InputProperty.from_registry("bends_left")
+    return [
+        (bends_right, STEER_FAR_LEFT, True),
+        (bends_right, STEER_STRAIGHT, False),
+        (bends_left, STEER_FAR_RIGHT, True),
+    ]

@@ -1,0 +1,45 @@
+"""Input properties ``phi``.
+
+An :class:`InputProperty` names an image-level condition ("the road
+strongly bends to the right").  ``In_phi`` — the set of images satisfying
+it — is *not* representable as pixel constraints (the paper's
+specification problem); what we do have is an oracle
+(:class:`~repro.scenario.labels.PropertyOracle` on scene parameters,
+playing the paper's human annotator), which is enough to train a
+characterizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scenario.dataset import Dataset
+from repro.scenario.labels import ORACLES, PropertyOracle
+
+
+@dataclass(frozen=True)
+class InputProperty:
+    """A named input property with oracle access."""
+
+    name: str
+    oracle: PropertyOracle
+    description: str = ""
+
+    @classmethod
+    def from_registry(cls, name: str) -> "InputProperty":
+        """Look up a built-in oracle by name."""
+        if name not in ORACLES:
+            raise KeyError(
+                f"unknown property {name!r}; known: {sorted(ORACLES)}"
+            )
+        oracle = ORACLES[name]
+        return cls(name=name, oracle=oracle, description=oracle.description)
+
+    def labels(self, dataset: Dataset) -> np.ndarray:
+        """0/1 oracle labels over a dataset — the paper's ``(In, C_phi)``."""
+        return dataset.property_labels(self.oracle)
+
+    def __str__(self) -> str:
+        return f"phi[{self.name}]"

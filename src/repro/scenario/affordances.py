@@ -1,0 +1,54 @@
+"""Ground-truth affordances — the direct perception regression targets.
+
+Following the paper's description of the Audi network ("computes the next
+waypoint and orientation for autonomous vehicles to follow"), the
+affordance vector has two components:
+
+- ``waypoint_lateral``: the lateral position (m, vehicle frame, left
+  positive) of the ego-lane centerline at the lookahead distance — the
+  next waypoint the controller steers toward;
+- ``orientation``: the road heading (rad) relative to the vehicle at the
+  lookahead distance.
+
+Both are exact functions of the scene's road geometry, which is how the
+synthetic ODD substitutes for the labelled Audi recordings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenario.geometry import RoadGeometry
+
+DEFAULT_LOOKAHEAD = 20.0
+
+
+def affordance_names() -> list[str]:
+    """Names of the affordance vector components, in order."""
+    return ["waypoint_lateral", "orientation"]
+
+
+def affordances(road: RoadGeometry, lookahead: float = DEFAULT_LOOKAHEAD) -> np.ndarray:
+    """Ground-truth affordance vector for one scene."""
+    if lookahead <= 0.0:
+        raise ValueError(f"lookahead must be positive, got {lookahead}")
+    return np.array(
+        [
+            float(road.centerline_offset(lookahead)),
+            float(road.heading(lookahead)),
+        ]
+    )
+
+
+def steering_proxy(affordance: np.ndarray) -> float:
+    """Scalar "steer command" proxy derived from an affordance vector.
+
+    Positive = steer left.  A pure-pursuit style controller steers
+    proportionally to the waypoint lateral offset; this proxy is used in
+    examples when a single steering number is more intuitive than the
+    two-dimensional affordance.
+    """
+    affordance = np.asarray(affordance, dtype=float)
+    if affordance.shape[-1] != 2:
+        raise ValueError(f"affordance vector must have 2 entries, got {affordance.shape}")
+    return float(affordance[..., 0] + 0.5 * affordance[..., 1])

@@ -1,0 +1,94 @@
+"""Pinhole camera model and inverse perspective mapping.
+
+Camera frame equals the vehicle frame (``x`` forward, ``y`` left, ``z``
+up) with the optical center at height ``height`` above the road plane
+``z = 0``.  Pixel rows increase downward, columns to the right; the
+principal point is the image center.  A point ``(x, y, z)`` with
+``x > 0`` projects to
+
+    col = cx - focal * y / x
+    row = cy - focal * (z - height) / x
+
+so the horizon (points at infinity on the ground plane) sits at row
+``cy``.  Inverse perspective mapping sends every below-horizon pixel back
+to the ground plane, which is how the renderer decides per pixel whether
+it sees road, marking or grass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PinholeCamera:
+    """A forward-facing pinhole camera above the road plane."""
+
+    width: int = 32
+    height_px: int = 32
+    focal: float = 28.0
+    height: float = 1.4
+    horizon_row: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.width < 4 or self.height_px < 4:
+            raise ValueError(f"image too small: {self.width}x{self.height_px}")
+        if self.focal <= 0.0:
+            raise ValueError(f"focal length must be positive, got {self.focal}")
+        if self.height <= 0.0:
+            raise ValueError(f"camera height must be positive, got {self.height}")
+
+    @property
+    def cx(self) -> float:
+        return (self.width - 1) / 2.0
+
+    @property
+    def cy(self) -> float:
+        """Horizon row (defaults to 40% of the image height)."""
+        if self.horizon_row is not None:
+            return float(self.horizon_row)
+        return 0.4 * (self.height_px - 1)
+
+    # -- forward projection ----------------------------------------------------
+
+    def project(
+        self, points: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project world points ``(..., 3)`` to ``(rows, cols, visible)``.
+
+        ``visible`` marks points strictly in front of the camera.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.shape[-1] != 3:
+            raise ValueError(f"points must have trailing dim 3, got {points.shape}")
+        x = points[..., 0]
+        y = points[..., 1]
+        z = points[..., 2]
+        visible = x > 1e-6
+        safe_x = np.where(visible, x, 1.0)
+        cols = self.cx - self.focal * y / safe_x
+        rows = self.cy - self.focal * (z - self.height) / safe_x
+        return rows, cols, visible
+
+    # -- inverse perspective mapping ------------------------------------------------
+
+    def ground_grid(self, max_distance: float = 400.0) -> tuple[np.ndarray, ...]:
+        """Ground-plane coordinates of every pixel.
+
+        Returns ``(ground_x, ground_y, below_horizon)`` arrays of shape
+        ``(height_px, width)``.  Pixels at or above the horizon (or
+        farther than ``max_distance``) have ``below_horizon = False`` and
+        undefined coordinates.
+        """
+        rows = np.arange(self.height_px, dtype=float)[:, None]
+        cols = np.arange(self.width, dtype=float)[None, :]
+        dz = self.cy - rows  # > 0 above horizon, < 0 below
+        below = np.broadcast_to(dz < -1e-9, (self.height_px, self.width)).copy()
+        safe_dz = np.where(dz < -1e-9, dz, -1.0)
+        ground_x = self.focal * self.height / -safe_dz
+        ground_x = np.broadcast_to(ground_x, (self.height_px, self.width)).copy()
+        ground_y = (self.cx - cols) * ground_x / self.focal
+        below &= ground_x <= max_distance
+        return ground_x, ground_y, below

@@ -1,0 +1,207 @@
+"""Affordance-consuming lane-keeping controller and closed-loop simulation.
+
+The paper's motivation: direct perception networks "produce
+low-dimensional information called affordances (e.g., … the next
+waypoint to follow) which could be used to program a controller for the
+autonomous vehicle", acting as "a hot standby system for a classical
+mediated perception system".  This module closes that loop:
+
+- :class:`PurePursuitController` turns the affordance vector
+  ``(waypoint_lateral, orientation)`` into a path-curvature command;
+- :func:`simulate_closed_loop` rolls vehicle + road kinematics forward,
+  rendering a camera frame per step and steering from either the exact
+  affordances (the mediated/oracle channel) or a perception network —
+  optionally with a runtime monitor that falls back to the oracle
+  whenever the assume-guarantee envelope is violated (the hot-standby
+  architecture).
+
+Kinematics are the standard linearized lane-keeping model over arc
+length ``s``: with ``e_y`` the lateral offset of the lane center and
+``e_psi`` the road-relative heading (both in the vehicle frame, matching
+:class:`~repro.scenario.geometry.RoadGeometry`'s ``y0`` / ``psi0``),
+
+    e_y'   = e_psi
+    e_psi' = kappa_road - u
+
+where ``u`` is the commanded vehicle path curvature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.monitor.runtime import RuntimeMonitor
+from repro.nn.sequential import Sequential
+from repro.scenario.affordances import DEFAULT_LOOKAHEAD, affordances
+from repro.scenario.dataset import SceneConfig, SceneParams, render_scene
+from repro.scenario.geometry import RoadGeometry
+from repro.scenario.weather import Weather
+
+
+@dataclass(frozen=True)
+class PurePursuitController:
+    """Path-curvature command from the affordance vector.
+
+    Pure pursuit steers along the circular arc through the waypoint at
+    the lookahead distance: ``u = 2 * y_L / L^2`` (small-angle form),
+    plus a damping term on the relative orientation.
+    """
+
+    lookahead: float = DEFAULT_LOOKAHEAD
+    orientation_gain: float = 0.3
+    max_curvature: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.lookahead <= 0.0:
+            raise ValueError(f"lookahead must be positive, got {self.lookahead}")
+        if self.max_curvature <= 0.0:
+            raise ValueError("max_curvature must be positive")
+
+    def command(self, affordance: np.ndarray) -> float:
+        """Curvature command (1/m, positive = steer left)."""
+        affordance = np.asarray(affordance, dtype=float).ravel()
+        if affordance.shape[0] != 2:
+            raise ValueError(f"affordance must have 2 entries, got {affordance.shape}")
+        waypoint_lateral, orientation = float(affordance[0]), float(affordance[1])
+        u = (
+            2.0 * waypoint_lateral / self.lookahead**2
+            + self.orientation_gain * orientation / self.lookahead
+        )
+        return float(np.clip(u, -self.max_curvature, self.max_curvature))
+
+
+@dataclass
+class ClosedLoopResult:
+    """Trajectory record of one closed-loop run."""
+
+    lateral_offsets: np.ndarray  #: e_y per step (m)
+    headings: np.ndarray  #: e_psi per step (rad)
+    commands: np.ndarray  #: curvature commands (1/m)
+    fallback_steps: list[int] = field(default_factory=list)
+
+    @property
+    def rms_lateral_error(self) -> float:
+        return float(np.sqrt(np.mean(self.lateral_offsets**2)))
+
+    @property
+    def max_lateral_error(self) -> float:
+        return float(np.abs(self.lateral_offsets).max())
+
+    @property
+    def fallback_rate(self) -> float:
+        return len(self.fallback_steps) / self.lateral_offsets.shape[0]
+
+    def summary(self) -> str:
+        text = (
+            f"RMS lateral error {self.rms_lateral_error:.3f} m, "
+            f"max {self.max_lateral_error:.3f} m over "
+            f"{self.lateral_offsets.shape[0]} steps"
+        )
+        if self.fallback_steps:
+            text += f"; hot-standby fallback on {self.fallback_rate:.0%} of steps"
+        return text
+
+
+def _road_curvature_profile(
+    num_steps: int, step: float, scene_config: SceneConfig, seed: int
+) -> np.ndarray:
+    """A smooth winding curvature profile within the ODD envelope."""
+    rng = np.random.default_rng(seed)
+    s = np.arange(num_steps) * step
+    k_max = 0.7 * scene_config.max_curvature
+    phase = rng.uniform(0, 2 * np.pi, size=2)
+    wavelengths = rng.uniform(300.0, 800.0, size=2)
+    profile = (
+        0.6 * np.sin(2 * np.pi * s / wavelengths[0] + phase[0])
+        + 0.4 * np.sin(2 * np.pi * s / wavelengths[1] + phase[1])
+    )
+    return k_max * profile
+
+
+def simulate_closed_loop(
+    perception: Sequential | None,
+    controller: PurePursuitController | None = None,
+    *,
+    num_steps: int = 200,
+    step: float = 2.0,
+    initial_offset: float = 0.5,
+    scene_config: SceneConfig | None = None,
+    monitor: RuntimeMonitor | None = None,
+    odd_exit_step: int | None = None,
+    odd_exit_weather: Weather | None = None,
+    seed: int = 0,
+) -> ClosedLoopResult:
+    """Run lane keeping for ``num_steps`` of ``step`` meters each.
+
+    ``perception=None`` drives from exact affordances (the mediated /
+    oracle channel).  With a ``monitor``, any frame whose features leave
+    the envelope falls back to the oracle affordances for that step —
+    the paper's hot-standby arrangement.  ``odd_exit_step`` optionally
+    switches the weather to ``odd_exit_weather`` (default: night) from
+    that step on, scripting an ODD exit mid-drive.
+    """
+    controller = controller or PurePursuitController()
+    scene_config = scene_config or SceneConfig()
+    if num_steps < 1 or step <= 0.0:
+        raise ValueError("num_steps must be >= 1 and step positive")
+    curvature = _road_curvature_profile(num_steps, step, scene_config, seed)
+    texture_rng = np.random.default_rng(seed + 1)
+
+    e_y = float(initial_offset)
+    e_psi = 0.0
+    lateral = np.empty(num_steps)
+    headings = np.empty(num_steps)
+    commands = np.empty(num_steps)
+    fallback_steps: list[int] = []
+
+    for i in range(num_steps):
+        road = RoadGeometry(
+            kappa0=float(curvature[i]),
+            kappa_rate=0.0,
+            y0=e_y,
+            psi0=e_psi,
+            lane_width=scene_config.lane_width,
+            num_lanes=scene_config.num_lanes,
+            ego_lane=0,
+        )
+        exact = affordances(road, controller.lookahead)
+
+        use_oracle = perception is None
+        if perception is not None:
+            weather = Weather.clear()
+            if odd_exit_step is not None and i >= odd_exit_step:
+                weather = odd_exit_weather or Weather(
+                    brightness=0.35, noise_sigma=0.04
+                )
+            params = SceneParams(
+                road=road,
+                weather=weather,
+                vehicles=(),
+                texture_seed=int(texture_rng.integers(0, 2**31 - 1)),
+            )
+            image = render_scene(params, scene_config)
+            if monitor is not None:
+                event = monitor.check_image(image)
+                if event.violation:
+                    use_oracle = True
+                    fallback_steps.append(i)
+            if not use_oracle:
+                estimate = perception.forward(image[None])[0]
+        affordance = exact if use_oracle else estimate
+
+        u = controller.command(affordance)
+        lateral[i] = e_y
+        headings[i] = e_psi
+        commands[i] = u
+        # linearized lane-keeping kinematics over one step
+        e_y += e_psi * step
+        e_psi += (float(curvature[i]) - u) * step
+
+    return ClosedLoopResult(
+        lateral_offsets=lateral,
+        headings=headings,
+        commands=commands,
+        fallback_steps=fallback_steps,
+    )

@@ -1,0 +1,98 @@
+"""Exact input-property oracles.
+
+Section II.A of the paper assumes "an oracle (e.g., human) that can
+answer for a given input ``in``, whether ``in ∈ In_phi``".  Because our
+scenes are generated from known parameters, the oracle is exact code
+instead of a human.  Each oracle maps :class:`SceneParams` to a boolean
+property label used to train input property characterizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.scenario.affordances import DEFAULT_LOOKAHEAD
+from repro.scenario.traffic import adjacent_traffic_present
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.scenario.dataset import SceneParams
+
+#: curvature magnitude (1/m) above which a road "strongly bends";
+#: 4e-3 1/m is a 250 m radius — a sharp curve at highway speeds.
+STRONG_BEND_CURVATURE = 4e-3
+
+#: vehicles beyond this distance do not count as "adjacent traffic"
+ADJACENT_TRAFFIC_RANGE = 60.0
+
+
+@dataclass(frozen=True)
+class PropertyOracle:
+    """A named, exact input property ``phi``."""
+
+    name: str
+    description: str
+    decide: Callable[["SceneParams"], bool]
+
+    def __call__(self, params: "SceneParams") -> bool:
+        return self.decide(params)
+
+
+def _mean_curvature(params: "SceneParams") -> float:
+    return float(params.road.curvature(0.5 * DEFAULT_LOOKAHEAD))
+
+
+def _bends_right(params: "SceneParams") -> bool:
+    return _mean_curvature(params) < -STRONG_BEND_CURVATURE
+
+
+def _bends_left(params: "SceneParams") -> bool:
+    return _mean_curvature(params) > STRONG_BEND_CURVATURE
+
+def _is_straight(params: "SceneParams") -> bool:
+    return abs(_mean_curvature(params)) <= STRONG_BEND_CURVATURE
+
+
+def _adjacent_traffic(params: "SceneParams") -> bool:
+    return adjacent_traffic_present(params.road, params.vehicles, ADJACENT_TRAFFIC_RANGE)
+
+
+def _is_foggy(params: "SceneParams") -> bool:
+    return params.weather.fog_density > 0.0
+
+
+bends_right = PropertyOracle(
+    "bends_right",
+    "the road strongly bends to the right over the lookahead window",
+    _bends_right,
+)
+
+bends_left = PropertyOracle(
+    "bends_left",
+    "the road strongly bends to the left over the lookahead window",
+    _bends_left,
+)
+
+is_straight = PropertyOracle(
+    "is_straight",
+    "the road is (close to) straight over the lookahead window",
+    _is_straight,
+)
+
+adjacent_traffic = PropertyOracle(
+    "adjacent_traffic",
+    "at least one traffic participant drives in an adjacent lane",
+    _adjacent_traffic,
+)
+
+is_foggy = PropertyOracle(
+    "is_foggy",
+    "the scene has fog",
+    _is_foggy,
+)
+
+#: registry of all built-in oracles by name
+ORACLES: dict[str, PropertyOracle] = {
+    oracle.name: oracle
+    for oracle in (bends_right, bends_left, is_straight, adjacent_traffic, is_foggy)
+}

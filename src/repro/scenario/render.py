@@ -1,0 +1,125 @@
+"""Grayscale rasterizer for road scenes.
+
+Rendering is done by inverse perspective mapping: every pixel below the
+horizon is cast onto the ground plane, where the road geometry decides
+whether it shows pavement, a lane marking or grass.  Vehicles are then
+painted as projected boxes, far to near.  Ground surfaces receive a small
+amount of procedural texture so that the images are not the degenerate
+"texture-free" counter-examples the paper's footnote 1 warns about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenario.camera import PinholeCamera
+from repro.scenario.geometry import RoadGeometry
+from repro.scenario.traffic import Vehicle
+
+# surface albedos (grayscale)
+SKY_TOP = 0.90
+SKY_HORIZON = 0.72
+GRASS = 0.38
+ROAD = 0.55
+MARKING = 0.95
+
+# lane marking geometry (meters)
+MARK_WIDTH = 0.20
+DASH_PERIOD = 12.0
+DASH_LENGTH = 6.0
+
+# procedural texture amplitudes
+ROAD_TEXTURE = 0.015
+GRASS_TEXTURE = 0.04
+
+
+def _texture(rng: np.random.Generator, shape: tuple[int, int], amplitude: float) -> np.ndarray:
+    """Cheap spatially-correlated noise: white noise plus a blurred copy."""
+    noise = rng.normal(0.0, 1.0, size=shape)
+    blurred = (
+        noise
+        + np.roll(noise, 1, axis=0)
+        + np.roll(noise, -1, axis=0)
+        + np.roll(noise, 1, axis=1)
+        + np.roll(noise, -1, axis=1)
+    ) / 5.0
+    return amplitude * blurred
+
+
+def render_ground(
+    road: RoadGeometry,
+    camera: PinholeCamera,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Render sky, grass, road and markings.
+
+    Returns ``(image, distance)`` where ``distance`` holds the ground
+    distance per pixel (``inf`` for sky pixels) for the fog model.
+    """
+    h, w = camera.height_px, camera.width
+    image = np.empty((h, w), dtype=float)
+    gx, gy, below = camera.ground_grid()
+
+    # sky: vertical gradient from SKY_TOP down to SKY_HORIZON at the horizon
+    rows = np.arange(h, dtype=float)[:, None]
+    horizon = max(camera.cy, 1e-6)
+    sky_t = np.clip(rows / horizon, 0.0, 1.0)
+    image[:] = SKY_TOP + (SKY_HORIZON - SKY_TOP) * sky_t
+
+    distance = np.full((h, w), np.inf)
+    distance[below] = gx[below]
+
+    # ground: grass by default, road where |y - road_center| <= half_span
+    grass = GRASS + _texture(rng, (h, w), GRASS_TEXTURE)
+    road_shade = ROAD + _texture(rng, (h, w), ROAD_TEXTURE)
+    image[below] = grass[below]
+
+    on_road = below & road.on_road(gx, gy)
+    image[on_road] = road_shade[on_road]
+
+    # lane markings: solid road edges, dashed interior separators
+    for j, boundary in enumerate(road.boundary_offsets(gx)):
+        near_boundary = on_road_band = np.abs(gy - boundary) <= MARK_WIDTH / 2.0
+        band = below & near_boundary
+        interior = 0 < j < road.num_lanes
+        if interior:
+            band &= np.mod(gx, DASH_PERIOD) <= DASH_LENGTH
+        image[band] = MARKING
+
+    return image, distance
+
+
+def render_vehicles(
+    image: np.ndarray,
+    distance: np.ndarray,
+    road: RoadGeometry,
+    camera: PinholeCamera,
+    vehicles: tuple[Vehicle, ...] | list[Vehicle],
+) -> None:
+    """Paint vehicles (far to near) into ``image`` in place."""
+    h, w = image.shape
+    for vehicle in sorted(vehicles, key=lambda v: -v.distance):
+        x = vehicle.distance
+        yc = vehicle.lateral_center(road)
+        corners = np.array(
+            [
+                [x, yc - vehicle.width / 2.0, 0.0],
+                [x, yc + vehicle.width / 2.0, vehicle.height],
+            ]
+        )
+        rows, cols, visible = camera.project(corners)
+        if not visible.all():
+            continue
+        r0 = int(np.floor(min(rows)))
+        r1 = int(np.ceil(max(rows)))
+        c0 = int(np.floor(min(cols)))
+        c1 = int(np.ceil(max(cols)))
+        r0, r1 = max(r0, 0), min(r1, h - 1)
+        c0, c1 = max(c0, 0), min(c1, w - 1)
+        if r0 > r1 or c0 > c1:
+            continue
+        image[r0 : r1 + 1, c0 : c1 + 1] = vehicle.shade
+        # windshield highlight on the upper third, if there is room
+        if r1 - r0 >= 2 and c1 - c0 >= 2:
+            image[r0 + 1, c0 + 1 : c1] = vehicle.shade + 0.25
+        distance[r0 : r1 + 1, c0 : c1 + 1] = x

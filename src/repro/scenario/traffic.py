@@ -1,0 +1,85 @@
+"""Traffic participants (vehicles in lanes ahead of the ego vehicle)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scenario.geometry import RoadGeometry
+
+
+@dataclass(frozen=True)
+class Vehicle:
+    """A vehicle ahead, described in road coordinates.
+
+    ``distance`` is the forward distance (m) and ``lane`` the lane index
+    it drives in (same convention as :class:`RoadGeometry`).
+    """
+
+    distance: float
+    lane: int
+    width: float = 1.9
+    height: float = 1.5
+    shade: float = 0.18
+
+    def __post_init__(self) -> None:
+        if self.distance <= 0.0:
+            raise ValueError(f"vehicle distance must be positive, got {self.distance}")
+        if self.width <= 0.0 or self.height <= 0.0:
+            raise ValueError("vehicle width/height must be positive")
+        if not 0.0 <= self.shade <= 1.0:
+            raise ValueError(f"shade must be in [0, 1], got {self.shade}")
+
+    def lateral_center(self, road: RoadGeometry) -> float:
+        """World lateral position of the vehicle center."""
+        return float(road.lane_center_offset(self.distance, self.lane))
+
+    def is_adjacent(self, road: RoadGeometry) -> bool:
+        """Is this vehicle in a lane adjacent to the ego lane?"""
+        return abs(self.lane - road.ego_lane) == 1
+
+    def is_in_ego_lane(self, road: RoadGeometry) -> bool:
+        return self.lane == road.ego_lane
+
+
+def adjacent_traffic_present(
+    road: RoadGeometry, vehicles: tuple[Vehicle, ...] | list[Vehicle], max_distance: float
+) -> bool:
+    """The oracle for the paper's "traffic participants in adjacent lanes"."""
+    return any(
+        v.is_adjacent(road) and v.distance <= max_distance for v in vehicles
+    )
+
+
+def lead_vehicle_distance(
+    road: RoadGeometry, vehicles: tuple[Vehicle, ...] | list[Vehicle]
+) -> float:
+    """Distance to the closest ego-lane vehicle (inf when the lane is free)."""
+    distances = [v.distance for v in vehicles if v.is_in_ego_lane(road)]
+    return min(distances) if distances else float("inf")
+
+
+def sample_vehicles(
+    rng: np.random.Generator,
+    road: RoadGeometry,
+    *,
+    max_vehicles: int = 2,
+    presence_prob: float = 0.5,
+    min_distance: float = 8.0,
+    max_distance: float = 60.0,
+) -> tuple[Vehicle, ...]:
+    """Randomly place vehicles in non-ego lanes."""
+    if road.num_lanes < 2 or rng.random() >= presence_prob:
+        return ()
+    other_lanes = [k for k in range(road.num_lanes) if k != road.ego_lane]
+    count = int(rng.integers(1, max_vehicles + 1))
+    vehicles = []
+    for _ in range(count):
+        vehicles.append(
+            Vehicle(
+                distance=float(rng.uniform(min_distance, max_distance)),
+                lane=int(rng.choice(other_lanes)),
+            )
+        )
+    return tuple(sorted(vehicles, key=lambda v: -v.distance))

@@ -1,0 +1,79 @@
+"""Weather and sensor effects applied to rendered images.
+
+These reproduce the "variations such as weather" of the paper's A9
+dataset (footnote 7): global illumination (brightness/contrast), fog
+that washes out distant pixels, and additive sensor noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Weather:
+    """Weather / sensor parameters.
+
+    ``fog_density`` is the extinction coefficient of an exponential fog
+    model; visibility roughly equals ``3 / fog_density`` meters.
+    """
+
+    brightness: float = 1.0
+    contrast: float = 1.0
+    fog_density: float = 0.0
+    fog_gray: float = 0.75
+    noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.brightness <= 0.0:
+            raise ValueError(f"brightness must be positive, got {self.brightness}")
+        if self.contrast <= 0.0:
+            raise ValueError(f"contrast must be positive, got {self.contrast}")
+        if self.fog_density < 0.0:
+            raise ValueError(f"fog_density must be >= 0, got {self.fog_density}")
+        if not 0.0 <= self.fog_gray <= 1.0:
+            raise ValueError(f"fog_gray must be in [0, 1], got {self.fog_gray}")
+        if self.noise_sigma < 0.0:
+            raise ValueError(f"noise_sigma must be >= 0, got {self.noise_sigma}")
+
+    @classmethod
+    def clear(cls) -> "Weather":
+        return cls()
+
+    @classmethod
+    def sample(cls, rng: np.random.Generator) -> "Weather":
+        """Draw a random plausible weather condition."""
+        foggy = rng.random() < 0.3
+        return cls(
+            brightness=float(rng.uniform(0.8, 1.2)),
+            contrast=float(rng.uniform(0.85, 1.15)),
+            fog_density=float(rng.uniform(0.01, 0.05)) if foggy else 0.0,
+            noise_sigma=float(rng.uniform(0.0, 0.03)),
+        )
+
+    def apply(
+        self,
+        image: np.ndarray,
+        distance: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Apply weather to a grayscale image in ``[0, 1]``.
+
+        ``distance`` is the per-pixel ground distance (same shape as the
+        image) used by the fog model; pixels with non-finite distance
+        (sky) get fog proportional to a large constant distance.
+        """
+        out = image.astype(float, copy=True)
+        if self.fog_density > 0.0:
+            if distance is None:
+                raise ValueError("fog requires per-pixel distances")
+            d = np.where(np.isfinite(distance), distance, 200.0)
+            transmission = np.exp(-self.fog_density * d)
+            out = transmission * out + (1.0 - transmission) * self.fog_gray
+        out = (out - 0.5) * self.contrast + 0.5
+        out = out * self.brightness
+        if self.noise_sigma > 0.0:
+            out = out + rng.normal(0.0, self.noise_sigma, size=out.shape)
+        return np.clip(out, 0.0, 1.0)

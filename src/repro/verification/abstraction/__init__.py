@@ -1,0 +1,36 @@
+"""Abstract interpretation over piecewise-linear networks.
+
+The paper cites abstract-interpretation verifiers (AI2 [6], symbolic
+propagation [21]) as the way to obtain a sound over-approximation ``S``
+of reachable cut-layer values (Lemma 2), and notes that box, octagon and
+zonotope domains are the usual choices.  This subpackage implements all
+three:
+
+- :mod:`repro.verification.abstraction.interval` — interval (box)
+  arithmetic over the primitive ops, also the source of MILP big-M
+  bounds;
+- :mod:`repro.verification.abstraction.zonotope` — affine forms with
+  shared error symbols (the DeepZ-style transformer for ReLU);
+- :mod:`repro.verification.abstraction.octagon` — adjacent-difference
+  (octagon-lite) bounds derived from zonotopes;
+- :mod:`repro.verification.abstraction.propagate` — propagation of an
+  *input-space* box through a full :class:`~repro.nn.sequential.Sequential`
+  model (including conv / pooling / smooth activations) to the cut layer.
+"""
+
+from repro.verification.abstraction.interval import op_output_bounds, propagate_box
+from repro.verification.abstraction.octagon import box_with_diffs_from_zonotope
+from repro.verification.abstraction.propagate import propagate_input_box
+from repro.verification.abstraction.symbolic import SymbolicBounds, propagate_symbolic
+from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
+
+__all__ = [
+    "SymbolicBounds",
+    "Zonotope",
+    "box_with_diffs_from_zonotope",
+    "op_output_bounds",
+    "propagate_box",
+    "propagate_input_box",
+    "propagate_symbolic",
+    "propagate_zonotope",
+]

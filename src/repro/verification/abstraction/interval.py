@@ -1,0 +1,86 @@
+"""Interval (box) domain over the primitive piecewise-linear ops.
+
+Soundness invariant (tested with hypothesis): for any ``x`` in the input
+box, ``op.apply(x)`` lies in the transformed box.  Besides Lemma 2 sets,
+interval propagation supplies the per-neuron pre-activation bounds that
+the MILP encoder turns into big-M constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import (
+    AffineOp,
+    LeakyReLUOp,
+    MaxGroupOp,
+    PiecewiseLinearNetwork,
+    PLOp,
+    ReLUOp,
+)
+from repro.verification.sets import Box
+
+
+def affine_bounds(op: AffineOp, box: Box) -> Box:
+    """Exact interval image of an affine map (midpoint/radius form)."""
+    center = 0.5 * (box.lower + box.upper)
+    radius = 0.5 * (box.upper - box.lower)
+    out_center = op.weight @ center + op.bias
+    out_radius = np.abs(op.weight) @ radius
+    return Box(out_center - out_radius, out_center + out_radius)
+
+
+def relu_bounds(box: Box) -> Box:
+    """Exact interval image of ReLU (monotone)."""
+    return Box(np.maximum(box.lower, 0.0), np.maximum(box.upper, 0.0))
+
+
+def leaky_relu_bounds(op: LeakyReLUOp, box: Box) -> Box:
+    """Exact interval image of LeakyReLU (monotone for alpha in [0, 1))."""
+    apply = op.apply
+    return Box(apply(box.lower), apply(box.upper))
+
+
+def max_group_bounds(op: MaxGroupOp, box: Box) -> Box:
+    """Exact interval image of grouped max (monotone)."""
+    lower = np.array([box.lower[g].max() for g in op.groups])
+    upper = np.array([box.upper[g].max() for g in op.groups])
+    return Box(lower, upper)
+
+
+def transform(op: PLOp, box: Box) -> Box:
+    """Interval transformer for one primitive op."""
+    if box.dim != op.in_dim:
+        raise ValueError(f"box dim {box.dim} does not match op input {op.in_dim}")
+    if isinstance(op, AffineOp):
+        return affine_bounds(op, box)
+    if isinstance(op, ReLUOp):
+        return relu_bounds(box)
+    if isinstance(op, LeakyReLUOp):
+        return leaky_relu_bounds(op, box)
+    if isinstance(op, MaxGroupOp):
+        return max_group_bounds(op, box)
+    raise TypeError(f"no interval transformer for {type(op).__name__}")
+
+
+def propagate_box(network: PiecewiseLinearNetwork, box: Box) -> Box:
+    """Interval image of the whole network."""
+    for op in network.ops:
+        box = transform(op, box)
+    return box
+
+
+def op_output_bounds(
+    network: PiecewiseLinearNetwork, box: Box
+) -> list[tuple[Box, Box]]:
+    """Per-op ``(input_box, output_box)`` pairs along the network.
+
+    The input box of op ``i`` is the output box of op ``i-1``; the MILP
+    encoder reads pre-activation bounds for ReLU/max ops from here.
+    """
+    pairs = []
+    for op in network.ops:
+        out = transform(op, box)
+        pairs.append((box, out))
+        box = out
+    return pairs

@@ -1,0 +1,44 @@
+"""Octagon-style adjacent-difference bounds.
+
+Section V of the paper: box abstraction alone is usually too coarse, so
+additionally record the minimum and maximum *difference between adjacent
+neurons* ``n_{i+1} - n_i``.  This module derives such difference bounds
+statically — from a zonotope, whose shared noise symbols make the bound
+on ``x_{i+1} - x_i`` far tighter than the interval difference — yielding
+a sound :class:`~repro.verification.sets.BoxWithDiffs` for Lemma 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.verification.abstraction.zonotope import Zonotope
+from repro.verification.sets import Box, BoxWithDiffs
+
+
+def adjacent_difference_bounds(zonotope: Zonotope) -> tuple[np.ndarray, np.ndarray]:
+    """Sound bounds on ``x[i+1] - x[i]`` over a zonotope."""
+    if zonotope.dim < 2:
+        raise ValueError("need at least 2 dimensions for adjacent differences")
+    center_diff = np.diff(zonotope.center)
+    gen_diff = np.diff(zonotope.generators, axis=1) if zonotope.num_generators else (
+        np.zeros((0, zonotope.dim - 1))
+    )
+    radius = np.abs(gen_diff).sum(axis=0)
+    return center_diff - radius, center_diff + radius
+
+
+def box_with_diffs_from_zonotope(zonotope: Zonotope) -> BoxWithDiffs:
+    """Interval hull plus zonotope-derived adjacent-difference bounds."""
+    box = zonotope.to_box()
+    dlo, dhi = adjacent_difference_bounds(zonotope)
+    return BoxWithDiffs(box, dlo, dhi)
+
+
+def box_with_diffs_from_box(box: Box) -> BoxWithDiffs:
+    """Difference bounds implied by an interval box alone (the coarse case)."""
+    if box.dim < 2:
+        raise ValueError("need at least 2 dimensions for adjacent differences")
+    dlo = box.lower[1:] - box.upper[:-1]
+    dhi = box.upper[1:] - box.lower[:-1]
+    return BoxWithDiffs(box, dlo, dhi)

@@ -1,0 +1,109 @@
+"""Interval propagation of an *input-space* box through a full model.
+
+This is the static analysis of the paper's Lemma 2 (and footnote 1):
+starting from the raw input domain — e.g. ``[0, 1]`` per pixel — push an
+interval through *every* layer (convolutions, pooling, batch
+normalization, smooth activations included) down to the cut layer ``l``,
+obtaining a sound over-approximation ``S`` of ``f^(l)`` images.
+
+Works directly on :class:`~repro.nn.layers.base.Layer` objects so that
+convolutions are handled by interval arithmetic on their own kernels
+(midpoint/radius form) instead of materialized affine matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm
+from repro.nn.layers.conv import Conv2D, _im2col
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+from repro.nn.layers.reshape import Flatten
+from repro.nn.sequential import Sequential
+from repro.verification.sets import Box
+
+_MONOTONE_LAYERS = (ReLU, LeakyReLU, Sigmoid, Tanh, Identity, MaxPool2D, AvgPool2D)
+
+
+def _conv_apply(layer: Conv2D, x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Convolution forward with substituted weights (for |W| arithmetic)."""
+    cols, ho, wo = _im2col(x, layer.kernel, layer.stride, layer.padding)
+    w_flat = weight.reshape(layer.filters, -1)
+    out = np.einsum("fk,nkp->nfp", w_flat, cols) + bias[None, :, None]
+    return out.reshape(x.shape[0], layer.filters, ho, wo)
+
+
+def layer_interval(
+    layer: Layer, lower: np.ndarray, upper: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sound interval transformer for one layer (batch of one).
+
+    ``lower``/``upper`` are feature-shaped arrays (no batch dimension).
+    """
+    if np.any(lower > upper):
+        raise ValueError("interval lower bound exceeds upper bound")
+
+    if isinstance(layer, Dense):
+        center = 0.5 * (lower + upper)
+        radius = 0.5 * (upper - lower)
+        w = layer.weight.value
+        out_center = center @ w + layer.bias.value
+        out_radius = radius @ np.abs(w)
+        return out_center - out_radius, out_center + out_radius
+
+    if isinstance(layer, Conv2D):
+        center = 0.5 * (lower + upper)[None]
+        radius = 0.5 * (upper - lower)[None]
+        out_center = _conv_apply(layer, center, layer.weight.value, layer.bias.value)
+        zero_bias = np.zeros_like(layer.bias.value)
+        out_radius = _conv_apply(layer, radius, np.abs(layer.weight.value), zero_bias)
+        return (out_center - out_radius)[0], (out_center + out_radius)[0]
+
+    if isinstance(layer, BatchNorm):
+        scale, shift = layer.affine_coefficients()
+        if lower.ndim == 3:  # conv features: per-channel coefficients
+            scale = scale[:, None, None]
+            shift = shift[:, None, None]
+        a = scale * lower + shift
+        b = scale * upper + shift
+        return np.minimum(a, b), np.maximum(a, b)
+
+    if isinstance(layer, Dropout):
+        return lower, upper
+
+    if isinstance(layer, Flatten):
+        return lower.reshape(-1), upper.reshape(-1)
+
+    if isinstance(layer, _MONOTONE_LAYERS):
+        out_lower = layer.forward(lower[None], training=False)[0]
+        out_upper = layer.forward(upper[None], training=False)[0]
+        return out_lower, out_upper
+
+    raise TypeError(f"no interval transformer for layer {type(layer).__name__}")
+
+
+def propagate_input_box(
+    model: Sequential,
+    lower: np.ndarray | float,
+    upper: np.ndarray | float,
+    to_layer: int,
+) -> Box:
+    """Push an input box through layers ``1 .. to_layer``; return a flat box.
+
+    Scalars broadcast to the whole input shape, so
+    ``propagate_input_box(model, 0.0, 1.0, l)`` is exactly the paper's
+    "verification using an input domain of ``[0, 1]^{d_l0}``".
+    """
+    model._check_index(to_layer, allow_zero=True)
+    shape = model.input_shape
+    lo = np.broadcast_to(np.asarray(lower, dtype=float), shape).copy()
+    hi = np.broadcast_to(np.asarray(upper, dtype=float), shape).copy()
+    if np.any(lo > hi):
+        raise ValueError("input box has lower > upper")
+    for layer in model.layers[:to_layer]:
+        lo, hi = layer_interval(layer, lo, hi)
+    return Box(lo.reshape(-1), hi.reshape(-1))

@@ -1,0 +1,211 @@
+"""Symbolic linear bound propagation (the paper's refs [19], [21]).
+
+Each neuron carries *linear* lower/upper bounds in terms of the input
+variables: ``lower_a . x + lower_b <= z <= upper_a . x + upper_b`` for
+every ``x`` in the input box.  Affine layers compose exactly; ReLU
+relaxes per neuron using its concretized pre-activation range (the
+DeepPoly/Neurify-style relaxation):
+
+- stable (``lo >= 0``): bounds pass through unchanged;
+- dead  (``hi <= 0``): both bounds become the constant 0;
+- unstable: ``relu(z) <= s * (U(x) - lo)`` and ``relu(z) >= s * L(x)``
+  with slope ``s = hi / (hi - lo)`` — both sound for ``z in [lo, hi]``.
+
+Concretizing the final bounds over the input box yields output intervals
+that retain input correlations plain interval arithmetic loses (exact on
+affine chains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import (
+    AffineOp,
+    LeakyReLUOp,
+    MaxGroupOp,
+    PiecewiseLinearNetwork,
+    PLOp,
+    ReLUOp,
+)
+from repro.verification.sets import Box
+
+
+@dataclass(frozen=True)
+class SymbolicBounds:
+    """Per-neuron linear bounds over a fixed input box.
+
+    ``lower_a`` / ``upper_a`` have shape ``(d, n)`` (d neurons, n input
+    variables); the invariant ``L(x) <= z <= U(x)`` holds for every
+    ``x`` in ``input_box``.
+    """
+
+    input_box: Box
+    lower_a: np.ndarray
+    lower_b: np.ndarray
+    upper_a: np.ndarray
+    upper_b: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.input_box.dim
+        d = self.lower_b.shape[0]
+        for name, arr, shape in (
+            ("lower_a", self.lower_a, (d, n)),
+            ("upper_a", self.upper_a, (d, n)),
+            ("lower_b", self.lower_b, (d,)),
+            ("upper_b", self.upper_b, (d,)),
+        ):
+            if arr.shape != shape:
+                raise ValueError(f"{name} has shape {arr.shape}, expected {shape}")
+
+    @property
+    def dim(self) -> int:
+        return self.lower_b.shape[0]
+
+    @classmethod
+    def identity(cls, box: Box) -> "SymbolicBounds":
+        eye = np.eye(box.dim)
+        zero = np.zeros(box.dim)
+        return cls(box, eye.copy(), zero.copy(), eye.copy(), zero.copy())
+
+    def concretize(self) -> Box:
+        """Tightest interval implied by the linear bounds over the box."""
+        lo_in, hi_in = self.input_box.lower, self.input_box.upper
+        lower = (
+            self.lower_b
+            + np.where(self.lower_a >= 0.0, self.lower_a * lo_in, self.lower_a * hi_in).sum(axis=1)
+        )
+        upper = (
+            self.upper_b
+            + np.where(self.upper_a >= 0.0, self.upper_a * hi_in, self.upper_a * lo_in).sum(axis=1)
+        )
+        # numerical guard: relaxations can cross by rounding error
+        return Box(np.minimum(lower, upper), upper)
+
+
+def _compose_affine(bounds: SymbolicBounds, op: AffineOp) -> SymbolicBounds:
+    w_pos = np.maximum(op.weight, 0.0)
+    w_neg = np.minimum(op.weight, 0.0)
+    return SymbolicBounds(
+        bounds.input_box,
+        lower_a=w_pos @ bounds.lower_a + w_neg @ bounds.upper_a,
+        lower_b=w_pos @ bounds.lower_b + w_neg @ bounds.upper_b + op.bias,
+        upper_a=w_pos @ bounds.upper_a + w_neg @ bounds.lower_a,
+        upper_b=w_pos @ bounds.upper_b + w_neg @ bounds.lower_b + op.bias,
+    )
+
+
+def _relu_like(
+    bounds: SymbolicBounds, alpha: float, pre: Box | None = None
+) -> SymbolicBounds:
+    if pre is None:
+        pre = bounds.concretize()
+    lo, hi = pre.lower, pre.upper
+
+    lower_a = bounds.lower_a.copy()
+    lower_b = bounds.lower_b.copy()
+    upper_a = bounds.upper_a.copy()
+    upper_b = bounds.upper_b.copy()
+
+    dead = hi <= 0.0
+    lower_a[dead] *= alpha
+    lower_b[dead] *= alpha
+    upper_a[dead] *= alpha
+    upper_b[dead] *= alpha
+
+    unstable = (lo < 0.0) & (hi > 0.0)
+    if np.any(unstable):
+        lo_u = lo[unstable]
+        hi_u = hi[unstable]
+        slope = (hi_u - alpha * lo_u) / (hi_u - lo_u)
+        # upper: act(z) <= slope * (U(x) - lo) + alpha * lo
+        upper_a[unstable] *= slope[:, None]
+        upper_b[unstable] = slope * (upper_b[unstable] - lo_u) + alpha * lo_u
+        # lower: act(z) >= s' * L(x) for any s' in [alpha, 1]; use slope
+        lower_slope = np.clip(slope, alpha, 1.0)
+        lower_a[unstable] *= lower_slope[:, None]
+        lower_b[unstable] *= lower_slope
+
+    return SymbolicBounds(bounds.input_box, lower_a, lower_b, upper_a, upper_b)
+
+
+def _max_group(
+    bounds: SymbolicBounds, op: MaxGroupOp, pre: Box | None = None
+) -> SymbolicBounds:
+    """Interval fallback per group, exact when one member dominates."""
+    if pre is None:
+        pre = bounds.concretize()
+    n = bounds.input_box.dim
+    out_dim = op.out_dim
+    lower_a = np.zeros((out_dim, n))
+    lower_b = np.zeros(out_dim)
+    upper_a = np.zeros((out_dim, n))
+    upper_b = np.zeros(out_dim)
+    for j, group in enumerate(op.groups):
+        lows, highs = pre.lower[group], pre.upper[group]
+        best = int(np.argmax(lows))
+        if lows[best] >= np.max(np.delete(highs, best), initial=-np.inf):
+            g = int(group[best])
+            lower_a[j] = bounds.lower_a[g]
+            lower_b[j] = bounds.lower_b[g]
+            upper_a[j] = bounds.upper_a[g]
+            upper_b[j] = bounds.upper_b[g]
+        else:
+            lower_b[j] = float(lows.max())
+            upper_b[j] = float(highs.max())
+    return SymbolicBounds(bounds.input_box, lower_a, lower_b, upper_a, upper_b)
+
+
+def transform(
+    bounds: SymbolicBounds, op: PLOp, pre: Box | None = None
+) -> SymbolicBounds:
+    """Symbolic transformer for one primitive op.
+
+    ``pre`` optionally supplies refined concrete pre-activation bounds
+    (used by :func:`propagate_symbolic` to fold interval state back in).
+    """
+    if bounds.dim != op.in_dim:
+        raise ValueError(f"bounds dim {bounds.dim} vs op input {op.in_dim}")
+    if isinstance(op, AffineOp):
+        return _compose_affine(bounds, op)
+    if isinstance(op, ReLUOp):
+        return _relu_like(bounds, 0.0, pre)
+    if isinstance(op, LeakyReLUOp):
+        return _relu_like(bounds, op.alpha, pre)
+    if isinstance(op, MaxGroupOp):
+        return _max_group(bounds, op, pre)
+    raise TypeError(f"no symbolic transformer for {type(op).__name__}")
+
+
+def propagate_symbolic(network: PiecewiseLinearNetwork, box: Box) -> Box:
+    """Symbolic image of the whole network over an input box.
+
+    As in Neurify, a concrete interval state runs alongside the linear
+    bounds and the two are intersected at every step — so the result is
+    sound and never looser than plain interval propagation, while
+    retaining the input correlations that make affine chains exact.
+    """
+    from repro.verification.abstraction import interval as interval_domain
+
+    bounds = SymbolicBounds.identity(box)
+    concrete = box
+    for op in network.ops:
+        # refined pre-activation bounds: both enclosures are sound, so
+        # their (numerically guarded) intersection is too
+        refined = _guarded_intersect(bounds.concretize(), concrete)
+        bounds = transform(bounds, op, pre=refined)
+        concrete = interval_domain.transform(op, refined)
+    return _guarded_intersect(bounds.concretize(), concrete)
+
+
+def _guarded_intersect(a: Box, b: Box) -> Box:
+    """Intersection tolerant to rounding-level crossings of sound boxes."""
+    lower = np.maximum(a.lower, b.lower)
+    upper = np.minimum(a.upper, b.upper)
+    mid = 0.5 * (lower + upper)
+    crossed = lower > upper
+    lower = np.where(crossed, mid, lower)
+    upper = np.where(crossed, mid, upper)
+    return Box(lower, upper)

@@ -1,0 +1,185 @@
+"""Zonotope domain (affine forms with shared noise symbols).
+
+A zonotope is ``{ center + generators.T @ e  :  e in [-1, 1]^k }``.
+Affine ops transform it exactly; ReLU uses the standard minimal-area
+(DeepZ-style) transformer that introduces one fresh noise symbol per
+unstable neuron.  Because generators are shared across neurons, the
+domain tracks *relations* between neurons that plain intervals lose —
+which is what makes the derived adjacent-difference bounds
+(:mod:`repro.verification.abstraction.octagon`) non-trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import (
+    AffineOp,
+    LeakyReLUOp,
+    MaxGroupOp,
+    PiecewiseLinearNetwork,
+    PLOp,
+    ReLUOp,
+)
+from repro.verification.sets import Box
+
+
+@dataclass(frozen=True)
+class Zonotope:
+    """``center (d,)`` plus ``generators (k, d)`` over ``e in [-1,1]^k``."""
+
+    center: np.ndarray
+    generators: np.ndarray
+
+    def __post_init__(self) -> None:
+        center = np.atleast_1d(np.asarray(self.center, dtype=float))
+        generators = np.asarray(self.generators, dtype=float)
+        if generators.size == 0:
+            generators = np.zeros((0, center.shape[0]))
+        if generators.ndim != 2 or generators.shape[1] != center.shape[0]:
+            raise ValueError(
+                f"generators must be (k, {center.shape[0]}), got {generators.shape}"
+            )
+        object.__setattr__(self, "center", center)
+        object.__setattr__(self, "generators", generators)
+
+    @property
+    def dim(self) -> int:
+        return self.center.shape[0]
+
+    @property
+    def num_generators(self) -> int:
+        return self.generators.shape[0]
+
+    @classmethod
+    def from_box(cls, box: Box) -> "Zonotope":
+        """One independent noise symbol per coordinate."""
+        radius = box.radius()
+        return cls(box.center(), np.diag(radius))
+
+    def radius(self) -> np.ndarray:
+        return np.abs(self.generators).sum(axis=0)
+
+    def to_box(self) -> Box:
+        r = self.radius()
+        return Box(self.center - r, self.center + r)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Concrete points inside the zonotope."""
+        e = rng.uniform(-1.0, 1.0, size=(n, self.num_generators))
+        return self.center[None, :] + e @ self.generators
+
+    def linear_value_bounds(self, a: np.ndarray) -> tuple[float, float]:
+        """Exact bounds of ``a . x`` over the zonotope."""
+        a = np.asarray(a, dtype=float)
+        mid = float(a @ self.center)
+        rad = float(np.abs(self.generators @ a).sum())
+        return mid - rad, mid + rad
+
+
+def _affine(zonotope: Zonotope, op: AffineOp) -> Zonotope:
+    return Zonotope(
+        op.weight @ zonotope.center + op.bias,
+        zonotope.generators @ op.weight.T,
+    )
+
+
+def _relu_like(zonotope: Zonotope, alpha: float) -> Zonotope:
+    """Shared transformer for ReLU (alpha=0) and LeakyReLU.
+
+    For an unstable neuron with pre-activation range ``[lo, hi]``
+    (``lo < 0 < hi``), the activation output is enclosed by the affine
+    form ``lam * x + mu ± beta`` with
+
+        lam  = (hi - alpha*lo) / (hi - lo)
+        beta = (1 - alpha) * hi * (-lo) / (hi - lo) / 2
+        mu   = beta
+
+    which is the minimal-area parallelogram enclosure.
+    """
+    box = zonotope.to_box()
+    lo, hi = box.lower, box.upper
+    d = zonotope.dim
+
+    lam = np.ones(d)
+    mu = np.zeros(d)
+    beta = np.zeros(d)
+
+    stable_neg = hi <= 0.0
+    lam[stable_neg] = alpha
+
+    unstable = (lo < 0.0) & (hi > 0.0)
+    if np.any(unstable):
+        lo_u, hi_u = lo[unstable], hi[unstable]
+        lam_u = (hi_u - alpha * lo_u) / (hi_u - lo_u)
+        beta_u = 0.5 * (1.0 - alpha) * hi_u * (-lo_u) / (hi_u - lo_u)
+        lam[unstable] = lam_u
+        mu[unstable] = beta_u
+        beta[unstable] = beta_u
+
+    center = lam * zonotope.center + mu
+    generators = zonotope.generators * lam[None, :]
+    fresh_idx = np.nonzero(beta > 0.0)[0]
+    if fresh_idx.size:
+        fresh = np.zeros((fresh_idx.size, d))
+        fresh[np.arange(fresh_idx.size), fresh_idx] = beta[fresh_idx]
+        generators = np.vstack([generators, fresh])
+    return Zonotope(center, generators)
+
+
+def _max_group(zonotope: Zonotope, op: MaxGroupOp) -> Zonotope:
+    """Sound (interval-fallback) transformer for grouped max.
+
+    Exact when a group member dominates all others over the whole
+    zonotope; otherwise the output neuron gets a fresh symbol spanning
+    the interval hull of the group maximum.
+    """
+    box = zonotope.to_box()
+    out_dim = op.out_dim
+    center = np.zeros(out_dim)
+    rows: list[np.ndarray] = []
+    keep = np.zeros((zonotope.num_generators, out_dim))
+    for j, group in enumerate(op.groups):
+        lows, highs = box.lower[group], box.upper[group]
+        best = int(np.argmax(lows))
+        if lows[best] >= np.max(np.delete(highs, best), initial=-np.inf):
+            # one member dominates: max is exactly that member's affine form
+            g = group[best]
+            center[j] = zonotope.center[g]
+            keep[:, j] = zonotope.generators[:, g]
+        else:
+            lo_j = float(lows.max())
+            hi_j = float(highs.max())
+            center[j] = 0.5 * (lo_j + hi_j)
+            fresh = np.zeros(out_dim)
+            fresh[j] = 0.5 * (hi_j - lo_j)
+            rows.append(fresh)
+    generators = keep if not rows else np.vstack([keep, np.stack(rows)])
+    return Zonotope(center, generators)
+
+
+def transform(zonotope: Zonotope, op: PLOp) -> Zonotope:
+    """Zonotope transformer for one primitive op."""
+    if zonotope.dim != op.in_dim:
+        raise ValueError(f"zonotope dim {zonotope.dim} vs op input {op.in_dim}")
+    if isinstance(op, AffineOp):
+        return _affine(zonotope, op)
+    if isinstance(op, ReLUOp):
+        return _relu_like(zonotope, 0.0)
+    if isinstance(op, LeakyReLUOp):
+        return _relu_like(zonotope, op.alpha)
+    if isinstance(op, MaxGroupOp):
+        return _max_group(zonotope, op)
+    raise TypeError(f"no zonotope transformer for {type(op).__name__}")
+
+
+def propagate_zonotope(
+    network: PiecewiseLinearNetwork, start: Zonotope | Box
+) -> Zonotope:
+    """Zonotope image of the whole network."""
+    zonotope = Zonotope.from_box(start) if isinstance(start, Box) else start
+    for op in network.ops:
+        zonotope = transform(zonotope, op)
+    return zonotope

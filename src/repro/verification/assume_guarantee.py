@@ -1,0 +1,115 @@
+"""Building the assume-guarantee set ``S~`` from training data.
+
+Section II.B.b of the paper: when the sound over-approximation ``S`` is
+too coarse, create ``S~`` that over-approximates only the cut-layer
+values *visited on the training data* ("an outer polyhedron by
+aggregating all visited neuron values computed by the training set").
+The proof obtained with ``S~`` is *conditional*: a runtime monitor must
+check ``f^(l)(in) ∈ S~`` in operation.
+
+Three shapes are supported, in increasing tightness:
+
+- ``"box"`` — per-neuron min/max (the basic record of Figure 1);
+- ``"box+diff"`` — additionally min/max of adjacent-neuron differences
+  ``n_{i+1} - n_i`` (the Section V refinement);
+- ``"box+pairs"`` — octagon-style bounds on *all* pairwise sums and
+  differences (an extension ablated in experiment E6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.verification.sets import Box, BoxWithDiffs, FeatureSet, Polyhedron
+
+
+def _validate_features(features: np.ndarray) -> np.ndarray:
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise ValueError(f"features must be (N, d), got shape {features.shape}")
+    if features.shape[0] == 0:
+        raise ValueError("cannot build a feature set from zero samples")
+    if not np.all(np.isfinite(features)):
+        raise ValueError("features contain non-finite values")
+    return features
+
+
+def box_from_data(features: np.ndarray, margin: float = 0.0) -> Box:
+    """Per-neuron min/max over the data, optionally widened.
+
+    This is the paper's Figure 1 example: visited values
+    ``{0, 0.1, -0.1, …, 0.6}`` become the abstraction ``[-0.1, 0.6]``.
+    """
+    features = _validate_features(features)
+    box = Box(features.min(axis=0), features.max(axis=0))
+    return box.widened(margin) if margin > 0.0 else box
+
+
+def box_with_diffs_from_data(features: np.ndarray, margin: float = 0.0) -> BoxWithDiffs:
+    """Box plus adjacent-difference bounds (Section V refinement)."""
+    features = _validate_features(features)
+    if features.shape[1] < 2:
+        raise ValueError("box+diff needs at least 2 features")
+    box = box_from_data(features, margin)
+    diffs = np.diff(features, axis=1)
+    dlo = diffs.min(axis=0)
+    dhi = diffs.max(axis=0)
+    if margin > 0.0:
+        dlo = dlo - margin
+        dhi = dhi + margin
+    return BoxWithDiffs(box, dlo, dhi)
+
+
+def octagon_from_data(features: np.ndarray, margin: float = 0.0) -> Polyhedron:
+    """Full octagon hull: bounds on all ``x_i ± x_j`` pairs.
+
+    Quadratically many constraints — used in ablations, not in the
+    default workflow.
+    """
+    features = _validate_features(features)
+    d = features.shape[1]
+    if d < 2:
+        raise ValueError("octagon needs at least 2 features")
+    box = box_from_data(features, margin)
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    for i in range(d):
+        for j in range(i + 1, d):
+            for si, sj in ((1.0, 1.0), (1.0, -1.0)):
+                values = si * features[:, i] + sj * features[:, j]
+                row = np.zeros(d)
+                row[i], row[j] = si, sj
+                rows.append(row)
+                rhs.append(float(values.max()) + margin)
+                rows.append(-row)
+                rhs.append(float(-values.min()) + margin)
+    return Polyhedron(box, np.stack(rows), np.array(rhs))
+
+
+_BUILDERS = {
+    "box": box_from_data,
+    "box+diff": box_with_diffs_from_data,
+    "box+pairs": octagon_from_data,
+}
+
+
+def feature_set_from_data(
+    features: np.ndarray, kind: str = "box+diff", margin: float = 0.0
+) -> FeatureSet:
+    """Build an ``S~`` of the requested shape from cut-layer features."""
+    if kind not in _BUILDERS:
+        raise ValueError(f"unknown set kind {kind!r}; known: {sorted(_BUILDERS)}")
+    if margin < 0.0:
+        raise ValueError(f"margin must be >= 0, got {margin}")
+    return _BUILDERS[kind](features, margin)
+
+
+def coverage(feature_set: FeatureSet, features: np.ndarray) -> float:
+    """Fraction of feature vectors inside the set.
+
+    On the data the set was built from this is 1.0 by construction; on
+    held-out data it estimates the monitor's false-alarm rate
+    (``1 - coverage``).
+    """
+    features = _validate_features(features)
+    return float(feature_set.contains(features).mean())

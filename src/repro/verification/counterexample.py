@@ -1,0 +1,143 @@
+"""Counterexample handling: witness decoding and adversarial falsification.
+
+A SAT verification result yields a cut-layer vector ``n̂`` — a
+*feature-space* counterexample candidate.  :func:`decode_witness` checks
+it against the real network.  For properties that cannot be proved, the
+paper suggests "it should be possible to construct a counter example
+either by capturing more data or by using adversarial perturbation
+techniques [17], [10]"; :func:`fgsm_falsify` implements that input-space
+search (FGSM-style ascent on the risk margin restricted to images that
+satisfy ``phi``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.autodiff import input_gradient
+from repro.nn.sequential import Sequential
+from repro.properties.risk import RiskCondition
+from repro.verification.milp.encoder import EncodedProblem
+
+
+@dataclass(frozen=True)
+class FeatureCounterexample:
+    """A feature-space witness produced by the MILP solver."""
+
+    features: np.ndarray  #: cut-layer vector n̂
+    predicted_output: np.ndarray  #: suffix network output on n̂
+    risk_margin: float  #: risk margin at the output (>= 0: risk occurs)
+    characterizer_logit: float | None  #: accepting logit, if h was encoded
+
+    @property
+    def risk_occurs(self) -> bool:
+        return self.risk_margin >= -1e-6
+
+
+def decode_witness(
+    problem: EncodedProblem,
+    witness: np.ndarray,
+    model: Sequential,
+    cut_layer: int,
+    risk: RiskCondition,
+) -> FeatureCounterexample:
+    """Replay a MILP witness through the *real* network suffix.
+
+    Raises :class:`ValueError` if the witness does not reproduce (which
+    would indicate an encoder bug — the encodings are exact).
+    """
+    features = problem.decode_input(witness)
+    milp_output = problem.decode_output(witness)
+    real_output = model.suffix_apply(features[None, :], cut_layer)[0]
+    if not np.allclose(milp_output, real_output, atol=1e-4):
+        raise ValueError(
+            f"MILP witness does not replay: encoder output {milp_output} vs "
+            f"network output {real_output}"
+        )
+    logit = None
+    if problem.characterizer_logit_var is not None:
+        logit = float(witness[problem.characterizer_logit_var])
+    return FeatureCounterexample(
+        features=features,
+        predicted_output=real_output,
+        risk_margin=float(risk.margin(real_output[None, :])[0]),
+        characterizer_logit=logit,
+    )
+
+
+@dataclass(frozen=True)
+class InputCounterexample:
+    """An input-space counterexample found by adversarial search."""
+
+    image: np.ndarray
+    output: np.ndarray
+    risk_margin: float
+    iterations: int
+
+    @property
+    def risk_occurs(self) -> bool:
+        return self.risk_margin >= 0.0
+
+
+def _risk_gradient_direction(risk: RiskCondition, output: np.ndarray) -> np.ndarray:
+    """Gradient of the (soft-min) risk margin with respect to the output.
+
+    Ascending this direction pushes the output *toward* satisfying psi
+    (increasing the worst inequality's slack).
+    """
+    margins = np.array([float(ineq.margin(output)) for ineq in risk.inequalities])
+    worst = int(np.argmin(margins))
+    a, _ = risk.inequalities[worst].normalized()
+    # margin = b - a.y, so d(margin)/dy = -a
+    return -a
+
+
+def fgsm_falsify(
+    model: Sequential,
+    risk: RiskCondition,
+    images: np.ndarray,
+    *,
+    epsilon: float = 0.05,
+    steps: int = 20,
+    step_size: float | None = None,
+) -> InputCounterexample | None:
+    """Projected gradient ascent on the risk margin from seed images.
+
+    Perturbations stay within an L∞ ball of radius ``epsilon`` around the
+    seed (and within ``[0, 1]`` pixel range), so a seed satisfying
+    ``phi`` keeps satisfying it for perceptually small ``epsilon``.
+    Returns the first perturbed image whose output satisfies the risk
+    condition, or ``None``.
+    """
+    if epsilon <= 0.0 or steps <= 0:
+        raise ValueError("epsilon and steps must be positive")
+    images = np.asarray(images, dtype=float)
+    if images.ndim == len(model.input_shape):
+        images = images[None, ...]
+    alpha = step_size if step_size is not None else 2.5 * epsilon / steps
+
+    for seed in images:
+        x = seed.copy()
+        for it in range(steps):
+            output = model.forward(x[None, ...], training=False)
+            direction = _risk_gradient_direction(risk, output[0])
+            if float(risk.margin(output)[0]) >= 0.0:
+                return InputCounterexample(
+                    image=x,
+                    output=output[0],
+                    risk_margin=float(risk.margin(output)[0]),
+                    iterations=it,
+                )
+            _, grad_in = input_gradient(model, x[None, ...], direction[None, :])
+            x = x + alpha * np.sign(grad_in[0])
+            x = np.clip(x, seed - epsilon, seed + epsilon)
+            x = np.clip(x, 0.0, 1.0)
+        output = model.forward(x[None, ...], training=False)
+        margin = float(risk.margin(output)[0])
+        if margin >= 0.0:
+            return InputCounterexample(
+                image=x, output=output[0], risk_margin=margin, iterations=steps
+            )
+    return None

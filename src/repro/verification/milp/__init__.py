@@ -1,0 +1,24 @@
+"""Reduction of the safety verification problem to MILP.
+
+Section V of the paper: "as the close-to-output layers of the network
+are either ReLU or Batch Normalization, and as psi is a conjunction of
+linear constraints over output, it is feasible to use exact verification
+methods … via a reduction to MILP".
+
+- :mod:`repro.verification.milp.model` — a small MILP modelling layer;
+- :mod:`repro.verification.milp.bigm` — big-M constants from interval
+  propagation;
+- :mod:`repro.verification.milp.encoder` — exact encodings of the
+  primitive ops, the feature set ``S~``, the characterizer acceptance
+  ``h(n̂) = 1`` and the risk condition ``psi``.
+"""
+
+from repro.verification.milp.encoder import EncodedProblem, encode_verification_problem
+from repro.verification.milp.model import LinearConstraint, MILPModel
+
+__all__ = [
+    "EncodedProblem",
+    "LinearConstraint",
+    "MILPModel",
+    "encode_verification_problem",
+]

@@ -1,0 +1,31 @@
+"""Big-M constants from interval propagation.
+
+Exact big-M ReLU encodings need finite pre-activation bounds per neuron.
+We obtain them by interval-propagating the feature set's interval hull
+through the sub-network (:mod:`repro.verification.abstraction.interval`).
+Tighter boxes mean smaller M and fewer fractional LP relaxations — the
+effect experiment E10 measures.
+"""
+
+from __future__ import annotations
+
+from repro.nn.graph import PiecewiseLinearNetwork
+from repro.verification.abstraction.interval import op_output_bounds
+from repro.verification.sets import Box, FeatureSet
+
+
+def op_bounds_for_set(
+    network: PiecewiseLinearNetwork, feature_set: FeatureSet
+) -> list[tuple[Box, Box]]:
+    """Per-op ``(input, output)`` interval bounds starting from ``S~``'s hull.
+
+    Sound because the interval hull contains the feature set and interval
+    transformers over-approximate every op.
+    """
+    lower, upper = feature_set.bounds()
+    if lower.shape[0] != network.in_dim:
+        raise ValueError(
+            f"feature set dimension {lower.shape[0]} does not match "
+            f"network input {network.in_dim}"
+        )
+    return op_output_bounds(network, Box(lower, upper))

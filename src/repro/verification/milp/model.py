@@ -1,0 +1,159 @@
+"""A small MILP modelling layer.
+
+Variables are continuous or binary with finite bounds; constraints are
+sparse linear rows with sense ``<=`` or ``==``.  The model converts
+itself to the dense arrays the LP/B&B solvers and the HiGHS backend
+consume.  Sizes here are modest (the verified sub-network is the
+close-to-output slice), so dense conversion is fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_SENSES = ("<=", "==")
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum coeffs[i] * x[i]  (<=|==)  rhs``."""
+
+    coeffs: dict[int, float]
+    sense: str
+    rhs: float
+
+    def __post_init__(self) -> None:
+        if self.sense not in _SENSES:
+            raise ValueError(f"sense must be one of {_SENSES}, got {self.sense!r}")
+        if not self.coeffs:
+            raise ValueError("constraint needs at least one coefficient")
+
+
+@dataclass
+class MILPModel:
+    """Variables + constraints + (optional) linear objective."""
+
+    lower: list[float] = field(default_factory=list)
+    upper: list[float] = field(default_factory=list)
+    is_binary: list[bool] = field(default_factory=list)
+    names: list[str] = field(default_factory=list)
+    constraints: list[LinearConstraint] = field(default_factory=list)
+    objective: dict[int, float] = field(default_factory=dict)
+
+    # -- variables --------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.lower)
+
+    @property
+    def num_binaries(self) -> int:
+        return sum(self.is_binary)
+
+    def add_continuous(self, lb: float, ub: float, name: str = "") -> int:
+        """Add a bounded continuous variable; returns its index."""
+        if not np.isfinite(lb) or not np.isfinite(ub):
+            raise ValueError(f"variable bounds must be finite, got [{lb}, {ub}]")
+        if lb > ub:
+            raise ValueError(f"lb > ub for {name or 'var'}: {lb} > {ub}")
+        self.lower.append(float(lb))
+        self.upper.append(float(ub))
+        self.is_binary.append(False)
+        self.names.append(name or f"x{self.num_vars - 1}")
+        return self.num_vars - 1
+
+    def add_binary(self, name: str = "") -> int:
+        """Add a 0/1 variable; returns its index."""
+        self.lower.append(0.0)
+        self.upper.append(1.0)
+        self.is_binary.append(True)
+        self.names.append(name or f"d{self.num_vars - 1}")
+        return self.num_vars - 1
+
+    # -- constraints -----------------------------------------------------------
+
+    def add_constraint(self, coeffs: dict[int, float], sense: str, rhs: float) -> None:
+        for idx in coeffs:
+            if not 0 <= idx < self.num_vars:
+                raise IndexError(f"variable index {idx} out of range")
+        self.constraints.append(LinearConstraint(dict(coeffs), sense, float(rhs)))
+
+    def add_leq(self, coeffs: dict[int, float], rhs: float) -> None:
+        self.add_constraint(coeffs, "<=", rhs)
+
+    def add_eq(self, coeffs: dict[int, float], rhs: float) -> None:
+        self.add_constraint(coeffs, "==", rhs)
+
+    def set_objective(self, coeffs: dict[int, float]) -> None:
+        """Minimize ``sum coeffs[i] * x[i]`` (default: pure feasibility)."""
+        for idx in coeffs:
+            if not 0 <= idx < self.num_vars:
+                raise IndexError(f"variable index {idx} out of range")
+        self.objective = dict(coeffs)
+
+    # -- array export -----------------------------------------------------------
+
+    def to_arrays(self) -> "MILPArrays":
+        n = self.num_vars
+        ub_rows = [c for c in self.constraints if c.sense == "<="]
+        eq_rows = [c for c in self.constraints if c.sense == "=="]
+
+        def dense(rows: list[LinearConstraint]) -> tuple[np.ndarray, np.ndarray]:
+            a = np.zeros((len(rows), n))
+            b = np.zeros(len(rows))
+            for i, row in enumerate(rows):
+                for j, coeff in row.coeffs.items():
+                    a[i, j] += coeff
+                b[i] = row.rhs
+            return a, b
+
+        a_ub, b_ub = dense(ub_rows)
+        a_eq, b_eq = dense(eq_rows)
+        c = np.zeros(n)
+        for j, coeff in self.objective.items():
+            c[j] = coeff
+        return MILPArrays(
+            c=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            lower=np.array(self.lower),
+            upper=np.array(self.upper),
+            binary_mask=np.array(self.is_binary, dtype=bool),
+        )
+
+    def check_solution(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Verify a candidate assignment against all constraints."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.num_vars,):
+            raise ValueError(f"expected {self.num_vars} values, got shape {x.shape}")
+        arrays = self.to_arrays()
+        if np.any(x < arrays.lower - tol) or np.any(x > arrays.upper + tol):
+            return False
+        if arrays.a_ub.shape[0] and np.any(arrays.a_ub @ x > arrays.b_ub + tol):
+            return False
+        if arrays.a_eq.shape[0] and np.any(np.abs(arrays.a_eq @ x - arrays.b_eq) > tol):
+            return False
+        binaries = x[arrays.binary_mask]
+        return bool(np.all(np.abs(binaries - np.round(binaries)) <= tol))
+
+
+@dataclass(frozen=True)
+class MILPArrays:
+    """Dense export of a :class:`MILPModel`."""
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    binary_mask: np.ndarray
+
+    @property
+    def num_vars(self) -> int:
+        return self.lower.shape[0]

@@ -1,0 +1,92 @@
+"""Fast incomplete pre-screening before the exact MILP solve.
+
+Real verification stacks (the paper cites AI2 [6], symbolic propagation
+[21]) run cheap sound bound propagation first and fall back to an exact
+solver only when the bounds are inconclusive.  This module does the
+same: propagate the feature set's hull through the suffix with the
+interval or zonotope domain, and check whether the risk condition is
+already *excluded* by the resulting output enclosure.
+
+- excluded  ⇒ UNSAT is certain (sound over-approximation) — skip MILP;
+- otherwise ⇒ inconclusive; the exact solver must decide.
+
+The characterizer conjunct is ignored here (dropping a constraint keeps
+the over-approximation sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import PiecewiseLinearNetwork
+from repro.properties.risk import RiskCondition
+from repro.verification.abstraction.interval import propagate_box
+from repro.verification.abstraction.symbolic import propagate_symbolic
+from repro.verification.abstraction.zonotope import propagate_zonotope
+from repro.verification.sets import Box, FeatureSet
+
+
+@dataclass(frozen=True)
+class PrescreenResult:
+    """Outcome of the bound-propagation pre-screen."""
+
+    excluded: bool  #: True: risk unreachable — property proved without MILP
+    domain: str
+    #: worst-case (largest) margin by which any risk inequality can still
+    #: be satisfied under the output enclosure; <= 0 means excluded
+    best_possible_margin: float
+
+
+def _linear_upper_bound(
+    a: np.ndarray, lower: np.ndarray, upper: np.ndarray
+) -> float:
+    """Max of ``a . y`` over a box."""
+    return float(np.sum(np.where(a >= 0.0, a * upper, a * lower)))
+
+
+def prescreen(
+    suffix: PiecewiseLinearNetwork,
+    feature_set: FeatureSet,
+    risk: RiskCondition,
+    domain: str = "interval",
+) -> PrescreenResult:
+    """Try to refute reachability of ``risk`` by bound propagation.
+
+    The risk is a conjunction ``A y <= b``; it is excluded if some row
+    cannot be satisfied anywhere in the output enclosure, i.e. if
+    ``min_{y in enclosure} a . y > b`` for some row — equivalently the
+    row's best possible margin ``b - min a.y`` is negative.
+    """
+    if risk.dim != suffix.out_dim:
+        raise ValueError(
+            f"risk is over {risk.dim} outputs, network has {suffix.out_dim}"
+        )
+    hull = Box(*feature_set.bounds())
+    if domain in ("interval", "symbolic"):
+        if domain == "interval":
+            out = propagate_box(suffix, hull)
+        else:
+            out = propagate_symbolic(suffix, hull)
+        lower, upper = out.lower, out.upper
+        a_matrix, b_vector = risk.as_matrix()
+        margins = [
+            b - (-_linear_upper_bound(-a, lower, upper))  # b - min(a.y)
+            for a, b in zip(a_matrix, b_vector)
+        ]
+    elif domain == "zonotope":
+        zonotope = propagate_zonotope(suffix, hull)
+        a_matrix, b_vector = risk.as_matrix()
+        margins = [
+            b - zonotope.linear_value_bounds(a)[0] for a, b in zip(a_matrix, b_vector)
+        ]
+    else:
+        raise ValueError(
+            f"unknown domain {domain!r}; use interval, symbolic or zonotope"
+        )
+
+    worst = float(min(margins))
+    return PrescreenResult(
+        excluded=worst < 0.0, domain=domain, best_possible_margin=worst
+    )

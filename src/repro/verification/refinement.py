@@ -1,0 +1,373 @@
+"""Layer-wise incremental abstraction refinement.
+
+The paper's concluding remark: "Our approach of looking at close-to-output
+layers can be viewed as an abstraction which can, in future work, lead to
+layer-wise incremental abstraction-refinement techniques."
+
+This module implements that refinement as *envelope chaining*.  The
+baseline query abstracts everything before the latest cut ``l_K`` into
+the envelope ``S~_{l_K}``.  A refinement step moves the encoding one cut
+earlier: the exact layer functions between ``l_{K-1}`` and ``l_K`` join
+the MILP, constrained by **both** envelopes — ``n_{l_{K-1}} ∈ S~_{l_{K-1}}``
+*and* ``g(n_{l_{K-1}}) ∈ S~_{l_K}``.  Each step therefore only *adds*
+constraints: the feasible set shrinks monotonically, so
+
+- an UNSAT at any level is a conditional proof (monitor the envelopes
+  used at that level), and
+- a SAT witness can be checked for *spuriousness* against the next
+  refinement level before being reported.
+
+This strictly generalizes re-verifying at an earlier layer (which could
+even be looser, since early wide layers have weaker data envelopes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.graph import PiecewiseLinearNetwork, lower_layers
+from repro.nn.sequential import Sequential
+from repro.perception.features import extract_features
+from repro.properties.risk import RiskCondition, output_geq, output_leq
+from repro.verification.counterexample import FeatureCounterexample
+from repro.verification.milp.bigm import op_bounds_for_set
+from repro.verification.milp.encoder import EncodedProblem, _NetworkEncoder
+from repro.verification.milp.model import MILPModel
+from repro.verification.sets import Box, FeatureSet
+from repro.verification.assume_guarantee import feature_set_from_data
+from repro.verification.solver import make_solver
+from repro.verification.solver.result import SolveStatus
+
+
+def encode_chained_problem(
+    model: Sequential,
+    cut_layers: list[int],
+    envelopes: dict[int, FeatureSet],
+    risk: RiskCondition,
+    characterizer: PiecewiseLinearNetwork | None = None,
+    characterizer_threshold: float = 0.0,
+) -> EncodedProblem:
+    """Encode the suffix from ``cut_layers[0]`` with *every* envelope active.
+
+    ``cut_layers`` is ascending; the MILP's free variables start at the
+    earliest cut, each later cut's envelope constrains the corresponding
+    intermediate variables, and the (optional) characterizer attaches at
+    the *latest* cut, where it was trained.
+    """
+    if not cut_layers:
+        raise ValueError("need at least one cut layer")
+    cut_layers = sorted(cut_layers)
+    for layer in cut_layers:
+        if layer not in envelopes:
+            raise KeyError(f"no envelope for cut layer {layer}")
+
+    milp = MILPModel()
+    first = cut_layers[0]
+    first_set = envelopes[first]
+    lower, upper = first_set.bounds()
+    current_vars = [
+        milp.add_continuous(lower[i], upper[i], f"l{first}.n{i}")
+        for i in range(model.feature_dim(first))
+    ]
+    _apply_set_rows(milp, current_vars, first_set)
+
+    encoder = _NetworkEncoder(milp, "chain.")
+    current_set: FeatureSet = first_set
+    for prev, nxt in zip(cut_layers, cut_layers[1:]):
+        bridge = lower_layers(model.layers[prev:nxt], model.feature_dim(prev))
+        current_vars = encoder.encode(
+            bridge, current_vars, op_bounds_for_set(bridge, current_set)
+        )
+        nxt_set = envelopes[nxt]
+        _tighten_var_bounds(milp, current_vars, nxt_set)
+        _apply_set_rows(milp, current_vars, nxt_set)
+        current_set = _intersected_hull(milp, current_vars, nxt_set)
+
+    last = cut_layers[-1]
+    suffix = model.suffix_network(last)
+    output_vars = encoder.encode(
+        suffix, current_vars, op_bounds_for_set(suffix, current_set)
+    )
+
+    a_risk, b_risk = risk.as_matrix()
+    for row, rhs in zip(a_risk, b_risk):
+        coeffs = {
+            output_vars[j]: float(row[j])
+            for j in range(len(output_vars))
+            if row[j] != 0.0
+        }
+        milp.add_leq(coeffs, float(rhs))
+
+    logit_var = None
+    if characterizer is not None:
+        if characterizer.in_dim != model.feature_dim(last):
+            raise ValueError(
+                f"characterizer input {characterizer.in_dim} does not match "
+                f"cut layer {last} dimension {model.feature_dim(last)}"
+            )
+        char_encoder = _NetworkEncoder(milp, "h.")
+        char_out = char_encoder.encode(
+            characterizer, current_vars, op_bounds_for_set(characterizer, current_set)
+        )
+        logit_var = char_out[0]
+        milp.add_leq({logit_var: -1.0}, -characterizer_threshold)
+
+    return EncodedProblem(
+        model=milp,
+        input_vars=current_vars,  # the latest-cut feature variables
+        output_vars=output_vars,
+        characterizer_logit_var=logit_var,
+    )
+
+
+def _apply_set_rows(milp: MILPModel, variables: list[int], feature_set: FeatureSet) -> None:
+    a_extra, b_extra = feature_set.linear_constraints()
+    for row, rhs in zip(a_extra, b_extra):
+        coeffs = {
+            variables[j]: float(row[j]) for j in range(len(variables)) if row[j] != 0.0
+        }
+        if coeffs:
+            milp.add_leq(coeffs, float(rhs))
+
+
+def _tighten_var_bounds(
+    milp: MILPModel, variables: list[int], feature_set: FeatureSet
+) -> None:
+    lower, upper = feature_set.bounds()
+    for var, lo, hi in zip(variables, lower, upper):
+        milp.lower[var] = max(milp.lower[var], float(lo))
+        milp.upper[var] = min(milp.upper[var], float(hi))
+        if milp.lower[var] > milp.upper[var]:
+            # disjoint envelopes: keep a consistent (empty) model; the LP
+            # will report infeasibility
+            milp.upper[var] = milp.lower[var]
+
+
+def _intersected_hull(
+    milp: MILPModel, variables: list[int], feature_set: FeatureSet
+) -> Box:
+    lower = np.array([milp.lower[v] for v in variables])
+    upper = np.array([milp.upper[v] for v in variables])
+    return Box(lower, upper)
+
+
+@dataclass(frozen=True)
+class RefinementStep:
+    """One level of the refinement loop."""
+
+    cut_layers: tuple[int, ...]  #: envelopes active at this level
+    status: SolveStatus
+    solve_time: float
+    nodes: int
+    witness_realizable: bool | None = None  #: None when not checked / UNSAT
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of the incremental loop."""
+
+    proved: bool
+    final_cut_layers: tuple[int, ...]
+    steps: list[RefinementStep] = field(default_factory=list)
+    counterexample: FeatureCounterexample | None = None
+
+    @property
+    def refinements_used(self) -> int:
+        return len(self.steps) - 1
+
+    def summary(self) -> str:
+        lines = [
+            f"{'PROVED' if self.proved else 'NOT PROVED'} with envelopes at "
+            f"layers {list(self.final_cut_layers)} after "
+            f"{self.refinements_used} refinement(s)"
+        ]
+        for step in self.steps:
+            extra = ""
+            if step.witness_realizable is not None:
+                extra = (
+                    "  witness realizable"
+                    if step.witness_realizable
+                    else "  witness SPURIOUS -> refine"
+                )
+            lines.append(
+                f"  envelopes {list(step.cut_layers)}: {step.status.value} "
+                f"({step.solve_time:.3f}s, {step.nodes} nodes){extra}"
+            )
+        return "\n".join(lines)
+
+
+def chained_witness_realizable(
+    model: Sequential,
+    cut_layers: list[int],
+    envelopes: dict[int, FeatureSet],
+    witness_features: np.ndarray,
+    solver: str = "highs",
+    tol: float = 1e-5,
+) -> bool:
+    """Is a latest-cut witness consistent with *all* chained envelopes?
+
+    Pins the latest-cut feature variables of the chained encoding to the
+    witness (within ``tol``) and checks feasibility.  Infeasible ⇒ the
+    witness is spurious: some refinement level will exclude it.
+    """
+    out_dim = model.feature_dim(model.num_layers)
+    trivial = RiskCondition("realizability", (output_geq(out_dim, 0, -1e18),))
+    problem = encode_chained_problem(model, cut_layers, envelopes, trivial)
+    witness_features = np.asarray(witness_features, dtype=float)
+    if witness_features.shape != (len(problem.input_vars),):
+        raise ValueError(
+            f"witness has {witness_features.shape}, expected "
+            f"({len(problem.input_vars)},)"
+        )
+    for var, value in zip(problem.input_vars, witness_features):
+        lo = max(problem.model.lower[var], float(value) - tol)
+        hi = min(problem.model.upper[var], float(value) + tol)
+        if lo > hi:
+            return False
+        problem.model.lower[var] = lo
+        problem.model.upper[var] = hi
+    result = make_solver(solver).solve(problem.model)
+    return result.status is SolveStatus.SAT
+
+
+def witness_realizable(
+    model: Sequential,
+    witness_features: np.ndarray,
+    at_layer: int,
+    from_layer: int,
+    from_set: FeatureSet,
+    solver: str = "highs",
+    tol: float = 1e-5,
+) -> bool:
+    """Is a cut-layer witness reachable from an earlier layer's envelope?
+
+    Solves: exists ``n ∈ S~_{from_layer}`` with
+    ``g^(from_layer+1..at_layer)(n) ≈ witness`` (within ``tol`` per
+    neuron).  A negative answer proves the witness spurious — no input
+    whose earlier features are in-envelope can produce it.
+    """
+    if not 0 <= from_layer < at_layer <= model.num_layers:
+        raise ValueError(
+            f"need 0 <= from_layer < at_layer <= {model.num_layers}, "
+            f"got {from_layer} / {at_layer}"
+        )
+    bridge = lower_layers(
+        model.layers[from_layer:at_layer], model.feature_dim(from_layer)
+    )
+    witness_features = np.asarray(witness_features, dtype=float)
+    if witness_features.shape != (bridge.out_dim,):
+        raise ValueError(
+            f"witness has shape {witness_features.shape}, expected ({bridge.out_dim},)"
+        )
+    inequalities = []
+    dim = bridge.out_dim
+    for j, value in enumerate(witness_features):
+        inequalities.append(output_geq(dim, j, float(value) - tol))
+        inequalities.append(output_leq(dim, j, float(value) + tol))
+    risk = RiskCondition("realizability", tuple(inequalities))
+    from repro.verification.milp.encoder import encode_verification_problem
+
+    problem = encode_verification_problem(bridge, from_set, risk)
+    result = make_solver(solver).solve(problem.model)
+    return result.status is SolveStatus.SAT
+
+
+def verify_with_refinement(
+    model: Sequential,
+    images: np.ndarray,
+    risk: RiskCondition,
+    cut_layers: list[int] | None = None,
+    set_kind: str = "box+diff",
+    margin: float = 0.0,
+    solver: str = "highs",
+    characterizer: PiecewiseLinearNetwork | None = None,
+    characterizer_threshold: float = 0.0,
+) -> RefinementResult:
+    """Run the incremental loop, chaining in one more envelope per step.
+
+    Level 0 uses only the latest cut's envelope (the Figure 1 baseline);
+    level ``k`` adds the ``k`` preceding envelopes with the exact bridge
+    layers between them.  Returns after the first UNSAT (proof) or after
+    the most refined level's SAT (the surviving counterexample).
+    """
+    if cut_layers is None:
+        cut_layers = [
+            l for l in model.piecewise_linear_cut_points() if 0 < l < model.num_layers
+        ]
+    if not cut_layers:
+        raise ValueError("no piecewise-linear cut layers available")
+    cut_layers = sorted(cut_layers)
+
+    envelopes: dict[int, FeatureSet] = {}
+    for layer in cut_layers:
+        feats = extract_features(model, images, layer)
+        kind = set_kind if feats.shape[1] >= 2 else "box"
+        envelopes[layer] = feature_set_from_data(feats, kind=kind, margin=margin)
+
+    backend = make_solver(solver)
+    last = cut_layers[-1]
+    result = RefinementResult(proved=False, final_cut_layers=(last,))
+
+    for level in range(len(cut_layers)):
+        active = tuple(cut_layers[len(cut_layers) - 1 - level :])
+        problem = encode_chained_problem(
+            model, list(active), envelopes, risk, characterizer, characterizer_threshold
+        )
+        start = time.perf_counter()
+        solve = backend.solve(problem.model)
+        elapsed = time.perf_counter() - start
+
+        if solve.status is SolveStatus.UNSAT:
+            result.steps.append(
+                RefinementStep(active, solve.status, elapsed, solve.nodes_explored)
+            )
+            result.proved = True
+            result.final_cut_layers = active
+            result.counterexample = None
+            return result
+
+        counterexample = None
+        realizable: bool | None = None
+        if solve.status is SolveStatus.SAT:
+            features = problem.decode_input(solve.witness)
+            outputs = problem.decode_output(solve.witness)
+            real = model.suffix_apply(features[None, :], last)[0]
+            if not np.allclose(real, outputs, atol=1e-4):
+                raise RuntimeError("chained witness does not replay (encoder bug)")
+            logit = (
+                float(solve.witness[problem.characterizer_logit_var])
+                if problem.characterizer_logit_var is not None
+                else None
+            )
+            counterexample = FeatureCounterexample(
+                features=features,
+                predicted_output=real,
+                risk_margin=float(risk.margin(real[None, :])[0]),
+                characterizer_logit=logit,
+            )
+            if level + 1 < len(cut_layers):
+                # spurious iff the full chain (all available envelopes)
+                # excludes this witness — then refining will remove it
+                realizable = chained_witness_realizable(
+                    model, cut_layers, envelopes, features, solver=solver
+                )
+
+        result.steps.append(
+            RefinementStep(
+                active, solve.status, elapsed, solve.nodes_explored, realizable
+            )
+        )
+        result.final_cut_layers = active
+        result.counterexample = counterexample
+
+        if solve.status is SolveStatus.UNKNOWN:
+            return result
+        if realizable:
+            return result  # genuine (within all available envelopes)
+        if realizable is None:
+            return result  # deepest level reached
+
+    return result

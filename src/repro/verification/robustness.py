@@ -1,0 +1,143 @@
+"""Local robustness verification — the baseline the paper contrasts with.
+
+Section IV: "research results largely use inherent properties of a
+neural network such as local robustness (as output invariance) or output
+ranges where one does not need to characterize properties over a set of
+input images".  This module implements that baseline at the cut layer:
+given a concrete feature vector ``n̂`` (from a real image), verify that
+every point in the L∞ ball of radius ``epsilon`` around it keeps the
+suffix output within ``delta`` of the nominal output.
+
+The contrast with the paper's approach is the point: local robustness
+says nothing about *which scenes* are covered (no ``phi``), and holds or
+fails regardless of the input property — exactly why the paper argues
+specification learning is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import PiecewiseLinearNetwork
+from repro.verification.output_range import OutputRange, output_range
+from repro.verification.sets import Box
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """Outcome of one local robustness query."""
+
+    robust: bool
+    epsilon: float
+    delta: float
+    nominal_output: np.ndarray
+    output_ranges: tuple[OutputRange, ...]
+    violating_output_index: int | None = None
+
+    @property
+    def worst_deviation(self) -> float:
+        """Largest output excursion from nominal over the ball."""
+        deviations = []
+        for index, reach in enumerate(self.output_ranges):
+            nominal = float(self.nominal_output[index])
+            deviations.append(max(reach.upper - nominal, nominal - reach.lower))
+        return max(deviations)
+
+
+def verify_local_robustness(
+    suffix: PiecewiseLinearNetwork,
+    features: np.ndarray,
+    epsilon: float,
+    delta: float,
+    solver: str = "highs",
+) -> RobustnessResult:
+    """Is the suffix output ``delta``-invariant on the ``epsilon`` ball?
+
+    Exact (MILP-based) per-output range analysis over
+    ``Box(features - epsilon, features + epsilon)``.
+    """
+    if epsilon <= 0.0 or delta <= 0.0:
+        raise ValueError(f"epsilon and delta must be positive, got {epsilon}/{delta}")
+    features = np.asarray(features, dtype=float).ravel()
+    if features.shape[0] != suffix.in_dim:
+        raise ValueError(
+            f"features have dimension {features.shape[0]}, suffix expects "
+            f"{suffix.in_dim}"
+        )
+    ball = Box(features - epsilon, features + epsilon)
+    nominal = suffix.apply(features)
+
+    ranges = []
+    violating = None
+    robust = True
+    for index in range(suffix.out_dim):
+        reach = output_range(suffix, ball, output_index=index, solver=solver)
+        ranges.append(reach)
+        deviation = max(reach.upper - nominal[index], nominal[index] - reach.lower)
+        if deviation > delta and violating is None:
+            robust = False
+            violating = index
+    return RobustnessResult(
+        robust=robust,
+        epsilon=epsilon,
+        delta=delta,
+        nominal_output=nominal,
+        output_ranges=tuple(ranges),
+        violating_output_index=violating,
+    )
+
+
+def maximal_robust_radius(
+    suffix: PiecewiseLinearNetwork,
+    features: np.ndarray,
+    delta: float,
+    epsilon_max: float = 2.0,
+    tolerance: float = 1e-3,
+    solver: str = "highs",
+) -> float:
+    """Largest ``epsilon`` (up to ``epsilon_max``) that stays robust.
+
+    Bisection over :func:`verify_local_robustness` — the certified-radius
+    number robustness papers report.
+    """
+    if delta <= 0.0 or epsilon_max <= 0.0:
+        raise ValueError("delta and epsilon_max must be positive")
+    low, high = 0.0, float(epsilon_max)
+    if verify_local_robustness(suffix, features, high, delta, solver).robust:
+        return high
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if verify_local_robustness(suffix, features, mid, delta, solver).robust:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def robustness_tells_nothing_about_phi(
+    suffix: PiecewiseLinearNetwork,
+    accepted_features: np.ndarray,
+    rejected_features: np.ndarray,
+    epsilon: float,
+    delta: float,
+) -> dict[str, float]:
+    """The paper's §IV point, quantified.
+
+    Computes local-robustness rates separately over characterizer-accepted
+    and characterizer-rejected feature vectors: comparable rates mean the
+    inherent property is orthogonal to the input condition ``phi``.
+    Returns ``{"accepted": rate, "rejected": rate}``.
+    """
+    rates = {}
+    for label, batch in (("accepted", accepted_features), ("rejected", rejected_features)):
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim != 2 or batch.shape[0] == 0:
+            raise ValueError(f"{label} features must be non-empty (N, d)")
+        robust = sum(
+            verify_local_robustness(suffix, row, epsilon, delta).robust
+            for row in batch
+        )
+        rates[label] = robust / batch.shape[0]
+    return rates

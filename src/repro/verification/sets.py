@@ -1,0 +1,238 @@
+"""Feature-set abstractions over the cut-layer neuron vector.
+
+These are the sets ``S`` (sound over-approximations, Lemma 2) and ``S~``
+(data-derived assume-guarantee sets, Section II.B.b) that restrict the
+universally quantified neuron vector ``n̂_l`` during verification, and
+that the runtime monitor checks membership of.
+
+Every set exposes:
+
+- ``dim`` — the feature dimension ``d_l``;
+- ``contains(points)`` — vectorized membership (the monitor primitive);
+- ``bounds()`` — per-neuron interval hull (used for MILP variable bounds);
+- ``linear_constraints()`` — an ``A x <= b`` description for the MILP
+  encoder (empty for plain boxes whose bounds already say everything).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _as_points(points: np.ndarray, dim: int) -> np.ndarray:
+    points = np.asarray(points, dtype=float)
+    single = points.ndim == 1
+    if single:
+        points = points[None, :]
+    if points.ndim != 2 or points.shape[1] != dim:
+        raise ValueError(f"expected points of dimension {dim}, got shape {points.shape}")
+    return points
+
+
+class FeatureSet(ABC):
+    """Abstract base for cut-layer feature sets."""
+
+    @property
+    @abstractmethod
+    def dim(self) -> int:
+        """Feature dimension."""
+
+    @abstractmethod
+    def contains(self, points: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        """Vectorized membership test (boolean per point)."""
+
+    @abstractmethod
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-coordinate ``(lower, upper)`` interval hull."""
+
+    def linear_constraints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Additional constraints ``A x <= b`` beyond the interval hull."""
+        return np.zeros((0, self.dim)), np.zeros(0)
+
+    def contains_point(self, point: np.ndarray, tol: float = 1e-9) -> bool:
+        return bool(self.contains(point, tol)[0])
+
+
+@dataclass(frozen=True)
+class Box(FeatureSet):
+    """Axis-aligned box: the paper's per-neuron min/max record."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        lower = np.atleast_1d(np.asarray(self.lower, dtype=float))
+        upper = np.atleast_1d(np.asarray(self.upper, dtype=float))
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError(
+                f"bounds must be 1-D of equal shape, got {lower.shape}/{upper.shape}"
+            )
+        if np.any(lower > upper):
+            bad = int(np.argmax(lower > upper))
+            raise ValueError(
+                f"lower > upper at index {bad}: {lower[bad]} > {upper[bad]}"
+            )
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    @property
+    def dim(self) -> int:
+        return self.lower.shape[0]
+
+    def contains(self, points: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        pts = _as_points(points, self.dim)
+        return np.all(
+            (pts >= self.lower - tol) & (pts <= self.upper + tol), axis=1
+        )
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.lower.copy(), self.upper.copy()
+
+    def widened(self, margin: float) -> "Box":
+        """Box enlarged by an absolute margin on both sides."""
+        if margin < 0.0:
+            raise ValueError(f"margin must be >= 0, got {margin}")
+        return Box(self.lower - margin, self.upper + margin)
+
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lower + self.upper)
+
+    def radius(self) -> np.ndarray:
+        return 0.5 * (self.upper - self.lower)
+
+    def volume_log(self) -> float:
+        """Log-volume (sum of log widths); -inf for degenerate boxes."""
+        widths = self.upper - self.lower
+        if np.any(widths <= 0.0):
+            return float("-inf")
+        return float(np.sum(np.log(widths)))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Uniform samples from the box."""
+        return rng.uniform(self.lower, self.upper, size=(n, self.dim))
+
+    def intersect(self, other: "Box") -> "Box":
+        """Intersection (raises if empty)."""
+        if other.dim != self.dim:
+            raise ValueError(f"dimension mismatch: {self.dim} vs {other.dim}")
+        return Box(
+            np.maximum(self.lower, other.lower), np.minimum(self.upper, other.upper)
+        )
+
+
+@dataclass(frozen=True)
+class BoxWithDiffs(FeatureSet):
+    """Box plus bounds on adjacent-neuron differences ``x[i+1] - x[i]``.
+
+    This is exactly the record the paper's Section V proposes when "it is
+    commonly not sufficient to only record the minimum and maximum value
+    for each neuron": additionally keep the min/max of ``n_{i+1} - n_i``
+    (an octagon-style relational constraint that TensorFlow can compute
+    with ``n[1:] - n[:-1]``).
+    """
+
+    box: Box
+    diff_lower: np.ndarray
+    diff_upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        dlo = np.atleast_1d(np.asarray(self.diff_lower, dtype=float))
+        dhi = np.atleast_1d(np.asarray(self.diff_upper, dtype=float))
+        expected = (self.box.dim - 1,)
+        if dlo.shape != expected or dhi.shape != expected:
+            raise ValueError(
+                f"difference bounds must have shape {expected}, "
+                f"got {dlo.shape}/{dhi.shape}"
+            )
+        if np.any(dlo > dhi):
+            raise ValueError("diff_lower > diff_upper")
+        object.__setattr__(self, "diff_lower", dlo)
+        object.__setattr__(self, "diff_upper", dhi)
+
+    @property
+    def dim(self) -> int:
+        return self.box.dim
+
+    def contains(self, points: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        pts = _as_points(points, self.dim)
+        inside = self.box.contains(pts, tol)
+        if self.dim > 1:
+            diffs = np.diff(pts, axis=1)
+            inside &= np.all(
+                (diffs >= self.diff_lower - tol) & (diffs <= self.diff_upper + tol),
+                axis=1,
+            )
+        return inside
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.box.bounds()
+
+    def linear_constraints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Rows encoding ``diff_lower <= x[i+1] - x[i] <= diff_upper``."""
+        d = self.dim
+        n_diffs = d - 1
+        a = np.zeros((2 * n_diffs, d))
+        b = np.zeros(2 * n_diffs)
+        for i in range(n_diffs):
+            # x[i+1] - x[i] <= diff_upper[i]
+            a[2 * i, i + 1] = 1.0
+            a[2 * i, i] = -1.0
+            b[2 * i] = self.diff_upper[i]
+            # -(x[i+1] - x[i]) <= -diff_lower[i]
+            a[2 * i + 1, i + 1] = -1.0
+            a[2 * i + 1, i] = 1.0
+            b[2 * i + 1] = -self.diff_lower[i]
+        return a, b
+
+    def widened(self, margin: float) -> "BoxWithDiffs":
+        if margin < 0.0:
+            raise ValueError(f"margin must be >= 0, got {margin}")
+        return BoxWithDiffs(
+            self.box.widened(margin),
+            self.diff_lower - margin,
+            self.diff_upper + margin,
+        )
+
+
+@dataclass(frozen=True)
+class Polyhedron(FeatureSet):
+    """General polyhedron ``A x <= b`` intersected with an interval hull.
+
+    The interval hull is required so MILP variables stay bounded.
+    """
+
+    box: Box
+    a: np.ndarray
+    b: np.ndarray
+
+    def __post_init__(self) -> None:
+        a = np.atleast_2d(np.asarray(self.a, dtype=float))
+        b = np.atleast_1d(np.asarray(self.b, dtype=float))
+        if a.shape[1] != self.box.dim:
+            raise ValueError(
+                f"constraint matrix has {a.shape[1]} columns, expected {self.box.dim}"
+            )
+        if b.shape != (a.shape[0],):
+            raise ValueError(f"rhs shape {b.shape} does not match {a.shape[0]} rows")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+
+    @property
+    def dim(self) -> int:
+        return self.box.dim
+
+    def contains(self, points: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        pts = _as_points(points, self.dim)
+        inside = self.box.contains(pts, tol)
+        if self.a.shape[0]:
+            inside &= np.all(pts @ self.a.T <= self.b + tol, axis=1)
+        return inside
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.box.bounds()
+
+    def linear_constraints(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.a.copy(), self.b.copy()

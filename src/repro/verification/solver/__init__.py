@@ -1,0 +1,26 @@
+"""Exact MILP solvers.
+
+- :mod:`repro.verification.solver.branch_bound` — our own
+  branch-and-bound over LP relaxations (``scipy.optimize.linprog`` /
+  HiGHS as the LP oracle);
+- :mod:`repro.verification.solver.highs` — direct hand-off to
+  ``scipy.optimize.milp`` (HiGHS branch-and-cut), used to cross-check
+  the home-grown solver in tests;
+- :mod:`repro.verification.solver.result` — the shared
+  SAT / UNSAT / UNKNOWN result type.
+"""
+
+from repro.verification.solver.branch_bound import BranchAndBoundSolver
+from repro.verification.solver.highs import HighsSolver
+from repro.verification.solver.result import SolveResult, SolveStatus
+
+__all__ = ["BranchAndBoundSolver", "HighsSolver", "SolveResult", "SolveStatus"]
+
+
+def make_solver(name: str, **kwargs):
+    """Solver factory: ``"branch-and-bound"`` or ``"highs"``."""
+    if name in ("branch-and-bound", "bb"):
+        return BranchAndBoundSolver(**kwargs)
+    if name == "highs":
+        return HighsSolver(**kwargs)
+    raise ValueError(f"unknown solver {name!r}; known: branch-and-bound, highs")

@@ -1,0 +1,140 @@
+"""Branch-and-bound MILP solver over LP relaxations.
+
+Depth-first search on the binary variables: each node solves the LP
+relaxation with the binaries fixed so far.  Infeasible relaxations prune;
+integral relaxations are feasible MILP assignments; fractional ones
+branch on the most fractional binary (the branch agreeing with the LP
+value is explored first).
+
+For feasibility problems (zero objective, the verification use case) the
+first integral solution decides SAT.  For optimization the incumbent
+bound additionally prunes relaxations that cannot improve it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.verification.milp.model import MILPModel
+from repro.verification.solver.lp import solve_lp_relaxation
+from repro.verification.solver.result import SolveResult, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class BranchAndBoundSolver:
+    """DFS branch-and-bound with node and wall-clock limits."""
+
+    node_limit: int = 200_000
+    time_limit: float = 600.0
+
+    def solve(self, model: MILPModel) -> SolveResult:
+        """Feasibility: first integral LP solution wins."""
+        return self._search(model, optimize=False)
+
+    def minimize(self, model: MILPModel) -> SolveResult:
+        """Optimization of ``model.objective`` (exhaustive with pruning)."""
+        return self._search(model, optimize=True)
+
+    # -- internals ------------------------------------------------------------
+
+    def _search(self, model: MILPModel, optimize: bool) -> SolveResult:
+        start = time.perf_counter()
+        arrays = model.to_arrays()
+        binary_idx = np.nonzero(arrays.binary_mask)[0]
+
+        incumbent_x: np.ndarray | None = None
+        incumbent_obj = np.inf
+        nodes = 0
+        hit_limit = False
+
+        # stack of (lower, upper) bound pairs; root uses the model bounds
+        stack: list[tuple[np.ndarray, np.ndarray]] = [
+            (arrays.lower.copy(), arrays.upper.copy())
+        ]
+
+        while stack:
+            if nodes >= self.node_limit or time.perf_counter() - start > self.time_limit:
+                hit_limit = True
+                break
+            lower, upper = stack.pop()
+            nodes += 1
+            relaxation = solve_lp_relaxation(arrays, lower, upper)
+            if not relaxation.feasible:
+                continue
+            if optimize and relaxation.objective >= incumbent_obj - 1e-9:
+                continue  # cannot improve the incumbent
+
+            x = relaxation.x
+            fractional = self._most_fractional(x, binary_idx)
+            if fractional is None:
+                # integral: a feasible MILP assignment
+                x = self._round_binaries(x, binary_idx)
+                if not optimize:
+                    return SolveResult(
+                        status=SolveStatus.SAT,
+                        witness=x,
+                        objective=relaxation.objective,
+                        nodes_explored=nodes,
+                        solve_time=time.perf_counter() - start,
+                    )
+                if relaxation.objective < incumbent_obj:
+                    incumbent_obj = relaxation.objective
+                    incumbent_x = x
+                continue
+
+            # branch: explore the side suggested by the LP value first
+            j = fractional
+            value = x[j]
+            floor_lower, floor_upper = lower.copy(), upper.copy()
+            floor_upper[j] = 0.0
+            ceil_lower, ceil_upper = lower.copy(), upper.copy()
+            ceil_lower[j] = 1.0
+            if value >= 0.5:
+                stack.append((floor_lower, floor_upper))
+                stack.append((ceil_lower, ceil_upper))
+            else:
+                stack.append((ceil_lower, ceil_upper))
+                stack.append((floor_lower, floor_upper))
+
+        elapsed = time.perf_counter() - start
+        if hit_limit and incumbent_x is None:
+            return SolveResult(
+                status=SolveStatus.UNKNOWN,
+                nodes_explored=nodes,
+                solve_time=elapsed,
+                stats={"limit": "nodes" if nodes >= self.node_limit else "time"},
+            )
+        if optimize and incumbent_x is not None:
+            return SolveResult(
+                status=SolveStatus.SAT,
+                witness=incumbent_x,
+                objective=incumbent_obj,
+                nodes_explored=nodes,
+                solve_time=elapsed,
+                stats={"proved_optimal": not hit_limit},
+            )
+        return SolveResult(
+            status=SolveStatus.UNSAT, nodes_explored=nodes, solve_time=elapsed
+        )
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, binary_idx: np.ndarray) -> int | None:
+        if binary_idx.size == 0:
+            return None
+        values = x[binary_idx]
+        distance = np.abs(values - np.round(values))
+        worst = int(np.argmax(distance))
+        if distance[worst] <= _INT_TOL:
+            return None
+        return int(binary_idx[worst])
+
+    @staticmethod
+    def _round_binaries(x: np.ndarray, binary_idx: np.ndarray) -> np.ndarray:
+        out = x.copy()
+        out[binary_idx] = np.round(out[binary_idx])
+        return out

@@ -1,0 +1,53 @@
+"""LP relaxation oracle over ``scipy.optimize.linprog`` (HiGHS)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.verification.milp.model import MILPArrays
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of one LP relaxation solve."""
+
+    feasible: bool
+    x: np.ndarray | None
+    objective: float | None
+    status_code: int
+
+
+def solve_lp_relaxation(
+    arrays: MILPArrays,
+    lower: np.ndarray | None = None,
+    upper: np.ndarray | None = None,
+) -> LPResult:
+    """Solve the LP relaxation with (optionally overridden) variable bounds.
+
+    Branch-and-bound tightens binary bounds per node; the constraint
+    matrices never change, only ``lower``/``upper``.
+    """
+    lo = arrays.lower if lower is None else lower
+    hi = arrays.upper if upper is None else upper
+    if np.any(lo > hi):
+        return LPResult(feasible=False, x=None, objective=None, status_code=2)
+    result = linprog(
+        c=arrays.c,
+        A_ub=arrays.a_ub if arrays.a_ub.shape[0] else None,
+        b_ub=arrays.b_ub if arrays.a_ub.shape[0] else None,
+        A_eq=arrays.a_eq if arrays.a_eq.shape[0] else None,
+        b_eq=arrays.b_eq if arrays.a_eq.shape[0] else None,
+        bounds=np.column_stack([lo, hi]),
+        method="highs",
+    )
+    if result.status == 0:
+        return LPResult(
+            feasible=True,
+            x=np.asarray(result.x),
+            objective=float(result.fun),
+            status_code=0,
+        )
+    return LPResult(feasible=False, x=None, objective=None, status_code=int(result.status))

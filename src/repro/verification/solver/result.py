@@ -1,0 +1,47 @@
+"""Solver result types shared by all backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a MILP feasibility query.
+
+    ``SAT``     — a feasible assignment (counterexample candidate) exists;
+    ``UNSAT``   — the encoded region is empty (property proved);
+    ``UNKNOWN`` — resource limits hit before a conclusion.
+    """
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolveResult:
+    """Status, witness (for SAT) and search statistics."""
+
+    status: SolveStatus
+    witness: np.ndarray | None = None
+    objective: float | None = None
+    nodes_explored: int = 0
+    solve_time: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status is SolveStatus.SAT and self.witness is None:
+            raise ValueError("SAT results must carry a witness")
+        if self.status is not SolveStatus.SAT and self.witness is not None:
+            raise ValueError(f"{self.status} results must not carry a witness")
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SolveStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SolveStatus.UNSAT

@@ -1,0 +1,64 @@
+"""Unit tests for verdicts and experiment configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.verdict import Verdict, VerificationVerdict
+from repro.properties.library import STEER_FAR_LEFT
+from repro.verification.solver.result import SolveResult, SolveStatus
+from repro.verification.statistical import estimate_confusion
+
+
+def _verdict(v, confusion=None):
+    status = SolveStatus.UNSAT if v is not Verdict.UNSAFE_IN_SET else SolveStatus.SAT
+    witness = np.zeros(3) if status is SolveStatus.SAT else None
+    return VerificationVerdict(
+        verdict=v,
+        property_name="bends_right",
+        risk=STEER_FAR_LEFT,
+        feature_set_kind="box+diff(data)",
+        monitored=True,
+        solve_result=SolveResult(status=status, witness=witness),
+        confusion=confusion,
+    )
+
+
+class TestVerificationVerdict:
+    def test_proved_flags(self):
+        assert _verdict(Verdict.SAFE).proved
+        assert _verdict(Verdict.CONDITIONALLY_SAFE).proved
+        assert not _verdict(Verdict.UNSAFE_IN_SET).proved
+        assert not _verdict(Verdict.UNKNOWN).proved
+
+    def test_statistical_guarantee_requires_proof_and_confusion(self):
+        confusion = estimate_confusion(
+            np.array([1, 0] * 50), np.array([1, 0] * 50)
+        )
+        assert _verdict(Verdict.CONDITIONALLY_SAFE).statistical_guarantee is None
+        assert _verdict(Verdict.UNSAFE_IN_SET, confusion).statistical_guarantee is None
+        g = _verdict(Verdict.CONDITIONALLY_SAFE, confusion).statistical_guarantee
+        assert g is not None and 0.9 < g <= 1.0
+
+    def test_summary_includes_monitor_note(self):
+        text = _verdict(Verdict.CONDITIONALLY_SAFE).summary()
+        assert "monitor required" in text
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.set_kind == "box+diff"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 10"):
+            ExperimentConfig(train_scenes=5)
+        with pytest.raises(ValueError, match="set kind"):
+            ExperimentConfig(set_kind="sphere")
+        with pytest.raises(ValueError, match="margin"):
+            ExperimentConfig(set_margin=-1.0)
+
+    def test_frozen(self):
+        config = ExperimentConfig()
+        with pytest.raises(AttributeError):
+            config.seed = 7

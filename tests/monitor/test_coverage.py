@@ -1,0 +1,100 @@
+"""Unit tests for activation coverage metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.monitor.coverage import (
+    ActivationPatternSet,
+    coverage_report,
+    k_section_coverage,
+    neuron_onoff_coverage,
+)
+
+
+class TestOnOffCoverage:
+    def test_full_coverage(self):
+        features = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert neuron_onoff_coverage(features) == 1.0
+
+    def test_always_active_neuron_uncovered(self):
+        features = np.array([[1.0, 1.0], [2.0, 0.0]])
+        assert neuron_onoff_coverage(features) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            neuron_onoff_coverage(np.zeros((0, 3)))
+
+
+class TestKSectionCoverage:
+    def test_uniform_data_covers_everything(self, rng):
+        features = rng.uniform(0, 1, size=(5000, 3))
+        assert k_section_coverage(features, k=8) > 0.99
+
+    def test_two_point_data_covers_two_sections(self):
+        features = np.array([[0.0], [1.0]])
+        assert k_section_coverage(features, k=10) == pytest.approx(0.2)
+
+    def test_constant_neuron_counts_covered(self):
+        features = np.full((10, 2), 3.3)
+        assert k_section_coverage(features, k=8) == 1.0
+
+    def test_more_sections_lower_coverage(self, rng):
+        features = rng.normal(size=(30, 4))
+        assert k_section_coverage(features, k=32) <= k_section_coverage(features, k=4)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            k_section_coverage(np.ones((2, 2)), k=0)
+
+
+class TestActivationPatternSet:
+    def test_training_patterns_contained(self, rng):
+        features = np.maximum(rng.normal(size=(50, 6)), 0.0)
+        patterns = ActivationPatternSet.from_features(features)
+        assert patterns.contains(features).all()
+        assert patterns.novelty_rate(features) == 0.0
+
+    def test_novel_pattern_flagged(self):
+        features = np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        patterns = ActivationPatternSet.from_features(features)
+        novel = np.array([[1.0, 1.0, 1.0]])
+        assert not patterns.contains(novel)[0]
+        assert patterns.novelty_rate(novel) == 1.0
+
+    def test_pattern_count(self):
+        features = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        assert len(ActivationPatternSet.from_features(features)) == 2
+
+    def test_dim_checked(self):
+        patterns = ActivationPatternSet.from_features(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="expected 3-d"):
+            patterns.contains(np.ones((1, 5)))
+
+    @given(
+        arrays(np.float64, (12, 5), elements=st.floats(-2, 2)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_self_containment_property(self, features):
+        patterns = ActivationPatternSet.from_features(features)
+        assert patterns.contains(features).all()
+
+
+class TestCoverageReport:
+    def test_report_fields(self, rng):
+        features = np.maximum(rng.normal(size=(100, 8)), 0.0)
+        report = coverage_report(features, k=4)
+        assert 0.0 <= report.onoff <= 1.0
+        assert 0.0 <= report.k_section <= 1.0
+        assert report.samples == 100
+        assert "coverage" in report.summary()
+
+    def test_real_cut_layer_features(self, verified_system):
+        """Coverage on the actual verified system's features is informative
+        but not saturated — exactly the 'thin evidence' signal."""
+        report = coverage_report(verified_system.train_features)
+        assert report.onoff > 0.5  # post-ReLU features see both states
+        assert 0.0 < report.k_section < 1.0
+        assert report.patterns_seen > 1

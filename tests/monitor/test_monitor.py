@@ -1,0 +1,139 @@
+"""Unit tests for the runtime monitor."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.events import MonitorEvent, MonitorReport
+from repro.monitor.runtime import RuntimeMonitor, false_alarm_rate
+from repro.monitor.throughput import adjacent_differences, monitor_feature_batch
+from repro.nn import Dense, ReLU, Sequential
+from repro.verification.assume_guarantee import box_with_diffs_from_data
+from repro.verification.sets import Box, BoxWithDiffs
+
+
+@pytest.fixture
+def setup(rng):
+    model = Sequential([Dense(6), ReLU(), Dense(4), ReLU()], input_shape=(3,), seed=1)
+    images = rng.normal(size=(100, 3))
+    features = model.prefix_apply(images, model.num_layers)
+    sbox = box_with_diffs_from_data(features)
+    return model, images, features, sbox
+
+
+class TestRuntimeMonitor:
+    def test_training_data_never_violates(self, setup):
+        model, images, _, sbox = setup
+        monitor = RuntimeMonitor(model, model.num_layers, sbox)
+        report = monitor.run(images)
+        assert report.frames == 100
+        assert report.violations == 0
+        assert report.coverage == 1.0
+
+    def test_out_of_distribution_flagged(self, setup, rng):
+        model, images, _, sbox = setup
+        monitor = RuntimeMonitor(model, model.num_layers, sbox)
+        # far out-of-distribution inputs
+        ood = rng.normal(size=(20, 3)) * 100.0
+        report = monitor.run(ood)
+        assert report.violations > 0
+
+    def test_check_features_direct(self, setup):
+        model, _, features, sbox = setup
+        monitor = RuntimeMonitor(model, model.num_layers, sbox)
+        event = monitor.check_features(features[0])
+        assert isinstance(event, MonitorEvent)
+        assert not event.violation
+
+    def test_violation_diagnosis(self, setup):
+        model, _, features, sbox = setup
+        monitor = RuntimeMonitor(model, model.num_layers, sbox)
+        bad = features[0].copy()
+        bad[2] = sbox.bounds()[1][2] + 10.0
+        event = monitor.check_features(bad)
+        assert event.violation
+        assert event.worst_excess > 0.0
+        assert "VIOLATED" in str(event)
+
+    def test_diff_violation_diagnosed(self, setup):
+        model, _, features, sbox = setup
+        assert isinstance(sbox, BoxWithDiffs)
+        monitor = RuntimeMonitor(model, model.num_layers, sbox)
+        lower, upper = sbox.bounds()
+        # stay inside the box but break an adjacent-difference bound
+        bad = np.clip(features[0].copy(), lower, upper)
+        bad[0] = lower[0]
+        bad[1] = upper[1]
+        if not sbox.contains(bad[None])[0]:
+            event = monitor.check_features(bad)
+            assert event.violation
+
+    def test_frame_indices_increment(self, setup):
+        model, images, _, sbox = setup
+        monitor = RuntimeMonitor(model, model.num_layers, sbox)
+        monitor.run(images[:5])
+        assert [e.frame_index for e in monitor.report.events] == [0, 1, 2, 3, 4]
+
+    def test_keep_events_false_saves_memory(self, setup):
+        model, images, _, sbox = setup
+        monitor = RuntimeMonitor(model, model.num_layers, sbox, keep_events=False)
+        monitor.run(images)
+        assert monitor.report.events == []
+        assert monitor.report.frames == 100
+
+    def test_dimension_mismatch_rejected(self, setup):
+        model, _, _, _ = setup
+        wrong = Box(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="dimension"):
+            RuntimeMonitor(model, model.num_layers, wrong)
+
+
+class TestFalseAlarmRate:
+    def test_zero_on_training_data(self, setup):
+        model, images, _, sbox = setup
+        assert false_alarm_rate(model, model.num_layers, sbox, images) == 0.0
+
+    def test_positive_on_heldout(self, setup, rng):
+        model, _, _, sbox = setup
+        heldout = rng.normal(size=(200, 3)) * 2.0
+        rate = false_alarm_rate(model, model.num_layers, sbox, heldout)
+        assert rate > 0.0
+
+
+class TestMonitorReport:
+    def test_summary_format(self):
+        report = MonitorReport()
+        report.record(MonitorEvent(0, False, np.zeros(2)))
+        report.record(MonitorEvent(1, True, np.zeros(2), 0, 1.0))
+        assert report.violation_rate == 0.5
+        assert "50.00%" in report.summary()
+
+    def test_empty_report(self):
+        report = MonitorReport()
+        assert report.violation_rate == 0.0
+        assert report.coverage == 1.0
+
+
+class TestThroughput:
+    def test_batch_matches_sequential(self, setup):
+        model, images, features, sbox = setup
+        batch_mask = monitor_feature_batch(sbox, features)
+        monitor = RuntimeMonitor(model, model.num_layers, sbox)
+        sequential = np.array(
+            [monitor.check_features(f).violation for f in features]
+        )
+        np.testing.assert_array_equal(batch_mask, sequential)
+
+    def test_batch_requires_2d(self, setup):
+        _, _, features, sbox = setup
+        with pytest.raises(ValueError, match="expected"):
+            monitor_feature_batch(sbox, features[0])
+
+    def test_adjacent_differences_matches_numpy(self, rng):
+        features = rng.normal(size=(10, 6))
+        np.testing.assert_array_equal(
+            adjacent_differences(features), np.diff(features, axis=1)
+        )
+
+    def test_adjacent_differences_validation(self):
+        with pytest.raises(ValueError, match="d>=2"):
+            adjacent_differences(np.zeros((5, 1)))

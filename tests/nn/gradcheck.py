@@ -1,0 +1,68 @@
+"""Numeric gradient checking helper shared by layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+def numeric_input_grad(
+    layer: Layer, x: np.ndarray, grad_out: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(grad_out * layer(x))`` wrt x."""
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        plus = float(np.sum(grad_out * layer.forward(x, training=False)))
+        flat_x[i] = orig - eps
+        minus = float(np.sum(grad_out * layer.forward(x, training=False)))
+        flat_x[i] = orig
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def numeric_param_grad(
+    layer: Layer, x: np.ndarray, grad_out: np.ndarray, param, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient wrt one parameter array."""
+    grad = np.zeros_like(param.value)
+    flat_p = param.value.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_p.size):
+        orig = flat_p[i]
+        flat_p[i] = orig + eps
+        plus = float(np.sum(grad_out * layer.forward(x, training=False)))
+        flat_p[i] = orig - eps
+        minus = float(np.sum(grad_out * layer.forward(x, training=False)))
+        flat_p[i] = orig
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_layer_gradients(
+    layer: Layer,
+    x: np.ndarray,
+    rtol: float = 1e-5,
+    atol: float = 1e-6,
+    check_params: bool = True,
+) -> None:
+    """Assert analytic input/param gradients match central differences."""
+    out = layer.forward(x, training=True)
+    rng = np.random.default_rng(0)
+    grad_out = rng.normal(size=out.shape)
+    layer_grads = {id(p): p for p in layer.parameters()}
+    for p in layer_grads.values():
+        p.zero_grad()
+    grad_in = layer.backward(grad_out)
+
+    expected_in = numeric_input_grad(layer, x, grad_out)
+    np.testing.assert_allclose(grad_in, expected_in, rtol=rtol, atol=atol)
+
+    if check_params:
+        for p in layer.parameters():
+            expected_p = numeric_param_grad(layer, x, grad_out, p)
+            np.testing.assert_allclose(p.grad, expected_p, rtol=rtol, atol=atol)

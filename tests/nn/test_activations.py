@@ -1,0 +1,128 @@
+"""Unit and property tests for activation layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.graph import LeakyReLUOp, ReLUOp
+from repro.nn.layers.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from tests.nn.gradcheck import check_layer_gradients
+
+finite_batches = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 4), st.integers(1, 6)),
+    elements=st.floats(-50, 50),
+)
+
+
+def _built(layer, shape=(6,)):
+    layer.build(shape, np.random.default_rng(0))
+    return layer
+
+
+class TestReLU:
+    def test_forward_clamps_negatives(self):
+        layer = _built(ReLU())
+        out = layer.forward(np.array([[-2.0, 0.0, 3.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 3.0]])
+
+    @given(finite_batches)
+    @settings(max_examples=30, deadline=None)
+    def test_forward_is_max_with_zero(self, x):
+        layer = _built(ReLU(), shape=(x.shape[1],))
+        np.testing.assert_array_equal(layer.forward(x), np.maximum(x, 0))
+
+    def test_gradcheck(self):
+        layer = _built(ReLU())
+        # keep values away from the kink for numeric differentiation
+        x = np.random.default_rng(1).normal(size=(3, 6))
+        x[np.abs(x) < 0.1] = 0.5
+        check_layer_gradients(layer, x)
+
+    def test_lowering(self):
+        layer = _built(ReLU())
+        (op,) = layer.as_verification_ops()
+        assert isinstance(op, ReLUOp) and op.dim == 6
+
+
+class TestLeakyReLU:
+    def test_negative_slope(self):
+        layer = _built(LeakyReLU(alpha=0.1))
+        out = layer.forward(np.array([[-10.0, 10.0]]))
+        np.testing.assert_allclose(out, [[-1.0, 10.0]])
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            LeakyReLU(alpha=1.5)
+
+    def test_gradcheck(self):
+        layer = _built(LeakyReLU(alpha=0.2))
+        x = np.random.default_rng(2).normal(size=(3, 6))
+        x[np.abs(x) < 0.1] = -0.5
+        check_layer_gradients(layer, x)
+
+    def test_lowering_preserves_alpha(self):
+        layer = _built(LeakyReLU(alpha=0.05))
+        (op,) = layer.as_verification_ops()
+        assert isinstance(op, LeakyReLUOp) and op.alpha == 0.05
+
+
+class TestSigmoid:
+    def test_range(self):
+        layer = _built(Sigmoid())
+        out = layer.forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(0.5)
+        assert out[0, 2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_gradcheck(self):
+        layer = _built(Sigmoid())
+        x = np.random.default_rng(3).normal(size=(3, 6))
+        check_layer_gradients(layer, x)
+
+    def test_not_piecewise_linear(self):
+        assert _built(Sigmoid()).as_verification_ops() is None
+
+
+class TestTanh:
+    def test_odd_function(self):
+        layer = _built(Tanh())
+        x = np.random.default_rng(4).normal(size=(2, 6))
+        np.testing.assert_allclose(layer.forward(-x), -layer.forward(x))
+
+    def test_gradcheck(self):
+        layer = _built(Tanh())
+        x = np.random.default_rng(5).normal(size=(3, 6))
+        check_layer_gradients(layer, x)
+
+    def test_not_piecewise_linear(self):
+        assert _built(Tanh()).as_verification_ops() is None
+
+
+class TestIdentity:
+    def test_forward_is_noop(self):
+        layer = _built(Identity())
+        x = np.random.default_rng(6).normal(size=(2, 6))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_lowering_is_empty(self):
+        assert _built(Identity()).as_verification_ops() == []
+
+    def test_gradcheck(self):
+        layer = _built(Identity())
+        check_layer_gradients(layer, np.random.default_rng(7).normal(size=(2, 6)))
+
+
+@pytest.mark.parametrize("cls", [ReLU, LeakyReLU, Sigmoid, Tanh, Identity])
+def test_backward_before_forward_raises(cls):
+    layer = _built(cls())
+    with pytest.raises(RuntimeError, match="backward"):
+        layer.backward(np.zeros((1, 6)))
+
+
+@pytest.mark.parametrize("cls", [ReLU, LeakyReLU, Sigmoid, Tanh, Identity])
+def test_shape_preserved(cls):
+    layer = _built(cls(), shape=(3, 4, 5))
+    assert layer.output_shape((3, 4, 5)) == (3, 4, 5)

@@ -1,0 +1,129 @@
+"""Unit and property tests for eval-mode input gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.autodiff import input_gradient
+
+
+def numeric_input_grad(model, x, out_grad, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        plus = float(np.sum(out_grad * model.forward(x, training=False)))
+        flat_x[i] = orig - eps
+        minus = float(np.sum(out_grad * model.forward(x, training=False)))
+        flat_x[i] = orig
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestInputGradient:
+    def test_dense_stack_matches_numeric(self, rng):
+        model = Sequential(
+            [Dense(6), ReLU(), Dense(4), Tanh(), Dense(2)], input_shape=(3,), seed=1
+        )
+        x = rng.normal(size=(2, 3))
+        out_grad = rng.normal(size=(2, 2))
+        output, grad = input_gradient(model, x, out_grad)
+        np.testing.assert_allclose(output, model.forward(x))
+        np.testing.assert_allclose(
+            grad, numeric_input_grad(model, x, out_grad), atol=1e-6
+        )
+
+    def test_conv_stack_with_batchnorm_eval(self, rng):
+        model = Sequential(
+            [
+                Conv2D(3, 3, stride=2, padding=1),
+                BatchNorm(),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(4),
+                Sigmoid(),
+                Dense(2),
+            ],
+            input_shape=(1, 8, 8),
+            seed=2,
+        )
+        # prime BatchNorm running statistics
+        model.forward(rng.normal(size=(16, 1, 8, 8)), training=True)
+        x = rng.normal(size=(1, 1, 8, 8))
+        out_grad = np.array([[1.0, -0.5]])
+        _, grad = input_gradient(model, x, out_grad)
+        np.testing.assert_allclose(
+            grad, numeric_input_grad(model, x, out_grad), atol=1e-5
+        )
+
+    def test_batch_size_one_works(self, rng):
+        """The motivating case: BN models differentiable on single frames."""
+        model = Sequential(
+            [Dense(4), BatchNorm(), ReLU(), Dense(2)], input_shape=(3,), seed=3
+        )
+        model.forward(rng.normal(size=(8, 3)), training=True)
+        x = rng.normal(size=(1, 3))
+        output, grad = input_gradient(model, x, np.ones((1, 2)))
+        assert output.shape == (1, 2)
+        assert grad.shape == (1, 3)
+
+    def test_avgpool_leaky_dropout(self, rng):
+        model = Sequential(
+            [
+                Conv2D(2, 3, padding=1),
+                LeakyReLU(0.1),
+                AvgPool2D(2),
+                Flatten(),
+                Dropout(0.5),
+                Dense(2),
+            ],
+            input_shape=(1, 4, 4),
+            seed=4,
+        )
+        x = rng.normal(size=(2, 1, 4, 4))
+        out_grad = rng.normal(size=(2, 2))
+        _, grad = input_gradient(model, x, out_grad)
+        np.testing.assert_allclose(
+            grad, numeric_input_grad(model, x, out_grad), atol=1e-6
+        )
+
+    def test_broadcast_out_grad(self, rng):
+        model = Sequential([Dense(2)], input_shape=(3,), seed=5)
+        x = rng.normal(size=(4, 3))
+        _, grad = input_gradient(model, x, np.array([1.0, 0.0]))
+        # gradient of sum of y0 over the batch: each row = first weight col
+        expected = np.tile(model.layers[0].weight.value[:, 0], (4, 1))
+        np.testing.assert_allclose(grad, expected)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_training_backward_on_bn_free_models(self, seed):
+        """Without BatchNorm, eval gradients equal training backprop."""
+        rng = np.random.default_rng(seed)
+        model = Sequential(
+            [Dense(5), ReLU(), Dense(2)], input_shape=(3,), seed=seed % 23
+        )
+        x = rng.normal(size=(3, 3))
+        out_grad = rng.normal(size=(3, 2))
+        model.forward(x, training=True)
+        train_grad = model.backward(out_grad)
+        _, eval_grad = input_gradient(model, x, out_grad)
+        np.testing.assert_allclose(eval_grad, train_grad, atol=1e-12)

@@ -1,0 +1,127 @@
+"""Unit tests for BatchNorm."""
+
+import numpy as np
+import pytest
+
+from repro.nn.graph import AffineOp
+from repro.nn.layers.batchnorm import BatchNorm
+from tests.nn.gradcheck import check_layer_gradients
+
+
+def _built(shape=(5,), **kwargs):
+    layer = BatchNorm(**kwargs)
+    layer.build(shape, np.random.default_rng(0))
+    return layer
+
+
+class TestBatchNormTraining:
+    def test_normalizes_batch(self):
+        layer = _built()
+        x = np.random.default_rng(1).normal(3.0, 2.0, size=(64, 5))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_running_stats_move_toward_batch(self):
+        layer = _built(momentum=0.5)
+        x = np.full((8, 5), 10.0) + np.random.default_rng(2).normal(size=(8, 5))
+        layer.forward(x, training=True)
+        assert np.all(layer.running_mean > 1.0)
+
+    def test_batch_of_one_rejected(self):
+        layer = _built()
+        with pytest.raises(ValueError, match="batch size"):
+            layer.forward(np.zeros((1, 5)), training=True)
+
+    def test_conv_features_per_channel(self):
+        layer = _built(shape=(3, 4, 4))
+        x = np.random.default_rng(3).normal(size=(16, 3, 4, 4))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-9)
+
+
+class TestBatchNormEval:
+    def test_eval_uses_running_stats(self):
+        layer = _built()
+        x = np.random.default_rng(4).normal(size=(32, 5))
+        for _ in range(50):
+            layer.forward(x, training=True)
+        eval_out = layer.forward(x, training=False)
+        train_out = layer.forward(x, training=True)
+        np.testing.assert_allclose(eval_out, train_out, atol=0.2)
+
+    def test_eval_is_affine(self):
+        layer = _built()
+        layer.running_mean = np.random.default_rng(5).normal(size=5)
+        layer.running_var = np.abs(np.random.default_rng(6).normal(size=5)) + 0.5
+        scale, shift = layer.affine_coefficients()
+        x = np.random.default_rng(7).normal(size=(10, 5))
+        np.testing.assert_allclose(
+            layer.forward(x, training=False), x * scale + shift
+        )
+
+
+class TestBatchNormGradients:
+    def test_gradcheck_flat(self):
+        layer = _built()
+        x = np.random.default_rng(8).normal(size=(6, 5))
+        layer.forward(x, training=True)  # prime running stats
+        # numeric gradcheck compares against eval-mode forwards, so pin
+        # the layer to a deterministic state by checking training math
+        out = layer.forward(x, training=True)
+        grad_out = np.random.default_rng(9).normal(size=out.shape)
+        layer.zero_grads = [p.zero_grad() for p in layer.parameters()]
+        grad_in = layer.backward(grad_out)
+        # gradient of a mean-free output: sum over batch must be ~0
+        np.testing.assert_allclose(grad_in.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_eval_mode_gradcheck_via_affine(self):
+        # in eval mode the layer is affine; verify against coefficients
+        layer = _built()
+        x = np.random.default_rng(10).normal(size=(32, 5))
+        layer.forward(x, training=True)
+        scale, _ = layer.affine_coefficients()
+        x2 = np.random.default_rng(11).normal(size=(4, 5))
+        out_a = layer.forward(x2, training=False)
+        out_b = layer.forward(x2 + 1e-3, training=False)
+        np.testing.assert_allclose((out_b - out_a) / 1e-3, np.tile(scale, (4, 1)))
+
+
+class TestBatchNormVerificationView:
+    def test_flat_lowering_matches_eval(self):
+        layer = _built()
+        x = np.random.default_rng(12).normal(size=(64, 5))
+        layer.forward(x, training=True)
+        (op,) = layer.as_verification_ops()
+        assert isinstance(op, AffineOp)
+        np.testing.assert_allclose(op.apply(x), layer.forward(x, training=False))
+
+    def test_conv_lowering_repeats_channels(self):
+        layer = _built(shape=(2, 3, 3))
+        x = np.random.default_rng(13).normal(size=(16, 2, 3, 3))
+        layer.forward(x, training=True)
+        (op,) = layer.as_verification_ops()
+        flat = x.reshape(16, -1)
+        np.testing.assert_allclose(
+            op.apply(flat), layer.forward(x, training=False).reshape(16, -1)
+        )
+
+
+class TestBatchNormStatePersistence:
+    def test_state_roundtrip(self):
+        layer = _built()
+        x = np.random.default_rng(14).normal(size=(32, 5))
+        layer.forward(x, training=True)
+        state = layer.state()
+        clone = _built()
+        clone.load_state(state)
+        x2 = np.random.default_rng(15).normal(size=(4, 5))
+        np.testing.assert_allclose(
+            clone.forward(x2, training=False), layer.forward(x2, training=False)
+        )
+
+    def test_rejects_bad_momentum_and_eps(self):
+        with pytest.raises(ValueError, match="momentum"):
+            BatchNorm(momentum=1.0)
+        with pytest.raises(ValueError, match="eps"):
+            BatchNorm(eps=0.0)

@@ -1,0 +1,94 @@
+"""Unit tests for Conv2D (including im2col against a naive reference)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.graph import AffineOp
+from repro.nn.layers.conv import Conv2D
+from tests.nn.gradcheck import check_layer_gradients
+
+
+def naive_conv(x, weight, bias, stride, padding):
+    """Straightforward loop implementation used as ground truth."""
+    n, c, h, w = x.shape
+    f, _, k, _ = weight.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ho = (h + 2 * padding - k) // stride + 1
+    wo = (w + 2 * padding - k) // stride + 1
+    out = np.zeros((n, f, ho, wo))
+    for b in range(n):
+        for fi in range(f):
+            for i in range(ho):
+                for j in range(wo):
+                    patch = x[b, :, i * stride : i * stride + k, j * stride : j * stride + k]
+                    out[b, fi, i, j] = np.sum(patch * weight[fi]) + bias[fi]
+    return out
+
+
+def _built(filters=3, kernel=3, stride=1, padding=0, input_shape=(2, 6, 6), seed=0):
+    layer = Conv2D(filters, kernel, stride=stride, padding=padding)
+    layer.build(input_shape, np.random.default_rng(seed))
+    return layer
+
+
+class TestConvForward:
+    @pytest.mark.parametrize(
+        "kernel,stride,padding", [(3, 1, 0), (3, 1, 1), (3, 2, 1), (5, 2, 2), (2, 2, 0)]
+    )
+    def test_matches_naive(self, kernel, stride, padding):
+        layer = _built(kernel=kernel, stride=stride, padding=padding, input_shape=(2, 8, 8))
+        x = np.random.default_rng(1).normal(size=(3, 2, 8, 8))
+        expected = naive_conv(x, layer.weight.value, layer.bias.value, stride, padding)
+        np.testing.assert_allclose(layer.forward(x), expected, atol=1e-12)
+
+    def test_output_shape(self):
+        layer = _built(filters=4, kernel=3, stride=2, padding=1)
+        assert layer.output_shape((2, 6, 6)) == (4, 3, 3)
+
+    def test_rejects_flat_input_shape(self):
+        with pytest.raises(ValueError, match="expects"):
+            Conv2D(2, 3).output_shape((10,))
+
+    def test_rejects_invalid_config(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 3)
+        with pytest.raises(ValueError):
+            Conv2D(2, 3, stride=0)
+        with pytest.raises(ValueError):
+            Conv2D(2, 3, padding=-1)
+
+
+class TestConvGradients:
+    def test_gradcheck_basic(self):
+        layer = _built(filters=2, kernel=3, input_shape=(1, 5, 5))
+        x = np.random.default_rng(2).normal(size=(2, 1, 5, 5))
+        check_layer_gradients(layer, x, rtol=1e-4, atol=1e-6)
+
+    def test_gradcheck_stride_padding(self):
+        layer = _built(filters=2, kernel=3, stride=2, padding=1, input_shape=(2, 5, 5))
+        x = np.random.default_rng(3).normal(size=(2, 2, 5, 5))
+        check_layer_gradients(layer, x, rtol=1e-4, atol=1e-6)
+
+
+class TestConvVerificationView:
+    def test_affine_materialization_exact(self):
+        layer = _built(filters=3, kernel=3, stride=2, padding=1, input_shape=(2, 6, 6))
+        (op,) = layer.as_verification_ops()
+        assert isinstance(op, AffineOp)
+        x = np.random.default_rng(4).normal(size=(5, 2, 6, 6))
+        flat_out = op.apply(x.reshape(5, -1))
+        np.testing.assert_allclose(
+            flat_out, layer.forward(x).reshape(5, -1), atol=1e-10
+        )
+
+    def test_materialization_size_guard(self):
+        layer = Conv2D(64, 3, padding=1)
+        layer.build((64, 64, 64), np.random.default_rng(0))
+        with pytest.raises(ValueError, match="materialization"):
+            layer.as_verification_ops()
+
+    def test_config_roundtrip(self):
+        layer = Conv2D(7, 5, stride=2, padding=2)
+        clone = Conv2D.from_config(layer.config())
+        assert clone.config() == layer.config()

@@ -1,0 +1,88 @@
+"""Unit tests for the Dense layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.graph import AffineOp
+from repro.nn.layers.dense import Dense
+from tests.nn.gradcheck import check_layer_gradients
+
+
+def _built(units=5, fan_in=4, init="he", seed=0):
+    layer = Dense(units, init=init)
+    layer.build((fan_in,), np.random.default_rng(seed))
+    return layer
+
+
+class TestDenseForward:
+    def test_output_shape(self):
+        layer = _built()
+        out = layer.forward(np.zeros((3, 4)))
+        assert out.shape == (3, 5)
+
+    def test_affine_semantics(self):
+        layer = _built()
+        x = np.random.default_rng(1).normal(size=(6, 4))
+        expected = x @ layer.weight.value + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_bias_starts_zero(self):
+        layer = _built()
+        assert np.all(layer.bias.value == 0.0)
+
+    def test_xavier_init(self):
+        layer = _built(init="xavier")
+        limit = np.sqrt(6.0 / 9)
+        assert np.all(np.abs(layer.weight.value) <= limit)
+
+
+class TestDenseValidation:
+    def test_rejects_nonpositive_units(self):
+        with pytest.raises(ValueError, match="units"):
+            Dense(0)
+
+    def test_rejects_unknown_init(self):
+        with pytest.raises(ValueError, match="init"):
+            Dense(3, init="uniform")
+
+    def test_rejects_non_flat_input(self):
+        with pytest.raises(ValueError, match="flat input"):
+            Dense(3).output_shape((2, 3))
+
+    def test_backward_requires_training_forward(self):
+        layer = _built()
+        layer.forward(np.zeros((2, 4)), training=False)
+        with pytest.raises(RuntimeError, match="backward"):
+            layer.backward(np.zeros((2, 5)))
+
+
+class TestDenseGradients:
+    def test_gradcheck(self):
+        layer = _built()
+        x = np.random.default_rng(3).normal(size=(4, 4))
+        check_layer_gradients(layer, x)
+
+    def test_gradients_accumulate(self):
+        layer = _built()
+        x = np.random.default_rng(4).normal(size=(2, 4))
+        g = np.ones((2, 5))
+        layer.forward(x, training=True)
+        layer.backward(g)
+        first = layer.weight.grad.copy()
+        layer.forward(x, training=True)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestDenseVerificationView:
+    def test_lowering_matches_forward(self):
+        layer = _built()
+        (op,) = layer.as_verification_ops()
+        assert isinstance(op, AffineOp)
+        x = np.random.default_rng(5).normal(size=(7, 4))
+        np.testing.assert_allclose(op.apply(x), layer.forward(x))
+
+    def test_config_roundtrip(self):
+        layer = Dense(9, init="xavier")
+        clone = Dense.from_config(layer.config())
+        assert clone.units == 9 and clone.init == "xavier"

@@ -1,0 +1,42 @@
+"""Unit tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import he_normal, ones, xavier_uniform, zeros
+
+
+def test_he_normal_std():
+    rng = np.random.default_rng(0)
+    w = he_normal(rng, (2000, 100), fan_in=100)
+    assert abs(w.std() - np.sqrt(2.0 / 100)) < 0.005
+
+
+def test_he_normal_rejects_bad_fan_in():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError, match="fan_in"):
+        he_normal(rng, (3, 3), fan_in=0)
+
+
+def test_xavier_uniform_within_limit():
+    rng = np.random.default_rng(1)
+    w = xavier_uniform(rng, (50, 60), fan_in=50, fan_out=60)
+    limit = np.sqrt(6.0 / 110)
+    assert w.min() >= -limit and w.max() <= limit
+
+
+def test_xavier_rejects_bad_fans():
+    rng = np.random.default_rng(1)
+    with pytest.raises(ValueError):
+        xavier_uniform(rng, (3, 3), fan_in=-1, fan_out=3)
+
+
+def test_zeros_and_ones():
+    assert np.all(zeros((3, 2)) == 0.0)
+    assert np.all(ones((4,)) == 1.0)
+
+
+def test_reproducible_from_seed():
+    a = he_normal(np.random.default_rng(42), (5, 5), 5)
+    b = he_normal(np.random.default_rng(42), (5, 5), 5)
+    np.testing.assert_array_equal(a, b)

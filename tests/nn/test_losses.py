@@ -1,0 +1,118 @@
+"""Unit and property tests for loss functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.losses import bce_loss, bce_with_logits_loss, cross_entropy_loss, mse_loss
+
+
+def numeric_grad(fn, pred, eps=1e-6):
+    grad = np.zeros_like(pred)
+    flat = pred.reshape(-1)
+    g = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus, _ = fn(pred)
+        flat[i] = orig - eps
+        minus, _ = fn(pred)
+        flat[i] = orig
+        g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestMSE:
+    def test_zero_at_target(self):
+        y = np.array([[1.0, 2.0]])
+        loss, grad = mse_loss(y, y)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_known_value(self):
+        loss, _ = mse_loss(np.array([[1.0, 3.0]]), np.array([[0.0, 1.0]]))
+        assert loss == pytest.approx((1 + 4) / 2)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+        _, grad = mse_loss(pred, target)
+        np.testing.assert_allclose(
+            grad, numeric_grad(lambda p: mse_loss(p, target), pred), atol=1e-7
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            mse_loss(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestBCE:
+    def test_perfect_prediction_near_zero(self):
+        loss, _ = bce_loss(np.array([[0.999999, 0.000001]]), np.array([[1.0, 0.0]]))
+        assert loss < 1e-5
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(1)
+        pred = rng.uniform(0.1, 0.9, size=(4, 2))
+        target = (rng.random((4, 2)) > 0.5).astype(float)
+        _, grad = bce_loss(pred, target)
+        np.testing.assert_allclose(
+            grad, numeric_grad(lambda p: bce_loss(p, target), pred), atol=1e-6
+        )
+
+
+class TestBCEWithLogits:
+    def test_matches_bce_through_sigmoid(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(5, 1))
+        target = (rng.random((5, 1)) > 0.5).astype(float)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        loss_a, _ = bce_with_logits_loss(logits, target)
+        loss_b, _ = bce_loss(probs, target)
+        assert loss_a == pytest.approx(loss_b, rel=1e-9)
+
+    def test_stable_at_extreme_logits(self):
+        loss, grad = bce_with_logits_loss(
+            np.array([[1000.0, -1000.0]]), np.array([[1.0, 0.0]])
+        )
+        assert np.isfinite(loss) and np.all(np.isfinite(grad))
+        assert loss < 1e-12
+
+    @given(
+        arrays(np.float64, (3, 2), elements=st.floats(-30, 30)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gradcheck_property(self, logits):
+        target = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        _, grad = bce_with_logits_loss(logits, target)
+        np.testing.assert_allclose(
+            grad,
+            numeric_grad(lambda p: bce_with_logits_loss(p, target), logits.copy()),
+            atol=1e-5,
+        )
+
+
+class TestCrossEntropy:
+    def test_uniform_logits(self):
+        loss, _ = cross_entropy_loss(np.zeros((2, 4)), np.array([0, 3]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(4, 3))
+        target = np.array([0, 2, 1, 1])
+        _, grad = cross_entropy_loss(logits, target)
+        np.testing.assert_allclose(
+            grad,
+            numeric_grad(lambda p: cross_entropy_loss(p, target), logits),
+            atol=1e-6,
+        )
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="logits"):
+            cross_entropy_loss(np.zeros(3), np.array([0]))
+        with pytest.raises(ValueError, match="target_index"):
+            cross_entropy_loss(np.zeros((2, 3)), np.array([0, 1, 2]))

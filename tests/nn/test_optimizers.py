@@ -1,0 +1,83 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.tensor import Parameter
+
+
+def quadratic_step(optimizer_cls, steps=300, **kwargs):
+    """Minimize ||x - 3||^2 and return the final parameter."""
+    p = Parameter("x", np.array([10.0, -10.0]))
+    opt = optimizer_cls([p], **kwargs)
+    for _ in range(steps):
+        opt.zero_grad()
+        p.grad += 2.0 * (p.value - 3.0)
+        opt.step()
+    return p.value
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        final = quadratic_step(SGD, lr=0.1)
+        np.testing.assert_allclose(final, 3.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        plain = quadratic_step(SGD, steps=20, lr=0.01)
+        momentum = quadratic_step(SGD, steps=20, lr=0.01, momentum=0.9)
+        assert np.abs(momentum - 3.0).max() < np.abs(plain - 3.0).max()
+
+    def test_single_step_value(self):
+        p = Parameter("x", np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad += np.array([2.0])
+        opt.step()
+        assert p.value[0] == pytest.approx(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter("x", np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.step()  # zero gradient, only decay
+        assert p.value[0] == pytest.approx(0.9)
+
+    def test_validation(self):
+        p = Parameter("x", np.zeros(1))
+        with pytest.raises(ValueError, match="learning rate"):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError, match="momentum"):
+            SGD([p], momentum=1.0)
+        with pytest.raises(ValueError, match="at least one"):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = quadratic_step(Adam, steps=2000, lr=0.05)
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_first_step_is_lr_sized(self):
+        p = Parameter("x", np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad += np.array([123.0])
+        opt.step()
+        # bias-corrected first step is exactly -lr * sign(grad)
+        assert p.value[0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_validation(self):
+        p = Parameter("x", np.zeros(1))
+        with pytest.raises(ValueError, match="betas"):
+            Adam([p], beta1=1.0)
+        with pytest.raises(ValueError, match="eps"):
+            Adam([p], eps=0.0)
+        with pytest.raises(ValueError, match="weight_decay"):
+            Adam([p], weight_decay=-0.1)
+
+    def test_zero_grad_clears_all(self):
+        p1 = Parameter("a", np.zeros(2))
+        p2 = Parameter("b", np.zeros(3))
+        opt = Adam([p1, p2])
+        p1.grad += 1.0
+        p2.grad += 2.0
+        opt.zero_grad()
+        assert np.all(p1.grad == 0.0) and np.all(p2.grad == 0.0)

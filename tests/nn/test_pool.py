@@ -1,0 +1,93 @@
+"""Unit tests for pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.graph import AffineOp, MaxGroupOp
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+from tests.nn.gradcheck import check_layer_gradients
+
+
+def _built(cls, size=2, stride=None, input_shape=(2, 6, 6)):
+    layer = cls(size, stride)
+    layer.build(input_shape, np.random.default_rng(0))
+    return layer
+
+
+class TestMaxPool:
+    def test_simple_2x2(self):
+        layer = _built(MaxPool2D, input_shape=(1, 4, 4))
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_overlapping_windows(self):
+        layer = _built(MaxPool2D, size=3, stride=1, input_shape=(1, 5, 5))
+        x = np.random.default_rng(1).normal(size=(2, 1, 5, 5))
+        out = layer.forward(x)
+        assert out.shape == (2, 1, 3, 3)
+        # verify one window manually
+        assert out[0, 0, 1, 1] == x[0, 0, 1:4, 1:4].max()
+
+    def test_gradcheck(self):
+        layer = _built(MaxPool2D, input_shape=(2, 4, 4))
+        x = np.random.default_rng(2).normal(size=(2, 2, 4, 4))
+        check_layer_gradients(layer, x)
+
+    def test_gradient_routes_to_argmax(self):
+        layer = _built(MaxPool2D, input_shape=(1, 2, 2))
+        x = np.array([[[[1.0, 5.0], [2.0, 3.0]]]])
+        layer.forward(x, training=True)
+        grad_in = layer.backward(np.array([[[[7.0]]]]))
+        np.testing.assert_array_equal(grad_in, [[[[0.0, 7.0], [0.0, 0.0]]]])
+
+    def test_lowering_matches_forward(self):
+        layer = _built(MaxPool2D, input_shape=(2, 4, 4))
+        (op,) = layer.as_verification_ops()
+        assert isinstance(op, MaxGroupOp)
+        x = np.random.default_rng(3).normal(size=(4, 2, 4, 4))
+        np.testing.assert_allclose(
+            op.apply(x.reshape(4, -1)), layer.forward(x).reshape(4, -1)
+        )
+
+
+class TestAvgPool:
+    def test_simple_average(self):
+        layer = _built(AvgPool2D, input_shape=(1, 4, 4))
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradcheck(self):
+        layer = _built(AvgPool2D, input_shape=(2, 4, 4))
+        x = np.random.default_rng(4).normal(size=(2, 2, 4, 4))
+        check_layer_gradients(layer, x)
+
+    def test_lowering_matches_forward(self):
+        layer = _built(AvgPool2D, input_shape=(2, 4, 4))
+        (op,) = layer.as_verification_ops()
+        assert isinstance(op, AffineOp)
+        x = np.random.default_rng(5).normal(size=(3, 2, 4, 4))
+        np.testing.assert_allclose(
+            op.apply(x.reshape(3, -1)), layer.forward(x).reshape(3, -1)
+        )
+
+
+@pytest.mark.parametrize("cls", [MaxPool2D, AvgPool2D])
+class TestPoolValidation:
+    def test_rejects_bad_size(self, cls):
+        with pytest.raises(ValueError, match="size"):
+            cls(0)
+
+    def test_rejects_bad_stride(self, cls):
+        with pytest.raises(ValueError, match="stride"):
+            cls(2, stride=0)
+
+    def test_rejects_flat_features(self, cls):
+        with pytest.raises(ValueError, match="pooling"):
+            cls(2).output_shape((16,))
+
+    def test_backward_requires_forward(self, cls):
+        layer = _built(cls)
+        with pytest.raises(RuntimeError, match="backward"):
+            layer.backward(np.zeros((1, 2, 3, 3)))

@@ -1,0 +1,74 @@
+"""Unit tests for Flatten and Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.reshape import Flatten
+
+
+class TestFlatten:
+    def test_forward_flattens(self):
+        layer = Flatten()
+        layer.build((2, 3, 4), np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(5, 2, 3, 4))
+        out = layer.forward(x)
+        assert out.shape == (5, 24)
+        np.testing.assert_array_equal(out, x.reshape(5, 24))
+
+    def test_backward_restores_shape(self):
+        layer = Flatten()
+        layer.build((2, 3, 4), np.random.default_rng(0))
+        x = np.random.default_rng(2).normal(size=(5, 2, 3, 4))
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((5, 24)))
+        assert grad.shape == (5, 2, 3, 4)
+
+    def test_output_shape(self):
+        assert Flatten().output_shape((3, 4, 5)) == (60,)
+
+    def test_lowers_to_no_ops(self):
+        assert Flatten().as_verification_ops() == []
+
+    def test_backward_requires_forward(self):
+        with pytest.raises(RuntimeError, match="backward"):
+            Flatten().backward(np.zeros((1, 4)))
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = Dropout(0.5)
+        x = np.random.default_rng(3).normal(size=(4, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_roughly_rate(self):
+        layer = Dropout(0.4, seed=1)
+        x = np.ones((100, 100))
+        out = layer.forward(x, training=True)
+        dropped = np.mean(out == 0.0)
+        assert abs(dropped - 0.4) < 0.03
+
+    def test_training_preserves_expectation(self):
+        layer = Dropout(0.3, seed=2)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_backward_applies_same_mask(self):
+        layer = Dropout(0.5, seed=3)
+        x = np.ones((4, 8))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones((4, 8)))
+        np.testing.assert_array_equal(grad, out)
+
+    def test_zero_rate_is_identity_even_training(self):
+        layer = Dropout(0.0)
+        x = np.random.default_rng(4).normal(size=(3, 5))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            Dropout(1.0)
+
+    def test_lowers_to_no_ops(self):
+        assert Dropout(0.2).as_verification_ops() == []

@@ -1,0 +1,107 @@
+"""Unit tests for the Sequential container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential, Sigmoid
+from repro.nn.sequential import iter_minibatches
+
+
+class TestConstruction:
+    def test_shapes_inferred(self, tiny_mlp):
+        assert tiny_mlp.input_shape == (4,)
+        assert tiny_mlp.output_shape == (2,)
+        assert tiny_mlp.layer_dims() == [4, 8, 8, 8, 8, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            Sequential([], input_shape=(3,))
+
+    def test_seed_reproducibility(self):
+        a = Sequential([Dense(5), ReLU(), Dense(2)], input_shape=(3,), seed=42)
+        b = Sequential([Dense(5), ReLU(), Dense(2)], input_shape=(3,), seed=42)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_num_parameters(self, tiny_mlp):
+        # 4*8+8 + 8*8+8 + 8*2+2 = 40+72+18
+        assert tiny_mlp.num_parameters() == 130
+
+    def test_summary_mentions_layers(self, tiny_mlp):
+        text = tiny_mlp.summary()
+        assert "Dense" in text and "total parameters: 130" in text
+
+
+class TestPrefixSuffix:
+    def test_prefix_zero_is_input(self, tiny_mlp, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_array_equal(tiny_mlp.prefix_apply(x, 0), x)
+
+    def test_prefix_full_is_forward(self, tiny_mlp, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            tiny_mlp.prefix_apply(x, tiny_mlp.num_layers), tiny_mlp.forward(x)
+        )
+
+    @pytest.mark.parametrize("cut", [0, 1, 2, 3, 4, 5])
+    def test_prefix_then_suffix_is_forward(self, tiny_mlp, rng, cut):
+        x = rng.normal(size=(5, 4))
+        features = tiny_mlp.prefix_apply(x, cut)
+        out = tiny_mlp.suffix_apply(features, cut)
+        np.testing.assert_allclose(out, tiny_mlp.forward(x), atol=1e-12)
+
+    def test_conv_prefix_flattens(self, tiny_convnet, rng):
+        x = rng.normal(size=(2, 1, 12, 12))
+        features = tiny_convnet.prefix_apply(x, 3)  # after MaxPool
+        assert features.ndim == 2
+
+    def test_out_of_range_cut(self, tiny_mlp):
+        with pytest.raises(IndexError):
+            tiny_mlp.prefix_apply(np.zeros((1, 4)), 6)
+        with pytest.raises(IndexError):
+            tiny_mlp.suffix_network(-1)
+
+
+class TestCutPoints:
+    def test_all_cuts_valid_for_pl_model(self, tiny_mlp):
+        assert tiny_mlp.piecewise_linear_cut_points() == [0, 1, 2, 3, 4, 5]
+
+    def test_sigmoid_blocks_early_cuts(self):
+        model = Sequential(
+            [Dense(5), Sigmoid(), Dense(3), ReLU(), Dense(2)],
+            input_shape=(3,),
+            seed=0,
+        )
+        assert model.piecewise_linear_cut_points() == [2, 3, 4, 5]
+
+    def test_feature_dim(self, tiny_convnet):
+        assert tiny_convnet.feature_dim(0) == 144
+        assert tiny_convnet.feature_dim(tiny_convnet.num_layers) == 2
+
+
+class TestTrainingPlumbing:
+    def test_zero_grad(self, tiny_mlp, rng):
+        x = rng.normal(size=(3, 4))
+        tiny_mlp.forward(x, training=True)
+        tiny_mlp.backward(np.ones((3, 2)))
+        assert any(np.any(p.grad != 0.0) for p in tiny_mlp.parameters())
+        tiny_mlp.zero_grad()
+        assert all(np.all(p.grad == 0.0) for p in tiny_mlp.parameters())
+
+    def test_call_is_eval_forward(self, tiny_mlp, rng):
+        x = rng.normal(size=(2, 4))
+        np.testing.assert_array_equal(tiny_mlp(x), tiny_mlp.forward(x))
+
+
+class TestIterMinibatches:
+    def test_covers_everything_once(self, rng):
+        seen = np.concatenate(list(iter_minibatches(rng, 103, 10)))
+        assert sorted(seen.tolist()) == list(range(103))
+
+    def test_batch_sizes(self, rng):
+        batches = list(iter_minibatches(rng, 25, 10))
+        assert [len(b) for b in batches] == [10, 10, 5]
+
+    def test_rejects_bad_batch_size(self, rng):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(iter_minibatches(rng, 10, 0))

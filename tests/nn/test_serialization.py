@@ -1,0 +1,101 @@
+"""Unit tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    load_model,
+    mse_loss,
+    save_model,
+    train,
+)
+
+
+def test_roundtrip_mlp(tmp_path, rng):
+    model = Sequential([Dense(6), ReLU(), Dense(2)], input_shape=(4,), seed=1)
+    path = tmp_path / "mlp.npz"
+    save_model(model, path)
+    clone = load_model(path)
+    x = rng.normal(size=(5, 4))
+    np.testing.assert_array_equal(clone.forward(x), model.forward(x))
+
+
+def test_roundtrip_convnet_with_bn(tmp_path, rng):
+    model = Sequential(
+        [
+            Conv2D(3, 3, stride=2, padding=1),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(8),
+            BatchNorm(),
+            LeakyReLU(0.1),
+            Dropout(0.2),
+            Dense(2),
+        ],
+        input_shape=(1, 8, 8),
+        seed=2,
+    )
+    # give BatchNorm non-trivial running stats
+    x = rng.normal(size=(32, 1, 8, 8))
+    y = rng.normal(size=(32, 2))
+    train(model, Adam(model.parameters()), mse_loss, x, y, epochs=2, batch_size=8)
+
+    path = tmp_path / "conv.npz"
+    save_model(model, path)
+    clone = load_model(path)
+    np.testing.assert_allclose(clone.forward(x), model.forward(x), atol=1e-12)
+
+
+def test_trained_weights_survive(tmp_path, rng):
+    model = Sequential([Dense(1)], input_shape=(3,), seed=3)
+    x = rng.normal(size=(50, 3))
+    y = x @ np.array([[2.0], [0.0], [-1.0]])
+    train(model, Adam(model.parameters(), lr=0.05), mse_loss, x, y, epochs=50)
+    path = tmp_path / "trained.npz"
+    save_model(model, path)
+    clone = load_model(path)
+    np.testing.assert_array_equal(
+        clone.layers[0].weight.value, model.layers[0].weight.value
+    )
+
+
+def test_architecture_preserved(tmp_path):
+    model = Sequential(
+        [Conv2D(5, 3, stride=2, padding=1), ReLU(), Flatten(), Dense(2)],
+        input_shape=(2, 6, 6),
+        seed=4,
+    )
+    path = tmp_path / "arch.npz"
+    save_model(model, path)
+    clone = load_model(path)
+    assert [type(l).__name__ for l in clone.layers] == [
+        "Conv2D", "ReLU", "Flatten", "Dense",
+    ]
+    assert clone.layers[0].config() == model.layers[0].config()
+    assert clone.input_shape == (2, 6, 6)
+
+
+def test_load_missing_parameter_raises(tmp_path):
+    model = Sequential([Dense(2)], input_shape=(3,), seed=0)
+    state = model.layers[0].state()
+    del state["bias"]
+    with pytest.raises(KeyError, match="bias"):
+        model.layers[0].load_state(state)
+
+
+def test_load_shape_mismatch_raises():
+    model = Sequential([Dense(2)], input_shape=(3,), seed=0)
+    state = {"weight": np.zeros((5, 5)), "bias": np.zeros(2)}
+    with pytest.raises(ValueError, match="shape mismatch"):
+        model.layers[0].load_state(state)

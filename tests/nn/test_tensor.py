@@ -1,0 +1,59 @@
+"""Unit tests for repro.nn.tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import FLOAT, Parameter, as_batch, conv_output_size, flat_size
+
+
+class TestParameter:
+    def test_value_cast_to_float(self):
+        p = Parameter("w", np.array([1, 2, 3]))
+        assert p.value.dtype == FLOAT
+
+    def test_grad_allocated_zero(self):
+        p = Parameter("w", np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert np.all(p.grad == 0.0)
+
+    def test_zero_grad_resets(self):
+        p = Parameter("w", np.ones(4))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.all(p.grad == 0.0)
+
+    def test_shape_property(self):
+        p = Parameter("w", np.zeros((3, 5)))
+        assert p.shape == (3, 5)
+
+
+class TestAsBatch:
+    def test_single_sample_promoted(self):
+        x, was_single = as_batch(np.zeros((2, 3)), feature_ndim=2)
+        assert x.shape == (1, 2, 3)
+        assert was_single
+
+    def test_batch_passed_through(self):
+        x, was_single = as_batch(np.zeros((5, 2, 3)), feature_ndim=2)
+        assert x.shape == (5, 2, 3)
+        assert not was_single
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError, match="expected array"):
+            as_batch(np.zeros((5, 2, 3, 4, 4)), feature_ndim=2)
+
+
+class TestShapeHelpers:
+    def test_conv_output_size_basic(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+        assert conv_output_size(32, 5, 2, 2) == 16
+        assert conv_output_size(4, 2, 2, 0) == 2
+
+    def test_conv_output_size_invalid(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_flat_size(self):
+        assert flat_size((3, 4, 5)) == 60
+        assert flat_size((7,)) == 7
+        assert flat_size(()) == 1

@@ -1,0 +1,122 @@
+"""Unit tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Dense, ReLU, SGD, Sequential, mse_loss, train
+from repro.nn.training import binary_accuracy, evaluate_loss
+
+
+def _regression_problem(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    w = np.array([[1.0], [-2.0], [0.5]])
+    y = x @ w + 0.1
+    return x, y
+
+
+class TestTrain:
+    def test_loss_decreases(self):
+        x, y = _regression_problem()
+        model = Sequential([Dense(8), ReLU(), Dense(1)], input_shape=(3,), seed=1)
+        history = train(
+            model, Adam(model.parameters(), lr=1e-2), mse_loss, x, y, epochs=30
+        )
+        assert history.train_loss[-1] < 0.1 * history.train_loss[0]
+
+    def test_linear_model_fits_exactly(self):
+        x, y = _regression_problem()
+        model = Sequential([Dense(1)], input_shape=(3,), seed=2)
+        train(
+            model, SGD(model.parameters(), lr=0.1), mse_loss, x, y, epochs=200,
+            batch_size=64,
+        )
+        np.testing.assert_allclose(
+            model.layers[0].weight.value, [[1.0], [-2.0], [0.5]], atol=1e-3
+        )
+
+    def test_validation_recorded(self):
+        x, y = _regression_problem()
+        model = Sequential([Dense(1)], input_shape=(3,), seed=3)
+        history = train(
+            model, SGD(model.parameters(), lr=0.05), mse_loss, x, y,
+            epochs=5, x_val=x[:50], y_val=y[:50],
+        )
+        assert len(history.val_loss) == 5
+        assert history.best_val_loss() == min(history.val_loss)
+
+    def test_early_stopping_triggers(self):
+        x, y = _regression_problem(n=60)
+        model = Sequential([Dense(1)], input_shape=(3,), seed=4)
+        history = train(
+            model, SGD(model.parameters(), lr=0.2), mse_loss, x, y,
+            epochs=500, x_val=x, y_val=y, patience=3,
+        )
+        assert history.stopped_early
+        assert history.epochs_run < 500
+
+    def test_metric_fn_recorded(self):
+        x, y = _regression_problem(n=60)
+        model = Sequential([Dense(1)], input_shape=(3,), seed=5)
+        history = train(
+            model, SGD(model.parameters(), lr=0.05), mse_loss, x, y,
+            epochs=3, x_val=x, y_val=y,
+            metric_fn=lambda p, t: float(np.abs(p - t).mean()),
+        )
+        assert len(history.val_metric) == 3
+
+    def test_deterministic_given_seed(self):
+        x, y = _regression_problem()
+        outs = []
+        for _ in range(2):
+            model = Sequential([Dense(4), ReLU(), Dense(1)], input_shape=(3,), seed=6)
+            train(model, SGD(model.parameters(), lr=0.05), mse_loss, x, y,
+                  epochs=3, seed=9)
+            outs.append(model.forward(x[:5]))
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+
+class TestTrainValidation:
+    def test_empty_dataset_rejected(self):
+        model = Sequential([Dense(1)], input_shape=(3,), seed=0)
+        with pytest.raises(ValueError, match="empty"):
+            train(model, SGD(model.parameters(), lr=0.1), mse_loss,
+                  np.zeros((0, 3)), np.zeros((0, 1)))
+
+    def test_mismatched_lengths_rejected(self):
+        model = Sequential([Dense(1)], input_shape=(3,), seed=0)
+        with pytest.raises(ValueError, match="inconsistent"):
+            train(model, SGD(model.parameters(), lr=0.1), mse_loss,
+                  np.zeros((5, 3)), np.zeros((4, 1)))
+
+    def test_patience_requires_validation(self):
+        model = Sequential([Dense(1)], input_shape=(3,), seed=0)
+        with pytest.raises(ValueError, match="early stopping"):
+            train(model, SGD(model.parameters(), lr=0.1), mse_loss,
+                  np.zeros((5, 3)), np.zeros((5, 1)), patience=2)
+
+
+class TestEvaluateLoss:
+    def test_batched_equals_whole(self):
+        x, y = _regression_problem(n=100)
+        model = Sequential([Dense(1)], input_shape=(3,), seed=7)
+        whole = evaluate_loss(model, mse_loss, x, y, batch_size=1000)
+        batched = evaluate_loss(model, mse_loss, x, y, batch_size=7)
+        assert whole == pytest.approx(batched)
+
+    def test_empty_rejected(self):
+        model = Sequential([Dense(1)], input_shape=(3,), seed=0)
+        with pytest.raises(ValueError, match="empty"):
+            evaluate_loss(model, mse_loss, np.zeros((0, 3)), np.zeros((0, 1)))
+
+
+class TestBinaryAccuracy:
+    def test_probability_inputs(self):
+        pred = np.array([0.9, 0.2, 0.6, 0.4])
+        target = np.array([1.0, 0.0, 0.0, 1.0])
+        assert binary_accuracy(pred, target) == 0.5
+
+    def test_logit_inputs(self):
+        pred = np.array([3.0, -2.0])
+        target = np.array([1.0, 0.0])
+        assert binary_accuracy(pred, target) == 1.0

@@ -1,0 +1,168 @@
+"""Unit tests for the perception stack (network, features, characterizer)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ReLU, Sequential
+from repro.perception.characterizer import (
+    Characterizer,
+    build_characterizer_network,
+    train_characterizer,
+)
+from repro.perception.features import extract_features
+from repro.perception.network import (
+    build_direct_perception_network,
+    build_mlp_perception_network,
+    default_cut_layer,
+)
+from repro.perception.train import train_direct_perception
+from repro.scenario.dataset import generate_dataset
+
+
+class TestNetworkBuilders:
+    def test_conv_network_shapes(self):
+        model = build_direct_perception_network((1, 32, 32), feature_width=16)
+        assert model.input_shape == (1, 32, 32)
+        assert model.output_shape == (2,)
+        x = np.random.default_rng(0).uniform(0, 1, size=(4, 1, 32, 32))
+        assert model.forward(x).shape == (4, 2)
+
+    def test_default_cut_layer_is_last_relu(self):
+        model = build_direct_perception_network(feature_width=16)
+        cut = default_cut_layer(model)
+        assert isinstance(model.layers[cut - 1], ReLU)
+        # suffix must be a single Dense: the affordance head
+        assert cut == model.num_layers - 1
+
+    def test_cut_layer_suffix_is_piecewise_linear(self):
+        model = build_direct_perception_network()
+        cut = default_cut_layer(model)
+        assert cut in model.piecewise_linear_cut_points()
+
+    def test_feature_width_respected(self):
+        model = build_direct_perception_network(feature_width=24)
+        cut = default_cut_layer(model)
+        assert model.feature_dim(cut) == 24
+
+    def test_feature_width_validation(self):
+        with pytest.raises(ValueError, match="feature_width"):
+            build_direct_perception_network(feature_width=1)
+
+    def test_mlp_variant(self):
+        model = build_mlp_perception_network(input_dim=6, hidden=(10,), feature_width=5)
+        assert model.input_shape == (6,)
+        assert model.output_shape == (2,)
+        cut = default_cut_layer(model)
+        assert model.feature_dim(cut) == 5
+
+    def test_no_relu_raises(self):
+        from repro.nn import Dense
+
+        model = Sequential([Dense(2)], input_shape=(3,), seed=0)
+        with pytest.raises(ValueError, match="no ReLU"):
+            default_cut_layer(model)
+
+
+class TestExtractFeatures:
+    def test_matches_prefix_apply(self, rng):
+        model = build_mlp_perception_network(input_dim=4, seed=1)
+        x = rng.normal(size=(20, 4))
+        cut = default_cut_layer(model)
+        np.testing.assert_array_equal(
+            extract_features(model, x, cut), model.prefix_apply(x, cut)
+        )
+
+    def test_batching_invariant(self, rng):
+        model = build_mlp_perception_network(input_dim=4, seed=2)
+        x = rng.normal(size=(23, 4))
+        a = extract_features(model, x, 2, batch_size=5)
+        b = extract_features(model, x, 2, batch_size=100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch_size_validated(self, rng):
+        model = build_mlp_perception_network(input_dim=4)
+        with pytest.raises(ValueError, match="batch_size"):
+            extract_features(model, rng.normal(size=(5, 4)), 2, batch_size=0)
+
+
+class TestTrainDirectPerception:
+    def test_training_reduces_error(self):
+        train_data = generate_dataset(150, seed=1)
+        val_data = generate_dataset(50, seed=2)
+        model = build_direct_perception_network(feature_width=8, seed=3)
+        result = train_direct_perception(
+            model, train_data, val_data, epochs=10, patience=None, seed=0
+        )
+        assert result.history.train_loss[-1] < result.history.train_loss[0]
+        assert result.val_mae.shape == (2,)
+        assert "val_mae" in result.summary()
+
+
+class TestCharacterizer:
+    def _separable_features(self, rng, n=200, d=6):
+        """Features where label = [x0 > 0] is linearly separable."""
+        features = rng.normal(size=(n, d))
+        labels = (features[:, 0] > 0).astype(float)
+        return features, labels
+
+    def test_perfect_training_on_separable_data(self, rng):
+        features, labels = self._separable_features(rng)
+        characterizer, history = train_characterizer(
+            "synthetic", 3, features, labels, features, labels,
+            epochs=300, seed=0,
+        )
+        assert characterizer.train_accuracy == 1.0
+        assert characterizer.is_perfect_on_training
+        assert characterizer.val_accuracy == 1.0
+        assert len(history.train_loss) <= 300
+
+    def test_early_exit_on_target_accuracy(self, rng):
+        features, labels = self._separable_features(rng)
+        _, history = train_characterizer(
+            "synthetic", 3, features, labels, features, labels,
+            epochs=500, target_train_accuracy=0.9, seed=0,
+        )
+        assert len(history.train_loss) < 500
+
+    def test_decide_matches_logit_threshold(self, rng):
+        features, labels = self._separable_features(rng, n=100)
+        characterizer, _ = train_characterizer(
+            "synthetic", 3, features, labels, features, labels, epochs=50, seed=1
+        )
+        logits = characterizer.logits(features)
+        np.testing.assert_array_equal(characterizer.decide(features), logits >= 0.0)
+
+    def test_piecewise_linear_lowering_matches(self, rng):
+        features, labels = self._separable_features(rng, n=80)
+        characterizer, _ = train_characterizer(
+            "synthetic", 3, features, labels, features, labels, epochs=30, seed=2
+        )
+        pl = characterizer.as_piecewise_linear()
+        np.testing.assert_allclose(
+            pl.apply(features)[:, 0],
+            characterizer.logits(features),
+            atol=1e-10,
+        )
+
+    def test_unlearnable_labels_stay_near_chance(self, rng):
+        """Random labels on random features: accuracy ~ coin flip on val."""
+        features = rng.normal(size=(300, 6))
+        labels = (rng.random(300) > 0.5).astype(float)
+        val_features = rng.normal(size=(300, 6))
+        val_labels = (rng.random(300) > 0.5).astype(float)
+        characterizer, _ = train_characterizer(
+            "noise", 3, features, labels, val_features, val_labels,
+            epochs=60, seed=3,
+        )
+        assert characterizer.val_accuracy < 0.65  # information-free property
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError, match="mismatch"):
+            train_characterizer(
+                "x", 1, rng.normal(size=(10, 3)), np.zeros(5),
+                rng.normal(size=(5, 3)), np.zeros(5),
+            )
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError, match="feature_dim"):
+            build_characterizer_network(0)

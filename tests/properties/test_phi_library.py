@@ -1,0 +1,84 @@
+"""Unit tests for input properties and the canonical specification library."""
+
+import numpy as np
+import pytest
+
+from repro.properties.library import (
+    STEER_FAR_LEFT,
+    STEER_FAR_RIGHT,
+    STEER_STRAIGHT,
+    canonical_specifications,
+    orientation_hard_left,
+    steer_far_left,
+)
+from repro.properties.phi import InputProperty
+
+
+class TestInputProperty:
+    def test_from_registry(self):
+        prop = InputProperty.from_registry("bends_right")
+        assert prop.name == "bends_right"
+        assert prop.description
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown property"):
+            InputProperty.from_registry("nonsense")
+
+    def test_labels_over_dataset(self, small_dataset):
+        prop = InputProperty.from_registry("bends_left")
+        labels = prop.labels(small_dataset)
+        assert labels.shape == (len(small_dataset),)
+        np.testing.assert_array_equal(
+            labels, small_dataset.property_labels("bends_left")
+        )
+
+    def test_str(self):
+        assert str(InputProperty.from_registry("is_foggy")) == "phi[is_foggy]"
+
+
+class TestCanonicalRisks:
+    def test_far_left_triggers_on_left_waypoint(self):
+        assert STEER_FAR_LEFT.satisfied(np.array([2.0, 0.0]))
+        assert not STEER_FAR_LEFT.satisfied(np.array([0.0, 0.0]))
+
+    def test_far_right_triggers_on_right_waypoint(self):
+        assert STEER_FAR_RIGHT.satisfied(np.array([-2.0, 0.0]))
+        assert not STEER_FAR_RIGHT.satisfied(np.array([0.0, 0.0]))
+
+    def test_straight_band(self):
+        assert STEER_STRAIGHT.satisfied(np.array([0.0, 0.0]))
+        assert STEER_STRAIGHT.satisfied(np.array([0.25, 0.0]))
+        assert not STEER_STRAIGHT.satisfied(np.array([0.5, 0.0]))
+
+    def test_custom_threshold(self):
+        risk = steer_far_left(threshold=3.0)
+        assert not risk.satisfied(np.array([2.0, 0.0]))
+        assert risk.satisfied(np.array([3.5, 0.0]))
+
+    def test_orientation_risk(self):
+        risk = orientation_hard_left(0.2)
+        assert risk.satisfied(np.array([0.0, 0.3]))
+        assert not risk.satisfied(np.array([0.0, 0.1]))
+
+    def test_far_left_and_far_right_disjoint(self):
+        rng = np.random.default_rng(0)
+        y = rng.uniform(-3, 3, size=(200, 2))
+        both = STEER_FAR_LEFT.satisfied(y) & STEER_FAR_RIGHT.satisfied(y)
+        assert not both.any()
+
+
+class TestCanonicalSpecifications:
+    def test_structure(self):
+        specs = canonical_specifications()
+        assert len(specs) == 3
+        names = [(phi.name, psi.name) for phi, psi, _ in specs]
+        assert ("bends_right", "steer_far_left") in names
+        assert ("bends_right", "steer_straight") in names
+
+    def test_expected_provability_flags(self):
+        specs = {
+            (phi.name, psi.name): expected
+            for phi, psi, expected in canonical_specifications()
+        }
+        assert specs[("bends_right", "steer_far_left")] is True
+        assert specs[("bends_right", "steer_straight")] is False

@@ -1,0 +1,117 @@
+"""Unit tests for affordances and property oracles."""
+
+import numpy as np
+import pytest
+
+from repro.scenario.affordances import affordance_names, affordances, steering_proxy
+from repro.scenario.dataset import SceneConfig, sample_scene
+from repro.scenario.geometry import RoadGeometry
+from repro.scenario.labels import (
+    ORACLES,
+    STRONG_BEND_CURVATURE,
+    adjacent_traffic,
+    bends_left,
+    bends_right,
+    is_foggy,
+    is_straight,
+)
+
+
+class TestAffordances:
+    def test_names_order(self):
+        assert affordance_names() == ["waypoint_lateral", "orientation"]
+
+    def test_straight_road_zero(self):
+        out = affordances(RoadGeometry())
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+    def test_right_bend_negative_waypoint(self):
+        out = affordances(RoadGeometry(kappa0=-6e-3))
+        assert out[0] < 0.0 and out[1] < 0.0
+
+    def test_matches_geometry_at_lookahead(self):
+        road = RoadGeometry(kappa0=3e-3, y0=0.2, psi0=0.01)
+        out = affordances(road, lookahead=25.0)
+        assert out[0] == pytest.approx(float(road.centerline_offset(25.0)))
+        assert out[1] == pytest.approx(float(road.heading(25.0)))
+
+    def test_rejects_bad_lookahead(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            affordances(RoadGeometry(), lookahead=0.0)
+
+    def test_steering_proxy_sign(self):
+        assert steering_proxy(np.array([2.0, 0.1])) > 0.0
+        assert steering_proxy(np.array([-2.0, -0.1])) < 0.0
+        with pytest.raises(ValueError, match="2 entries"):
+            steering_proxy(np.array([1.0, 2.0, 3.0]))
+
+
+def _scene_with(kappa0=0.0, seed=0, **config_kwargs):
+    config = SceneConfig(**config_kwargs)
+    scene = sample_scene(np.random.default_rng(seed), config)
+    road = RoadGeometry(
+        kappa0=kappa0,
+        kappa_rate=0.0,
+        y0=scene.road.y0,
+        psi0=scene.road.psi0,
+        lane_width=scene.road.lane_width,
+        num_lanes=scene.road.num_lanes,
+        ego_lane=scene.road.ego_lane,
+    )
+    return type(scene)(
+        road=road,
+        weather=scene.weather,
+        vehicles=scene.vehicles,
+        texture_seed=scene.texture_seed,
+    )
+
+
+class TestBendOracles:
+    def test_strong_right_bend(self):
+        scene = _scene_with(kappa0=-2 * STRONG_BEND_CURVATURE)
+        assert bends_right(scene)
+        assert not bends_left(scene)
+        assert not is_straight(scene)
+
+    def test_strong_left_bend(self):
+        scene = _scene_with(kappa0=2 * STRONG_BEND_CURVATURE)
+        assert bends_left(scene)
+        assert not bends_right(scene)
+
+    def test_straight(self):
+        scene = _scene_with(kappa0=0.0)
+        assert is_straight(scene)
+        assert not bends_left(scene) and not bends_right(scene)
+
+    def test_mutually_exclusive_and_exhaustive(self):
+        rng = np.random.default_rng(7)
+        config = SceneConfig()
+        for _ in range(50):
+            scene = sample_scene(rng, config)
+            votes = sum([bends_left(scene), bends_right(scene), is_straight(scene)])
+            assert votes == 1
+
+
+class TestOtherOracles:
+    def test_foggy_oracle(self):
+        rng = np.random.default_rng(3)
+        config = SceneConfig()
+        scenes = [sample_scene(rng, config) for _ in range(100)]
+        labels = [is_foggy(s) for s in scenes]
+        for scene, label in zip(scenes, labels):
+            assert label == (scene.weather.fog_density > 0.0)
+        assert any(labels) and not all(labels)
+
+    def test_adjacent_traffic_consistent(self):
+        rng = np.random.default_rng(4)
+        config = SceneConfig(traffic_probability=1.0)
+        scenes = [sample_scene(rng, config) for _ in range(50)]
+        assert any(adjacent_traffic(s) for s in scenes)
+
+    def test_registry_complete(self):
+        assert set(ORACLES) == {
+            "bends_right", "bends_left", "is_straight", "adjacent_traffic", "is_foggy",
+        }
+        for name, oracle in ORACLES.items():
+            assert oracle.name == name
+            assert oracle.description

@@ -1,0 +1,87 @@
+"""Unit tests for the pinhole camera and inverse perspective mapping."""
+
+import numpy as np
+import pytest
+
+from repro.scenario.camera import PinholeCamera
+
+
+class TestProjection:
+    def test_point_ahead_on_axis_at_camera_height(self):
+        cam = PinholeCamera()
+        rows, cols, visible = cam.project(np.array([[10.0, 0.0, cam.height]]))
+        assert visible[0]
+        assert cols[0] == pytest.approx(cam.cx)
+        assert rows[0] == pytest.approx(cam.cy)
+
+    def test_left_points_project_left(self):
+        cam = PinholeCamera()
+        _, cols, _ = cam.project(np.array([[10.0, 2.0, 0.0], [10.0, -2.0, 0.0]]))
+        assert cols[0] < cam.cx < cols[1]
+
+    def test_ground_points_below_horizon(self):
+        cam = PinholeCamera()
+        rows, _, _ = cam.project(np.array([[5.0, 0.0, 0.0], [50.0, 0.0, 0.0]]))
+        assert rows[0] > rows[1] > cam.cy  # nearer ground point is lower
+
+    def test_behind_camera_invisible(self):
+        cam = PinholeCamera()
+        _, _, visible = cam.project(np.array([[-1.0, 0.0, 0.0]]))
+        assert not visible[0]
+
+    def test_rejects_bad_trailing_dim(self):
+        cam = PinholeCamera()
+        with pytest.raises(ValueError, match="trailing dim"):
+            cam.project(np.zeros((3, 2)))
+
+
+class TestInversePerspective:
+    def test_roundtrip_ground_projection(self):
+        """IPM then forward projection must land on the same pixel."""
+        cam = PinholeCamera(width=24, height_px=24)
+        gx, gy, below = cam.ground_grid()
+        rows, cols = np.nonzero(below)
+        points = np.stack(
+            [gx[rows, cols], gy[rows, cols], np.zeros(rows.size)], axis=1
+        )
+        proj_rows, proj_cols, visible = cam.project(points)
+        assert visible.all()
+        np.testing.assert_allclose(proj_rows, rows, atol=1e-9)
+        np.testing.assert_allclose(proj_cols, cols, atol=1e-9)
+
+    def test_above_horizon_masked(self):
+        cam = PinholeCamera(width=16, height_px=16)
+        _, _, below = cam.ground_grid()
+        horizon_row = int(np.ceil(cam.cy))
+        assert not below[: horizon_row, :].any()
+
+    def test_distance_increases_toward_horizon(self):
+        cam = PinholeCamera()
+        gx, _, below = cam.ground_grid()
+        col = cam.width // 2
+        rows = np.nonzero(below[:, col])[0]
+        distances = gx[rows, col]
+        assert np.all(np.diff(distances) < 0)  # lower rows are closer
+
+    def test_max_distance_cutoff(self):
+        cam = PinholeCamera()
+        gx, _, below = cam.ground_grid(max_distance=30.0)
+        assert gx[below].max() <= 30.0
+
+
+class TestValidation:
+    def test_rejects_small_image(self):
+        with pytest.raises(ValueError, match="too small"):
+            PinholeCamera(width=2, height_px=2)
+
+    def test_rejects_bad_focal(self):
+        with pytest.raises(ValueError, match="focal"):
+            PinholeCamera(focal=0.0)
+
+    def test_rejects_bad_height(self):
+        with pytest.raises(ValueError, match="height"):
+            PinholeCamera(height=-1.0)
+
+    def test_custom_horizon_row(self):
+        cam = PinholeCamera(horizon_row=5.0)
+        assert cam.cy == 5.0

@@ -1,0 +1,63 @@
+"""Unit tests for the drive simulator."""
+
+import numpy as np
+import pytest
+
+from repro.scenario.dataset import SceneConfig
+from repro.scenario.drive import DriveConfig, simulate_drive
+from repro.scenario.weather import Weather
+
+
+class TestSimulateDrive:
+    def test_shapes(self):
+        ds = simulate_drive(DriveConfig(num_frames=20), seed=1)
+        assert ds.images.shape == (20, 1, 32, 32)
+        assert ds.affordances.shape == (20, 2)
+        assert len(ds.params) == 20
+
+    def test_reproducible(self):
+        a = simulate_drive(DriveConfig(num_frames=8), seed=5)
+        b = simulate_drive(DriveConfig(num_frames=8), seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_temporal_smoothness(self):
+        """Consecutive frames are much closer than random scene pairs."""
+        ds = simulate_drive(DriveConfig(num_frames=40, curvature_drift=1e-4), seed=2)
+        kappas = np.array([p.road.kappa0 for p in ds.params])
+        step = np.abs(np.diff(kappas)).mean()
+        spread = kappas.std()
+        assert step < max(spread, 1e-6)
+
+    def test_stays_inside_odd_envelope(self):
+        config = SceneConfig()
+        ds = simulate_drive(DriveConfig(num_frames=50), config, seed=3)
+        for p in ds.params:
+            assert abs(p.road.kappa0) <= config.max_curvature + 1e-12
+            assert abs(p.road.y0) <= config.max_lane_offset + 1e-12
+
+    def test_ego_lane_constant_within_drive(self):
+        ds = simulate_drive(DriveConfig(num_frames=30), seed=4)
+        lanes = {p.road.ego_lane for p in ds.params}
+        assert len(lanes) == 1
+
+    def test_odd_exit_switches_weather(self):
+        night = Weather(brightness=0.35)
+        config = DriveConfig(num_frames=20, odd_exit_frame=10, odd_exit_weather=night)
+        ds = simulate_drive(config, seed=6)
+        assert ds.params[5].weather == Weather.clear()
+        assert ds.params[15].weather == night
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_frames"):
+            DriveConfig(num_frames=0)
+        with pytest.raises(ValueError, match="frame_distance"):
+            DriveConfig(frame_distance=0.0)
+
+    def test_affordances_match_geometry(self):
+        from repro.scenario.affordances import affordances
+
+        ds = simulate_drive(DriveConfig(num_frames=5), seed=7)
+        for i, p in enumerate(ds.params):
+            np.testing.assert_allclose(
+                ds.affordances[i], affordances(p.road, ds.config.lookahead)
+            )

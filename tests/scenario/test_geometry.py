@@ -1,0 +1,111 @@
+"""Unit and property tests for road geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenario.geometry import RoadGeometry
+
+curvatures = st.floats(-0.01, 0.01)
+rates = st.floats(-1e-4, 1e-4)
+
+
+class TestCurveFunctions:
+    def test_straight_road_is_flat(self):
+        road = RoadGeometry()
+        x = np.linspace(0, 100, 11)
+        np.testing.assert_array_equal(road.centerline_offset(x), 0.0)
+        np.testing.assert_array_equal(road.heading(x), 0.0)
+
+    def test_left_bend_has_positive_offset(self):
+        road = RoadGeometry(kappa0=5e-3)
+        assert road.centerline_offset(50.0) > 0.0
+        assert road.heading(50.0) > 0.0
+
+    def test_right_bend_has_negative_offset(self):
+        road = RoadGeometry(kappa0=-5e-3)
+        assert road.centerline_offset(50.0) < 0.0
+
+    def test_initial_conditions(self):
+        road = RoadGeometry(kappa0=1e-3, y0=0.4, psi0=0.02)
+        assert road.centerline_offset(0.0) == pytest.approx(0.4)
+        assert road.heading(0.0) == pytest.approx(0.02)
+        assert road.curvature(0.0) == pytest.approx(1e-3)
+
+    @given(curvatures, rates)
+    @settings(max_examples=50, deadline=None)
+    def test_heading_is_curvature_integral(self, kappa, rate):
+        road = RoadGeometry(kappa0=kappa, kappa_rate=rate)
+        # d(heading)/dx == curvature (central difference)
+        x = 30.0
+        h = 1e-4
+        derivative = (road.heading(x + h) - road.heading(x - h)) / (2 * h)
+        assert derivative == pytest.approx(float(road.curvature(x)), abs=1e-8)
+
+    @given(curvatures, rates)
+    @settings(max_examples=50, deadline=None)
+    def test_offset_slope_is_heading(self, kappa, rate):
+        road = RoadGeometry(kappa0=kappa, kappa_rate=rate, psi0=0.01)
+        x = 25.0
+        h = 1e-4
+        slope = (road.centerline_offset(x + h) - road.centerline_offset(x - h)) / (2 * h)
+        assert slope == pytest.approx(float(road.heading(x)), abs=1e-8)
+
+
+class TestLaneStructure:
+    def test_lane_centers_spaced_by_width(self):
+        road = RoadGeometry(num_lanes=3, ego_lane=1, lane_width=3.5)
+        x = 10.0
+        c0 = road.lane_center_offset(x, 0)
+        c1 = road.lane_center_offset(x, 1)
+        c2 = road.lane_center_offset(x, 2)
+        assert c1 - c0 == pytest.approx(3.5)
+        assert c2 - c1 == pytest.approx(3.5)
+        assert c1 == pytest.approx(float(road.centerline_offset(x)))
+
+    def test_boundaries_count(self):
+        road = RoadGeometry(num_lanes=3)
+        assert len(road.boundary_offsets(0.0)) == 4
+
+    def test_on_road_inside_and_outside(self):
+        road = RoadGeometry(num_lanes=2, ego_lane=0, lane_width=3.6)
+        x = np.array([10.0, 10.0, 10.0])
+        y = np.array([0.0, 5.0, -3.0])  # lane center, left lane, off-road right
+        mask = road.on_road(x, y)
+        assert mask.tolist() == [True, True, False]
+
+    def test_road_half_span(self):
+        road = RoadGeometry(num_lanes=3, lane_width=4.0)
+        assert road.road_half_span == 6.0
+
+    def test_invalid_lane_queries(self):
+        road = RoadGeometry(num_lanes=2)
+        with pytest.raises(ValueError, match="lane"):
+            road.lane_center_offset(0.0, 5)
+
+
+class TestBendDirection:
+    def test_signs(self):
+        assert RoadGeometry(kappa0=6e-3).bend_direction(20.0) == 1
+        assert RoadGeometry(kappa0=-6e-3).bend_direction(20.0) == -1
+        assert RoadGeometry(kappa0=0.0).bend_direction(20.0) == 0
+
+    def test_rate_affects_window_average(self):
+        # starts straight but curves hard within the window
+        road = RoadGeometry(kappa0=0.0, kappa_rate=5e-4)
+        assert road.bend_direction(40.0, threshold=1e-3) == 1
+
+
+class TestValidation:
+    def test_rejects_bad_lane_width(self):
+        with pytest.raises(ValueError, match="lane_width"):
+            RoadGeometry(lane_width=0.0)
+
+    def test_rejects_bad_num_lanes(self):
+        with pytest.raises(ValueError, match="num_lanes"):
+            RoadGeometry(num_lanes=0)
+
+    def test_rejects_ego_lane_out_of_range(self):
+        with pytest.raises(ValueError, match="ego_lane"):
+            RoadGeometry(num_lanes=2, ego_lane=2)

@@ -1,0 +1,137 @@
+"""Unit tests for weather effects and traffic placement."""
+
+import numpy as np
+import pytest
+
+from repro.scenario.geometry import RoadGeometry
+from repro.scenario.traffic import (
+    Vehicle,
+    adjacent_traffic_present,
+    lead_vehicle_distance,
+    sample_vehicles,
+)
+from repro.scenario.weather import Weather
+
+
+class TestWeather:
+    def test_clear_noop_except_clip(self):
+        weather = Weather.clear()
+        image = np.random.default_rng(0).uniform(0.1, 0.9, size=(8, 8))
+        out = weather.apply(image, None, np.random.default_rng(1))
+        np.testing.assert_allclose(out, image)
+
+    def test_brightness_scales(self):
+        weather = Weather(brightness=0.5)
+        image = np.full((4, 4), 0.8)
+        out = weather.apply(image, None, np.random.default_rng(0))
+        np.testing.assert_allclose(out, 0.4)
+
+    def test_contrast_pivots_at_half(self):
+        weather = Weather(contrast=2.0)
+        image = np.array([[0.5, 0.6]])
+        out = weather.apply(image, None, np.random.default_rng(0))
+        np.testing.assert_allclose(out, [[0.5, 0.7]])
+
+    def test_fog_pulls_distant_pixels_to_gray(self):
+        weather = Weather(fog_density=0.1, fog_gray=0.75)
+        image = np.array([[0.2, 0.2]])
+        distance = np.array([[1.0, 100.0]])
+        out = weather.apply(image, distance, np.random.default_rng(0))
+        assert abs(out[0, 1] - 0.75) < 0.01  # fully fogged
+        assert out[0, 0] < 0.3  # nearly untouched
+
+    def test_fog_requires_distance(self):
+        weather = Weather(fog_density=0.1)
+        with pytest.raises(ValueError, match="distance"):
+            weather.apply(np.zeros((2, 2)), None, np.random.default_rng(0))
+
+    def test_fog_handles_sky_infinite_distance(self):
+        weather = Weather(fog_density=0.05)
+        image = np.array([[0.9]])
+        out = weather.apply(image, np.array([[np.inf]]), np.random.default_rng(0))
+        assert np.isfinite(out).all()
+
+    def test_noise_bounded_output(self):
+        weather = Weather(noise_sigma=0.5)
+        image = np.full((16, 16), 0.5)
+        out = weather.apply(image, None, np.random.default_rng(0))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert out.std() > 0.0
+
+    def test_sample_within_bounds(self):
+        for seed in range(20):
+            weather = Weather.sample(np.random.default_rng(seed))
+            assert 0.8 <= weather.brightness <= 1.2
+            assert weather.fog_density >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Weather(brightness=0.0)
+        with pytest.raises(ValueError):
+            Weather(fog_density=-0.1)
+        with pytest.raises(ValueError):
+            Weather(fog_gray=2.0)
+        with pytest.raises(ValueError):
+            Weather(noise_sigma=-1.0)
+
+
+class TestVehicle:
+    def test_lateral_center_follows_lane(self):
+        road = RoadGeometry(num_lanes=2, ego_lane=0, lane_width=3.6)
+        vehicle = Vehicle(distance=20.0, lane=1)
+        expected = float(road.centerline_offset(20.0)) + 3.6
+        assert vehicle.lateral_center(road) == pytest.approx(expected)
+
+    def test_adjacency(self):
+        road = RoadGeometry(num_lanes=3, ego_lane=0)
+        assert Vehicle(10.0, lane=1).is_adjacent(road)
+        assert not Vehicle(10.0, lane=2).is_adjacent(road)
+        assert not Vehicle(10.0, lane=0).is_adjacent(road)
+        assert Vehicle(10.0, lane=0).is_in_ego_lane(road)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Vehicle(distance=0.0, lane=0)
+        with pytest.raises(ValueError):
+            Vehicle(distance=5.0, lane=0, width=-1.0)
+        with pytest.raises(ValueError):
+            Vehicle(distance=5.0, lane=0, shade=1.5)
+
+
+class TestTrafficOracles:
+    def test_adjacent_traffic_present(self):
+        road = RoadGeometry(num_lanes=2, ego_lane=0)
+        assert adjacent_traffic_present(road, [Vehicle(20.0, lane=1)], 60.0)
+        assert not adjacent_traffic_present(road, [Vehicle(80.0, lane=1)], 60.0)
+        assert not adjacent_traffic_present(road, [], 60.0)
+
+    def test_lead_vehicle_distance(self):
+        road = RoadGeometry(num_lanes=2, ego_lane=0)
+        vehicles = [Vehicle(30.0, lane=0), Vehicle(15.0, lane=1), Vehicle(50.0, lane=0)]
+        assert lead_vehicle_distance(road, vehicles) == 30.0
+        assert lead_vehicle_distance(road, []) == np.inf
+
+
+class TestSampleVehicles:
+    def test_never_in_ego_lane(self):
+        road = RoadGeometry(num_lanes=3, ego_lane=1)
+        for seed in range(30):
+            for v in sample_vehicles(np.random.default_rng(seed), road, presence_prob=1.0):
+                assert v.lane != road.ego_lane
+
+    def test_single_lane_road_no_traffic(self):
+        road = RoadGeometry(num_lanes=1, ego_lane=0)
+        assert sample_vehicles(np.random.default_rng(0), road, presence_prob=1.0) == ()
+
+    def test_presence_probability_zero(self):
+        road = RoadGeometry(num_lanes=2)
+        assert sample_vehicles(np.random.default_rng(0), road, presence_prob=0.0) == ()
+
+    def test_sorted_far_to_near(self):
+        road = RoadGeometry(num_lanes=2)
+        for seed in range(20):
+            vehicles = sample_vehicles(
+                np.random.default_rng(seed), road, presence_prob=1.0, max_vehicles=3
+            )
+            distances = [v.distance for v in vehicles]
+            assert distances == sorted(distances, reverse=True)

@@ -1,0 +1,118 @@
+"""Unit tests for S~ construction from data (Section II.B.b)."""
+
+import numpy as np
+import pytest
+
+from repro.verification.assume_guarantee import (
+    box_from_data,
+    box_with_diffs_from_data,
+    coverage,
+    feature_set_from_data,
+    octagon_from_data,
+)
+from repro.verification.sets import Box, BoxWithDiffs, Polyhedron
+
+
+@pytest.fixture
+def features(rng):
+    return rng.normal(size=(100, 5))
+
+
+class TestBoxFromData:
+    def test_figure1_example(self):
+        """The paper's Figure 1: visited {0, 0.1, -0.1, ..., 0.6} -> [-0.1, 0.6]."""
+        visited = np.array([[0.0], [0.1], [-0.1], [0.3], [0.6]])
+        box = box_from_data(visited)
+        assert box.lower[0] == pytest.approx(-0.1)
+        assert box.upper[0] == pytest.approx(0.6)
+
+    def test_tight_hull(self, features):
+        box = box_from_data(features)
+        np.testing.assert_array_equal(box.lower, features.min(axis=0))
+        np.testing.assert_array_equal(box.upper, features.max(axis=0))
+
+    def test_margin_widens(self, features):
+        tight = box_from_data(features)
+        wide = box_from_data(features, margin=0.5)
+        np.testing.assert_allclose(wide.lower, tight.lower - 0.5)
+
+    def test_all_data_covered(self, features):
+        assert coverage(box_from_data(features), features) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            box_from_data(np.zeros((0, 3)))
+        with pytest.raises(ValueError, match="non-finite"):
+            box_from_data(np.array([[np.nan, 1.0]]))
+        with pytest.raises(ValueError, match="\\(N, d\\)"):
+            box_from_data(np.zeros(5))
+
+
+class TestBoxWithDiffsFromData:
+    def test_diff_bounds_tight(self, features):
+        s = box_with_diffs_from_data(features)
+        diffs = np.diff(features, axis=1)
+        np.testing.assert_array_equal(s.diff_lower, diffs.min(axis=0))
+        np.testing.assert_array_equal(s.diff_upper, diffs.max(axis=0))
+
+    def test_strictly_tighter_than_box(self, rng):
+        """Correlated features: diff constraints cut box volume."""
+        base = rng.normal(size=(200, 1))
+        features = np.hstack([base, base + rng.normal(0, 0.01, size=(200, 1))])
+        s = box_with_diffs_from_data(features)
+        box = box_from_data(features)
+        probe = box.sample(rng, 2000)
+        assert s.contains(probe).sum() < box.contains(probe).sum()
+
+    def test_covers_training_data(self, features):
+        assert coverage(box_with_diffs_from_data(features), features) == 1.0
+
+    def test_needs_two_features(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            box_with_diffs_from_data(np.zeros((5, 1)))
+
+
+class TestOctagonFromData:
+    def test_covers_training_data(self, features):
+        assert coverage(octagon_from_data(features), features) == 1.0
+
+    def test_tighter_than_box_with_diffs(self, rng):
+        base = rng.normal(size=(100, 1))
+        features = np.hstack(
+            [base, rng.normal(size=(100, 1)), base + rng.normal(0, 0.01, (100, 1))]
+        )
+        oct_set = octagon_from_data(features)
+        diff_set = box_with_diffs_from_data(features)
+        probe = oct_set.box.sample(rng, 3000)
+        assert oct_set.contains(probe).sum() <= diff_set.contains(probe).sum()
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls", [("box", Box), ("box+diff", BoxWithDiffs), ("box+pairs", Polyhedron)]
+    )
+    def test_kinds(self, features, kind, cls):
+        assert isinstance(feature_set_from_data(features, kind=kind), cls)
+
+    def test_unknown_kind(self, features):
+        with pytest.raises(ValueError, match="unknown set kind"):
+            feature_set_from_data(features, kind="ball")
+
+    def test_negative_margin(self, features):
+        with pytest.raises(ValueError, match="margin"):
+            feature_set_from_data(features, margin=-0.1)
+
+
+class TestCoverage:
+    def test_heldout_coverage_below_one(self, rng):
+        train = rng.normal(size=(50, 4))
+        heldout = rng.normal(size=(2000, 4))
+        c = coverage(box_from_data(train), heldout)
+        assert 0.0 < c < 1.0
+
+    def test_margin_improves_heldout_coverage(self, rng):
+        train = rng.normal(size=(50, 4))
+        heldout = rng.normal(size=(2000, 4))
+        tight = coverage(box_from_data(train), heldout)
+        wide = coverage(box_from_data(train, margin=1.0), heldout)
+        assert wide > tight

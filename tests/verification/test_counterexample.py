@@ -1,0 +1,108 @@
+"""Unit tests for witness decoding and FGSM falsification."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.properties.risk import RiskCondition, output_geq
+from repro.verification.assume_guarantee import box_from_data
+from repro.verification.counterexample import (
+    FeatureCounterexample,
+    decode_witness,
+    fgsm_falsify,
+)
+from repro.verification.milp.encoder import encode_verification_problem
+from repro.verification.solver import BranchAndBoundSolver
+
+
+@pytest.fixture
+def sat_instance(rng):
+    model = Sequential([Dense(6), ReLU(), Dense(2)], input_shape=(4,), seed=21)
+    net = model.full_network()
+    features = rng.normal(size=(60, 4))
+    sbox = box_from_data(features)
+    outputs = net.apply(features)
+    risk = RiskCondition(
+        "reach", (output_geq(2, 0, float(np.median(outputs[:, 0]))),)
+    )
+    problem = encode_verification_problem(net, sbox, risk)
+    result = BranchAndBoundSolver().solve(problem.model)
+    assert result.is_sat
+    return model, problem, result, risk
+
+
+class TestDecodeWitness:
+    def test_replay_succeeds(self, sat_instance):
+        model, problem, result, risk = sat_instance
+        cx = decode_witness(problem, result.witness, model, 0, risk)
+        assert isinstance(cx, FeatureCounterexample)
+        assert cx.risk_occurs
+        assert cx.risk_margin >= -1e-6
+        np.testing.assert_allclose(
+            model.suffix_apply(cx.features[None], 0)[0], cx.predicted_output
+        )
+
+    def test_corrupted_witness_detected(self, sat_instance):
+        model, problem, result, risk = sat_instance
+        bad = result.witness.copy()
+        bad[problem.output_vars[0]] += 5.0
+        with pytest.raises(ValueError, match="does not replay"):
+            decode_witness(problem, bad, model, 0, risk)
+
+    def test_characterizer_logit_decoded(self, rng):
+        model = Sequential([Dense(4), ReLU(), Dense(2)], input_shape=(3,), seed=2)
+        net = model.full_network()
+        sbox = box_from_data(rng.normal(size=(40, 3)))
+        char = Sequential([Dense(3), ReLU(), Dense(1)], input_shape=(3,), seed=3)
+        risk = RiskCondition("any", (output_geq(2, 0, -1e6),))
+        problem = encode_verification_problem(
+            net, sbox, risk, char.full_network()
+        )
+        result = BranchAndBoundSolver().solve(problem.model)
+        if result.is_sat:
+            cx = decode_witness(problem, result.witness, model, 0, risk)
+            assert cx.characterizer_logit is not None
+            assert cx.characterizer_logit >= -1e-9
+            # decoded logit equals the real characterizer evaluation
+            real_logit = char.forward(cx.features[None])[0, 0]
+            assert cx.characterizer_logit == pytest.approx(real_logit, abs=1e-5)
+
+
+class TestFgsmFalsify:
+    def _steerable_model(self):
+        """Model whose output y0 is the mean pixel: easy to push around."""
+        model = Sequential([Dense(2)], input_shape=(9,), seed=0)
+        model.layers[0].weight.value[...] = np.concatenate(
+            [np.full((9, 1), 1.0 / 9), np.zeros((9, 1))], axis=1
+        )
+        model.layers[0].bias.value[...] = 0.0
+        return model
+
+    def test_finds_reachable_risk(self):
+        model = self._steerable_model()
+        seed = np.full((1, 9), 0.5)
+        risk = RiskCondition("bright", (output_geq(2, 0, 0.52),))
+        cx = fgsm_falsify(model, risk, seed, epsilon=0.1, steps=10)
+        assert cx is not None
+        assert cx.risk_occurs
+        # perturbation stayed in the epsilon ball and pixel range
+        assert np.all(np.abs(cx.image - seed[0]) <= 0.1 + 1e-12)
+        assert cx.image.min() >= 0.0 and cx.image.max() <= 1.0
+
+    def test_returns_none_when_unreachable(self):
+        model = self._steerable_model()
+        seed = np.full((1, 9), 0.5)
+        risk = RiskCondition("impossible", (output_geq(2, 0, 10.0),))
+        assert fgsm_falsify(model, risk, seed, epsilon=0.05, steps=5) is None
+
+    def test_single_seed_auto_batched(self):
+        model = self._steerable_model()
+        risk = RiskCondition("bright", (output_geq(2, 0, 0.51),))
+        cx = fgsm_falsify(model, risk, np.full(9, 0.5), epsilon=0.1, steps=10)
+        assert cx is not None
+
+    def test_validation(self):
+        model = self._steerable_model()
+        risk = RiskCondition("any", (output_geq(2, 0, 0.0),))
+        with pytest.raises(ValueError, match="positive"):
+            fgsm_falsify(model, risk, np.zeros((1, 9)), epsilon=0.0)

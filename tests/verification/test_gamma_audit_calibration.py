@@ -1,0 +1,137 @@
+"""Tests for the footnote-4 audit and characterizer threshold calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perception.characterizer import calibrate_threshold, train_characterizer
+from repro.properties.risk import RiskCondition, output_geq
+from repro.verification.statistical import audit_gamma_cell
+
+
+def _risk():
+    return RiskCondition("r", (output_geq(2, 0, 1.0),))
+
+
+class TestAuditGammaCell:
+    def test_all_safe(self):
+        outputs = np.array([[0.0, 0.0], [0.5, 0.0], [2.0, 0.0]])
+        h = np.array([0, 0, 1])
+        phi = np.array([1, 1, 1])
+        audit = audit_gamma_cell(outputs, h, phi, _risk())
+        assert audit.holds
+        assert audit.total_gamma_samples == 2
+        assert "holds" in audit.summary()
+
+    def test_unsafe_gamma_sample_flagged(self):
+        outputs = np.array([[0.0, 0.0], [2.0, 0.0]])  # second satisfies risk
+        h = np.array([0, 0])
+        phi = np.array([1, 1])
+        audit = audit_gamma_cell(outputs, h, phi, _risk())
+        assert not audit.holds
+        assert audit.unsafe_indices == (1,)
+        assert "VIOLATED" in audit.summary()
+
+    def test_risky_but_accepted_is_fine(self):
+        """h = 1 samples are covered by the proof, not the audit."""
+        outputs = np.array([[2.0, 0.0]])
+        audit = audit_gamma_cell(outputs, np.array([1]), np.array([1]), _risk())
+        assert audit.holds
+        assert audit.total_gamma_samples == 0
+
+    def test_empty_gamma_cell(self):
+        outputs = np.array([[2.0, 0.0], [0.0, 0.0]])
+        h = np.array([1, 0])
+        phi = np.array([1, 0])
+        audit = audit_gamma_cell(outputs, h, phi, _risk())
+        assert audit.holds and audit.total_gamma_samples == 0
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            audit_gamma_cell(np.zeros((2, 2)), np.zeros(3), np.zeros(3), _risk())
+
+    def test_on_real_system(self, verified_system):
+        """The audit runs on the trained system's validation data."""
+        sys_ = verified_system
+        characterizer = sys_.characterizers["bends_right"]
+        outputs = sys_.model.forward(sys_.val_data.images)
+        audit = audit_gamma_cell(
+            outputs,
+            characterizer.decide(sys_.val_features),
+            sys_.val_data.property_labels("bends_right"),
+            _risk(),
+        )
+        assert audit.total_gamma_samples >= 0  # runs end to end
+
+
+class TestCalibrateThreshold:
+    @pytest.fixture
+    def trained(self, rng):
+        features = rng.normal(size=(300, 5))
+        labels = (features[:, 0] + 0.3 * rng.normal(size=300) > 0).astype(float)
+        characterizer, _ = train_characterizer(
+            "p", 3, features, labels, features, labels, epochs=30, seed=0
+        )
+        return characterizer, features, labels
+
+    @staticmethod
+    def _gamma(characterizer, features, labels):
+        decisions = characterizer.logits(features) >= characterizer.threshold
+        labels = labels.astype(bool)
+        return float(np.sum(~decisions & labels)) / labels.shape[0]
+
+    def test_calibration_meets_target(self, trained):
+        characterizer, features, labels = trained
+        before = self._gamma(characterizer, features, labels)
+        target = before / 2 if before > 0 else 0.0
+        calibrated = calibrate_threshold(characterizer, features, labels, target)
+        after = self._gamma(calibrated, features, labels)
+        assert after <= target + 1e-12
+
+    def test_zero_gamma_achievable(self, trained):
+        characterizer, features, labels = trained
+        calibrated = calibrate_threshold(characterizer, features, labels, 0.0)
+        assert self._gamma(calibrated, features, labels) == 0.0
+
+    def test_noop_when_already_satisfied(self, trained):
+        characterizer, features, labels = trained
+        before = self._gamma(characterizer, features, labels)
+        calibrated = calibrate_threshold(
+            characterizer, features, labels, max(before, 0.0) + 0.1
+        )
+        assert calibrated.threshold == characterizer.threshold
+
+    def test_lower_threshold_raises_beta_not_gamma(self, trained):
+        """Calibration only moves rejects to accepts (monotone trade)."""
+        characterizer, features, labels = trained
+        calibrated = calibrate_threshold(characterizer, features, labels, 0.0)
+        assert calibrated.threshold <= characterizer.threshold
+        old_accepts = characterizer.logits(features) >= characterizer.threshold
+        new_accepts = calibrated.logits(features) >= calibrated.threshold
+        assert np.all(new_accepts | ~old_accepts)  # accepts only grow
+
+    def test_validation(self, trained):
+        characterizer, features, labels = trained
+        with pytest.raises(ValueError, match="target_gamma"):
+            calibrate_threshold(characterizer, features, labels, 1.0)
+        with pytest.raises(ValueError, match="mismatch"):
+            calibrate_threshold(characterizer, features, labels[:-5], 0.1)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_calibrated_gamma_never_exceeds_target(self, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(60, 4))
+        labels = rng.random(60) > 0.5
+        if not labels.any():
+            labels[0] = True
+        characterizer, _ = train_characterizer(
+            "x", 2, features, labels.astype(float), features, labels.astype(float),
+            epochs=3, seed=seed % 17,
+        )
+        target = float(rng.uniform(0.0, 0.3))
+        calibrated = calibrate_threshold(characterizer, features, labels, target)
+        decisions = calibrated.logits(features) >= calibrated.threshold
+        gamma = float(np.sum(~decisions & labels)) / labels.shape[0]
+        assert gamma <= target + 1e-12

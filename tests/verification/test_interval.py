@@ -1,0 +1,103 @@
+"""Unit and property tests for the interval domain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.nn.graph import AffineOp, LeakyReLUOp, MaxGroupOp, ReLUOp
+from repro.verification.abstraction.interval import (
+    affine_bounds,
+    leaky_relu_bounds,
+    max_group_bounds,
+    op_output_bounds,
+    propagate_box,
+    relu_bounds,
+    transform,
+)
+from repro.verification.sets import Box
+
+
+class TestOpTransformers:
+    def test_affine_exact_on_point_box(self):
+        op = AffineOp(np.array([[2.0, -1.0]]), np.array([0.5]))
+        point = Box(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        out = affine_bounds(op, point)
+        assert out.lower[0] == out.upper[0] == pytest.approx(0.5)
+
+    def test_affine_width_scales_with_abs_weights(self):
+        op = AffineOp(np.array([[1.0, -3.0]]), np.zeros(1))
+        box = Box(np.array([-1.0, -1.0]), np.array([1.0, 1.0]))
+        out = affine_bounds(op, box)
+        assert out.lower[0] == -4.0 and out.upper[0] == 4.0
+
+    def test_relu_clamps(self):
+        box = Box(np.array([-2.0, 1.0, -3.0]), np.array([-1.0, 2.0, 3.0]))
+        out = relu_bounds(box)
+        np.testing.assert_array_equal(out.lower, [0.0, 1.0, 0.0])
+        np.testing.assert_array_equal(out.upper, [0.0, 2.0, 3.0])
+
+    def test_leaky_relu_monotone(self):
+        op = LeakyReLUOp(2, alpha=0.1)
+        box = Box(np.array([-10.0, -1.0]), np.array([10.0, -0.5]))
+        out = leaky_relu_bounds(op, box)
+        np.testing.assert_allclose(out.lower, [-1.0, -0.1])
+        np.testing.assert_allclose(out.upper, [10.0, -0.05])
+
+    def test_max_group(self):
+        op = MaxGroupOp(4, [np.array([0, 1]), np.array([2, 3])])
+        box = Box(np.array([0.0, 1.0, -5.0, -4.0]), np.array([2.0, 3.0, -1.0, 0.0]))
+        out = max_group_bounds(op, box)
+        np.testing.assert_array_equal(out.lower, [1.0, -4.0])
+        np.testing.assert_array_equal(out.upper, [3.0, 0.0])
+
+    def test_transform_checks_dim(self):
+        with pytest.raises(ValueError, match="does not match"):
+            transform(ReLUOp(3), Box(np.zeros(2), np.ones(2)))
+
+
+class TestPropagateSoundness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_inside_propagated_box(self, seed):
+        """Soundness: f(x) in propagate(box) for all sampled x in box."""
+        rng = np.random.default_rng(seed)
+        model = Sequential(
+            [Dense(7), ReLU(), Dense(5), ReLU(), Dense(3)],
+            input_shape=(4,),
+            seed=seed % 97,
+        )
+        net = model.full_network()
+        box = Box(-rng.uniform(0.1, 2, 4), rng.uniform(0.1, 2, 4))
+        out_box = propagate_box(net, box)
+        samples = box.sample(rng, 500)
+        outputs = net.apply(samples)
+        assert np.all(outputs >= out_box.lower[None, :] - 1e-9)
+        assert np.all(outputs <= out_box.upper[None, :] + 1e-9)
+
+    def test_point_box_is_exact(self):
+        model = Sequential([Dense(5), ReLU(), Dense(2)], input_shape=(3,), seed=1)
+        net = model.full_network()
+        x = np.array([0.3, -0.7, 1.1])
+        box = Box(x, x)
+        out = propagate_box(net, box)
+        expected = net.apply(x)
+        np.testing.assert_allclose(out.lower, expected, atol=1e-12)
+        np.testing.assert_allclose(out.upper, expected, atol=1e-12)
+
+
+class TestOpOutputBounds:
+    def test_chained_boxes_consistent(self):
+        model = Sequential([Dense(6), ReLU(), Dense(2)], input_shape=(3,), seed=2)
+        net = model.full_network()
+        box = Box(-np.ones(3), np.ones(3))
+        pairs = op_output_bounds(net, box)
+        assert len(pairs) == len(net.ops)
+        # output of op i is input of op i+1
+        for (_, out_a), (in_b, _) in zip(pairs, pairs[1:]):
+            np.testing.assert_array_equal(out_a.lower, in_b.lower)
+            np.testing.assert_array_equal(out_a.upper, in_b.upper)
+        # final box equals propagate_box
+        final = propagate_box(net, box)
+        np.testing.assert_array_equal(pairs[-1][1].lower, final.lower)

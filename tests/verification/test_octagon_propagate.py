@@ -1,0 +1,147 @@
+"""Unit tests for octagon-difference bounds and input-box propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+from repro.verification.abstraction.octagon import (
+    adjacent_difference_bounds,
+    box_with_diffs_from_box,
+    box_with_diffs_from_zonotope,
+)
+from repro.verification.abstraction.propagate import propagate_input_box
+from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
+from repro.verification.sets import Box
+
+
+class TestAdjacentDifferenceBounds:
+    def test_shared_generators_tighten(self):
+        # x0 and x1 move together: difference is exactly 1
+        z = Zonotope(np.array([0.0, 1.0]), np.array([[3.0, 3.0]]))
+        dlo, dhi = adjacent_difference_bounds(z)
+        assert dlo[0] == pytest.approx(1.0)
+        assert dhi[0] == pytest.approx(1.0)
+
+    def test_independent_generators_add(self):
+        z = Zonotope(np.zeros(2), np.array([[1.0, 0.0], [0.0, 1.0]]))
+        dlo, dhi = adjacent_difference_bounds(z)
+        assert dlo[0] == -2.0 and dhi[0] == 2.0
+
+    def test_sound_against_samples(self):
+        rng = np.random.default_rng(0)
+        z = Zonotope(rng.normal(size=4), rng.normal(size=(6, 4)))
+        dlo, dhi = adjacent_difference_bounds(z)
+        diffs = np.diff(z.sample(rng, 500), axis=1)
+        assert np.all(diffs >= dlo[None, :] - 1e-9)
+        assert np.all(diffs <= dhi[None, :] + 1e-9)
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            adjacent_difference_bounds(Zonotope(np.zeros(1), np.zeros((0, 1))))
+
+
+class TestBoxWithDiffsConstructors:
+    def test_from_zonotope_tighter_than_from_box(self):
+        z = Zonotope(np.zeros(3), np.array([[1.0, 1.0, 1.0]]))
+        from_z = box_with_diffs_from_zonotope(z)
+        from_b = box_with_diffs_from_box(z.to_box())
+        assert np.all(from_z.diff_upper <= from_b.diff_upper + 1e-12)
+        assert np.all(from_z.diff_lower >= from_b.diff_lower - 1e-12)
+
+    def test_from_box_diffs_are_interval_arithmetic(self):
+        box = Box(np.array([0.0, 2.0]), np.array([1.0, 5.0]))
+        s = box_with_diffs_from_box(box)
+        assert s.diff_lower[0] == 1.0  # 2 - 1
+        assert s.diff_upper[0] == 5.0  # 5 - 0
+
+
+class TestPropagateInputBox:
+    def _convnet(self):
+        return Sequential(
+            [
+                Conv2D(3, 3, stride=2, padding=1),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(8),
+                BatchNorm(),
+                ReLU(),
+                Dense(2),
+            ],
+            input_shape=(1, 8, 8),
+            seed=13,
+        )
+
+    def test_soundness_through_conv_stack(self):
+        model = self._convnet()
+        # prime BatchNorm statistics
+        rng = np.random.default_rng(1)
+        model.forward(rng.uniform(0, 1, size=(32, 1, 8, 8)), training=True)
+        cut = 7
+        box = propagate_input_box(model, 0.0, 1.0, cut)
+        images = rng.uniform(0, 1, size=(300, 1, 8, 8))
+        features = model.prefix_apply(images, cut)
+        assert np.all(features >= box.lower[None, :] - 1e-9)
+        assert np.all(features <= box.upper[None, :] + 1e-9)
+
+    def test_point_input_is_exact(self):
+        model = self._convnet()
+        rng = np.random.default_rng(2)
+        model.forward(rng.uniform(0, 1, size=(32, 1, 8, 8)), training=True)
+        x = rng.uniform(0, 1, size=(1, 8, 8))
+        box = propagate_input_box(model, x, x, model.num_layers)
+        expected = model.forward(x[None])[0]
+        np.testing.assert_allclose(box.lower, expected, atol=1e-10)
+        np.testing.assert_allclose(box.upper, expected, atol=1e-10)
+
+    def test_sigmoid_and_dropout_supported(self):
+        model = Sequential(
+            [Dense(5), Sigmoid(), Dropout(0.5), Dense(2)], input_shape=(3,), seed=3
+        )
+        box = propagate_input_box(model, -1.0, 1.0, model.num_layers)
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-1, 1, size=(200, 3))
+        out = model.forward(x)
+        assert np.all(out >= box.lower[None, :] - 1e-9)
+        assert np.all(out <= box.upper[None, :] + 1e-9)
+
+    def test_wider_input_gives_wider_features(self):
+        model = self._convnet()
+        rng = np.random.default_rng(5)
+        model.forward(rng.uniform(0, 1, size=(32, 1, 8, 8)), training=True)
+        narrow = propagate_input_box(model, 0.4, 0.6, 5)
+        wide = propagate_input_box(model, 0.0, 1.0, 5)
+        assert np.all(wide.lower <= narrow.lower + 1e-12)
+        assert np.all(wide.upper >= narrow.upper - 1e-12)
+
+    def test_invalid_input_box(self):
+        model = self._convnet()
+        with pytest.raises(ValueError, match="lower > upper"):
+            propagate_input_box(model, 1.0, 0.0, 2)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_zonotope_prefix_matches_interval_soundness(self, seed):
+        """Zonotope propagation through dense prefixes is also sound."""
+        rng = np.random.default_rng(seed)
+        model = Sequential(
+            [Dense(6), ReLU(), Dense(4)], input_shape=(3,), seed=seed % 71
+        )
+        net = model.full_network()
+        box = Box(-np.ones(3), np.ones(3))
+        hull = propagate_zonotope(net, box).to_box()
+        out = net.apply(box.sample(rng, 200))
+        assert np.all(out >= hull.lower[None, :] - 1e-9)
+        assert np.all(out <= hull.upper[None, :] + 1e-9)

@@ -1,0 +1,167 @@
+"""Unit tests for layer-wise incremental abstraction refinement."""
+
+import numpy as np
+import pytest
+
+from repro.perception.features import extract_features
+from repro.perception.network import build_mlp_perception_network
+from repro.properties.risk import RiskCondition, output_geq
+from repro.verification.abstraction.interval import propagate_box
+from repro.verification.assume_guarantee import feature_set_from_data
+from repro.verification.refinement import (
+    encode_chained_problem,
+    verify_with_refinement,
+    witness_realizable,
+)
+from repro.verification.sets import Box
+from repro.verification.solver import BranchAndBoundSolver
+
+
+@pytest.fixture
+def system(rng):
+    model = build_mlp_perception_network(
+        input_dim=6, hidden=(12, 12), feature_width=6, seed=8
+    )
+    images = rng.uniform(0, 1, size=(250, 6))
+    return model, images
+
+
+def _envelopes(model, images, cut_layers, kind="box+diff"):
+    out = {}
+    for layer in cut_layers:
+        feats = extract_features(model, images, layer)
+        out[layer] = feature_set_from_data(
+            feats, kind=kind if feats.shape[1] >= 2 else "box"
+        )
+    return out
+
+
+def _chained_max_y0(model, images, cut_layers):
+    """Exact max of output 0 under the chained envelopes."""
+    envelopes = _envelopes(model, images, cut_layers)
+    risk = RiskCondition("any", (output_geq(2, 0, -1e9),))
+    problem = encode_chained_problem(model, cut_layers, envelopes, risk)
+    problem.model.set_objective({problem.output_vars[0]: -1.0})
+    result = BranchAndBoundSolver().minimize(problem.model)
+    assert result.is_sat
+    return -result.objective
+
+
+def _unreachable_risk(model, images):
+    cut = model.num_layers - 1
+    features = model.prefix_apply(images, cut)
+    fs = feature_set_from_data(features, kind="box")
+    hull = propagate_box(model.suffix_network(cut), Box(*fs.bounds()))
+    return RiskCondition("never", (output_geq(2, 0, float(hull.upper[0]) + 1.0),))
+
+
+def _reachable_risk(model, images):
+    outputs = model.forward(images)
+    return RiskCondition(
+        "often", (output_geq(2, 0, float(np.median(outputs[:, 0]))),)
+    )
+
+
+class TestChainedEncoding:
+    def test_chaining_monotonically_tightens(self, system):
+        """Each added envelope can only shrink the reachable outputs."""
+        model, images = system
+        cuts = [l for l in model.piecewise_linear_cut_points() if 0 < l < model.num_layers]
+        latest = cuts[-1]
+        maxima = [
+            _chained_max_y0(model, images, cuts[-k:]) for k in range(1, len(cuts) + 1)
+        ]
+        for coarse, fine in zip(maxima, maxima[1:]):
+            assert fine <= coarse + 1e-6
+
+    def test_chained_witness_satisfies_all_envelopes(self, system):
+        model, images = system
+        cuts = [l for l in model.piecewise_linear_cut_points() if 0 < l < model.num_layers]
+        active = cuts[-2:]
+        envelopes = _envelopes(model, images, active)
+        risk = _reachable_risk(model, images)
+        problem = encode_chained_problem(model, active, envelopes, risk)
+        result = BranchAndBoundSolver().solve(problem.model)
+        assert result.is_sat
+        late_features = problem.decode_input(result.witness)
+        assert envelopes[active[-1]].contains(late_features[None], tol=1e-6)[0]
+
+    def test_validation(self, system):
+        model, images = system
+        with pytest.raises(ValueError, match="at least one"):
+            encode_chained_problem(model, [], {}, _reachable_risk(model, images))
+        with pytest.raises(KeyError, match="envelope"):
+            encode_chained_problem(
+                model, [2], {}, _reachable_risk(model, images)
+            )
+
+
+class TestVerifyWithRefinement:
+    def test_proved_at_baseline_stops_immediately(self, system):
+        model, images = system
+        result = verify_with_refinement(model, images, _unreachable_risk(model, images))
+        assert result.proved
+        assert len(result.steps) == 1
+        assert result.counterexample is None
+        assert "PROVED" in result.summary()
+
+    def test_reachable_risk_gives_counterexample(self, system):
+        model, images = system
+        result = verify_with_refinement(model, images, _reachable_risk(model, images))
+        assert not result.proved
+        assert result.counterexample is not None
+        assert result.steps[-1].status.value == "sat"
+
+    def test_refinement_proves_what_baseline_cannot(self, system):
+        """Thresholds between chained and baseline frontiers need refinement."""
+        model, images = system
+        cuts = [l for l in model.piecewise_linear_cut_points() if 0 < l < model.num_layers]
+        baseline = _chained_max_y0(model, images, cuts[-1:])
+        refined = _chained_max_y0(model, images, cuts[-2:])
+        if not refined < baseline - 0.05:
+            pytest.skip("no refinement gap on this seed")
+        threshold = 0.5 * (refined + baseline)
+        risk = RiskCondition("between", (output_geq(2, 0, threshold),))
+        result = verify_with_refinement(
+            model, images, risk, cut_layers=cuts[-2:]
+        )
+        assert result.proved
+        assert result.refinements_used >= 1
+        assert result.steps[0].witness_realizable is False
+
+    def test_validation(self, system):
+        model, images = system
+        with pytest.raises(ValueError, match="no piecewise-linear"):
+            verify_with_refinement(
+                model, images, _reachable_risk(model, images), cut_layers=[]
+            )
+
+
+class TestWitnessRealizable:
+    def test_true_witness_is_realizable(self, system):
+        model, images = system
+        cuts = model.piecewise_linear_cut_points()
+        at_layer, from_layer = cuts[-2], cuts[-4]
+        from_set = feature_set_from_data(
+            model.prefix_apply(images, from_layer), kind="box+diff"
+        )
+        witness = model.prefix_apply(images[:1], at_layer)[0]
+        assert witness_realizable(model, witness, at_layer, from_layer, from_set)
+
+    def test_fabricated_witness_is_spurious(self, system):
+        model, images = system
+        cuts = model.piecewise_linear_cut_points()
+        at_layer, from_layer = cuts[-2], cuts[-4]
+        from_set = feature_set_from_data(
+            model.prefix_apply(images, from_layer), kind="box+diff"
+        )
+        witness = np.full(model.feature_dim(at_layer), 1e4)
+        assert not witness_realizable(model, witness, at_layer, from_layer, from_set)
+
+    def test_layer_order_validated(self, system):
+        model, images = system
+        from_set = feature_set_from_data(model.prefix_apply(images, 2), kind="box")
+        with pytest.raises(ValueError, match="from_layer"):
+            witness_realizable(
+                model, np.zeros(2), at_layer=2, from_layer=2, from_set=from_set
+            )

@@ -1,0 +1,86 @@
+"""Unit tests for the local-robustness baseline."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.verification.robustness import (
+    maximal_robust_radius,
+    robustness_tells_nothing_about_phi,
+    verify_local_robustness,
+)
+
+
+@pytest.fixture
+def suffix(rng):
+    model = Sequential([Dense(6), ReLU(), Dense(2)], input_shape=(4,), seed=31)
+    return model.full_network()
+
+
+class TestVerifyLocalRobustness:
+    def test_tiny_ball_is_robust(self, suffix, rng):
+        features = rng.normal(size=4)
+        result = verify_local_robustness(suffix, features, epsilon=1e-4, delta=0.5)
+        assert result.robust
+        assert result.worst_deviation < 0.5
+        np.testing.assert_allclose(result.nominal_output, suffix.apply(features))
+
+    def test_huge_ball_is_not_robust(self, suffix, rng):
+        features = rng.normal(size=4)
+        result = verify_local_robustness(suffix, features, epsilon=50.0, delta=0.1)
+        assert not result.robust
+        assert result.violating_output_index is not None
+
+    def test_ranges_bracket_samples(self, suffix, rng):
+        features = rng.normal(size=4)
+        epsilon = 0.3
+        result = verify_local_robustness(suffix, features, epsilon, delta=100.0)
+        samples = features[None, :] + rng.uniform(-epsilon, epsilon, size=(300, 4))
+        outputs = suffix.apply(samples)
+        for index, reach in enumerate(result.output_ranges):
+            assert outputs[:, index].min() >= reach.lower - 1e-6
+            assert outputs[:, index].max() <= reach.upper + 1e-6
+
+    def test_validation(self, suffix):
+        with pytest.raises(ValueError, match="positive"):
+            verify_local_robustness(suffix, np.zeros(4), epsilon=0.0, delta=1.0)
+        with pytest.raises(ValueError, match="dimension"):
+            verify_local_robustness(suffix, np.zeros(7), epsilon=0.1, delta=1.0)
+
+
+class TestMaximalRobustRadius:
+    def test_radius_is_monotone_certificate(self, suffix, rng):
+        features = rng.normal(size=4)
+        radius = maximal_robust_radius(suffix, features, delta=0.5, epsilon_max=5.0)
+        assert radius > 0.0
+        if radius < 5.0:
+            # at the certified radius: robust; just above: not
+            assert verify_local_robustness(suffix, features, radius, 0.5).robust
+            assert not verify_local_robustness(
+                suffix, features, radius + 0.05, 0.5
+            ).robust
+
+    def test_cap_at_epsilon_max(self, suffix, rng):
+        features = rng.normal(size=4)
+        radius = maximal_robust_radius(
+            suffix, features, delta=1e6, epsilon_max=1.0
+        )
+        assert radius == 1.0
+
+
+class TestOrthogonalityToPhi:
+    def test_rates_computed_for_both_groups(self, suffix, rng):
+        accepted = rng.normal(size=(5, 4))
+        rejected = rng.normal(size=(5, 4))
+        rates = robustness_tells_nothing_about_phi(
+            suffix, accepted, rejected, epsilon=0.05, delta=5.0
+        )
+        assert set(rates) == {"accepted", "rejected"}
+        for rate in rates.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_empty_group_rejected(self, suffix):
+        with pytest.raises(ValueError, match="non-empty"):
+            robustness_tells_nothing_about_phi(
+                suffix, np.zeros((0, 4)), np.zeros((2, 4)), 0.1, 1.0
+            )

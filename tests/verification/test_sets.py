@@ -1,0 +1,132 @@
+"""Unit and property tests for feature-set abstractions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.verification.sets import Box, BoxWithDiffs, Polyhedron
+
+
+class TestBox:
+    def test_contains(self):
+        box = Box(np.array([0.0, -1.0]), np.array([1.0, 1.0]))
+        points = np.array([[0.5, 0.0], [1.5, 0.0], [0.5, -2.0]])
+        assert box.contains(points).tolist() == [True, False, False]
+
+    def test_contains_single_point(self):
+        box = Box(np.zeros(2), np.ones(2))
+        assert box.contains_point(np.array([0.5, 0.5]))
+
+    def test_boundary_with_tolerance(self):
+        box = Box(np.zeros(1), np.ones(1))
+        assert box.contains(np.array([[1.0 + 1e-12]]))[0]
+        assert not box.contains(np.array([[1.1]]))[0]
+
+    def test_widened(self):
+        box = Box(np.zeros(2), np.ones(2)).widened(0.5)
+        assert box.contains_point(np.array([-0.4, 1.4]))
+        with pytest.raises(ValueError, match="margin"):
+            box.widened(-1.0)
+
+    def test_center_radius(self):
+        box = Box(np.array([0.0]), np.array([4.0]))
+        assert box.center()[0] == 2.0 and box.radius()[0] == 2.0
+
+    def test_intersect(self):
+        a = Box(np.array([0.0]), np.array([2.0]))
+        b = Box(np.array([1.0]), np.array([3.0]))
+        c = a.intersect(b)
+        assert c.lower[0] == 1.0 and c.upper[0] == 2.0
+        with pytest.raises(ValueError, match="lower > upper"):
+            a.intersect(Box(np.array([5.0]), np.array([6.0])))
+
+    def test_sample_inside(self):
+        box = Box(np.array([-1.0, 2.0]), np.array([1.0, 3.0]))
+        samples = box.sample(np.random.default_rng(0), 100)
+        assert box.contains(samples).all()
+
+    def test_volume_log(self):
+        box = Box(np.zeros(2), np.array([2.0, 3.0]))
+        assert box.volume_log() == pytest.approx(np.log(6.0))
+        degenerate = Box(np.zeros(1), np.zeros(1))
+        assert degenerate.volume_log() == -np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lower > upper"):
+            Box(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(ValueError, match="1-D"):
+            Box(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_dim_mismatch_in_contains(self):
+        box = Box(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="dimension"):
+            box.contains(np.zeros((3, 5)))
+
+
+class TestBoxWithDiffs:
+    def _simple(self):
+        box = Box(np.array([0.0, 0.0, 0.0]), np.array([2.0, 2.0, 2.0]))
+        return BoxWithDiffs(box, np.array([-0.5, -0.5]), np.array([0.5, 0.5]))
+
+    def test_diff_constraint_excludes(self):
+        s = self._simple()
+        assert s.contains_point(np.array([1.0, 1.2, 1.0]))
+        # inside the box but adjacent difference too large
+        assert not s.contains_point(np.array([0.0, 2.0, 0.0]))
+
+    def test_linear_constraints_match_contains(self):
+        s = self._simple()
+        a, b = s.linear_constraints()
+        rng = np.random.default_rng(1)
+        points = rng.uniform(-0.5, 2.5, size=(300, 3))
+        from_constraints = (
+            np.all(points @ a.T <= b + 1e-9, axis=1)
+            & s.box.contains(points)
+        )
+        np.testing.assert_array_equal(from_constraints, s.contains(points))
+
+    def test_widened(self):
+        s = self._simple().widened(1.0)
+        assert s.contains_point(np.array([0.0, 1.5, 0.0]))
+
+    def test_validation(self):
+        box = Box(np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError, match="shape"):
+            BoxWithDiffs(box, np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError, match="diff_lower"):
+            BoxWithDiffs(box, np.array([1.0, 1.0]), np.array([0.0, 0.0]))
+
+    @given(
+        arrays(np.float64, (20, 4), elements=st.floats(-10, 10)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_data_always_inside_own_hull(self, data):
+        """Any dataset is contained in the set built from it."""
+        from repro.verification.assume_guarantee import box_with_diffs_from_data
+
+        s = box_with_diffs_from_data(data)
+        assert s.contains(data).all()
+
+
+class TestPolyhedron:
+    def test_halfspace_cut(self):
+        box = Box(np.zeros(2), np.ones(2))
+        # x0 + x1 <= 1
+        poly = Polyhedron(box, np.array([[1.0, 1.0]]), np.array([1.0]))
+        assert poly.contains_point(np.array([0.3, 0.3]))
+        assert not poly.contains_point(np.array([0.9, 0.9]))
+
+    def test_no_rows_equals_box(self):
+        box = Box(np.zeros(2), np.ones(2))
+        poly = Polyhedron(box, np.zeros((0, 2)), np.zeros(0))
+        points = np.random.default_rng(2).uniform(-0.5, 1.5, size=(50, 2))
+        np.testing.assert_array_equal(poly.contains(points), box.contains(points))
+
+    def test_validation(self):
+        box = Box(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="columns"):
+            Polyhedron(box, np.zeros((1, 3)), np.zeros(1))
+        with pytest.raises(ValueError, match="rhs"):
+            Polyhedron(box, np.zeros((2, 2)), np.zeros(1))

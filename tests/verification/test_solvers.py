@@ -1,0 +1,165 @@
+"""Unit tests for branch-and-bound and HiGHS backends, plus cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.properties.risk import RiskCondition, output_geq
+from repro.verification.assume_guarantee import box_from_data
+from repro.verification.milp.encoder import encode_verification_problem
+from repro.verification.milp.model import MILPModel
+from repro.verification.solver import (
+    BranchAndBoundSolver,
+    HighsSolver,
+    SolveStatus,
+    make_solver,
+)
+from repro.verification.solver.result import SolveResult
+
+
+def knapsack_model():
+    """max x0 + 2*x1 + 3*x2 s.t. x0 + x1 + x2 <= 2 (binary) => optimum 5."""
+    model = MILPModel()
+    items = [model.add_binary(f"item{i}") for i in range(3)]
+    model.add_leq({i: 1.0 for i in items}, 2.0)
+    model.set_objective({items[0]: -1.0, items[1]: -2.0, items[2]: -3.0})
+    return model, items
+
+
+def infeasible_model():
+    model = MILPModel()
+    x = model.add_continuous(0.0, 1.0)
+    model.add_leq({x: 1.0}, -1.0)  # x <= -1 contradicts x >= 0
+    return model
+
+
+class TestBranchAndBound:
+    def test_feasibility_simple(self):
+        model = MILPModel()
+        x = model.add_continuous(0.0, 5.0)
+        d = model.add_binary()
+        model.add_leq({x: 1.0, d: -5.0}, 0.0)
+        result = BranchAndBoundSolver().solve(model)
+        assert result.is_sat
+        assert model.check_solution(result.witness)
+
+    def test_infeasible(self):
+        result = BranchAndBoundSolver().solve(infeasible_model())
+        assert result.is_unsat
+
+    def test_optimization_knapsack(self):
+        model, items = knapsack_model()
+        result = BranchAndBoundSolver().minimize(model)
+        assert result.is_sat
+        assert result.objective == pytest.approx(-5.0)
+        assert result.stats["proved_optimal"]
+        np.testing.assert_allclose(result.witness[[items[1], items[2]]], 1.0)
+
+    def test_forced_binary_combination(self):
+        """Feasibility requiring a specific binary assignment."""
+        model = MILPModel()
+        d0 = model.add_binary()
+        d1 = model.add_binary()
+        model.add_eq({d0: 1.0, d1: 1.0}, 1.0)  # exactly one
+        model.add_leq({d0: -1.0}, -1.0)  # d0 >= 1
+        result = BranchAndBoundSolver().solve(model)
+        assert result.is_sat
+        assert result.witness[d0] == pytest.approx(1.0)
+        assert result.witness[d1] == pytest.approx(0.0)
+
+    def test_node_limit_gives_unknown(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            [Dense(14), ReLU(), Dense(14), ReLU(), Dense(2)], input_shape=(6,), seed=0
+        )
+        net = model.full_network()
+        sbox = box_from_data(rng.normal(size=(50, 6)) * 3)
+        risk = RiskCondition("hard", (output_geq(2, 0, 1e5),))
+        problem = encode_verification_problem(net, sbox, risk)
+        result = BranchAndBoundSolver(node_limit=2).solve(problem.model)
+        assert result.status in (SolveStatus.UNKNOWN, SolveStatus.UNSAT)
+
+    def test_pure_lp_no_binaries(self):
+        model = MILPModel()
+        x = model.add_continuous(1.0, 2.0)
+        model.set_objective({x: 1.0})
+        result = BranchAndBoundSolver().minimize(model)
+        assert result.is_sat and result.objective == pytest.approx(1.0)
+
+
+class TestHighs:
+    def test_feasibility_and_infeasibility(self):
+        model = MILPModel()
+        model.add_binary()
+        assert HighsSolver().solve(model).is_sat
+        assert HighsSolver().solve(infeasible_model()).is_unsat
+
+    def test_optimization_knapsack(self):
+        model, _ = knapsack_model()
+        result = HighsSolver().minimize(model)
+        assert result.objective == pytest.approx(-5.0)
+
+
+class TestSolverFactory:
+    def test_names(self):
+        assert isinstance(make_solver("branch-and-bound"), BranchAndBoundSolver)
+        assert isinstance(make_solver("bb"), BranchAndBoundSolver)
+        assert isinstance(make_solver("highs"), HighsSolver)
+        with pytest.raises(ValueError, match="unknown solver"):
+            make_solver("cplex")
+
+    def test_options_forwarded(self):
+        solver = make_solver("bb", node_limit=5)
+        assert solver.node_limit == 5
+
+
+class TestSolveResultInvariants:
+    def test_sat_requires_witness(self):
+        with pytest.raises(ValueError, match="witness"):
+            SolveResult(status=SolveStatus.SAT)
+
+    def test_unsat_forbids_witness(self):
+        with pytest.raises(ValueError, match="must not"):
+            SolveResult(status=SolveStatus.UNSAT, witness=np.zeros(2))
+
+
+class TestCrossValidation:
+    """Our branch-and-bound must agree with HiGHS on random instances."""
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_agree_on_random_verification_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        model = Sequential(
+            [Dense(5), ReLU(), Dense(4), ReLU(), Dense(2)],
+            input_shape=(3,),
+            seed=seed % 41,
+        )
+        net = model.full_network()
+        sbox = box_from_data(rng.normal(size=(30, 3)))
+        outputs = net.apply(sbox.sample(rng, 200))
+        # pick a threshold near the reachable frontier to get both outcomes
+        threshold = float(np.quantile(outputs[:, 0], 0.98)) + rng.uniform(-0.2, 0.4)
+        risk = RiskCondition("x", (output_geq(2, 0, threshold),))
+        problem = encode_verification_problem(net, sbox, risk)
+        ours = BranchAndBoundSolver().solve(problem.model)
+        reference = HighsSolver().solve(problem.model)
+        assert ours.status == reference.status
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=10, deadline=None)
+    def test_agree_on_optimization(self, seed):
+        rng = np.random.default_rng(seed)
+        model = Sequential(
+            [Dense(5), ReLU(), Dense(2)], input_shape=(3,), seed=seed % 37
+        )
+        net = model.full_network()
+        sbox = box_from_data(rng.normal(size=(30, 3)))
+        risk = RiskCondition("any", (output_geq(2, 0, -1e6),))
+        problem = encode_verification_problem(net, sbox, risk)
+        problem.model.set_objective({problem.output_vars[0]: -1.0})
+        ours = BranchAndBoundSolver().minimize(problem.model)
+        reference = HighsSolver().minimize(problem.model)
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-5)

@@ -1,0 +1,134 @@
+"""Unit and property tests for symbolic linear bound propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Dense, LeakyReLU, MaxPool2D, ReLU, Sequential
+from repro.nn import Conv2D, Flatten
+from repro.verification.abstraction.interval import propagate_box
+from repro.verification.abstraction.symbolic import (
+    SymbolicBounds,
+    propagate_symbolic,
+    transform,
+)
+from repro.nn.graph import AffineOp, ReLUOp
+from repro.verification.sets import Box
+
+
+class TestSymbolicBounds:
+    def test_identity_concretizes_to_box(self):
+        box = Box(np.array([-1.0, 2.0]), np.array([1.0, 3.0]))
+        bounds = SymbolicBounds.identity(box)
+        out = bounds.concretize()
+        np.testing.assert_allclose(out.lower, box.lower)
+        np.testing.assert_allclose(out.upper, box.upper)
+
+    def test_shape_validation(self):
+        box = Box(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="lower_a"):
+            SymbolicBounds(box, np.zeros((3, 5)), np.zeros(3), np.zeros((3, 2)), np.zeros(3))
+
+    def test_dim_mismatch_in_transform(self):
+        box = Box(np.zeros(2), np.ones(2))
+        bounds = SymbolicBounds.identity(box)
+        with pytest.raises(ValueError, match="dim"):
+            transform(bounds, ReLUOp(5))
+
+
+class TestExactness:
+    def test_affine_chain_is_exact(self):
+        """Symbolic propagation loses nothing on affine compositions
+        (interval arithmetic does)."""
+        model = Sequential([Dense(5), Dense(4), Dense(2)], input_shape=(3,), seed=3)
+        net = model.full_network()
+        box = Box(-np.ones(3), np.ones(3))
+        symbolic = propagate_symbolic(net, box)
+        corners = np.array(
+            [[a, b, c] for a in (-1, 1) for b in (-1, 1) for c in (-1, 1)],
+            dtype=float,
+        )
+        outputs = net.apply(corners)
+        np.testing.assert_allclose(symbolic.lower, outputs.min(axis=0), atol=1e-9)
+        np.testing.assert_allclose(symbolic.upper, outputs.max(axis=0), atol=1e-9)
+
+    def test_tighter_than_interval_on_affine_chain(self):
+        model = Sequential([Dense(6), Dense(6), Dense(2)], input_shape=(4,), seed=5)
+        net = model.full_network()
+        box = Box(-np.ones(4), np.ones(4))
+        symbolic = propagate_symbolic(net, box)
+        interval = propagate_box(net, box)
+        assert np.all(symbolic.lower >= interval.lower - 1e-9)
+        assert np.all(symbolic.upper <= interval.upper + 1e-9)
+        assert symbolic.upper[0] < interval.upper[0]  # strictly for deep chains
+
+    def test_point_box_exact_through_relu(self):
+        model = Sequential([Dense(5), ReLU(), Dense(2)], input_shape=(3,), seed=7)
+        net = model.full_network()
+        x = np.array([0.4, -0.2, 0.9])
+        out = propagate_symbolic(net, Box(x, x))
+        expected = net.apply(x)
+        np.testing.assert_allclose(out.lower, expected, atol=1e-9)
+        np.testing.assert_allclose(out.upper, expected, atol=1e-9)
+
+
+class TestSoundness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_relu_network_sound(self, seed):
+        rng = np.random.default_rng(seed)
+        model = Sequential(
+            [Dense(7), ReLU(), Dense(5), ReLU(), Dense(2)],
+            input_shape=(4,),
+            seed=seed % 59,
+        )
+        net = model.full_network()
+        box = Box(-rng.uniform(0.1, 2, 4), rng.uniform(0.1, 2, 4))
+        out = propagate_symbolic(net, box)
+        samples = net.apply(box.sample(rng, 400))
+        assert np.all(samples >= out.lower[None, :] - 1e-9)
+        assert np.all(samples <= out.upper[None, :] + 1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_leaky_relu_sound(self, seed):
+        rng = np.random.default_rng(seed)
+        model = Sequential(
+            [Dense(6), LeakyReLU(0.1), Dense(2)], input_shape=(3,), seed=seed % 43
+        )
+        net = model.full_network()
+        box = Box(-np.ones(3), np.ones(3))
+        out = propagate_symbolic(net, box)
+        samples = net.apply(box.sample(rng, 300))
+        assert np.all(samples >= out.lower[None, :] - 1e-9)
+        assert np.all(samples <= out.upper[None, :] + 1e-9)
+
+    def test_maxpool_network_sound(self):
+        model = Sequential(
+            [Conv2D(2, 3, padding=1), ReLU(), MaxPool2D(2), Flatten(), Dense(2)],
+            input_shape=(1, 4, 4),
+            seed=9,
+        )
+        net = model.full_network()
+        rng = np.random.default_rng(1)
+        box = Box(np.zeros(16), np.ones(16))
+        out = propagate_symbolic(net, box)
+        samples = net.apply(box.sample(rng, 300))
+        assert np.all(samples >= out.lower[None, :] - 1e-9)
+        assert np.all(samples <= out.upper[None, :] + 1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_never_looser_than_interval_on_relu_nets(self, seed):
+        """DeepPoly-style bounds refine interval bounds on this op set."""
+        rng = np.random.default_rng(seed)
+        model = Sequential(
+            [Dense(6), ReLU(), Dense(2)], input_shape=(3,), seed=seed % 29
+        )
+        net = model.full_network()
+        box = Box(-np.ones(3), np.ones(3))
+        symbolic = propagate_symbolic(net, box)
+        interval = propagate_box(net, box)
+        assert np.all(symbolic.lower >= interval.lower - 1e-9)
+        assert np.all(symbolic.upper <= interval.upper + 1e-9)
