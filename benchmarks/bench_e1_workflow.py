@@ -1,12 +1,17 @@
 """E1 (Figure 1): the end-to-end workflow.
 
-Benchmarks the full verification query — MILP encoding plus solving for
-the canonical conditionally-provable property — and, separately, the
-characterizer + suffix evaluation path that runs per camera frame.
+Benchmarks the full verification query — expressed as a declarative
+:class:`repro.api.VerificationQuery` — for the canonical
+conditionally-provable property, and, separately, the characterizer +
+suffix evaluation path that runs per camera frame.  The query benchmark
+runs on a warmed engine, so it measures the steady-state (cached
+encoding) cost a campaign pays per query; ``bench_campaign.py`` measures
+the cold path.
 """
 
 import pytest
 
+from repro.api import VerificationQuery
 from repro.core.verdict import Verdict
 from repro.properties.library import steer_far_left
 
@@ -14,12 +19,12 @@ from repro.properties.library import steer_far_left
 @pytest.mark.benchmark(group="e1-workflow")
 def test_e1_conditional_proof_query(benchmark, system, provable_threshold):
     """One full Definition-1 query (encode + solve, UNSAT proof)."""
-    risk = steer_far_left(provable_threshold)
-
-    verdict = benchmark(
-        lambda: system.verifier.verify(risk, property_name="bends_right")
+    query = VerificationQuery(
+        risk=steer_far_left(provable_threshold), property_name="bends_right"
     )
-    assert verdict.verdict is Verdict.CONDITIONALLY_SAFE
+
+    result = benchmark(lambda: system.verifier.engine.run_query(query))
+    assert result.verdict.verdict is Verdict.CONDITIONALLY_SAFE
 
 
 @pytest.mark.benchmark(group="e1-workflow")

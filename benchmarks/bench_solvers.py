@@ -8,7 +8,9 @@ proof) and E4 (SAT search) instances through
 - HiGHS branch-and-cut (production MILP),
 - our Planet-style phase-splitting search (refs [5]/[8] lineage),
 
-checking agreement and comparing cost profiles.
+checking agreement and comparing cost profiles.  Backends are resolved
+through the :func:`repro.verification.solver.make_solver` registry, the
+same dispatch path the :mod:`repro.api` engine uses.
 """
 
 import pytest
@@ -16,8 +18,7 @@ import pytest
 from repro.properties.library import STEER_STRAIGHT, steer_far_left
 from repro.verification.milp.encoder import encode_verification_problem
 from repro.verification.milp.relaxed import encode_relaxed_problem
-from repro.verification.solver import BranchAndBoundSolver, HighsSolver
-from repro.verification.solver.case_split import PhaseSplitSolver
+from repro.verification.solver import make_solver
 
 
 @pytest.fixture(scope="module")
@@ -43,7 +44,7 @@ def instances(system, provable_threshold):
 @pytest.mark.benchmark(group="solvers-bb")
 def test_solver_branch_and_bound(benchmark, instances, instance):
     milp, _, expect_sat = instances[instance]
-    result = benchmark(lambda: BranchAndBoundSolver().solve(milp.model))
+    result = benchmark(lambda: make_solver("branch-and-bound").solve(milp.model))
     assert result.is_sat == expect_sat
 
 
@@ -51,7 +52,7 @@ def test_solver_branch_and_bound(benchmark, instances, instance):
 @pytest.mark.benchmark(group="solvers-highs")
 def test_solver_highs(benchmark, instances, instance):
     milp, _, expect_sat = instances[instance]
-    result = benchmark(lambda: HighsSolver().solve(milp.model))
+    result = benchmark(lambda: make_solver("highs").solve(milp.model))
     assert result.is_sat == expect_sat
 
 
@@ -59,5 +60,5 @@ def test_solver_highs(benchmark, instances, instance):
 @pytest.mark.benchmark(group="solvers-phase-split")
 def test_solver_phase_split(benchmark, instances, instance):
     _, relaxed, expect_sat = instances[instance]
-    result = benchmark(lambda: PhaseSplitSolver().solve(relaxed))
+    result = benchmark(lambda: make_solver("phase-split").solve(relaxed))
     assert result.is_sat == expect_sat

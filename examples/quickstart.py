@@ -1,8 +1,8 @@
-"""Quickstart: the Figure 1 workflow in ~40 lines.
+"""Quickstart: the Figure 1 workflow on the declarative query API.
 
 Builds a synthetic highway ODD, trains a direct-perception network and a
 "road bends right" characterizer, then asks the two questions from the
-paper's evaluation:
+paper's evaluation as one two-query :class:`repro.api.Campaign`:
 
 1. Can the network suggest steering far left while the road bends right?
 2. Can it suggest steering straight while the road bends right?
@@ -10,9 +10,9 @@ paper's evaluation:
 Run:  python examples/quickstart.py
 """
 
+from repro.api import Campaign, VerificationQuery
 from repro.core import ExperimentConfig, build_verified_system
 from repro.properties.library import STEER_STRAIGHT, steer_far_left
-from repro.verification.output_range import output_range
 
 
 def main() -> None:
@@ -28,37 +28,38 @@ def main() -> None:
     print(system.summary())
     print()
 
+    # the verifier is a shim over the query engine; use the engine directly
+    engine = system.verifier.engine
+    engine.confusions.update(system.confusions)
+
     # exact reachable frontier of the waypoint output over S~ ∩ {h accepts}
-    frontier = output_range(
-        system.verifier.suffix,
-        system.verifier.feature_set("data"),
-        system.characterizers["bends_right"].as_piecewise_linear(),
-    )
+    frontier = engine.run_query(
+        VerificationQuery(method="range", property_name="bends_right")
+    ).output_range
     print(
         f"reachable waypoint range when 'bends_right' accepted: "
         f"[{frontier.lower:.2f}, {frontier.upper:.2f}] m"
     )
 
-    # question 1: steering far left (threshold just beyond the frontier)
-    far_left = steer_far_left(frontier.upper + 0.25)
-    verdict = system.verifier.verify(
-        far_left,
-        property_name="bends_right",
-        confusion=system.confusions["bends_right"],
+    campaign = Campaign("quickstart").add(
+        # question 1: steering far left (threshold just beyond the frontier)
+        VerificationQuery(
+            risk=steer_far_left(frontier.upper + 0.25), property_name="bends_right"
+        ),
+        # question 2: steering straight
+        VerificationQuery(risk=STEER_STRAIGHT, property_name="bends_right"),
     )
-    print(f"\n[1] road bends right => never suggest waypoint "
-          f">= {frontier.upper + 0.25:.2f} m left?")
-    print(verdict.summary())
-
-    # question 2: steering straight
-    verdict = system.verifier.verify(STEER_STRAIGHT, property_name="bends_right")
-    print("\n[2] road bends right => never suggest steering straight?")
-    print(verdict.summary())
+    report = engine.run(campaign)
+    for index, result in enumerate(report, 1):
+        print(f"\n[{index}] {result.query.name}")
+        print(result.verdict.summary())
+        print(f"    decided by: {result.decided_by} in {result.elapsed:.3f}s")
+    print(f"\n{report.summary()}")
 
     # the conditional proof needs its runtime monitor
-    monitor = system.verifier.make_monitor(keep_events=False)
-    report = monitor.run(system.val_data.images)
-    print(f"\nruntime monitor on held-out in-ODD stream: {report.summary()}")
+    monitor = engine.make_monitor(keep_events=False)
+    monitor_report = monitor.run(system.val_data.images)
+    print(f"\nruntime monitor on held-out in-ODD stream: {monitor_report.summary()}")
 
 
 if __name__ == "__main__":

@@ -29,11 +29,22 @@ The package is organised as a stack:
     The runtime monitor discharging the assume-guarantee assumption.
 ``repro.core``
     The end-to-end workflow of Figure 1.
+``repro.api``
+    The declarative query API: frozen verification queries, campaign
+    grids, and the planning/caching engine with parallel execution.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["SafetyVerifier", "Verdict", "VerificationVerdict", "__version__"]
+__all__ = [
+    "Campaign",
+    "SafetyVerifier",
+    "Verdict",
+    "VerificationEngine",
+    "VerificationQuery",
+    "VerificationVerdict",
+    "__version__",
+]
 
 
 def __getattr__(name: str):
@@ -46,4 +57,8 @@ def __getattr__(name: str):
         from repro.core import verdict
 
         return getattr(verdict, name)
+    if name in ("Campaign", "VerificationEngine", "VerificationQuery"):
+        from repro import api
+
+        return getattr(api, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

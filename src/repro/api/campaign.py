@@ -1,0 +1,279 @@
+"""Campaign construction and reporting.
+
+A :class:`Campaign` is an ordered list of
+:class:`~repro.api.query.VerificationQuery` objects with a builder API
+that expands property × risk × feature-set grids — the "verify every
+risk threshold for every scene property" workloads the benchmarks run.
+:class:`CampaignReport` is what
+:meth:`repro.api.engine.VerificationEngine.run` returns: per-query
+results with timing and cache provenance, JSON-serializable for
+dashboards and CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.verdict import VerificationVerdict
+from repro.properties.risk import RiskCondition
+from repro.api.query import Method, VerificationQuery
+from repro.verification.output_range import OutputRange
+from repro.verification.refinement import RefinementResult
+from repro.verification.robustness import RobustnessResult
+
+
+@dataclass
+class Campaign:
+    """An ordered batch of verification queries.
+
+    Build explicitly with :meth:`add`, or declaratively with
+    :meth:`add_grid`, which expands the cartesian product of risks,
+    properties and feature sets into one query each::
+
+        campaign = (
+            Campaign("nightly")
+            .add_grid(
+                risks=[steer_far_left(t) for t in thresholds],
+                properties=("bends_right", "bends_left"),
+                sets=("data",),
+            )
+        )
+        report = engine.run(campaign, workers=4)
+    """
+
+    name: str = "campaign"
+    queries: list[VerificationQuery] = field(default_factory=list)
+
+    def add(self, *queries: VerificationQuery) -> "Campaign":
+        """Append explicit queries; returns ``self`` for chaining."""
+        self.queries.extend(queries)
+        return self
+
+    def add_grid(
+        self,
+        risks: Sequence[RiskCondition],
+        properties: Sequence[str | None] = (None,),
+        sets: Sequence[str] = ("data",),
+        method: Method | str = Method.EXACT,
+        solver: str | None = None,
+        prescreen_domain: str | None = "interval",
+        time_limit: float | None = None,
+        node_limit: int | None = None,
+    ) -> "Campaign":
+        """Expand ``risks × properties × sets`` into queries (in order)."""
+        if not risks:
+            raise ValueError("add_grid needs at least one risk condition")
+        for set_name in sets:
+            for prop in properties:
+                for risk in risks:
+                    self.queries.append(
+                        VerificationQuery(
+                            risk=risk,
+                            property_name=prop,
+                            set_name=set_name,
+                            method=method,
+                            solver=solver,
+                            prescreen_domain=prescreen_domain,
+                            time_limit=time_limit,
+                            node_limit=node_limit,
+                        )
+                    )
+        return self
+
+    def add_ranges(
+        self,
+        output_indices: Sequence[int],
+        properties: Sequence[str | None] = (None,),
+        sets: Sequence[str] = ("data",),
+        solver: str | None = None,
+    ) -> "Campaign":
+        """Grid of output-range queries (the E3/E6 frontier tables)."""
+        for set_name in sets:
+            for prop in properties:
+                for index in output_indices:
+                    self.queries.append(
+                        VerificationQuery(
+                            method=Method.RANGE,
+                            property_name=prop,
+                            set_name=set_name,
+                            output_index=index,
+                            solver=solver,
+                        )
+                    )
+        return self
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[VerificationQuery]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> VerificationQuery:
+        return self.queries[index]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query: payload + execution provenance.
+
+    Exactly one of ``verdict`` / ``robustness`` / ``output_range`` is
+    populated (by method), except on ``error``.  ``ladder`` lists the
+    strategy steps actually executed and ``decided_by`` the step that
+    concluded; ``cache_hits`` names the engine caches that served this
+    query (empty on a cold cache).
+    """
+
+    query: VerificationQuery
+    verdict: VerificationVerdict | None = None
+    robustness: RobustnessResult | None = None
+    output_range: OutputRange | None = None
+    refinement: RefinementResult | None = None
+    elapsed: float = 0.0
+    ladder: tuple[str, ...] = ()
+    decided_by: str | None = None
+    cache_hits: tuple[str, ...] = ()
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def proved(self) -> bool | None:
+        """Shortcut to the verdict's proved flag (``None`` if no verdict)."""
+        return self.verdict.proved if self.verdict is not None else None
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "query": self.query.to_dict(),
+            "elapsed": self.elapsed,
+            "ladder": list(self.ladder),
+            "decided_by": self.decided_by,
+            "cache_hits": list(self.cache_hits),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.verdict is not None:
+            out["verdict"] = self.verdict.verdict.value
+            out["monitored"] = self.verdict.monitored
+            out["solver_status"] = self.verdict.solve_result.status.value
+            out["solve_time"] = self.verdict.solve_result.solve_time
+            out["nodes"] = self.verdict.solve_result.nodes_explored
+            if self.verdict.counterexample is not None:
+                out["counterexample"] = {
+                    "features": [
+                        float(v) for v in self.verdict.counterexample.features
+                    ],
+                    "risk_margin": self.verdict.counterexample.risk_margin,
+                }
+        if self.robustness is not None:
+            out["robust"] = self.robustness.robust
+            out["worst_deviation"] = self.robustness.worst_deviation
+        if self.output_range is not None:
+            out["range"] = {
+                "output_index": self.output_range.output_index,
+                "lower": self.output_range.lower,
+                "upper": self.output_range.upper,
+                "exact": self.output_range.exact,
+            }
+        if self.refinement is not None:
+            out["refinement"] = {
+                "proved": self.refinement.proved,
+                "final_cut_layers": list(self.refinement.final_cut_layers),
+                "refinements_used": self.refinement.refinements_used,
+            }
+        return out
+
+
+@dataclass
+class CampaignReport:
+    """Everything :meth:`VerificationEngine.run` learned, auditable."""
+
+    campaign_name: str
+    results: list[QueryResult]
+    total_time: float
+    workers: int
+    executor: str  #: "sequential", "process-pool[N]", or a fallback note
+    cache_stats: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    @property
+    def errors(self) -> list[QueryResult]:
+        return [r for r in self.results if not r.ok]
+
+    def verdicts(self) -> list[VerificationVerdict | None]:
+        return [r.verdict for r in self.results]
+
+    def verdict_counts(self) -> dict[str, int]:
+        """Histogram of outcomes over all queries."""
+        counts: dict[str, int] = {}
+        for result in self.results:
+            if not result.ok:
+                key = "error"
+            elif result.verdict is not None:
+                key = result.verdict.verdict.value
+            elif result.robustness is not None:
+                key = "robust" if result.robustness.robust else "not-robust"
+            elif result.output_range is not None:
+                key = "range"
+            else:
+                key = "unknown"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def cache_hit_counts(self) -> dict[str, int]:
+        """How often each engine cache served a query in this campaign."""
+        counts: dict[str, int] = {}
+        for result in self.results:
+            for label in result.cache_hits:
+                counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def decided_by_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            key = result.decided_by or "error"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign {self.campaign_name!r}: {len(self.results)} queries in "
+            f"{self.total_time:.3f}s ({self.executor})",
+            f"  outcomes: {self.verdict_counts()}",
+            f"  decided by: {self.decided_by_counts()}",
+        ]
+        hits = self.cache_hit_counts()
+        if hits:
+            lines.append(f"  cache hits: {hits}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.campaign_name,
+            "total_time": self.total_time,
+            "workers": self.workers,
+            "executor": self.executor,
+            "verdict_counts": self.verdict_counts(),
+            "cache_hits": self.cache_hit_counts(),
+            "cache_stats": self.cache_stats,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def as_queries(campaign: "Campaign | Iterable[VerificationQuery]") -> tuple[str, list[VerificationQuery]]:
+    """Normalize a campaign or plain iterable into ``(name, queries)``."""
+    if isinstance(campaign, Campaign):
+        return campaign.name, list(campaign.queries)
+    queries = list(campaign)
+    return "campaign", queries

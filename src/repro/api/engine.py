@@ -1,0 +1,972 @@
+"""The planning/caching verification engine.
+
+:class:`VerificationEngine` owns the model-at-a-cut-layer state that the
+legacy :class:`~repro.core.workflow.SafetyVerifier` carried, answers
+declarative :class:`~repro.api.query.VerificationQuery` objects, and
+executes :class:`~repro.api.campaign.Campaign` batches — sequentially or
+fanned out over a process pool.
+
+Per query the engine plans a **strategy ladder**:
+
+1. *prescreen* — sound bound propagation over a cached output enclosure;
+2. *support-cache* — for single-inequality risks ``a·y >= t`` (the
+   threshold-sweep family), one exact MILP optimization of ``a·y`` over
+   the constrained region answers **every** threshold: ``t`` beyond the
+   cached support value is UNSAT, anything else is SAT with the cached
+   optimizer as witness.  This is the paper's output-range-analysis view
+   of verification, applied as a query planner;
+3. *relaxed-lp* — one LP over the cached binary-free relaxation: an
+   infeasible LP is a proof, an LP point satisfying the exact neuron
+   semantics is a genuine witness;
+4. *solve* — the complete backend (registry-dispatched by encoding);
+5. *refine* — optional layer-wise abstraction-refinement fallback when
+   the backend hits its resource limits.
+
+All risk-independent work is cached per ``(feature set, characterizer)``:
+suffix lowering happens once per engine, abstraction bounds once per
+(set, network), output enclosures once per (set, domain), and MILP /
+relaxed encodings once per (set, characterizer, encoding).  A campaign
+of 100 risk thresholds over one set therefore encodes **once**; each
+query only appends its risk rows to the cached model (and pops them
+afterwards).
+"""
+
+from __future__ import annotations
+
+import inspect
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.api.campaign import Campaign, CampaignReport, QueryResult, as_queries
+from repro.api.query import Method, VerificationQuery
+from repro.core.verdict import Verdict, VerificationVerdict
+from repro.monitor.runtime import RuntimeMonitor
+from repro.nn.sequential import Sequential
+from repro.perception.characterizer import Characterizer
+from repro.perception.features import extract_features
+from repro.properties.risk import RiskCondition
+from repro.verification.abstraction.octagon import box_with_diffs_from_zonotope
+from repro.verification.abstraction.propagate import propagate_input_box
+from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
+from repro.verification.assume_guarantee import feature_set_from_data
+from repro.verification.counterexample import decode_witness
+from repro.verification.milp.bigm import op_bounds_for_set
+from repro.verification.milp.encoder import (
+    append_risk_rows,
+    encode_verification_problem,
+)
+from repro.verification.milp.relaxed import encode_relaxed_problem
+from repro.verification.output_range import optimize_range, trivial_reachability_risk
+from repro.verification.prescreen import output_enclosure, screen_enclosure
+from repro.verification.refinement import verify_with_refinement
+from repro.verification.robustness import verify_local_robustness
+from repro.verification.sets import FeatureSet
+from repro.verification.solver import solver_spec
+from repro.verification.solver.lp import solve_lp_relaxation
+from repro.verification.solver.result import SolveResult, SolveStatus
+from repro.verification.statistical import ConfusionEstimate
+
+_LP_SEMANTICS_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class RegisteredFeatureSet:
+    """A feature set plus its provenance (decides verdict semantics)."""
+
+    feature_set: FeatureSet
+    kind: str
+    sound: bool  #: True = valid for all inputs (Lemma 2); False = needs monitor
+
+
+class VerificationEngine:
+    """Declarative-query engine for one model at one cut layer.
+
+    ``solver`` is the default backend (any :func:`register_solver` name);
+    individual queries may override it.  ``lp_screen`` enables ladder
+    step 2; ``refine_fallback`` enables step 4 (needs
+    :meth:`set_refinement_data`).  ``cache=False`` disables all
+    risk-independent caches — every query re-encodes from scratch, which
+    is exactly the legacy per-query behavior and is what the campaign
+    benchmark compares against.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        cut_layer: int,
+        solver: str = "branch-and-bound",
+        *,
+        lp_screen: bool = True,
+        refine_fallback: bool = False,
+        cache: bool = True,
+        **solver_options,
+    ):
+        model._check_index(cut_layer, allow_zero=True)
+        if cut_layer not in model.piecewise_linear_cut_points():
+            raise ValueError(
+                f"layers after cut {cut_layer} are not all piecewise-linear; "
+                f"valid cuts: {model.piecewise_linear_cut_points()}"
+            )
+        spec = solver_spec(solver)  # fail fast on unknown backends
+        accepted = inspect.signature(spec.factory).parameters
+        for option in solver_options:
+            if option not in accepted:
+                raise TypeError(
+                    f"solver {spec.name!r} does not accept option {option!r}"
+                )
+        self.model = model
+        self.cut_layer = cut_layer
+        self.suffix = model.suffix_network(cut_layer)
+        self.solver_name = solver
+        self.solver_options = dict(solver_options)
+        self.lp_screen = lp_screen
+        self.refine_fallback = refine_fallback
+        self.cache_enabled = cache
+        self.characterizers: dict[str, Characterizer] = {}
+        self.confusions: dict[str, ConfusionEstimate] = {}
+        self._sets: dict[str, RegisteredFeatureSet] = {}
+        self._refinement_images: np.ndarray | None = None
+        self._reset_caches()
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def _reset_caches(self) -> None:
+        self._char_net_cache: dict[str | None, tuple] = {}
+        self._bounds_cache: dict[tuple, list] = {}
+        self._enclosure_cache: dict[tuple, object] = {}
+        self._encoding_cache: dict[tuple, object] = {}
+        #: (set, property, direction) -> (support value, optimal assignment)
+        self._support_cache: dict[tuple, tuple | None] = {}
+        #: single-row directions seen by one-off queries (amortization gate)
+        self._direction_seen: dict[tuple, int] = {}
+        self._campaign_mode = False
+        self.cache_stats: dict[str, int] = {}
+
+    def clear_caches(self) -> None:
+        """Drop all cached lowerings/bounds/encodings (e.g. after
+        re-registering a feature set with ``overwrite=True``)."""
+        self._reset_caches()
+
+    def __getstate__(self) -> dict:
+        # caches hold per-process mutable MILP models; workers rebuild them
+        state = self.__dict__.copy()
+        for key in (
+            "_char_net_cache",
+            "_bounds_cache",
+            "_enclosure_cache",
+            "_encoding_cache",
+            "_support_cache",
+            "_direction_seen",
+        ):
+            state[key] = {}
+        state["cache_stats"] = {}
+        return state
+
+    def _cached(self, cache: dict, key, label: str, build):
+        """Uniform get-or-build with hit/miss accounting."""
+        if self.cache_enabled and key in cache:
+            self.cache_stats[f"hit:{label}"] = self.cache_stats.get(f"hit:{label}", 0) + 1
+            return cache[key], True
+        value = build()
+        if self.cache_enabled:
+            cache[key] = value
+        self.cache_stats[f"miss:{label}"] = self.cache_stats.get(f"miss:{label}", 0) + 1
+        return value, False
+
+    # -- characterizers ----------------------------------------------------
+
+    def attach_characterizer(
+        self, characterizer: Characterizer, confusion: ConfusionEstimate | None = None
+    ) -> None:
+        """Register a trained ``h^phi_l`` (must match the cut layer)."""
+        if characterizer.cut_layer != self.cut_layer:
+            raise ValueError(
+                f"characterizer was trained at layer {characterizer.cut_layer}, "
+                f"verifier cuts at {self.cut_layer}"
+            )
+        expected = self.model.feature_dim(self.cut_layer)
+        if characterizer.network.input_shape != (expected,):
+            raise ValueError(
+                f"characterizer input shape {characterizer.network.input_shape} "
+                f"does not match feature dimension {expected}"
+            )
+        prop = characterizer.property_name
+        self.characterizers[prop] = characterizer
+        if confusion is not None:
+            self.confusions[prop] = confusion
+        # purge everything derived from a previously attached characterizer
+        # for this property — stale encodings would yield wrong verdicts
+        self._char_net_cache.pop(prop, None)
+        for key in [k for k in self._bounds_cache if k[1] == f"char:{prop}"]:
+            del self._bounds_cache[key]
+        for cache in (self._encoding_cache, self._support_cache):
+            for key in [k for k in cache if k[1] == prop]:
+                del cache[key]
+
+    def _characterizer_parts(self, property_name: str | None, hits: list[str]):
+        """Lowered characterizer network + threshold, cached per property."""
+        if property_name is None:
+            return None, 0.0
+        if property_name not in self.characterizers:
+            raise KeyError(
+                f"no characterizer for {property_name!r}; "
+                f"attached: {sorted(self.characterizers)}"
+            )
+
+        def build():
+            characterizer = self.characterizers[property_name]
+            return characterizer.as_piecewise_linear(), characterizer.threshold
+
+        value, hit = self._cached(
+            self._char_net_cache, property_name, "characterizer-lowering", build
+        )
+        if hit:
+            hits.append("characterizer-lowering")
+        return value
+
+    # -- feature sets ------------------------------------------------------
+
+    def _register_set(
+        self, name: str, registered: RegisteredFeatureSet, overwrite: bool
+    ) -> None:
+        if name in self._sets and not overwrite:
+            raise ValueError(
+                f"feature set {name!r} is already registered; pass "
+                f"overwrite=True to replace it (known: {sorted(self._sets)})"
+            )
+        stale = name in self._sets
+        self._sets[name] = registered
+        if stale:
+            # drop caches derived from the replaced set
+            for cache in (
+                self._bounds_cache,
+                self._enclosure_cache,
+                self._encoding_cache,
+                self._support_cache,
+            ):
+                for key in [k for k in cache if k[0] == name]:
+                    del cache[key]
+
+    def add_feature_set_from_data(
+        self,
+        images: np.ndarray,
+        kind: str = "box+diff",
+        margin: float = 0.0,
+        name: str = "data",
+        overwrite: bool = False,
+    ) -> FeatureSet:
+        """Build ``S~`` from training images (assume-guarantee, Section II.B.b)."""
+        features = extract_features(self.model, images, self.cut_layer)
+        return self.add_feature_set_from_features(
+            features, kind=kind, margin=margin, name=name, overwrite=overwrite
+        )
+
+    def add_feature_set_from_features(
+        self,
+        features: np.ndarray,
+        kind: str = "box+diff",
+        margin: float = 0.0,
+        name: str = "data",
+        overwrite: bool = False,
+    ) -> FeatureSet:
+        """Like :meth:`add_feature_set_from_data` on precomputed features."""
+        feature_set = feature_set_from_data(features, kind=kind, margin=margin)
+        self._register_set(
+            name, RegisteredFeatureSet(feature_set, f"{kind}(data)", sound=False), overwrite
+        )
+        return feature_set
+
+    def add_static_feature_set(
+        self,
+        input_lower: float | np.ndarray = 0.0,
+        input_upper: float | np.ndarray = 1.0,
+        domain: str = "interval",
+        name: str = "static",
+        overwrite: bool = False,
+    ) -> FeatureSet:
+        """Sound ``S`` by abstract interpretation from an input box (Lemma 2)."""
+        if domain == "interval":
+            feature_set: FeatureSet = propagate_input_box(
+                self.model, input_lower, input_upper, self.cut_layer
+            )
+        elif domain == "zonotope":
+            box = propagate_input_box(self.model, input_lower, input_upper, 0)
+            from repro.nn.graph import lower_layers
+
+            prefix_net = lower_layers(
+                self.model.layers[: self.cut_layer],
+                self.model.feature_dim(0),
+            )
+            zonotope = propagate_zonotope(prefix_net, Zonotope.from_box(box))
+            feature_set = box_with_diffs_from_zonotope(zonotope)
+        else:
+            raise ValueError(f"unknown domain {domain!r}; use interval or zonotope")
+        self._register_set(
+            name, RegisteredFeatureSet(feature_set, f"{domain}(static)", sound=True), overwrite
+        )
+        return feature_set
+
+    def add_raw_set(
+        self, feature_set: FeatureSet, sound: bool, name: str, overwrite: bool = False
+    ) -> None:
+        """Register a caller-constructed set (e.g. Lemma 1 surrogate box)."""
+        if feature_set.dim != self.model.feature_dim(self.cut_layer):
+            raise ValueError(
+                f"set dimension {feature_set.dim} does not match cut layer "
+                f"dimension {self.model.feature_dim(self.cut_layer)}"
+            )
+        self._register_set(
+            name,
+            RegisteredFeatureSet(feature_set, f"{type(feature_set).__name__}(raw)", sound),
+            overwrite,
+        )
+
+    def feature_set(self, name: str) -> FeatureSet:
+        return self._registered(name).feature_set
+
+    def feature_set_names(self) -> list[str]:
+        return sorted(self._sets)
+
+    def _registered(self, name: str) -> RegisteredFeatureSet:
+        if name not in self._sets:
+            raise KeyError(f"no feature set {name!r}; known: {sorted(self._sets)}")
+        return self._sets[name]
+
+    def set_refinement_data(self, images: np.ndarray) -> None:
+        """Images whose per-layer envelopes drive ``refine`` queries."""
+        self._refinement_images = np.asarray(images)
+
+    # -- cached risk-independent artifacts ---------------------------------
+
+    def _op_bounds(self, set_name: str, net_key: str, network, hits: list[str]):
+        registered = self._registered(set_name)
+        value, hit = self._cached(
+            self._bounds_cache,
+            (set_name, net_key),
+            "abstraction-bounds",
+            lambda: op_bounds_for_set(network, registered.feature_set),
+        )
+        if hit:
+            hits.append("abstraction-bounds")
+        return value
+
+    def _enclosure(self, set_name: str, domain: str, hits: list[str]):
+        registered = self._registered(set_name)
+        value, hit = self._cached(
+            self._enclosure_cache,
+            (set_name, domain),
+            "prescreen-enclosure",
+            lambda: output_enclosure(self.suffix, registered.feature_set, domain),
+        )
+        if hit:
+            hits.append("prescreen-enclosure")
+        return value
+
+    def _base_encoding(
+        self, set_name: str, property_name: str | None, encoding: str, hits: list[str]
+    ):
+        """Encoded problem *without* query-specific risk rows.
+
+        Built with a trivially satisfiable risk placeholder so the cached
+        model carries only the network, set and characterizer structure;
+        per-query risk rows are appended inside :meth:`_scoped`.
+        """
+        registered = self._registered(set_name)
+        char_net, threshold = self._characterizer_parts(property_name, hits)
+
+        def build():
+            suffix_bounds = self._op_bounds(set_name, "suffix", self.suffix, hits)
+            characterizer_bounds = (
+                self._op_bounds(set_name, f"char:{property_name}", char_net, hits)
+                if char_net is not None
+                else None
+            )
+            encode = (
+                encode_verification_problem
+                if encoding == "milp"
+                else encode_relaxed_problem
+            )
+            return encode(
+                self.suffix,
+                registered.feature_set,
+                trivial_reachability_risk(self.suffix.out_dim),
+                char_net,
+                threshold,
+                suffix_bounds=suffix_bounds,
+                characterizer_bounds=characterizer_bounds,
+            )
+
+        value, hit = self._cached(
+            self._encoding_cache,
+            (set_name, property_name, encoding),
+            f"encoding:{encoding}",
+            build,
+        )
+        if hit:
+            hits.append(f"encoding:{encoding}")
+        return value
+
+    @contextmanager
+    def _scoped(self, problem):
+        """Append-only transaction on a cached encoding's MILP model.
+
+        Anything a query adds (risk rows, an objective) is rolled back on
+        exit so the cached base encoding stays pristine.
+        """
+        model = problem.model
+        n_rows = len(model.constraints)
+        objective = dict(model.objective)
+        try:
+            yield problem
+        finally:
+            del model.constraints[n_rows:]
+            model.objective = objective
+
+    def _support(
+        self, query: VerificationQuery, direction: tuple[float, ...], hits: list[str]
+    ) -> tuple[float, np.ndarray | None] | None:
+        """Exact ``min direction·y`` over the constrained region, cached.
+
+        Returns ``(value, optimal assignment)``; ``(inf, None)`` for an
+        empty region (every risk is then unreachable); ``None`` when the
+        optimization could not be proved optimal (callers must fall back
+        to the regular solve path — the failure is cached too, so a sweep
+        does not re-pay a hopeless optimization per query).
+
+        Always runs under the engine-level solver options: the planner
+        only routes un-budgeted queries here, so per-query budgets never
+        truncate (and thereby poison) the cached value.
+        """
+        key = (query.set_name, query.property_name, direction)
+        if self.cache_enabled and key in self._support_cache:
+            self.cache_stats["hit:support"] = self.cache_stats.get("hit:support", 0) + 1
+            hits.append("support")
+            return self._support_cache[key]
+
+        base = self._base_encoding(query.set_name, query.property_name, "milp", hits)
+        spec = solver_spec(self._milp_solver_name(query))
+        backend = spec.factory(**self._options_for(spec, None))
+        with self._scoped(base) as problem:
+            coeffs = {
+                problem.output_vars[j]: direction[j]
+                for j in range(len(problem.output_vars))
+                if direction[j] != 0.0
+            }
+            problem.model.set_objective(coeffs)
+            result = backend.minimize(problem.model)
+        if result.status is SolveStatus.UNSAT:
+            entry: tuple[float, np.ndarray | None] | None = (float("inf"), None)
+        elif result.status is SolveStatus.SAT and result.stats.get(
+            "proved_optimal", True
+        ):
+            entry = (float(result.objective), result.witness)
+        else:
+            entry = None  # resource limit: remember not to retry
+        if self.cache_enabled:
+            self._support_cache[key] = entry
+        self.cache_stats["miss:support"] = self.cache_stats.get("miss:support", 0) + 1
+        return entry
+
+    # -- backends ----------------------------------------------------------
+
+    def _options_for(self, spec, query: VerificationQuery | None) -> dict:
+        """Engine options filtered to what ``spec``'s factory accepts.
+
+        The engine default's options are validated at construction; when
+        a query overrides the backend (or a range/support path falls
+        back to a MILP-capable one), inapplicable options are dropped
+        instead of crashing the dispatch.  Query budgets are injected on
+        top when the factory understands them.
+        """
+        parameters = inspect.signature(spec.factory).parameters
+        options = {
+            key: value
+            for key, value in self.solver_options.items()
+            if key in parameters
+        }
+        if query is not None:
+            if query.time_limit is not None and "time_limit" in parameters:
+                options["time_limit"] = query.time_limit
+            if query.node_limit is not None and "node_limit" in parameters:
+                options["node_limit"] = query.node_limit
+        return options
+
+    def _backend(self, query: VerificationQuery):
+        spec = solver_spec(query.solver or self.solver_name)
+        return spec, spec.factory(**self._options_for(spec, query))
+
+    def _milp_solver_name(self, query: VerificationQuery) -> str:
+        """A MILP-encoding backend name for paths that need ``minimize``."""
+        for candidate in (query.solver, self.solver_name):
+            if candidate is None:
+                continue
+            spec = solver_spec(candidate)
+            if spec.encoding == "milp" and spec.supports_minimize:
+                return candidate
+        return "highs"
+
+    # -- query execution ---------------------------------------------------
+
+    def run_query(self, query: VerificationQuery) -> QueryResult:
+        """Answer one query (raises on invalid queries; see :meth:`run`)."""
+        start = time.perf_counter()
+        hits: list[str] = []
+        ladder: list[str] = []
+
+        if query.method is Method.ROBUSTNESS:
+            payload = self._run_robustness(query, ladder)
+        elif query.method is Method.RANGE:
+            payload = self._run_range(query, ladder, hits)
+        elif query.method is Method.REFINE:
+            payload = self._run_refine(query, ladder)
+        else:
+            payload = self._run_verdict(query, ladder, hits)
+
+        payload.elapsed = time.perf_counter() - start
+        payload.ladder = tuple(ladder)
+        payload.cache_hits = tuple(hits)
+        return payload
+
+    def run_query_safe(self, query: VerificationQuery) -> QueryResult:
+        """Like :meth:`run_query` but captures exceptions in the result."""
+        try:
+            return self.run_query(query)
+        except Exception as exc:  # campaign survives individual bad queries
+            return QueryResult(
+                query=query, error=f"{type(exc).__name__}: {exc}", decided_by="error"
+            )
+
+    # verdict methods (exact / relaxed) ------------------------------------
+
+    def _run_verdict(
+        self, query: VerificationQuery, ladder: list[str], hits: list[str]
+    ) -> QueryResult:
+        risk = query.risk
+        assert risk is not None  # enforced by VerificationQuery validation
+        if risk.dim != self.suffix.out_dim:
+            raise ValueError(
+                f"risk condition is over {risk.dim} outputs, network has "
+                f"{self.suffix.out_dim}"
+            )
+        registered = self._registered(query.set_name)
+
+        # 1. sound bound-propagation prescreen (runs before the
+        #    characterizer is even looked up, as the legacy verify did:
+        #    the prescreen drops the characterizer conjunct anyway)
+        if query.prescreen_domain is not None:
+            ladder.append("prescreen")
+            enclosure = self._enclosure(query.set_name, query.prescreen_domain, hits)
+            screen = screen_enclosure(enclosure, risk, query.prescreen_domain)
+            if screen.excluded:
+                verdict = self._make_verdict(
+                    registered,
+                    query,
+                    SolveResult(
+                        status=SolveStatus.UNSAT,
+                        stats={"prescreen": screen.domain},
+                    ),
+                    counterexample=None,
+                )
+                return QueryResult(query=query, verdict=verdict, decided_by="prescreen")
+
+        # 2. support-function cache: a single-row risk ``a·y <= b`` is
+        #    feasible iff b >= min a·y over the region, and the cached
+        #    minimizer is a genuine witness for every such b.  One exact
+        #    optimization answers an entire threshold sweep.
+        if query.method is Method.EXACT and self.cache_enabled:
+            a_risk, b_risk = risk.as_matrix()
+            if len(b_risk) == 1:
+                direction = tuple(float(v) for v in a_risk[0])
+                support_key = (query.set_name, query.property_name, direction)
+                # the proved-optimal optimization costs more than one
+                # first-incumbent feasibility solve, so one-off queries
+                # keep the legacy path; the optimization runs once a
+                # direction repeats (or in a campaign, where it is the
+                # norm).  Budget-limited queries never *trigger* it — a
+                # truncated optimization would poison the cache for the
+                # whole sweep — but an already-cached exact value answers
+                # them for free.
+                budgeted = query.time_limit is not None or query.node_limit is not None
+                plan_support = support_key in self._support_cache or (
+                    not budgeted
+                    and (
+                        self._campaign_mode
+                        or self._direction_seen.get(support_key, 0) >= 1
+                    )
+                )
+                if not plan_support and not budgeted:
+                    self._direction_seen[support_key] = (
+                        self._direction_seen.get(support_key, 0) + 1
+                    )
+            else:
+                plan_support = False
+            if plan_support:
+                ladder.append("support-cache")
+                entry = self._support(query, direction, hits)
+                if entry is not None:
+                    support, witness = entry
+                    if support > float(b_risk[0]):
+                        verdict = self._make_verdict(
+                            registered,
+                            query,
+                            SolveResult(
+                                status=SolveStatus.UNSAT,
+                                stats={"decided": "support-cache", "support": support},
+                            ),
+                            counterexample=None,
+                        )
+                        return QueryResult(
+                            query=query, verdict=verdict, decided_by="support-cache"
+                        )
+                    base = self._base_encoding(
+                        query.set_name, query.property_name, "milp", hits
+                    )
+                    counterexample = decode_witness(
+                        base, witness, self.model, self.cut_layer, risk
+                    )
+                    verdict = self._make_verdict(
+                        registered,
+                        query,
+                        SolveResult(
+                            status=SolveStatus.SAT,
+                            witness=witness,
+                            stats={"decided": "support-cache", "support": support},
+                        ),
+                        counterexample=counterexample,
+                    )
+                    return QueryResult(
+                        query=query, verdict=verdict, decided_by="support-cache"
+                    )
+
+        spec, backend = self._backend(query)
+
+        # 3. relaxation-LP screen (skipped when the backend consumes the
+        #    relaxed encoding anyway — its root node is this LP)
+        lp_applicable = query.method is Method.RELAXED or (
+            self.lp_screen and spec.encoding == "milp"
+        )
+        if lp_applicable:
+            ladder.append("relaxed-lp")
+            relaxed = self._base_encoding(
+                query.set_name, query.property_name, "relaxed", hits
+            )
+            with self._scoped(relaxed) as problem:
+                append_risk_rows(problem.model, problem.output_vars, risk)
+                lp = solve_lp_relaxation(problem.model.to_arrays())
+                if not lp.feasible:
+                    verdict = self._make_verdict(
+                        registered,
+                        query,
+                        SolveResult(
+                            status=SolveStatus.UNSAT, stats={"decided": "relaxed-lp"}
+                        ),
+                        counterexample=None,
+                    )
+                    return QueryResult(
+                        query=query, verdict=verdict, decided_by="relaxed-lp"
+                    )
+                violation = max(
+                    (split.violation(lp.x) for split in problem.splits),
+                    default=0.0,
+                )
+                if violation <= _LP_SEMANTICS_TOL:
+                    # per-neuron tolerance can amplify through the layers:
+                    # only claim SAT if the point replays through the real
+                    # network AND the replayed output truly violates the
+                    # risk; otherwise let the complete solver decide
+                    try:
+                        counterexample = decode_witness(
+                            problem, lp.x, self.model, self.cut_layer, risk
+                        )
+                    except ValueError:
+                        counterexample = None
+                    if counterexample is not None and counterexample.risk_occurs:
+                        result = SolveResult(
+                            status=SolveStatus.SAT,
+                            witness=lp.x,
+                            stats={"decided": "relaxed-lp"},
+                        )
+                        verdict = self._make_verdict(
+                            registered, query, result, counterexample
+                        )
+                        return QueryResult(
+                            query=query, verdict=verdict, decided_by="relaxed-lp"
+                        )
+            if query.method is Method.RELAXED:
+                verdict = self._make_verdict(
+                    registered,
+                    query,
+                    SolveResult(
+                        status=SolveStatus.UNKNOWN,
+                        stats={"relaxed_lp": "inconclusive"},
+                    ),
+                    counterexample=None,
+                )
+                return QueryResult(query=query, verdict=verdict, decided_by="relaxed-lp")
+
+        # 4. complete backend
+        ladder.append(f"solve:{spec.name}")
+        base = self._base_encoding(
+            query.set_name, query.property_name, spec.encoding, hits
+        )
+        with self._scoped(base) as problem:
+            append_risk_rows(problem.model, problem.output_vars, risk)
+            if spec.encoding == "relaxed":
+                result = backend.solve(problem)
+            else:
+                result = backend.solve(problem.model)
+            counterexample = None
+            if result.status is SolveStatus.SAT:
+                counterexample = decode_witness(
+                    problem, result.witness, self.model, self.cut_layer, risk
+                )
+
+        # 5. refinement fallback on resource exhaustion
+        if (
+            result.status is SolveStatus.UNKNOWN
+            and self.refine_fallback
+            and self._refinement_images is not None
+        ):
+            ladder.append("refine-fallback")
+            fallback = self._run_refine(query, ladder=[])
+            fallback.decided_by = "refine-fallback"
+            return fallback
+
+        verdict = self._make_verdict(registered, query, result, counterexample)
+        return QueryResult(query=query, verdict=verdict, decided_by=f"solve:{spec.name}")
+
+    def _make_verdict(
+        self,
+        registered: RegisteredFeatureSet,
+        query: VerificationQuery,
+        result: SolveResult,
+        counterexample,
+    ) -> VerificationVerdict:
+        if result.status is SolveStatus.SAT:
+            verdict = Verdict.UNSAFE_IN_SET
+        elif result.status is SolveStatus.UNSAT:
+            verdict = Verdict.SAFE if registered.sound else Verdict.CONDITIONALLY_SAFE
+        else:
+            verdict = Verdict.UNKNOWN
+        return VerificationVerdict(
+            verdict=verdict,
+            property_name=query.property_name,
+            risk=query.risk,
+            feature_set_kind=registered.kind,
+            monitored=not registered.sound,
+            solve_result=result,
+            counterexample=counterexample,
+            confusion=self.confusions.get(query.property_name),
+        )
+
+    # refine ---------------------------------------------------------------
+
+    def _run_refine(self, query: VerificationQuery, ladder: list[str]) -> QueryResult:
+        if self._refinement_images is None:
+            raise ValueError(
+                "refine queries need training images; call "
+                "engine.set_refinement_data(images) first"
+            )
+        ladder.append("refine")
+        char_net, threshold = self._characterizer_parts(query.property_name, [])
+        refinement = verify_with_refinement(
+            self.model,
+            self._refinement_images,
+            query.risk,
+            solver=self._milp_solver_name(query),
+            characterizer=char_net,
+            characterizer_threshold=threshold,
+        )
+        nodes = sum(step.nodes for step in refinement.steps)
+        solve_time = sum(step.solve_time for step in refinement.steps)
+        if refinement.proved:
+            result = SolveResult(
+                status=SolveStatus.UNSAT,
+                nodes_explored=nodes,
+                solve_time=solve_time,
+                stats={"refinement_levels": len(refinement.steps)},
+            )
+        elif refinement.counterexample is not None:
+            result = SolveResult(
+                status=SolveStatus.SAT,
+                witness=refinement.counterexample.features,
+                nodes_explored=nodes,
+                solve_time=solve_time,
+                stats={"refinement_levels": len(refinement.steps)},
+            )
+        else:
+            result = SolveResult(
+                status=SolveStatus.UNKNOWN,
+                nodes_explored=nodes,
+                solve_time=solve_time,
+                stats={"refinement_levels": len(refinement.steps)},
+            )
+        # refinement builds its own per-layer envelopes from the images,
+        # so the verdict's provenance names the chained construction
+        registered = RegisteredFeatureSet(
+            feature_set=None, kind="box+diff(chained-data)", sound=False
+        )
+        verdict = self._make_verdict(
+            registered, query, result, refinement.counterexample
+        )
+        return QueryResult(
+            query=query, verdict=verdict, refinement=refinement, decided_by="refine"
+        )
+
+    # robustness -----------------------------------------------------------
+
+    def _run_robustness(self, query: VerificationQuery, ladder: list[str]) -> QueryResult:
+        ladder.append("robustness")
+        robustness = verify_local_robustness(
+            self.suffix,
+            np.asarray(query.anchor, dtype=float),
+            query.epsilon,
+            query.delta,
+            solver=self._milp_solver_name(query),
+        )
+        return QueryResult(query=query, robustness=robustness, decided_by="robustness")
+
+    # range ----------------------------------------------------------------
+
+    def _run_range(
+        self, query: VerificationQuery, ladder: list[str], hits: list[str]
+    ) -> QueryResult:
+        if not 0 <= query.output_index < self.suffix.out_dim:
+            raise ValueError(
+                f"output index {query.output_index} out of range for "
+                f"{self.suffix.out_dim} outputs"
+            )
+        ladder.append("range")
+        spec = solver_spec(self._milp_solver_name(query))
+        base = self._base_encoding(query.set_name, query.property_name, "milp", hits)
+        backend = spec.factory(**self._options_for(spec, query))
+        with self._scoped(base) as problem:  # restores the objective
+            reach = optimize_range(problem, backend, query.output_index)
+        return QueryResult(query=query, output_range=reach, decided_by="range")
+
+    # -- campaign execution ------------------------------------------------
+
+    def run(
+        self,
+        campaign: Campaign | list[VerificationQuery] | VerificationQuery,
+        workers: int = 1,
+    ) -> CampaignReport:
+        """Execute a campaign; ``workers > 1`` fans out over a process pool.
+
+        Results are returned in query order regardless of worker
+        scheduling, and each worker process builds its own encoding cache
+        (the engine is shipped once per worker, caches excluded).  If the
+        platform refuses to spawn processes the engine falls back to
+        sequential execution and says so in ``report.executor``.
+        """
+        if isinstance(campaign, VerificationQuery):
+            campaign = Campaign("query", [campaign])
+        name, queries = as_queries(campaign)
+        start = time.perf_counter()
+        stats_before = dict(self.cache_stats)
+        executor = "sequential"
+        results: list[QueryResult] | None = None
+
+        # campaigns repeat (set, characterizer, direction) families, so
+        # eager support-function optimization amortizes; one-off
+        # run_query calls stay on the cheaper feasibility path
+        self._campaign_mode = True
+        try:
+            if workers > 1 and len(queries) > 1:
+                try:
+                    results = self._run_parallel(queries, workers)
+                    executor = f"process-pool[{workers}]"
+                except Exception as exc:  # no fork/spawn, unpicklable state, ...
+                    results = None
+                    executor = f"sequential (pool unavailable: {type(exc).__name__})"
+
+            if results is None:
+                results = [self.run_query_safe(query) for query in queries]
+        finally:
+            self._campaign_mode = False
+
+        total = time.perf_counter() - start
+        cache_stats = {
+            key: self.cache_stats.get(key, 0) - stats_before.get(key, 0)
+            for key in self.cache_stats
+            if self.cache_stats.get(key, 0) != stats_before.get(key, 0)
+        }
+        return CampaignReport(
+            campaign_name=name,
+            results=results,
+            total_time=total,
+            workers=workers,
+            executor=executor,
+            cache_stats=cache_stats,
+        )
+
+    def _run_parallel(
+        self, queries: list[VerificationQuery], workers: int
+    ) -> list[QueryResult]:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(self,),
+        ) as pool:
+            return list(pool.map(_worker_run, queries))
+
+    # -- deployment --------------------------------------------------------
+
+    def make_monitor(self, set_name: str = "data", keep_events: bool = True) -> RuntimeMonitor:
+        """Runtime monitor discharging the assume-guarantee assumption."""
+        registered = self._registered(set_name)
+        return RuntimeMonitor(
+            self.model, self.cut_layer, registered.feature_set, keep_events=keep_events
+        )
+
+    # -- legacy compatibility ----------------------------------------------
+
+    def verify(
+        self,
+        risk: RiskCondition,
+        property_name: str | None = None,
+        set_name: str = "data",
+        confusion: ConfusionEstimate | None = None,
+        prescreen_domain: str | None = "interval",
+        solver: str | None = None,
+    ) -> VerificationVerdict:
+        """One-call Definition 1 query returning the bare verdict.
+
+        This is the :meth:`SafetyVerifier.verify` contract expressed as a
+        single :class:`VerificationQuery`; prefer building campaigns for
+        anything beyond one-off questions.
+        """
+        query = VerificationQuery(
+            risk=risk,
+            property_name=property_name,
+            set_name=set_name,
+            prescreen_domain=prescreen_domain,
+            solver=solver,
+        )
+        verdict = self.run_query(query).verdict
+        if confusion is not None:
+            verdict = replace(verdict, confusion=confusion)
+        return verdict
+
+
+_WORKER_ENGINE: VerificationEngine | None = None
+
+
+def _worker_init(engine: VerificationEngine) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+
+
+def _worker_run(query: VerificationQuery) -> QueryResult:
+    assert _WORKER_ENGINE is not None, "worker used before initialization"
+    return _WORKER_ENGINE.run_query_safe(query)

@@ -1,0 +1,151 @@
+"""The declarative query layer.
+
+One :class:`VerificationQuery` captures everything the paper's
+Definition 1 workflow needs to answer one question — "check risk ``psi``
+under scene property ``phi`` over feature set ``S~``" — plus *how* to
+answer it (method, solver backend, budget).  Queries are frozen value
+objects: the :class:`~repro.api.engine.VerificationEngine` plans and
+caches around them, and campaigns serialize them for provenance.
+
+Methods
+-------
+
+``exact``
+    The full strategy ladder: sound bound-propagation pre-screen, then a
+    relaxation-LP screen, then the complete solver, with an optional
+    refinement fallback when the solver hits its limits.
+``relaxed``
+    Incomplete but cheap: pre-screen plus the relaxation LP only.  The
+    LP refuting feasibility is a proof; an LP point that satisfies the
+    exact neuron semantics is a genuine counterexample; anything else
+    is ``UNKNOWN``.
+``refine``
+    The layer-wise incremental abstraction refinement loop
+    (:func:`repro.verification.refinement.verify_with_refinement`).
+``robustness``
+    The local-robustness baseline around a concrete feature vector
+    (:func:`repro.verification.robustness.verify_local_robustness`).
+``range``
+    Exact output-range analysis of one output coordinate
+    (:func:`repro.verification.output_range.output_range` semantics).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.properties.risk import RiskCondition
+
+
+class Method(enum.Enum):
+    """How a :class:`VerificationQuery` should be answered."""
+
+    EXACT = "exact"
+    RELAXED = "relaxed"
+    REFINE = "refine"
+    ROBUSTNESS = "robustness"
+    RANGE = "range"
+
+
+#: methods that answer a Definition 1 reachability question on a risk
+VERDICT_METHODS = (Method.EXACT, Method.RELAXED, Method.REFINE)
+
+
+@dataclass(frozen=True)
+class VerificationQuery:
+    """One declarative verification question.
+
+    ``risk`` is the undesired output region ``psi`` (required for the
+    verdict methods); ``property_name`` selects the characterizer ``phi``
+    conjunct (``None`` drops it); ``set_name`` names a feature set
+    registered with the engine.  ``solver`` overrides the engine default;
+    ``time_limit`` / ``node_limit`` bound the backend search.
+
+    ``robustness`` queries instead anchor an L∞ ball of radius
+    ``epsilon`` at ``anchor`` and require ``delta``-invariance; ``range``
+    queries target ``output_index``.
+    """
+
+    risk: RiskCondition | None = None
+    property_name: str | None = None
+    set_name: str = "data"
+    method: Method = Method.EXACT
+    solver: str | None = None
+    prescreen_domain: str | None = "interval"
+    time_limit: float | None = None
+    node_limit: int | None = None
+    # robustness-only parameters
+    anchor: tuple[float, ...] | None = None
+    epsilon: float | None = None
+    delta: float | None = None
+    # range-only parameter
+    output_index: int = 0
+    label: str | None = None
+    metadata: tuple[tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if isinstance(self.method, str):
+            object.__setattr__(self, "method", Method(self.method))
+        if self.method in VERDICT_METHODS and self.risk is None:
+            raise ValueError(f"{self.method.value} queries need a risk condition")
+        if self.method is Method.ROBUSTNESS:
+            if self.anchor is None or self.epsilon is None or self.delta is None:
+                raise ValueError(
+                    "robustness queries need anchor, epsilon and delta"
+                )
+            object.__setattr__(
+                self, "anchor", tuple(float(v) for v in self.anchor)
+            )
+            if self.epsilon <= 0.0 or self.delta <= 0.0:
+                raise ValueError(
+                    f"epsilon and delta must be positive, got "
+                    f"{self.epsilon}/{self.delta}"
+                )
+        if self.output_index < 0:
+            raise ValueError(f"output_index must be >= 0, got {self.output_index}")
+        if self.time_limit is not None and self.time_limit <= 0.0:
+            raise ValueError(f"time_limit must be positive, got {self.time_limit}")
+        if self.node_limit is not None and self.node_limit <= 0:
+            raise ValueError(f"node_limit must be positive, got {self.node_limit}")
+
+    @property
+    def name(self) -> str:
+        """Human-readable identifier for reports."""
+        if self.label is not None:
+            return self.label
+        phi = self.property_name or "*"
+        if self.method is Method.ROBUSTNESS:
+            return f"robustness(eps={self.epsilon:g}, delta={self.delta:g})"
+        if self.method is Method.RANGE:
+            return f"range[{self.output_index}] phi={phi} set={self.set_name}"
+        psi = self.risk.name if self.risk is not None else "*"
+        return f"{self.method.value} phi={phi} psi={psi} set={self.set_name}"
+
+    def encoding_key(self) -> tuple[str, str | None]:
+        """The cache identity of this query's encoding-relevant part."""
+        return (self.set_name, self.property_name)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description (for campaign provenance)."""
+        out: dict = {
+            "method": self.method.value,
+            "property": self.property_name,
+            "set": self.set_name,
+            "label": self.name,
+        }
+        if self.risk is not None:
+            out["risk"] = self.risk.name
+            # the name alone cannot distinguish threshold-sweep queries;
+            # the description carries the concrete parameters
+            out["risk_description"] = self.risk.description
+        if self.solver is not None:
+            out["solver"] = self.solver
+        if self.method is Method.ROBUSTNESS:
+            out["epsilon"] = self.epsilon
+            out["delta"] = self.delta
+        if self.method is Method.RANGE:
+            out["output_index"] = self.output_index
+        if self.metadata:
+            out["metadata"] = dict(self.metadata)
+        return out

@@ -2,14 +2,21 @@
 
 Subcommands::
 
-    python -m repro build    --out system_dir      # train + persist
-    python -m repro verify   --out system_dir      # run the campaign
-    python -m repro monitor  --out system_dir      # stream monitoring demo
-    python -m repro range    --out system_dir      # output-range frontier
+    python -m repro build     --out system_dir     # train + persist
+    python -m repro verify    --out system_dir     # canonical queries
+    python -m repro campaign  --out system_dir     # declarative grid sweep
+    python -m repro monitor   --out system_dir     # stream monitoring demo
+    python -m repro range     --out system_dir     # output-range frontier
 
 The ``build`` step persists the perception model, the feature envelope
 and characterizers into a directory; the other commands reload from it
 so experiments are repeatable without retraining.
+
+All verification commands run on the declarative :mod:`repro.api` stack:
+queries are :class:`~repro.api.VerificationQuery` values, batches are
+:class:`~repro.api.Campaign` grids, and execution (with ``--workers N``
+fan-out, shared encoding caches and JSON reports) goes through
+:class:`~repro.api.VerificationEngine`.
 """
 
 from __future__ import annotations
@@ -20,13 +27,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api import Campaign, VerificationEngine, VerificationQuery
 from repro.core import ExperimentConfig, build_verified_system
-from repro.core.workflow import SafetyVerifier
 from repro.nn.serialization import load_model, save_model
 from repro.perception.characterizer import Characterizer
 from repro.properties.library import STEER_STRAIGHT, steer_far_left
 from repro.scenario.dataset import generate_dataset
-from repro.verification.output_range import output_range
 
 
 def _build(args: argparse.Namespace) -> int:
@@ -36,6 +42,8 @@ def _build(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         seed=args.seed,
         properties=tuple(args.properties),
+        characterizer_epochs=args.characterizer_epochs,
+        characterizer_scenes=args.characterizer_scenes,
     )
     system = build_verified_system(config, verbose=args.verbose)
     out = Path(args.out)
@@ -73,17 +81,18 @@ def _build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load(out: Path) -> tuple[SafetyVerifier, dict]:
+def _load(out: Path, solver: str = "branch-and-bound") -> tuple[VerificationEngine, dict]:
+    """Rebuild a :class:`VerificationEngine` from a persisted system."""
     meta = json.loads((out / "meta.json").read_text())
     model = load_model(out / "perception.npz")
     with np.load(out / "features.npz") as arrays:
         train_features = arrays["train_features"]
-    verifier = SafetyVerifier(model, meta["cut_layer"])
-    verifier.add_feature_set_from_features(train_features, kind="box+diff")
+    engine = VerificationEngine(model, meta["cut_layer"], solver=solver)
+    engine.add_feature_set_from_features(train_features, kind="box+diff")
     for name in meta["properties"]:
         network = load_model(out / f"characterizer_{name}.npz")
         meta_c = json.loads((out / f"characterizer_{name}.json").read_text())
-        verifier.attach_characterizer(
+        engine.attach_characterizer(
             Characterizer(
                 property_name=name,
                 cut_layer=meta_c["cut_layer"],
@@ -93,56 +102,92 @@ def _load(out: Path) -> tuple[SafetyVerifier, dict]:
                 threshold=meta_c["threshold"],
             )
         )
-    return verifier, meta
+    return engine, meta
 
 
 def _verify(args: argparse.Namespace) -> int:
-    verifier, meta = _load(Path(args.out))
+    engine, meta = _load(Path(args.out), solver=args.solver)
     prop = meta["properties"][0]
-    reach = output_range(
-        verifier.suffix,
-        verifier.feature_set("data"),
-        verifier.characterizers[prop].as_piecewise_linear(),
+    reach = engine.run_query(
+        VerificationQuery(method="range", property_name=prop)
+    ).output_range
+    campaign = Campaign("canonical").add(
+        VerificationQuery(risk=steer_far_left(reach.upper + 0.25), property_name=prop),
+        VerificationQuery(risk=STEER_STRAIGHT, property_name=prop),
     )
-    campaign = [
-        (prop, steer_far_left(reach.upper + 0.25)),
-        (prop, STEER_STRAIGHT),
-    ]
+    report = engine.run(campaign, workers=args.workers)
     failures = 0
-    for name, risk in campaign:
-        verdict = verifier.verify(risk, property_name=name)
-        print(f"\nphi={name} psi={risk.name}")
-        print(verdict.summary())
-        if not verdict.proved:
+    for result in report:
+        print(f"\n{result.query.name}")
+        if not result.ok:
+            print(f"error: {result.error}")
+            continue
+        print(result.verdict.summary())
+        if not result.verdict.proved:
             failures += 1
+    print(f"\n{report.summary()}")
+    if report.errors:
+        # hard errors (broken system dir, bad query) are never tolerated;
+        # --allow-unsafe only forgives unproved *verdicts*
+        return 1
     return 0 if args.allow_unsafe else min(failures, 1)
 
 
+def _campaign(args: argparse.Namespace) -> int:
+    engine, meta = _load(Path(args.out), solver=args.solver)
+    reach = engine.run_query(VerificationQuery(method="range")).output_range
+    thresholds = np.linspace(reach.lower, reach.upper + 0.5, args.thresholds)
+    campaign = Campaign("cli-sweep").add_grid(
+        risks=[steer_far_left(round(float(t), 3)) for t in thresholds],
+        properties=(*meta["properties"], None),
+        method=args.method,
+    )
+    report = engine.run(campaign, workers=args.workers)
+    print(report.summary())
+    for result in report:
+        status = (
+            result.verdict.verdict.value
+            if result.ok and result.verdict is not None
+            else (result.error or "?")
+        )
+        phi = result.query.property_name or "*"
+        print(
+            f"  phi={phi:<14} {result.query.risk.description:<42} "
+            f"{status} ({result.elapsed:.3f}s)"
+        )
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        print(f"\nreport written to {args.json}")
+    return 1 if report.errors else 0
+
+
 def _monitor(args: argparse.Namespace) -> int:
-    verifier, _ = _load(Path(args.out))
+    engine, _ = _load(Path(args.out))
     data = generate_dataset(args.frames, seed=args.seed + 1)
-    monitor = verifier.make_monitor(keep_events=False)
+    monitor = engine.make_monitor(keep_events=False)
     report = monitor.run(data.images)
     print(report.summary())
     return 0
 
 
 def _range(args: argparse.Namespace) -> int:
-    verifier, meta = _load(Path(args.out))
-    for name in meta["properties"]:
-        characterizer = verifier.characterizers[name].as_piecewise_linear()
-        for index, label in ((0, "waypoint"), (1, "orientation")):
-            reach = output_range(
-                verifier.suffix,
-                verifier.feature_set("data"),
-                characterizer,
-                output_index=index,
-            )
-            print(
-                f"{name}: {label} in [{reach.lower:.3f}, {reach.upper:.3f}]"
-                f"{'' if reach.exact else ' (not proved optimal)'}"
-            )
-    return 0
+    engine, meta = _load(Path(args.out), solver="highs")
+    campaign = Campaign("frontier").add_ranges(
+        output_indices=(0, 1), properties=meta["properties"]
+    )
+    report = engine.run(campaign, workers=args.workers)
+    labels = {0: "waypoint", 1: "orientation"}
+    for result in report:
+        if not result.ok:
+            print(f"{result.query.name}: error: {result.error}")
+            continue
+        reach = result.output_range
+        print(
+            f"{result.query.property_name}: {labels[reach.output_index]} in "
+            f"[{reach.lower:.3f}, {reach.upper:.3f}]"
+            f"{'' if reach.exact else ' (not proved optimal)'}"
+        )
+    return 1 if report.errors else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -160,17 +205,32 @@ def main(argv: list[str] | None = None) -> int:
     build.add_argument(
         "--properties", nargs="+", default=["bends_right", "bends_left"]
     )
+    build.add_argument("--characterizer-epochs", type=int, default=200)
+    build.add_argument("--characterizer-scenes", type=int, default=400)
     build.add_argument("--verbose", action="store_true")
     build.set_defaults(func=_build)
 
     verify = sub.add_parser("verify", help="run the canonical campaign")
     verify.add_argument("--out", default="system")
+    verify.add_argument("--solver", default="branch-and-bound")
+    verify.add_argument("--workers", type=int, default=1)
     verify.add_argument(
         "--allow-unsafe",
         action="store_true",
         help="exit 0 even when a property has a counterexample",
     )
     verify.set_defaults(func=_verify)
+
+    campaign = sub.add_parser(
+        "campaign", help="threshold-sweep campaign over all properties"
+    )
+    campaign.add_argument("--out", default="system")
+    campaign.add_argument("--solver", default="branch-and-bound")
+    campaign.add_argument("--method", default="exact", choices=["exact", "relaxed"])
+    campaign.add_argument("--thresholds", type=int, default=8)
+    campaign.add_argument("--workers", type=int, default=1)
+    campaign.add_argument("--json", default=None, help="write the JSON report here")
+    campaign.set_defaults(func=_campaign)
 
     monitor = sub.add_parser("monitor", help="monitor a fresh in-ODD stream")
     monitor.add_argument("--out", default="system")
@@ -180,6 +240,7 @@ def main(argv: list[str] | None = None) -> int:
 
     rng = sub.add_parser("range", help="exact output-range frontier")
     rng.add_argument("--out", default="system")
+    rng.add_argument("--workers", type=int, default=1)
     rng.set_defaults(func=_range)
 
     args = parser.parse_args(argv)

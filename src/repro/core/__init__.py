@@ -1,10 +1,13 @@
 """End-to-end workflow (Figure 1 of the paper).
 
-:class:`~repro.core.workflow.SafetyVerifier` wires the pieces together:
-cut-layer selection, characterizer attachment, feature-set construction
-(data-derived ``S~`` or statically propagated ``S``), MILP encoding,
-solving, and verdict interpretation.  :mod:`repro.core.pipeline` builds
-a fully trained system from a config in one call.
+:class:`~repro.core.workflow.SafetyVerifier` is the legacy one-object
+entry point — since the :mod:`repro.api` redesign a thin shim over
+:class:`repro.api.VerificationEngine`, which owns cut-layer selection,
+characterizer attachment, feature-set construction (data-derived ``S~``
+or statically propagated ``S``), encoding caches, solving and verdict
+interpretation.  :mod:`repro.core.pipeline` builds a fully trained
+system from a config in one call; prefer ``system.verifier.engine`` and
+:class:`repro.api.Campaign` for new code.
 """
 
 from repro.core.config import ExperimentConfig

@@ -1,8 +1,15 @@
-"""The Figure 1 safety-verification workflow.
+"""The Figure 1 safety-verification workflow (compatibility shim).
 
-:class:`SafetyVerifier` holds a trained direct-perception model, a cut
-layer ``l``, trained characterizers and one or more feature sets, and
-answers Definition 1 queries by MILP:
+:class:`SafetyVerifier` is the legacy one-object entry point for
+Definition 1 queries.  Since the :mod:`repro.api` redesign it is a thin
+shim over :class:`repro.api.engine.VerificationEngine`, which owns the
+model/cut-layer state, plans the strategy ladder (prescreen → relaxed
+LP → complete solver) and caches all risk-independent artifacts.  Use
+the engine — and :class:`repro.api.campaign.Campaign` batches — for
+anything beyond one-off queries; this class remains so existing
+notebooks, benchmarks and tests keep working unchanged.
+
+The verification semantics are unchanged:
 
 1. lower the suffix ``g^(l+1..L)`` to piecewise-linear ops,
 2. conjoin: ``n̂ ∈ S`` (bounds + shape constraints), characterizer
@@ -18,42 +25,40 @@ every input in the chosen input box.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.verdict import Verdict, VerificationVerdict
+from repro.core.verdict import VerificationVerdict
 from repro.monitor.runtime import RuntimeMonitor
 from repro.nn.sequential import Sequential
 from repro.perception.characterizer import Characterizer
-from repro.perception.features import extract_features
 from repro.properties.risk import RiskCondition
-from repro.verification.abstraction.octagon import box_with_diffs_from_zonotope
-from repro.verification.abstraction.propagate import propagate_input_box
-from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
-from repro.verification.assume_guarantee import feature_set_from_data
-from repro.verification.counterexample import decode_witness
-from repro.verification.milp.encoder import encode_verification_problem
-from repro.verification.milp.relaxed import encode_relaxed_problem
-from repro.verification.prescreen import prescreen
-from repro.verification.solver.case_split import PhaseSplitSolver
 from repro.verification.sets import FeatureSet
-from repro.verification.solver import make_solver
-from repro.verification.solver.result import SolveResult, SolveStatus
 from repro.verification.statistical import ConfusionEstimate
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.engine import RegisteredFeatureSet, VerificationEngine
 
-@dataclass(frozen=True)
-class _RegisteredSet:
-    """A feature set plus its provenance (decides verdict semantics)."""
 
-    feature_set: FeatureSet
-    kind: str
-    sound: bool  #: True = valid for all inputs (Lemma 2); False = needs monitor
+def __getattr__(name: str):
+    # legacy alias — external code imported the private registration
+    # record; resolved lazily because repro.api.engine imports this
+    # package's sibling modules (cycle otherwise)
+    if name == "_RegisteredSet":
+        from repro.api.engine import RegisteredFeatureSet
+
+        return RegisteredFeatureSet
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class SafetyVerifier:
-    """End-to-end verifier for one model at one cut layer."""
+    """End-to-end verifier for one model at one cut layer.
+
+    Thin delegation layer over :class:`repro.api.VerificationEngine`;
+    the engine instance is available as :attr:`engine` for callers ready
+    to adopt the declarative query/campaign API.
+    """
 
     def __init__(
         self,
@@ -62,38 +67,51 @@ class SafetyVerifier:
         solver: str = "branch-and-bound",
         **solver_options,
     ):
-        model._check_index(cut_layer, allow_zero=True)
-        if cut_layer not in model.piecewise_linear_cut_points():
-            raise ValueError(
-                f"layers after cut {cut_layer} are not all piecewise-linear; "
-                f"valid cuts: {model.piecewise_linear_cut_points()}"
-            )
-        self.model = model
-        self.cut_layer = cut_layer
-        self.suffix = model.suffix_network(cut_layer)
-        self.solver_name = solver
-        self.solver_options = dict(solver_options)
-        self.characterizers: dict[str, Characterizer] = {}
-        self._sets: dict[str, _RegisteredSet] = {}
+        # deferred: repro.api.engine imports repro.core.verdict, so a
+        # module-level import would be circular when repro.api loads first
+        from repro.api.engine import VerificationEngine
 
-    # -- characterizers ------------------------------------------------------
+        self.engine = VerificationEngine(
+            model, cut_layer, solver=solver, **solver_options
+        )
+
+    # -- engine state, exposed under the legacy names ----------------------
+
+    @property
+    def model(self) -> Sequential:
+        return self.engine.model
+
+    @property
+    def cut_layer(self) -> int:
+        return self.engine.cut_layer
+
+    @property
+    def suffix(self):
+        return self.engine.suffix
+
+    @property
+    def solver_name(self) -> str:
+        return self.engine.solver_name
+
+    @property
+    def solver_options(self) -> dict:
+        return self.engine.solver_options
+
+    @property
+    def characterizers(self) -> dict[str, Characterizer]:
+        return self.engine.characterizers
+
+    @property
+    def _sets(self) -> dict[str, RegisteredFeatureSet]:
+        return self.engine._sets
+
+    # -- characterizers ----------------------------------------------------
 
     def attach_characterizer(self, characterizer: Characterizer) -> None:
         """Register a trained ``h^phi_l`` (must match the cut layer)."""
-        if characterizer.cut_layer != self.cut_layer:
-            raise ValueError(
-                f"characterizer was trained at layer {characterizer.cut_layer}, "
-                f"verifier cuts at {self.cut_layer}"
-            )
-        expected = self.model.feature_dim(self.cut_layer)
-        if characterizer.network.input_shape != (expected,):
-            raise ValueError(
-                f"characterizer input shape {characterizer.network.input_shape} "
-                f"does not match feature dimension {expected}"
-            )
-        self.characterizers[characterizer.property_name] = characterizer
+        self.engine.attach_characterizer(characterizer)
 
-    # -- feature sets ------------------------------------------------------------
+    # -- feature sets ------------------------------------------------------
 
     def add_feature_set_from_data(
         self,
@@ -101,12 +119,12 @@ class SafetyVerifier:
         kind: str = "box+diff",
         margin: float = 0.0,
         name: str = "data",
+        overwrite: bool = False,
     ) -> FeatureSet:
         """Build ``S~`` from training images (assume-guarantee, Section II.B.b)."""
-        features = extract_features(self.model, images, self.cut_layer)
-        feature_set = feature_set_from_data(features, kind=kind, margin=margin)
-        self._sets[name] = _RegisteredSet(feature_set, f"{kind}(data)", sound=False)
-        return feature_set
+        return self.engine.add_feature_set_from_data(
+            images, kind=kind, margin=margin, name=name, overwrite=overwrite
+        )
 
     def add_feature_set_from_features(
         self,
@@ -114,11 +132,12 @@ class SafetyVerifier:
         kind: str = "box+diff",
         margin: float = 0.0,
         name: str = "data",
+        overwrite: bool = False,
     ) -> FeatureSet:
         """Like :meth:`add_feature_set_from_data` on precomputed features."""
-        feature_set = feature_set_from_data(features, kind=kind, margin=margin)
-        self._sets[name] = _RegisteredSet(feature_set, f"{kind}(data)", sound=False)
-        return feature_set
+        return self.engine.add_feature_set_from_features(
+            features, kind=kind, margin=margin, name=name, overwrite=overwrite
+        )
 
     def add_static_feature_set(
         self,
@@ -126,49 +145,26 @@ class SafetyVerifier:
         input_upper: float | np.ndarray = 1.0,
         domain: str = "interval",
         name: str = "static",
+        overwrite: bool = False,
     ) -> FeatureSet:
         """Sound ``S`` by abstract interpretation from an input box (Lemma 2)."""
-        if domain == "interval":
-            feature_set: FeatureSet = propagate_input_box(
-                self.model, input_lower, input_upper, self.cut_layer
-            )
-        elif domain == "zonotope":
-            box = propagate_input_box(self.model, input_lower, input_upper, 0)
-            prefix = self.model.suffix_network(0)  # full net as PL ops
-            # propagate only up to the cut: lower the prefix explicitly
-            from repro.nn.graph import lower_layers
-
-            prefix_net = lower_layers(
-                self.model.layers[: self.cut_layer],
-                self.model.feature_dim(0),
-            )
-            zonotope = propagate_zonotope(prefix_net, Zonotope.from_box(box))
-            feature_set = box_with_diffs_from_zonotope(zonotope)
-        else:
-            raise ValueError(f"unknown domain {domain!r}; use interval or zonotope")
-        self._sets[name] = _RegisteredSet(feature_set, f"{domain}(static)", sound=True)
-        return feature_set
-
-    def add_raw_set(self, feature_set: FeatureSet, sound: bool, name: str) -> None:
-        """Register a caller-constructed set (e.g. Lemma 1 surrogate box)."""
-        if feature_set.dim != self.model.feature_dim(self.cut_layer):
-            raise ValueError(
-                f"set dimension {feature_set.dim} does not match cut layer "
-                f"dimension {self.model.feature_dim(self.cut_layer)}"
-            )
-        self._sets[name] = _RegisteredSet(
-            feature_set, f"{type(feature_set).__name__}(raw)", sound=sound
+        return self.engine.add_static_feature_set(
+            input_lower, input_upper, domain=domain, name=name, overwrite=overwrite
         )
 
+    def add_raw_set(
+        self, feature_set: FeatureSet, sound: bool, name: str, overwrite: bool = False
+    ) -> None:
+        """Register a caller-constructed set (e.g. Lemma 1 surrogate box)."""
+        self.engine.add_raw_set(feature_set, sound, name, overwrite=overwrite)
+
     def feature_set(self, name: str) -> FeatureSet:
-        return self._registered(name).feature_set
+        return self.engine.feature_set(name)
 
-    def _registered(self, name: str) -> _RegisteredSet:
-        if name not in self._sets:
-            raise KeyError(f"no feature set {name!r}; known: {sorted(self._sets)}")
-        return self._sets[name]
+    def _registered(self, name: str) -> RegisteredFeatureSet:
+        return self.engine._registered(name)
 
-    # -- verification ------------------------------------------------------------
+    # -- verification ------------------------------------------------------
 
     def verify(
         self,
@@ -185,95 +181,20 @@ class SafetyVerifier:
         in the feature set.
 
         ``prescreen_domain`` enables the cheap sound bound-propagation
-        check (:mod:`repro.verification.prescreen`) before the exact MILP
-        solve; pass ``None`` to always run the solver.
+        check (:mod:`repro.verification.prescreen`) before the exact
+        solve; pass ``None`` to always run the solver.  Equivalent to
+        ``engine.run_query(VerificationQuery(...)).verdict``.
         """
-        registered = self._registered(set_name)
-
-        if prescreen_domain is not None:
-            screen = prescreen(
-                self.suffix, registered.feature_set, risk, domain=prescreen_domain
-            )
-            if screen.excluded:
-                verdict = (
-                    Verdict.SAFE if registered.sound else Verdict.CONDITIONALLY_SAFE
-                )
-                return VerificationVerdict(
-                    verdict=verdict,
-                    property_name=property_name,
-                    risk=risk,
-                    feature_set_kind=registered.kind,
-                    monitored=not registered.sound,
-                    solve_result=SolveResult(
-                        status=SolveStatus.UNSAT,
-                        stats={"prescreen": screen.domain},
-                    ),
-                    confusion=confusion,
-                )
-        characterizer_net = None
-        if property_name is not None:
-            if property_name not in self.characterizers:
-                raise KeyError(
-                    f"no characterizer for {property_name!r}; "
-                    f"attached: {sorted(self.characterizers)}"
-                )
-            characterizer = self.characterizers[property_name]
-            characterizer_net = characterizer.as_piecewise_linear()
-
-        threshold = (
-            self.characterizers[property_name].threshold
-            if property_name is not None
-            else 0.0
-        )
-        if self.solver_name in ("phase-split", "planet"):
-            # the ReLUplex/Planet lineage: relaxation LP + case splitting
-            problem = encode_relaxed_problem(
-                self.suffix,
-                registered.feature_set,
-                risk,
-                characterizer=characterizer_net,
-                characterizer_threshold=threshold,
-            )
-            solver = PhaseSplitSolver(**self.solver_options)
-            result = solver.solve(problem)
-        else:
-            problem = encode_verification_problem(
-                self.suffix,
-                registered.feature_set,
-                risk,
-                characterizer=characterizer_net,
-                characterizer_threshold=threshold,
-            )
-            solver = make_solver(self.solver_name, **self.solver_options)
-            result = solver.solve(problem.model)
-
-        counterexample = None
-        if result.status is SolveStatus.SAT:
-            verdict = Verdict.UNSAFE_IN_SET
-            counterexample = decode_witness(
-                problem, result.witness, self.model, self.cut_layer, risk
-            )
-        elif result.status is SolveStatus.UNSAT:
-            verdict = Verdict.SAFE if registered.sound else Verdict.CONDITIONALLY_SAFE
-        else:
-            verdict = Verdict.UNKNOWN
-
-        return VerificationVerdict(
-            verdict=verdict,
+        return self.engine.verify(
+            risk,
             property_name=property_name,
-            risk=risk,
-            feature_set_kind=registered.kind,
-            monitored=not registered.sound,
-            solve_result=result,
-            counterexample=counterexample,
+            set_name=set_name,
             confusion=confusion,
+            prescreen_domain=prescreen_domain,
         )
 
-    # -- deployment ---------------------------------------------------------------
+    # -- deployment --------------------------------------------------------
 
     def make_monitor(self, set_name: str = "data", keep_events: bool = True) -> RuntimeMonitor:
         """Runtime monitor discharging the assume-guarantee assumption."""
-        registered = self._registered(set_name)
-        return RuntimeMonitor(
-            self.model, self.cut_layer, registered.feature_set, keep_events=keep_events
-        )
+        return self.engine.make_monitor(set_name, keep_events=keep_events)

@@ -35,6 +35,25 @@ from repro.verification.milp.model import MILPModel
 from repro.verification.sets import Box, FeatureSet
 
 
+def append_risk_rows(
+    model: MILPModel, output_vars: list[int], risk: RiskCondition
+) -> None:
+    """Conjoin every ``a . y <= b`` row of ``risk`` onto encoded outputs.
+
+    The single definition of how a risk condition meets a MILP model —
+    used by both encoders, the refinement chain, and the ``repro.api``
+    engine when it appends per-query rows to a cached base encoding.
+    """
+    a_risk, b_risk = risk.as_matrix()
+    for row, rhs in zip(a_risk, b_risk):
+        coeffs = {
+            output_vars[j]: float(row[j])
+            for j in range(len(output_vars))
+            if row[j] != 0.0
+        }
+        model.add_leq(coeffs, float(rhs))
+
+
 @dataclass
 class EncodedProblem:
     """A MILP model plus the variable maps needed to decode witnesses."""
@@ -179,6 +198,9 @@ def encode_verification_problem(
     risk: RiskCondition,
     characterizer: PiecewiseLinearNetwork | None = None,
     characterizer_threshold: float = 0.0,
+    *,
+    suffix_bounds: list[tuple[Box, Box]] | None = None,
+    characterizer_bounds: list[tuple[Box, Box]] | None = None,
 ) -> EncodedProblem:
     """Encode "exists ``n̂ ∈ S~`` with ``h(n̂)`` accepting and ``psi`` holding".
 
@@ -186,6 +208,12 @@ def encode_verification_problem(
     ``characterizer`` (optional) maps the same cut-layer features to a
     single acceptance logit; ``h(n̂) = 1`` becomes ``logit >= threshold``.
     Omitting the characterizer verifies the risk over all of ``S~``.
+
+    ``suffix_bounds`` / ``characterizer_bounds`` let callers that encode
+    the same ``(network, feature_set)`` pair repeatedly (the
+    ``repro.api`` engine) pass precomputed
+    :func:`~repro.verification.milp.bigm.op_bounds_for_set` results
+    instead of re-propagating per query.
     """
     if risk.dim != suffix.out_dim:
         raise ValueError(
@@ -219,28 +247,21 @@ def encode_verification_problem(
 
     # main sub-network g^(l+1..L)
     net_encoder = _NetworkEncoder(model, "f.")
-    output_vars = net_encoder.encode(
-        suffix, input_vars, op_bounds_for_set(suffix, feature_set)
-    )
+    if suffix_bounds is None:
+        suffix_bounds = op_bounds_for_set(suffix, feature_set)
+    output_vars = net_encoder.encode(suffix, input_vars, suffix_bounds)
 
     # risk condition psi over the outputs: every inequality must hold
-    a_risk, b_risk = risk.as_matrix()
-    for row, rhs in zip(a_risk, b_risk):
-        coeffs = {
-            output_vars[j]: float(row[j])
-            for j in range(len(output_vars))
-            if row[j] != 0.0
-        }
-        model.add_leq(coeffs, float(rhs))
+    append_risk_rows(model, output_vars, risk)
 
     # characterizer acceptance h(n̂) = 1
     logit_var = None
     char_outputs: list[int] = []
     if characterizer is not None:
         char_encoder = _NetworkEncoder(model, "h.")
-        char_outputs = char_encoder.encode(
-            characterizer, input_vars, op_bounds_for_set(characterizer, feature_set)
-        )
+        if characterizer_bounds is None:
+            characterizer_bounds = op_bounds_for_set(characterizer, feature_set)
+        char_outputs = char_encoder.encode(characterizer, input_vars, characterizer_bounds)
         logit_var = char_outputs[0]
         # logit >= threshold  <=>  -logit <= -threshold
         model.add_leq({logit_var: -1.0}, -characterizer_threshold)

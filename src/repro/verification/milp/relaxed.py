@@ -29,6 +29,7 @@ from repro.nn.graph import (
 )
 from repro.properties.risk import RiskCondition
 from repro.verification.milp.bigm import op_bounds_for_set
+from repro.verification.milp.encoder import append_risk_rows
 from repro.verification.milp.model import MILPModel
 from repro.verification.sets import Box, FeatureSet
 
@@ -223,8 +224,16 @@ def encode_relaxed_problem(
     risk: RiskCondition,
     characterizer: PiecewiseLinearNetwork | None = None,
     characterizer_threshold: float = 0.0,
+    *,
+    suffix_bounds: list[tuple[Box, Box]] | None = None,
+    characterizer_bounds: list[tuple[Box, Box]] | None = None,
 ) -> RelaxedProblem:
-    """Relaxed (binary-free) version of the verification encoding."""
+    """Relaxed (binary-free) version of the verification encoding.
+
+    ``suffix_bounds`` / ``characterizer_bounds`` accept precomputed
+    :func:`~repro.verification.milp.bigm.op_bounds_for_set` results, as
+    in :func:`~repro.verification.milp.encoder.encode_verification_problem`.
+    """
     if risk.dim != suffix.out_dim:
         raise ValueError(
             f"risk condition is over {risk.dim} outputs, network has {suffix.out_dim}"
@@ -251,24 +260,17 @@ def encode_relaxed_problem(
             model.add_leq(coeffs, float(rhs))
 
     net_encoder = _RelaxedEncoder(problem, "f.")
-    problem.output_vars = net_encoder.encode(
-        suffix, input_vars, op_bounds_for_set(suffix, feature_set)
-    )
+    if suffix_bounds is None:
+        suffix_bounds = op_bounds_for_set(suffix, feature_set)
+    problem.output_vars = net_encoder.encode(suffix, input_vars, suffix_bounds)
 
-    a_risk, b_risk = risk.as_matrix()
-    for row, rhs in zip(a_risk, b_risk):
-        coeffs = {
-            problem.output_vars[j]: float(row[j])
-            for j in range(len(problem.output_vars))
-            if row[j] != 0.0
-        }
-        model.add_leq(coeffs, float(rhs))
+    append_risk_rows(model, problem.output_vars, risk)
 
     if characterizer is not None:
         char_encoder = _RelaxedEncoder(problem, "h.")
-        char_outputs = char_encoder.encode(
-            characterizer, input_vars, op_bounds_for_set(characterizer, feature_set)
-        )
+        if characterizer_bounds is None:
+            characterizer_bounds = op_bounds_for_set(characterizer, feature_set)
+        char_outputs = char_encoder.encode(characterizer, input_vars, characterizer_bounds)
         problem.characterizer_logit_var = char_outputs[0]
         model.add_leq(
             {problem.characterizer_logit_var: -1.0}, -characterizer_threshold

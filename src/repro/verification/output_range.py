@@ -37,8 +37,39 @@ class OutputRange:
         return self.upper - self.lower
 
 
-def _trivial_risk(dim: int) -> RiskCondition:
+def trivial_reachability_risk(dim: int) -> RiskCondition:
+    """A risk placeholder no output can violate (pure reachability)."""
     return RiskCondition("reachability", (output_geq(dim, 0, -1e9),))
+
+
+def optimize_range(problem, backend, output_index: int = 0) -> OutputRange:
+    """Min/max of one output coordinate over an already-encoded problem.
+
+    Shared by :func:`output_range` (fresh encoding per call) and the
+    ``repro.api`` engine (cached encodings).  Mutates the problem's
+    objective; callers reusing the model must restore it afterwards.
+    Raises :class:`ValueError` on an empty region and
+    :class:`RuntimeError` when the solver gives up without an incumbent.
+    """
+    target = problem.output_vars[output_index]
+    exact = True
+    bounds = []
+    for sign in (1.0, -1.0):  # minimize, then maximize (via negation)
+        problem.model.set_objective({target: sign})
+        result = backend.minimize(problem.model)
+        if result.status is SolveStatus.UNSAT:
+            raise ValueError(
+                "constrained feature region is empty; the characterizer never "
+                "accepts inside the feature set"
+            )
+        if result.status is SolveStatus.UNKNOWN:
+            raise RuntimeError("solver hit its resource limit before any incumbent")
+        if not result.stats.get("proved_optimal", True):
+            exact = False
+        bounds.append(sign * result.objective)
+
+    lower, upper = bounds
+    return OutputRange(output_index=output_index, lower=lower, upper=upper, exact=exact)
 
 
 def output_range(
@@ -59,26 +90,6 @@ def output_range(
             f"output index {output_index} out of range for {suffix.out_dim} outputs"
         )
     problem = encode_verification_problem(
-        suffix, feature_set, _trivial_risk(suffix.out_dim), characterizer
+        suffix, feature_set, trivial_reachability_risk(suffix.out_dim), characterizer
     )
-    target = problem.output_vars[output_index]
-    backend = make_solver(solver, **solver_options)
-
-    exact = True
-    bounds = []
-    for sign in (1.0, -1.0):  # minimize, then maximize (via negation)
-        problem.model.set_objective({target: sign})
-        result = backend.minimize(problem.model)
-        if result.status is SolveStatus.UNSAT:
-            raise ValueError(
-                "constrained feature region is empty; the characterizer never "
-                "accepts inside the feature set"
-            )
-        if result.status is SolveStatus.UNKNOWN:
-            raise RuntimeError("solver hit its resource limit before any incumbent")
-        if not result.stats.get("proved_optimal", True):
-            exact = False
-        bounds.append(sign * result.objective)
-
-    lower, upper = bounds
-    return OutputRange(output_index=output_index, lower=lower, upper=upper, exact=exact)
+    return optimize_range(problem, make_solver(solver, **solver_options), output_index)

@@ -46,6 +46,52 @@ def _linear_upper_bound(
     return float(np.sum(np.where(a >= 0.0, a * upper, a * lower)))
 
 
+def output_enclosure(
+    suffix: PiecewiseLinearNetwork, feature_set: FeatureSet, domain: str = "interval"
+):
+    """Risk-independent half of the pre-screen: the output enclosure.
+
+    Propagates the feature set's interval hull through ``suffix`` and
+    returns the abstract output element (a box for ``interval`` /
+    ``symbolic``, a zonotope for ``zonotope``).  The enclosure depends
+    only on ``(feature_set, domain)``, so callers screening many risk
+    conditions over one set (``repro.api.VerificationEngine``) compute it
+    once and reuse it via :func:`screen_enclosure`.
+    """
+    hull = Box(*feature_set.bounds())
+    if domain == "interval":
+        return propagate_box(suffix, hull)
+    if domain == "symbolic":
+        return propagate_symbolic(suffix, hull)
+    if domain == "zonotope":
+        return propagate_zonotope(suffix, hull)
+    raise ValueError(f"unknown domain {domain!r}; use interval, symbolic or zonotope")
+
+
+def screen_enclosure(enclosure, risk: RiskCondition, domain: str) -> PrescreenResult:
+    """Risk-dependent half: margin check against a precomputed enclosure."""
+    a_matrix, b_vector = risk.as_matrix()
+    if domain in ("interval", "symbolic"):
+        lower, upper = enclosure.lower, enclosure.upper
+        margins = [
+            b - (-_linear_upper_bound(-a, lower, upper))  # b - min(a.y)
+            for a, b in zip(a_matrix, b_vector)
+        ]
+    elif domain == "zonotope":
+        margins = [
+            b - enclosure.linear_value_bounds(a)[0]
+            for a, b in zip(a_matrix, b_vector)
+        ]
+    else:
+        raise ValueError(
+            f"unknown domain {domain!r}; use interval, symbolic or zonotope"
+        )
+    worst = float(min(margins))
+    return PrescreenResult(
+        excluded=worst < 0.0, domain=domain, best_possible_margin=worst
+    )
+
+
 def prescreen(
     suffix: PiecewiseLinearNetwork,
     feature_set: FeatureSet,
@@ -63,30 +109,4 @@ def prescreen(
         raise ValueError(
             f"risk is over {risk.dim} outputs, network has {suffix.out_dim}"
         )
-    hull = Box(*feature_set.bounds())
-    if domain in ("interval", "symbolic"):
-        if domain == "interval":
-            out = propagate_box(suffix, hull)
-        else:
-            out = propagate_symbolic(suffix, hull)
-        lower, upper = out.lower, out.upper
-        a_matrix, b_vector = risk.as_matrix()
-        margins = [
-            b - (-_linear_upper_bound(-a, lower, upper))  # b - min(a.y)
-            for a, b in zip(a_matrix, b_vector)
-        ]
-    elif domain == "zonotope":
-        zonotope = propagate_zonotope(suffix, hull)
-        a_matrix, b_vector = risk.as_matrix()
-        margins = [
-            b - zonotope.linear_value_bounds(a)[0] for a, b in zip(a_matrix, b_vector)
-        ]
-    else:
-        raise ValueError(
-            f"unknown domain {domain!r}; use interval, symbolic or zonotope"
-        )
-
-    worst = float(min(margins))
-    return PrescreenResult(
-        excluded=worst < 0.0, domain=domain, best_possible_margin=worst
-    )
+    return screen_enclosure(output_enclosure(suffix, feature_set, domain), risk, domain)

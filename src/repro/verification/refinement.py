@@ -34,7 +34,11 @@ from repro.perception.features import extract_features
 from repro.properties.risk import RiskCondition, output_geq, output_leq
 from repro.verification.counterexample import FeatureCounterexample
 from repro.verification.milp.bigm import op_bounds_for_set
-from repro.verification.milp.encoder import EncodedProblem, _NetworkEncoder
+from repro.verification.milp.encoder import (
+    EncodedProblem,
+    _NetworkEncoder,
+    append_risk_rows,
+)
 from repro.verification.milp.model import MILPModel
 from repro.verification.sets import Box, FeatureSet
 from repro.verification.assume_guarantee import feature_set_from_data
@@ -92,14 +96,7 @@ def encode_chained_problem(
         suffix, current_vars, op_bounds_for_set(suffix, current_set)
     )
 
-    a_risk, b_risk = risk.as_matrix()
-    for row, rhs in zip(a_risk, b_risk):
-        coeffs = {
-            output_vars[j]: float(row[j])
-            for j in range(len(output_vars))
-            if row[j] != 0.0
-        }
-        milp.add_leq(coeffs, float(rhs))
+    append_risk_rows(milp, output_vars, risk)
 
     logit_var = None
     if characterizer is not None:

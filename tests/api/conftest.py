@@ -1,0 +1,26 @@
+"""Fixtures for the declarative API tests: a small trained MLP system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception.characterizer import train_characterizer
+from repro.perception.network import build_mlp_perception_network, default_cut_layer
+
+
+@pytest.fixture(scope="module")
+def api_system():
+    """(model, images, cut, characterizer) over synthetic 6-d 'images'."""
+    rng = np.random.default_rng(12345)
+    model = build_mlp_perception_network(
+        input_dim=6, hidden=(12,), feature_width=6, seed=4
+    )
+    images = rng.uniform(0, 1, size=(200, 6))
+    cut = default_cut_layer(model)
+    features = model.prefix_apply(images, cut)
+    labels = (features[:, 0] > np.median(features[:, 0])).astype(float)
+    characterizer, _ = train_characterizer(
+        "high_f0", cut, features, labels, features, labels, epochs=100, seed=0
+    )
+    return model, images, cut, characterizer

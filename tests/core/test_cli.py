@@ -51,6 +51,31 @@ class TestVerify:
         assert code in (0, 1)
 
 
+class TestCampaign:
+    def test_sweep_with_json_report(self, built_system_dir, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "campaign",
+                "--out",
+                str(built_system_dir),
+                "--thresholds",
+                "4",
+                "--workers",
+                "2",
+                "--json",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "queries" in output and "cli-sweep" in output
+        payload = json.loads(report_path.read_text())
+        # 4 thresholds x (bends_right, no-characterizer)
+        assert len(payload["results"]) == 8
+        assert payload["verdict_counts"]
+
+
 class TestMonitor:
     def test_monitor_stream(self, built_system_dir, capsys):
         code = main(
