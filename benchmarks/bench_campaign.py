@@ -1,6 +1,16 @@
 """Campaign engine: planning/caching ladder + parallel fan-out vs seed path.
 
-The acceptance experiment for the :mod:`repro.api` redesign: a 20-query
+Two acceptance experiments live here.
+
+**Scenario-grid batched prescreen** (``test_batched_prescreen_*``): a
+102-query region sweep (102 scenario-perturbation input boxes × 1 risk)
+whose prescreen stage — input-box propagation to the cut layer plus
+output enclosures — runs once through the scalar per-region path and
+once through the batched abstraction backend.  The batched stage must be
+at least 3× faster and bound-identical, and the full campaigns must
+return identical verdicts.
+
+**Planning/caching ladder** (the original experiment): a 20-query
 campaign (10 risk thresholds × 2 characterizer settings) through
 
 - the **seed path** — every query re-lowers, re-propagates bounds and
@@ -23,11 +33,20 @@ workers and each worker rebuilds its own cache — on a multi-core host
 the pool amortizes the per-worker caches across queries instead.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.api import Campaign, VerificationEngine
 from repro.properties.library import steer_far_left
+from repro.scenario.regions import scenario_region_grid
+from repro.verification.abstraction.propagate import (
+    propagate_input_box,
+    propagate_input_box_batch,
+)
+from repro.verification.output_range import output_range_batch
+from repro.verification.prescreen import output_enclosure, output_enclosure_batch
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +72,120 @@ def _engine(system, **kwargs):
 def reference_verdicts(system, campaign):
     engine = _engine(system)
     return [r.verdict.verdict for r in engine.run(campaign).results]
+
+
+# -- scenario-grid batched prescreen (the 102-query region sweep) ------------
+
+
+@pytest.fixture(scope="module")
+def region_grid():
+    """102 regions: 17 base scenes × 3 weather levels × 2 traffic levels."""
+    return scenario_region_grid(
+        n_scenes=17, weather_levels=(0.0, 0.5, 1.0), traffic_levels=(0, 1), seed=5
+    )
+
+
+def _grid_engine(system, grid, **kwargs):
+    engine = VerificationEngine(
+        system.model, system.cut_layer, solver="highs", **kwargs
+    )
+    engine.add_region_sets(grid, batch=kwargs.get("batch_prescreen", True))
+    return engine
+
+
+@pytest.fixture(scope="module")
+def grid_campaign(system, region_grid):
+    """102 queries: every region against one frontier risk threshold.
+
+    The threshold sits at the middle of the global enclosure range so the
+    prescreen genuinely has to discriminate — looser regions descend the
+    solver ladder, tighter ones are excluded outright.
+    """
+    engine = _grid_engine(system, region_grid)
+    ranges = output_range_batch(
+        engine.suffix, [engine.feature_set(n) for n in region_grid.names]
+    )
+    hi = max(r.upper for r in ranges)
+    lo = min(r.lower for r in ranges)
+    return Campaign.from_scenario_grid(
+        region_grid, risks=[steer_far_left(0.5 * (lo + hi))]
+    )
+
+
+@pytest.mark.benchmark(group="scenario-grid")
+def test_batched_prescreen_speedup(system, region_grid):
+    """The batched prescreen stage must beat the scalar one >= 3x.
+
+    The prescreen stage of a region sweep is (a) propagating every input
+    box through the prefix to the cut layer and (b) computing every
+    suffix output enclosure.  Scalar = one pass per region (the legacy
+    behavior); batched = one vectorized pass for all 102.  Identical
+    bounds are asserted alongside the speedup.
+    """
+    model, cut = system.model, system.cut_layer
+    suffix = system.verifier.suffix
+    boxes = region_grid.box_batch()
+
+    def scalar_stage():
+        sets = [
+            propagate_input_box(model, boxes.lower[i], boxes.upper[i], cut)
+            for i in range(len(boxes))
+        ]
+        return [output_enclosure(suffix, s, "interval") for s in sets]
+
+    def batched_stage():
+        cut_boxes = propagate_input_box_batch(model, boxes, cut)
+        return output_enclosure_batch(suffix, cut_boxes, "interval")
+
+    scalar_stage(), batched_stage()  # warm both paths
+    timings = {}
+    for name, stage in (("scalar", scalar_stage), ("batched", batched_stage)):
+        rounds = []
+        for _ in range(5):
+            start = time.perf_counter()
+            stage()
+            rounds.append(time.perf_counter() - start)
+        timings[name] = min(rounds)
+
+    for scalar, batched in zip(scalar_stage(), batched_stage()):
+        np.testing.assert_allclose(batched.lower, scalar.lower, atol=1e-9)
+        np.testing.assert_allclose(batched.upper, scalar.upper, atol=1e-9)
+
+    speedup = timings["scalar"] / timings["batched"]
+    print(
+        f"\nprescreen stage over {len(boxes)} regions: "
+        f"scalar {timings['scalar'] * 1e3:.1f}ms, "
+        f"batched {timings['batched'] * 1e3:.1f}ms ({speedup:.1f}x)"
+    )
+    assert speedup >= 3.0, (
+        f"batched prescreen only {speedup:.2f}x faster than scalar"
+    )
+
+
+@pytest.mark.benchmark(group="scenario-grid")
+def test_grid_campaign_batched(benchmark, system, region_grid, grid_campaign):
+    """Full 102-query region sweep through the region-major planner."""
+    report = benchmark.pedantic(
+        lambda engine: engine.run(grid_campaign),
+        setup=lambda: ((_grid_engine(system, region_grid),), {}),
+        rounds=3,
+    )
+    assert len(report) == 102
+    assert not report.errors
+    # the planner computed every enclosure in one batched pass
+    assert report.cache_stats["batch:prescreen-enclosure:interval"] == 102
+    assert report.cache_stats.get("miss:prescreen-enclosure", 0) == 0
+
+    # verdict parity with the fully scalar configuration
+    scalar_engine = _grid_engine(system, region_grid, batch_prescreen=False)
+    scalar_report = scalar_engine.run(grid_campaign)
+    assert scalar_report.cache_stats["miss:prescreen-enclosure"] == 102
+    assert [r.verdict.verdict for r in report.results] == [
+        r.verdict.verdict for r in scalar_report.results
+    ]
+
+
+# -- planning/caching ladder (10 thresholds × 2 characterizer settings) ------
 
 
 @pytest.mark.benchmark(group="campaign")

@@ -18,6 +18,15 @@ exposes it through exactly one path:
 - :class:`~repro.api.campaign.CampaignReport` — per-query verdicts with
   timing and cache provenance, JSON-serializable.
 
+Campaigns are planned **region-major**: the engine computes every output
+enclosure a campaign needs in one batched abstraction pass before any
+query runs, and :meth:`~repro.api.engine.VerificationEngine.add_region_sets`
+registers whole scenario region grids
+(:func:`repro.scenario.regions.scenario_region_grid`) through one
+batched input-box propagation;
+:meth:`~repro.api.campaign.Campaign.from_scenario_grid` builds the
+matching query batch.
+
 Quickstart::
 
     from repro.api import Campaign, VerificationEngine

@@ -51,6 +51,51 @@ class Campaign:
         self.queries.extend(queries)
         return self
 
+    @classmethod
+    def from_scenario_grid(
+        cls,
+        grid,
+        risks: Sequence[RiskCondition],
+        properties: Sequence[str | None] = (None,),
+        name: str = "scenario-grid",
+        method: Method | str = Method.EXACT,
+        solver: str | None = None,
+        prescreen_domain: str | None = "interval",
+        time_limit: float | None = None,
+        node_limit: int | None = None,
+    ) -> "Campaign":
+        """Region-major campaign over a scenario region grid.
+
+        ``grid`` is a :class:`~repro.scenario.regions.RegionGrid`; its
+        region names are used as feature-set names, so register the grid
+        with :meth:`repro.api.VerificationEngine.add_region_sets` before
+        running.  Expands ``regions × properties × risks`` with regions
+        outermost (the order the engine's batched prescreen planner and
+        the per-(set, characterizer) encoding caches like best) and
+        stamps each query's ``metadata`` with the region's scenario
+        provenance (perturbation axis values).
+        """
+        if not risks:
+            raise ValueError("from_scenario_grid needs at least one risk condition")
+        campaign = cls(name)
+        for region in grid:
+            for prop in properties:
+                for risk in risks:
+                    campaign.queries.append(
+                        VerificationQuery(
+                            risk=risk,
+                            property_name=prop,
+                            set_name=region.name,
+                            method=method,
+                            solver=solver,
+                            prescreen_domain=prescreen_domain,
+                            time_limit=time_limit,
+                            node_limit=node_limit,
+                            metadata=region.metadata(),
+                        )
+                    )
+        return campaign
+
     def add_grid(
         self,
         risks: Sequence[RiskCondition],

@@ -50,8 +50,12 @@ from repro.nn.sequential import Sequential
 from repro.perception.characterizer import Characterizer
 from repro.perception.features import extract_features
 from repro.properties.risk import RiskCondition
+from repro.scenario.regions import RegionGrid
 from repro.verification.abstraction.octagon import box_with_diffs_from_zonotope
-from repro.verification.abstraction.propagate import propagate_input_box
+from repro.verification.abstraction.propagate import (
+    propagate_input_box,
+    propagate_input_box_batch,
+)
 from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
 from repro.verification.assume_guarantee import feature_set_from_data
 from repro.verification.counterexample import decode_witness
@@ -62,10 +66,14 @@ from repro.verification.milp.encoder import (
 )
 from repro.verification.milp.relaxed import encode_relaxed_problem
 from repro.verification.output_range import optimize_range, trivial_reachability_risk
-from repro.verification.prescreen import output_enclosure, screen_enclosure
+from repro.verification.prescreen import (
+    output_enclosure,
+    output_enclosure_batch,
+    screen_enclosure,
+)
 from repro.verification.refinement import verify_with_refinement
 from repro.verification.robustness import verify_local_robustness
-from repro.verification.sets import FeatureSet
+from repro.verification.sets import BoxBatch, FeatureSet
 from repro.verification.solver import solver_spec
 from repro.verification.solver.lp import solve_lp_relaxation
 from repro.verification.solver.result import SolveResult, SolveStatus
@@ -93,6 +101,16 @@ class VerificationEngine:
     risk-independent caches — every query re-encodes from scratch, which
     is exactly the legacy per-query behavior and is what the campaign
     benchmark compares against.
+
+    ``batch_prescreen`` (default on) plans campaigns *region-major*:
+    before any query runs, the distinct ``(feature set, prescreen
+    domain)`` pairs a campaign touches are bounded in **one** batched
+    abstraction pass (:func:`~repro.verification.prescreen.output_enclosure_batch`)
+    that seeds the enclosure cache; only queries the prescreen cannot
+    exclude then descend the per-query solver ladder.  Combined with
+    :meth:`add_region_sets` (batched input-box propagation to the cut
+    layer) this makes scenario-grid sweeps pay roughly one propagation
+    instead of one per region.
     """
 
     def __init__(
@@ -104,6 +122,7 @@ class VerificationEngine:
         lp_screen: bool = True,
         refine_fallback: bool = False,
         cache: bool = True,
+        batch_prescreen: bool = True,
         **solver_options,
     ):
         model._check_index(cut_layer, allow_zero=True)
@@ -127,6 +146,7 @@ class VerificationEngine:
         self.lp_screen = lp_screen
         self.refine_fallback = refine_fallback
         self.cache_enabled = cache
+        self.batch_prescreen = batch_prescreen
         self.characterizers: dict[str, Characterizer] = {}
         self.confusions: dict[str, ConfusionEstimate] = {}
         self._sets: dict[str, RegisteredFeatureSet] = {}
@@ -153,17 +173,22 @@ class VerificationEngine:
         self._reset_caches()
 
     def __getstate__(self) -> dict:
-        # caches hold per-process mutable MILP models; workers rebuild them
+        # most caches hold per-process mutable MILP models; workers
+        # rebuild those.  Output enclosures are immutable Box/Zonotope
+        # values, so a region-major batched prescreen plan computed
+        # before the fan-out ships with the engine.
         state = self.__dict__.copy()
         for key in (
             "_char_net_cache",
             "_bounds_cache",
-            "_enclosure_cache",
             "_encoding_cache",
             "_support_cache",
             "_direction_seen",
         ):
             state[key] = {}
+        state["_enclosure_cache"] = (
+            dict(self._enclosure_cache) if self.cache_enabled else {}
+        )
         state["cache_stats"] = {}
         return state
 
@@ -326,6 +351,61 @@ class VerificationEngine:
             overwrite,
         )
 
+    def add_region_sets(
+        self,
+        regions: "RegionGrid | BoxBatch",
+        name_prefix: str = "region",
+        batch: bool = True,
+        overwrite: bool = False,
+    ) -> list[str]:
+        """Register one sound feature set per scenario region (Lemma 2).
+
+        ``regions`` is a :class:`~repro.scenario.regions.RegionGrid` (set
+        names come from the grid) or a raw input-shaped
+        :class:`~repro.verification.sets.BoxBatch` (sets are named
+        ``{name_prefix}-{i:03d}``).  All input boxes are pushed through
+        the prefix to the cut layer in **one** batched interval pass;
+        ``batch=False`` keeps the scalar per-region propagation (the
+        comparison baseline of ``bench_campaign.py``).  Returns the
+        registered set names, in region order.
+        """
+        if isinstance(regions, RegionGrid):
+            names = regions.names
+            boxes = regions.box_batch()
+        else:
+            boxes = regions
+            names = [f"{name_prefix}-{i:03d}" for i in range(boxes.n_regions)]
+        if boxes.lower.shape[1:] != self.model.input_shape:
+            raise ValueError(
+                f"region boxes have shape {boxes.lower.shape[1:]}, "
+                f"model input is {self.model.input_shape}"
+            )
+        if not overwrite:
+            clashes = sorted(set(names) & set(self._sets))
+            if clashes:
+                raise ValueError(
+                    f"feature sets already registered: {clashes}; pass "
+                    f"overwrite=True to replace them"
+                )
+        if batch:
+            cut_boxes = propagate_input_box_batch(
+                self.model, boxes, self.cut_layer
+            ).boxes()
+        else:
+            cut_boxes = [
+                propagate_input_box(
+                    self.model, boxes.lower[i], boxes.upper[i], self.cut_layer
+                )
+                for i in range(boxes.n_regions)
+            ]
+        for name, cut_box in zip(names, cut_boxes):
+            self._register_set(
+                name,
+                RegisteredFeatureSet(cut_box, "interval(region)", sound=True),
+                overwrite,
+            )
+        return names
+
     def feature_set(self, name: str) -> FeatureSet:
         return self._registered(name).feature_set
 
@@ -354,6 +434,36 @@ class VerificationEngine:
         if hit:
             hits.append("abstraction-bounds")
         return value
+
+    def output_enclosures(
+        self, set_names: list[str], domain: str = "interval"
+    ) -> list:
+        """Batched output enclosures for many registered sets.
+
+        Missing ``(set, domain)`` entries are computed in one vectorized
+        abstraction pass and **seed the enclosure cache**, so callers
+        deriving campaign parameters from the enclosures (e.g. risk
+        thresholds over a region grid) don't pay a second propagation
+        when the campaign's prescreen runs.
+        """
+        registered = {name: self._registered(name) for name in set_names}
+        if not self.cache_enabled:
+            return output_enclosure_batch(
+                self.suffix, [registered[n].feature_set for n in set_names], domain
+            )
+        missing = [
+            name
+            for name in dict.fromkeys(set_names)
+            if (name, domain) not in self._enclosure_cache
+        ]
+        if missing:
+            sets = [registered[name].feature_set for name in missing]
+            enclosures = output_enclosure_batch(self.suffix, sets, domain)
+            for name, enclosure in zip(missing, enclosures):
+                self._enclosure_cache[(name, domain)] = enclosure
+            label = f"batch:prescreen-enclosure:{domain}"
+            self.cache_stats[label] = self.cache_stats.get(label, 0) + len(missing)
+        return [self._enclosure_cache[(name, domain)] for name in set_names]
 
     def _enclosure(self, set_name: str, domain: str, hits: list[str]):
         registered = self._registered(set_name)
@@ -851,6 +961,43 @@ class VerificationEngine:
 
     # -- campaign execution ------------------------------------------------
 
+    def _plan_batched_prescreen(self, queries: list[VerificationQuery]) -> None:
+        """Region-major prescreen planning: batch all missing enclosures.
+
+        Collects the distinct ``(set, domain)`` pairs the campaign's
+        verdict queries will prescreen against, drops pairs already
+        cached, and computes the rest in one vectorized abstraction pass
+        per domain, seeding ``_enclosure_cache``.  Per-query prescreens
+        then hit the cache, so only queries the bound propagation cannot
+        exclude descend the solver ladder.  A no-op unless at least two
+        enclosures are missing for a domain (nothing to amortize).
+        """
+        if not (self.cache_enabled and self.batch_prescreen):
+            return
+        needed: dict[str, list[str]] = {}
+        for query in queries:
+            if query.method not in (Method.EXACT, Method.RELAXED):
+                continue
+            if query.prescreen_domain not in ("interval", "zonotope"):
+                continue
+            if query.set_name not in self._sets:
+                continue  # invalid queries error per-query, not here
+            key = (query.set_name, query.prescreen_domain)
+            if key in self._enclosure_cache:
+                continue
+            names = needed.setdefault(query.prescreen_domain, [])
+            if query.set_name not in names:
+                names.append(query.set_name)
+        for domain, names in needed.items():
+            if len(names) < 2:
+                continue
+            sets = [self._sets[name].feature_set for name in names]
+            enclosures = output_enclosure_batch(self.suffix, sets, domain)
+            for name, enclosure in zip(names, enclosures):
+                self._enclosure_cache[(name, domain)] = enclosure
+            label = f"batch:prescreen-enclosure:{domain}"
+            self.cache_stats[label] = self.cache_stats.get(label, 0) + len(names)
+
     def run(
         self,
         campaign: Campaign | list[VerificationQuery] | VerificationQuery,
@@ -876,6 +1023,7 @@ class VerificationEngine:
         # eager support-function optimization amortizes; one-off
         # run_query calls stay on the cheaper feasibility path
         self._campaign_mode = True
+        self._plan_batched_prescreen(queries)
         try:
             if workers > 1 and len(queries) > 1:
                 try:

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro build     --out system_dir     # train + persist
     python -m repro verify    --out system_dir     # canonical queries
     python -m repro campaign  --out system_dir     # declarative grid sweep
+    python -m repro campaign  --scenario-grid 24   # batched region sweep
     python -m repro monitor   --out system_dir     # stream monitoring demo
     python -m repro range     --out system_dir     # output-range frontier
 
@@ -133,15 +134,55 @@ def _verify(args: argparse.Namespace) -> int:
     return 0 if args.allow_unsafe else min(failures, 1)
 
 
+def _scenario_grid_campaign(
+    engine: VerificationEngine, n_regions: int, seed: int
+) -> Campaign:
+    """Build and register a scenario region grid, return its campaign.
+
+    Draws enough base scenes to cover ``n_regions`` under the default
+    perturbation levels (weather off/full × traffic absent/present),
+    registers every region as a sound feature set in one batched
+    propagation pass, and sweeps one provable and one frontier risk
+    threshold derived from the batched output enclosures (which seed the
+    engine's enclosure cache, so the campaign prescreen reuses them).
+    """
+    from repro.scenario.regions import scenario_region_grid
+
+    weather_levels = (0.0, 1.0)
+    traffic_levels = (0, 1)
+    per_scene = len(weather_levels) * len(traffic_levels)
+    grid = scenario_region_grid(
+        n_scenes=-(-n_regions // per_scene),
+        weather_levels=weather_levels,
+        traffic_levels=traffic_levels,
+        seed=seed,
+    ).truncated(n_regions)
+    engine.add_region_sets(grid)
+    enclosures = engine.output_enclosures(grid.names)
+    hi = max(float(e.upper[0]) for e in enclosures)
+    lo = min(float(e.lower[0]) for e in enclosures)
+    return Campaign.from_scenario_grid(
+        grid,
+        risks=[
+            steer_far_left(round(hi + 0.25, 3)),
+            steer_far_left(round(0.5 * (lo + hi), 3)),
+        ],
+        name="cli-scenario-grid",
+    )
+
+
 def _campaign(args: argparse.Namespace) -> int:
     engine, meta = _load(Path(args.out), solver=args.solver)
-    reach = engine.run_query(VerificationQuery(method="range")).output_range
-    thresholds = np.linspace(reach.lower, reach.upper + 0.5, args.thresholds)
-    campaign = Campaign("cli-sweep").add_grid(
-        risks=[steer_far_left(round(float(t), 3)) for t in thresholds],
-        properties=(*meta["properties"], None),
-        method=args.method,
-    )
+    if args.scenario_grid:
+        campaign = _scenario_grid_campaign(engine, args.scenario_grid, args.seed)
+    else:
+        reach = engine.run_query(VerificationQuery(method="range")).output_range
+        thresholds = np.linspace(reach.lower, reach.upper + 0.5, args.thresholds)
+        campaign = Campaign("cli-sweep").add_grid(
+            risks=[steer_far_left(round(float(t), 3)) for t in thresholds],
+            properties=(*meta["properties"], None),
+            method=args.method,
+        )
     report = engine.run(campaign, workers=args.workers)
     print(report.summary())
     for result in report:
@@ -152,7 +193,8 @@ def _campaign(args: argparse.Namespace) -> int:
         )
         phi = result.query.property_name or "*"
         print(
-            f"  phi={phi:<14} {result.query.risk.description:<42} "
+            f"  phi={phi:<14} set={result.query.set_name:<12} "
+            f"{result.query.risk.description:<42} "
             f"{status} ({result.elapsed:.3f}s)"
         )
     if args.json:
@@ -229,6 +271,15 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument("--method", default="exact", choices=["exact", "relaxed"])
     campaign.add_argument("--thresholds", type=int, default=8)
     campaign.add_argument("--workers", type=int, default=1)
+    campaign.add_argument(
+        "--scenario-grid",
+        type=int,
+        default=0,
+        metavar="REGIONS",
+        help="sweep REGIONS scenario-perturbation input regions (batched "
+        "prescreen) instead of the threshold grid",
+    )
+    campaign.add_argument("--seed", type=int, default=0, help="scenario-grid seed")
     campaign.add_argument("--json", default=None, help="write the JSON report here")
     campaign.set_defaults(func=_campaign)
 

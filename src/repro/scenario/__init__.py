@@ -18,7 +18,9 @@ with a *parametric* scene model:
 - :mod:`repro.scenario.affordances` — exact ground-truth affordances,
 - :mod:`repro.scenario.labels` — exact property oracles (the "human
   oracle" of Section II.A),
-- :mod:`repro.scenario.dataset` — seeded sampling of whole datasets.
+- :mod:`repro.scenario.dataset` — seeded sampling of whole datasets,
+- :mod:`repro.scenario.regions` — perturbation-envelope input boxes
+  (region grids) for batched verification campaigns.
 
 Because every image is generated from known parameters, property labels
 are *exact*, which is precisely the oracle access the paper assumes.
@@ -36,14 +38,24 @@ from repro.scenario.dataset import (
 )
 from repro.scenario.geometry import RoadGeometry
 from repro.scenario.labels import ORACLES, PropertyOracle
+from repro.scenario.regions import (
+    PerturbationAxes,
+    Region,
+    RegionGrid,
+    region_from_scene,
+    scenario_region_grid,
+)
 from repro.scenario.traffic import Vehicle
 from repro.scenario.weather import Weather
 
 __all__ = [
     "Dataset",
     "ORACLES",
+    "PerturbationAxes",
     "PinholeCamera",
     "PropertyOracle",
+    "Region",
+    "RegionGrid",
     "RoadGeometry",
     "SceneConfig",
     "SceneParams",
@@ -52,6 +64,8 @@ __all__ = [
     "affordance_names",
     "affordances",
     "generate_dataset",
+    "region_from_scene",
     "render_scene",
     "sample_scene",
+    "scenario_region_grid",
 ]

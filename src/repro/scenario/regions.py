@@ -1,0 +1,295 @@
+"""Scenario-derived input regions for batched verification campaigns.
+
+A *region* is an axis-aligned box in input (pixel) space that encloses
+every image a scene can produce under a bounded family of scenario
+perturbations.  Verifying a risk over that box (Lemma 2: propagate the
+box to the cut layer, then verify over the resulting feature set) proves
+the property for *every* perturbed rendering at once — the scenario-grid
+analogue of the paper's ``[0, 1]`` input-domain verification, but tight
+enough around a concrete scene to be informative.
+
+How perturbation axes map to input boxes
+----------------------------------------
+
+Each :class:`PerturbationAxes` value spans a small family of concrete
+renderings of one base scene; the region is the pixel-wise min/max
+envelope of those renderings, widened by ``epsilon`` (the sensor-noise
+bound) and clipped to the physical pixel range ``[0, 1]``:
+
+``weather`` (intensity ``w`` in ``[0, 1]``)
+    Bounds the closed parameter box ``brightness in [1 - 0.15 w,
+    1 + 0.15 w]``, ``contrast in [1 - 0.10 w, 1 + 0.10 w]``,
+    ``fog_density in [0, 0.04 w]``.  Each pixel of
+    :meth:`~repro.scenario.weather.Weather.apply` is monotone in every
+    one of the three parameters separately (fog blends linearly toward
+    ``fog_gray``; contrast is affine with pixel-dependent sign;
+    brightness is a positive scale; the final clip is monotone), so the
+    per-pixel extremes over the whole box are attained at its **eight
+    corners** — exactly the renderings the envelope takes.
+``camera_jitter`` (``j`` pixels, ``>= 0``)
+    Re-renders with the camera horizon shifted by ``±j`` rows (pitch
+    vibration).  The envelope over the shifted renderings bounds every
+    intermediate pitch the jitter can produce at the rendered
+    resolution.
+``traffic`` (``t`` vehicles)
+    Renders the scene with no traffic and with ``t`` vehicles placed in
+    non-ego lanes at two longitudinal offsets (near / far), so the
+    region covers both the empty road and the populated configurations.
+
+The envelope construction keeps the base scene's procedural texture
+fixed across variants (same ``texture_seed``): the box captures the
+perturbation axes, not texture resampling.  The ``epsilon`` widening
+covers any *additive sensor perturbation bounded by* ``±epsilon`` per
+pixel.  Note the ODD's sampled Gaussian noise is unbounded, so no
+finite widening covers it with certainty — pick ``epsilon`` as the
+truncation you need (e.g. ``3 * noise_sigma`` for a per-pixel
+three-sigma bound) and treat noise beyond it as out of family.
+
+:func:`scenario_region_grid` expands base scenes × axis levels into a
+:class:`RegionGrid`, whose :meth:`RegionGrid.box_batch` feeds the
+batched abstraction backend
+(:func:`repro.verification.abstraction.propagate.propagate_input_box_batch`)
+and whose region names become engine feature-set names
+(:meth:`repro.api.VerificationEngine.add_region_sets` /
+:meth:`repro.api.Campaign.from_scenario_grid`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.scenario.camera import PinholeCamera
+from repro.scenario.dataset import SceneConfig, SceneParams, sample_scene
+from repro.scenario.render import render_ground, render_vehicles
+from repro.scenario.traffic import Vehicle
+from repro.scenario.weather import Weather
+from repro.verification.sets import BoxBatch
+
+
+@dataclass(frozen=True)
+class PerturbationAxes:
+    """One grid point of the scenario perturbation space."""
+
+    weather: float = 0.0  #: weather intensity in [0, 1]
+    camera_jitter: float = 0.0  #: horizon shift amplitude in pixel rows
+    traffic: int = 0  #: number of vehicles placed in non-ego lanes
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weather <= 1.0:
+            raise ValueError(f"weather intensity must be in [0, 1], got {self.weather}")
+        if self.camera_jitter < 0.0:
+            raise ValueError(
+                f"camera_jitter must be >= 0, got {self.camera_jitter}"
+            )
+        if self.traffic < 0:
+            raise ValueError(f"traffic must be >= 0, got {self.traffic}")
+
+    def describe(self) -> tuple[tuple[str, str], ...]:
+        """Provenance pairs for query metadata."""
+        return (
+            ("weather", f"{self.weather:g}"),
+            ("camera_jitter", f"{self.camera_jitter:g}"),
+            ("traffic", str(self.traffic)),
+        )
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named input-space box with its scenario provenance."""
+
+    name: str
+    scene: SceneParams
+    axes: PerturbationAxes
+    lower: np.ndarray  #: ``(1, H, W)`` pixel lower bounds
+    upper: np.ndarray  #: ``(1, H, W)`` pixel upper bounds
+
+    def __post_init__(self) -> None:
+        if self.lower.shape != self.upper.shape:
+            raise ValueError(
+                f"bound shapes differ: {self.lower.shape} vs {self.upper.shape}"
+            )
+        if np.any(self.lower > self.upper):
+            raise ValueError(f"region {self.name!r} has lower > upper")
+
+    @property
+    def width(self) -> float:
+        """Largest per-pixel interval width (0 for a point region)."""
+        return float(np.max(self.upper - self.lower))
+
+    def metadata(self) -> tuple[tuple[str, str], ...]:
+        return (("region", self.name), *self.axes.describe())
+
+
+class RegionGrid:
+    """An ordered collection of same-shape scenario regions."""
+
+    def __init__(self, regions: list[Region], config: SceneConfig):
+        if not regions:
+            raise ValueError("a RegionGrid needs at least one region")
+        shape = regions[0].lower.shape
+        for region in regions:
+            if region.lower.shape != shape:
+                raise ValueError(
+                    f"region {region.name!r} has shape {region.lower.shape}, "
+                    f"expected {shape}"
+                )
+        names = [r.name for r in regions]
+        if len(set(names)) != len(names):
+            raise ValueError("region names must be unique")
+        self.regions = list(regions)
+        self.config = config
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def __getitem__(self, index: int) -> Region:
+        return self.regions[index]
+
+    @property
+    def names(self) -> list[str]:
+        return [r.name for r in self.regions]
+
+    def box_batch(self) -> BoxBatch:
+        """All regions stacked for the batched abstraction backend."""
+        return BoxBatch(
+            np.stack([r.lower for r in self.regions]),
+            np.stack([r.upper for r in self.regions]),
+        )
+
+    def truncated(self, n: int) -> "RegionGrid":
+        """The first ``n`` regions (e.g. to hit an exact campaign size)."""
+        if not 0 < n <= len(self.regions):
+            raise ValueError(f"cannot truncate {len(self.regions)} regions to {n}")
+        return RegionGrid(self.regions[:n], self.config)
+
+
+def _weather_variants(intensity: float) -> list[Weather]:
+    """All 8 corners of the intensity family's parameter box.
+
+    Every pixel is separately monotone in brightness, contrast and fog
+    density, so the per-pixel envelope over the full (brightness ×
+    contrast × fog) box is attained on these corner renderings.
+    """
+    if intensity == 0.0:
+        return [Weather.clear()]
+    brightnesses = (1.0 - 0.15 * intensity, 1.0 + 0.15 * intensity)
+    contrasts = (1.0 - 0.10 * intensity, 1.0 + 0.10 * intensity)
+    fogs = (0.0, 0.04 * intensity)
+    return [
+        Weather(brightness=b, contrast=c, fog_density=f)
+        for b in brightnesses
+        for c in contrasts
+        for f in fogs
+    ]
+
+
+def _camera_variants(camera: PinholeCamera, jitter: float) -> list[PinholeCamera]:
+    """Horizon rows covering a ``±jitter`` pitch vibration."""
+    if jitter == 0.0:
+        return [camera]
+    base = camera.cy
+    lo = float(np.clip(base - jitter, 1.0, camera.height_px - 2.0))
+    hi = float(np.clip(base + jitter, 1.0, camera.height_px - 2.0))
+    return [
+        replace(camera, horizon_row=lo),
+        replace(camera, horizon_row=hi),
+    ]
+
+
+def _traffic_variants(scene: SceneParams, count: int) -> list[tuple[Vehicle, ...]]:
+    """No-traffic plus near/far placements of ``count`` adjacent vehicles."""
+    road = scene.road
+    if count == 0 or road.num_lanes < 2:
+        return [scene.vehicles]
+    lanes = [k for k in range(road.num_lanes) if k != road.ego_lane]
+    placements = []
+    for base_distance in (14.0, 26.0):
+        vehicles = tuple(
+            Vehicle(distance=base_distance + 9.0 * i, lane=lanes[i % len(lanes)])
+            for i in range(count)
+        )
+        placements.append(vehicles)
+    return [(), *placements]
+
+
+def region_from_scene(
+    scene: SceneParams,
+    axes: PerturbationAxes,
+    config: SceneConfig,
+    epsilon: float = 0.005,
+    name: str = "region",
+) -> Region:
+    """Pixel-wise envelope of one scene under one perturbation grid point.
+
+    Renders the cartesian product of weather / camera / traffic variants
+    (all sharing the scene's texture seed), takes the per-pixel min/max,
+    widens by ``epsilon`` and clips to ``[0, 1]``.
+    """
+    if epsilon < 0.0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    images = []
+    for camera in _camera_variants(config.camera, axes.camera_jitter):
+        # one textured base rendering per camera (geometry changes with it)
+        rng = np.random.default_rng(scene.texture_seed)
+        base_image, base_distance = render_ground(scene.road, camera, rng)
+        for vehicles in _traffic_variants(scene, axes.traffic):
+            image = base_image.copy()
+            distance = base_distance.copy()
+            render_vehicles(image, distance, scene.road, camera, vehicles)
+            for weather in _weather_variants(axes.weather):
+                # noise_sigma is 0 in every variant: the epsilon widening
+                # below covers additive perturbations up to +-epsilon
+                images.append(weather.apply(image, distance, rng))
+    stack = np.stack(images)
+    lower = np.clip(stack.min(axis=0) - epsilon, 0.0, 1.0)[None, :, :]
+    upper = np.clip(stack.max(axis=0) + epsilon, 0.0, 1.0)[None, :, :]
+    return Region(name=name, scene=scene, axes=axes, lower=lower, upper=upper)
+
+
+def scenario_region_grid(
+    n_scenes: int = 2,
+    weather_levels: tuple[float, ...] = (0.0, 1.0),
+    jitter_levels: tuple[float, ...] = (0.0,),
+    traffic_levels: tuple[int, ...] = (0, 1),
+    epsilon: float = 0.005,
+    config: SceneConfig | None = None,
+    seed: int = 0,
+) -> RegionGrid:
+    """Expand base scenes × perturbation levels into a region grid.
+
+    ``n_scenes`` base scenes are drawn from the ODD distribution with
+    the stochastic axes disabled (no sampled weather or traffic — those
+    are *grid* axes here), then every combination of axis levels is
+    turned into one :class:`Region` via :func:`region_from_scene`.  The
+    grid has ``n_scenes * len(weather) * len(jitter) * len(traffic)``
+    regions named ``region-000 ...`` in scene-major order.
+    """
+    if n_scenes <= 0:
+        raise ValueError(f"n_scenes must be positive, got {n_scenes}")
+    config = config or SceneConfig()
+    base_config = replace(config, weather_variation=False, traffic_probability=0.0)
+    rng = np.random.default_rng(seed)
+    scenes = [sample_scene(rng, base_config) for _ in range(n_scenes)]
+    regions = []
+    for scene in scenes:
+        combos = itertools.product(weather_levels, jitter_levels, traffic_levels)
+        for weather, jitter, traffic in combos:
+            axes = PerturbationAxes(
+                weather=weather, camera_jitter=jitter, traffic=traffic
+            )
+            regions.append(
+                region_from_scene(
+                    scene,
+                    axes,
+                    base_config,
+                    epsilon=epsilon,
+                    name=f"region-{len(regions):03d}",
+                )
+            )
+    return RegionGrid(regions, base_config)

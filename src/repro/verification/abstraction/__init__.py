@@ -16,21 +16,49 @@ three:
 - :mod:`repro.verification.abstraction.propagate` — propagation of an
   *input-space* box through a full :class:`~repro.nn.sequential.Sequential`
   model (including conv / pooling / smooth activations) to the cut layer.
+
+The interval and zonotope domains (and the layer-level propagation) are
+additionally *batched* over a leading region axis: ``propagate_box_batch``
+/ ``propagate_zonotope_batch`` / ``propagate_input_box_batch`` bound a
+whole :class:`~repro.verification.sets.BoxBatch` of regions in one
+vectorized pass — the backend of scenario-grid campaign prescreens.
 """
 
-from repro.verification.abstraction.interval import op_output_bounds, propagate_box
+from repro.verification.abstraction.interval import (
+    op_output_bounds,
+    propagate_box,
+    propagate_box_batch,
+)
 from repro.verification.abstraction.octagon import box_with_diffs_from_zonotope
-from repro.verification.abstraction.propagate import propagate_input_box
+from repro.verification.abstraction.propagate import (
+    IntervalBoundError,
+    layer_interval,
+    layer_interval_batch,
+    propagate_input_box,
+    propagate_input_box_batch,
+)
 from repro.verification.abstraction.symbolic import SymbolicBounds, propagate_symbolic
-from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
+from repro.verification.abstraction.zonotope import (
+    Zonotope,
+    ZonotopeBatch,
+    propagate_zonotope,
+    propagate_zonotope_batch,
+)
 
 __all__ = [
+    "IntervalBoundError",
     "SymbolicBounds",
     "Zonotope",
+    "ZonotopeBatch",
     "box_with_diffs_from_zonotope",
+    "layer_interval",
+    "layer_interval_batch",
     "op_output_bounds",
     "propagate_box",
+    "propagate_box_batch",
     "propagate_input_box",
+    "propagate_input_box_batch",
     "propagate_symbolic",
     "propagate_zonotope",
+    "propagate_zonotope_batch",
 ]

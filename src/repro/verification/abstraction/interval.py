@@ -4,6 +4,12 @@ Soundness invariant (tested with hypothesis): for any ``x`` in the input
 box, ``op.apply(x)`` lies in the transformed box.  Besides Lemma 2 sets,
 interval propagation supplies the per-neuron pre-activation bounds that
 the MILP encoder turns into big-M constants.
+
+Every transformer also has a *batched* twin (``*_batch``) vectorized
+over a leading region axis: one call bounds all ``n`` boxes of a
+:class:`~repro.verification.sets.BoxBatch` simultaneously, which is what
+makes large campaign prescreens run at hardware speed instead of
+re-entering the scalar transformer once per region.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from repro.nn.graph import (
     PLOp,
     ReLUOp,
 )
-from repro.verification.sets import Box
+from repro.verification.sets import Box, BoxBatch
 
 
 def affine_bounds(op: AffineOp, box: Box) -> Box:
@@ -68,6 +74,67 @@ def propagate_box(network: PiecewiseLinearNetwork, box: Box) -> Box:
     for op in network.ops:
         box = transform(op, box)
     return box
+
+
+# -- batched transformers (leading region axis) -----------------------------
+
+
+def affine_bounds_batch(op: AffineOp, batch: BoxBatch) -> BoxBatch:
+    """Batched exact interval image of an affine map."""
+    center = 0.5 * (batch.lower + batch.upper)
+    radius = 0.5 * (batch.upper - batch.lower)
+    out_center = center @ op.weight.T + op.bias
+    out_radius = radius @ np.abs(op.weight).T
+    return BoxBatch(out_center - out_radius, out_center + out_radius)
+
+
+def relu_bounds_batch(batch: BoxBatch) -> BoxBatch:
+    """Batched exact interval image of ReLU."""
+    return BoxBatch(np.maximum(batch.lower, 0.0), np.maximum(batch.upper, 0.0))
+
+
+def leaky_relu_bounds_batch(op: LeakyReLUOp, batch: BoxBatch) -> BoxBatch:
+    """Batched exact interval image of LeakyReLU (elementwise, monotone)."""
+    return BoxBatch(op.apply(batch.lower), op.apply(batch.upper))
+
+
+def max_group_bounds_batch(op: MaxGroupOp, batch: BoxBatch) -> BoxBatch:
+    """Batched exact interval image of grouped max.
+
+    Vectorized over regions; the (small, static) group list is looped.
+    """
+    n = batch.n_regions
+    lower = np.empty((n, op.out_dim))
+    upper = np.empty((n, op.out_dim))
+    for j, g in enumerate(op.groups):
+        lower[:, j] = batch.lower[:, g].max(axis=1)
+        upper[:, j] = batch.upper[:, g].max(axis=1)
+    return BoxBatch(lower, upper)
+
+
+def transform_batch(op: PLOp, batch: BoxBatch) -> BoxBatch:
+    """Batched interval transformer for one primitive op."""
+    if batch.dim != op.in_dim:
+        raise ValueError(f"batch dim {batch.dim} does not match op input {op.in_dim}")
+    if isinstance(op, AffineOp):
+        return affine_bounds_batch(op, batch)
+    if isinstance(op, ReLUOp):
+        return relu_bounds_batch(batch)
+    if isinstance(op, LeakyReLUOp):
+        return leaky_relu_bounds_batch(op, batch)
+    if isinstance(op, MaxGroupOp):
+        return max_group_bounds_batch(op, batch)
+    raise TypeError(f"no interval transformer for {type(op).__name__}")
+
+
+def propagate_box_batch(
+    network: PiecewiseLinearNetwork, batch: BoxBatch
+) -> BoxBatch:
+    """Interval image of the whole network for every region at once."""
+    batch = batch.flat()
+    for op in network.ops:
+        batch = transform_batch(op, batch)
+    return batch
 
 
 def op_output_bounds(

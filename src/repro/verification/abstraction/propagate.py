@@ -9,6 +9,16 @@ obtaining a sound over-approximation ``S`` of ``f^(l)`` images.
 Works directly on :class:`~repro.nn.layers.base.Layer` objects so that
 convolutions are handled by interval arithmetic on their own kernels
 (midpoint/radius form) instead of materialized affine matrices.
+
+Two entry points:
+
+- :func:`propagate_input_box` — one box ("batch of one", the scalar
+  path);
+- :func:`propagate_input_box_batch` (alias :func:`propagate_batch`) —
+  a whole :class:`~repro.verification.sets.BoxBatch` of input regions in
+  one pass, with every layer transformer vectorized over the leading
+  region axis.  This is what scenario-grid campaigns use to bound
+  hundreds of perturbation regions at the cost of roughly one.
 """
 
 from __future__ import annotations
@@ -24,29 +34,87 @@ from repro.nn.layers.dropout import Dropout
 from repro.nn.layers.pool import AvgPool2D, MaxPool2D
 from repro.nn.layers.reshape import Flatten
 from repro.nn.sequential import Sequential
-from repro.verification.sets import Box
+from repro.verification.sets import Box, BoxBatch, IntervalBoundError
 
 _MONOTONE_LAYERS = (ReLU, LeakyReLU, Sigmoid, Tanh, Identity, MaxPool2D, AvgPool2D)
 
 
+def _check_ordered(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    layer_index: int | None,
+    region_index: int | None,
+    batched: bool,
+) -> None:
+    """Raise :class:`IntervalBoundError` with full context on ``lower > upper``."""
+    bad = lower > upper
+    if not np.any(bad):
+        return
+    if batched:
+        per_region = np.any(bad.reshape(bad.shape[0], -1), axis=1)
+        region_index = int(np.argmax(per_region))
+    raise IntervalBoundError(
+        "interval has lower > upper bound",
+        layer_index=layer_index,
+        region_index=region_index,
+    )
+
+
 def _conv_apply(layer: Conv2D, x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
-    """Convolution forward with substituted weights (for |W| arithmetic)."""
+    """Convolution forward with substituted weights (for |W| arithmetic).
+
+    Uses a broadcasted BLAS matmul over the region batch rather than
+    ``einsum`` — on wide region batches the batched GEMM is what turns
+    the interval conv transformer into a single hardware-speed pass.
+    """
     cols, ho, wo = _im2col(x, layer.kernel, layer.stride, layer.padding)
     w_flat = weight.reshape(layer.filters, -1)
-    out = np.einsum("fk,nkp->nfp", w_flat, cols) + bias[None, :, None]
+    out = np.matmul(w_flat, cols) + bias[None, :, None]
     return out.reshape(x.shape[0], layer.filters, ho, wo)
 
 
 def layer_interval(
-    layer: Layer, lower: np.ndarray, upper: np.ndarray
+    layer: Layer,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    *,
+    layer_index: int | None = None,
+    region_index: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sound interval transformer for one layer (batch of one).
 
     ``lower``/``upper`` are feature-shaped arrays (no batch dimension).
+    ``layer_index``/``region_index`` are optional provenance attached to
+    the :class:`IntervalBoundError` raised on inverted bounds, so that
+    callers propagating many layers/regions surface *where* it failed.
     """
-    if np.any(lower > upper):
-        raise ValueError("interval lower bound exceeds upper bound")
+    _check_ordered(lower, upper, layer_index, region_index, batched=False)
+    out = _layer_interval_impl(layer, lower[None], upper[None])
+    return out[0][0], out[1][0]
 
+
+def layer_interval_batch(
+    layer: Layer,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    *,
+    layer_index: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sound interval transformer for one layer over ``n`` stacked regions.
+
+    ``lower``/``upper`` carry a leading region axis: ``(n, *feature
+    shape)``.  Equivalent to ``n`` calls of :func:`layer_interval` but
+    vectorized — convolutions, pooling and dense maps each run as one
+    batched numpy op over all regions.
+    """
+    _check_ordered(lower, upper, layer_index, None, batched=True)
+    return _layer_interval_impl(layer, lower, upper)
+
+
+def _layer_interval_impl(
+    layer: Layer, lower: np.ndarray, upper: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared transformer body; ``lower``/``upper`` are ``(n, *features)``."""
     if isinstance(layer, Dense):
         center = 0.5 * (lower + upper)
         radius = 0.5 * (upper - lower)
@@ -56,16 +124,16 @@ def layer_interval(
         return out_center - out_radius, out_center + out_radius
 
     if isinstance(layer, Conv2D):
-        center = 0.5 * (lower + upper)[None]
-        radius = 0.5 * (upper - lower)[None]
+        center = 0.5 * (lower + upper)
+        radius = 0.5 * (upper - lower)
         out_center = _conv_apply(layer, center, layer.weight.value, layer.bias.value)
         zero_bias = np.zeros_like(layer.bias.value)
         out_radius = _conv_apply(layer, radius, np.abs(layer.weight.value), zero_bias)
-        return (out_center - out_radius)[0], (out_center + out_radius)[0]
+        return out_center - out_radius, out_center + out_radius
 
     if isinstance(layer, BatchNorm):
         scale, shift = layer.affine_coefficients()
-        if lower.ndim == 3:  # conv features: per-channel coefficients
+        if lower.ndim == 4:  # conv features: per-channel coefficients
             scale = scale[:, None, None]
             shift = shift[:, None, None]
         a = scale * lower + shift
@@ -76,11 +144,12 @@ def layer_interval(
         return lower, upper
 
     if isinstance(layer, Flatten):
-        return lower.reshape(-1), upper.reshape(-1)
+        n = lower.shape[0]
+        return lower.reshape(n, -1), upper.reshape(n, -1)
 
     if isinstance(layer, _MONOTONE_LAYERS):
-        out_lower = layer.forward(lower[None], training=False)[0]
-        out_upper = layer.forward(upper[None], training=False)[0]
+        out_lower = layer.forward(lower, training=False)
+        out_upper = layer.forward(upper, training=False)
         return out_lower, out_upper
 
     raise TypeError(f"no interval transformer for layer {type(layer).__name__}")
@@ -102,8 +171,39 @@ def propagate_input_box(
     shape = model.input_shape
     lo = np.broadcast_to(np.asarray(lower, dtype=float), shape).copy()
     hi = np.broadcast_to(np.asarray(upper, dtype=float), shape).copy()
-    if np.any(lo > hi):
-        raise ValueError("input box has lower > upper")
-    for layer in model.layers[:to_layer]:
-        lo, hi = layer_interval(layer, lo, hi)
+    _check_ordered(lo, hi, None, None, batched=False)
+    for i, layer in enumerate(model.layers[:to_layer]):
+        lo, hi = layer_interval(layer, lo, hi, layer_index=i)
     return Box(lo.reshape(-1), hi.reshape(-1))
+
+
+def propagate_input_box_batch(
+    model: Sequential,
+    batch: BoxBatch,
+    to_layer: int,
+) -> BoxBatch:
+    """Push ``n`` input boxes through layers ``1 .. to_layer`` in one pass.
+
+    ``batch`` members must have the model's input shape (an ``(n, *input
+    shape)`` stack).  Returns a flat ``(n, d_l)`` :class:`BoxBatch` whose
+    member ``i`` equals ``propagate_input_box`` of box ``i`` (within
+    floating-point reassociation).  This is the hot path of scenario-grid
+    campaigns: one batched pass replaces ``n`` scalar propagations.
+    """
+    model._check_index(to_layer, allow_zero=True)
+    shape = model.input_shape
+    if batch.lower.shape[1:] != shape:
+        raise ValueError(
+            f"batch members have shape {batch.lower.shape[1:]}, "
+            f"model input is {shape}"
+        )
+    lo = batch.lower.astype(float, copy=True)
+    hi = batch.upper.astype(float, copy=True)
+    for i, layer in enumerate(model.layers[:to_layer]):
+        lo, hi = layer_interval_batch(layer, lo, hi, layer_index=i)
+    n = lo.shape[0]
+    return BoxBatch(lo.reshape(n, -1), hi.reshape(n, -1))
+
+
+#: public alias: the batched layer-level propagation entry point
+propagate_batch = propagate_input_box_batch

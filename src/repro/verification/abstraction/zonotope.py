@@ -7,6 +7,13 @@ unstable neuron.  Because generators are shared across neurons, the
 domain tracks *relations* between neurons that plain intervals lose —
 which is what makes the derived adjacent-difference bounds
 (:mod:`repro.verification.abstraction.octagon`) non-trivial.
+
+:class:`ZonotopeBatch` is the vectorized twin: ``n`` zonotopes sharing
+one rectangular generator tensor ``(n, k, d)`` so a single propagation
+call bounds every region of a campaign.  Regions whose ReLU transformer
+would introduce fewer fresh symbols than their batch-mates simply carry
+zero generator rows — zero rows contribute nothing to any radius, so
+the per-region bounds are identical to the scalar path's.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from repro.nn.graph import (
     PLOp,
     ReLUOp,
 )
-from repro.verification.sets import Box
+from repro.verification.sets import Box, BoxBatch
 
 
 @dataclass(frozen=True)
@@ -183,3 +190,188 @@ def propagate_zonotope(
     for op in network.ops:
         zonotope = transform(zonotope, op)
     return zonotope
+
+
+# -- batched zonotopes (leading region axis) ---------------------------------
+
+
+@dataclass(frozen=True)
+class ZonotopeBatch:
+    """``n`` zonotopes: ``center (n, d)`` plus ``generators (n, k, d)``.
+
+    All regions share the generator count ``k``; regions needing fewer
+    symbols pad with zero rows (sound and bound-identical — a zero row
+    adds exactly 0.0 to every radius sum).
+    """
+
+    center: np.ndarray
+    generators: np.ndarray
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center, dtype=float)
+        generators = np.asarray(self.generators, dtype=float)
+        if center.ndim != 2:
+            raise ValueError(f"center must be (n, d), got {center.shape}")
+        if generators.size == 0:
+            generators = np.zeros((center.shape[0], 0, center.shape[1]))
+        if generators.ndim != 3 or generators.shape[::2] != center.shape:
+            raise ValueError(
+                f"generators must be (n={center.shape[0]}, k, d={center.shape[1]}), "
+                f"got {generators.shape}"
+            )
+        object.__setattr__(self, "center", center)
+        object.__setattr__(self, "generators", generators)
+
+    @property
+    def n_regions(self) -> int:
+        return self.center.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.center.shape[1]
+
+    @property
+    def num_generators(self) -> int:
+        return self.generators.shape[1]
+
+    @classmethod
+    def from_box_batch(cls, batch: BoxBatch) -> "ZonotopeBatch":
+        """One independent noise symbol per coordinate, per region."""
+        batch = batch.flat()
+        n, d = batch.lower.shape
+        radius = 0.5 * (batch.upper - batch.lower)
+        generators = np.zeros((n, d, d))
+        idx = np.arange(d)
+        generators[:, idx, idx] = radius
+        return cls(0.5 * (batch.lower + batch.upper), generators)
+
+    def zonotope(self, region: int) -> Zonotope:
+        """Member ``region`` as a scalar :class:`Zonotope`."""
+        return Zonotope(self.center[region], self.generators[region])
+
+    def radius(self) -> np.ndarray:
+        return np.abs(self.generators).sum(axis=1)
+
+    def to_box_batch(self) -> BoxBatch:
+        r = self.radius()
+        return BoxBatch(self.center - r, self.center + r)
+
+    def linear_value_bounds(self, a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-region exact bounds of ``a . x``: two ``(n,)`` arrays."""
+        a = np.asarray(a, dtype=float)
+        mid = self.center @ a
+        rad = np.abs(self.generators @ a).sum(axis=1)
+        return mid - rad, mid + rad
+
+
+def _affine_batch(batch: ZonotopeBatch, op: AffineOp) -> ZonotopeBatch:
+    return ZonotopeBatch(
+        batch.center @ op.weight.T + op.bias,
+        batch.generators @ op.weight.T,
+    )
+
+
+def _relu_like_batch(batch: ZonotopeBatch, alpha: float) -> ZonotopeBatch:
+    """Batched ReLU/LeakyReLU transformer (see :func:`_relu_like`).
+
+    Fresh noise symbols are appended as one ``(n, d, d)`` diagonal block
+    per layer — diagonal entries are the per-region ``beta`` (zero for
+    stable neurons), so each region's bounds equal the scalar path's.
+    """
+    hull = batch.to_box_batch()
+    lo, hi = hull.lower, hull.upper
+    n, d = lo.shape
+
+    lam = np.ones((n, d))
+    mu = np.zeros((n, d))
+    beta = np.zeros((n, d))
+
+    stable_neg = hi <= 0.0
+    lam[stable_neg] = alpha
+
+    unstable = (lo < 0.0) & (hi > 0.0)
+    if np.any(unstable):
+        lo_u, hi_u = lo[unstable], hi[unstable]
+        lam_u = (hi_u - alpha * lo_u) / (hi_u - lo_u)
+        beta_u = 0.5 * (1.0 - alpha) * hi_u * (-lo_u) / (hi_u - lo_u)
+        lam[unstable] = lam_u
+        mu[unstable] = beta_u
+        beta[unstable] = beta_u
+
+    center = lam * batch.center + mu
+    generators = batch.generators * lam[:, None, :]
+    if np.any(beta > 0.0):
+        fresh = np.zeros((n, d, d))
+        idx = np.arange(d)
+        fresh[:, idx, idx] = beta
+        generators = np.concatenate([generators, fresh], axis=1)
+    return ZonotopeBatch(center, generators)
+
+
+def _max_group_batch(batch: ZonotopeBatch, op: MaxGroupOp) -> ZonotopeBatch:
+    """Batched grouped max (see :func:`_max_group`), vectorized over regions.
+
+    Per output group, regions where one member dominates keep that
+    member's exact affine form; the rest get a fresh symbol spanning the
+    interval hull of the group maximum.
+    """
+    hull = batch.to_box_batch()
+    n = batch.n_regions
+    out_dim = op.out_dim
+    center = np.zeros((n, out_dim))
+    keep = np.zeros((n, batch.num_generators, out_dim))
+    fresh = np.zeros((n, out_dim, out_dim))
+    for j, group in enumerate(op.groups):
+        lows = hull.lower[:, group]  # (n, |g|)
+        highs = hull.upper[:, group]
+        best = np.argmax(lows, axis=1)  # (n,)
+        rows = np.arange(n)
+        best_low = lows[rows, best]
+        # highest upper bound among the *other* members, per region
+        masked = highs.copy()
+        masked[rows, best] = -np.inf
+        other_high = masked.max(axis=1) if group.size > 1 else np.full(n, -np.inf)
+        dominates = best_low >= other_high
+
+        g_best = group[best]  # (n,) flat indices of the dominating member
+        center[:, j] = np.where(
+            dominates,
+            batch.center[rows, g_best],
+            0.5 * (lows.max(axis=1) + highs.max(axis=1)),
+        )
+        keep[:, :, j] = np.where(
+            dominates[:, None], batch.generators[rows, :, g_best], 0.0
+        )
+        fresh[:, j, j] = np.where(
+            dominates, 0.0, 0.5 * (highs.max(axis=1) - lows.max(axis=1))
+        )
+    if not np.any(fresh):  # every group dominated in every region
+        return ZonotopeBatch(center, keep)
+    return ZonotopeBatch(center, np.concatenate([keep, fresh], axis=1))
+
+
+def transform_batch(batch: ZonotopeBatch, op: PLOp) -> ZonotopeBatch:
+    """Batched zonotope transformer for one primitive op."""
+    if batch.dim != op.in_dim:
+        raise ValueError(f"zonotope batch dim {batch.dim} vs op input {op.in_dim}")
+    if isinstance(op, AffineOp):
+        return _affine_batch(batch, op)
+    if isinstance(op, ReLUOp):
+        return _relu_like_batch(batch, 0.0)
+    if isinstance(op, LeakyReLUOp):
+        return _relu_like_batch(batch, op.alpha)
+    if isinstance(op, MaxGroupOp):
+        return _max_group_batch(batch, op)
+    raise TypeError(f"no zonotope transformer for {type(op).__name__}")
+
+
+def propagate_zonotope_batch(
+    network: PiecewiseLinearNetwork, start: ZonotopeBatch | BoxBatch
+) -> ZonotopeBatch:
+    """Zonotope image of the whole network for every region at once."""
+    batch = (
+        ZonotopeBatch.from_box_batch(start) if isinstance(start, BoxBatch) else start
+    )
+    for op in network.ops:
+        batch = transform_batch(batch, op)
+    return batch

@@ -14,6 +14,7 @@ tightens the provable frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.nn.graph import PiecewiseLinearNetwork
 from repro.properties.risk import RiskCondition, output_geq
@@ -93,3 +94,41 @@ def output_range(
         suffix, feature_set, trivial_reachability_risk(suffix.out_dim), characterizer
     )
     return optimize_range(problem, make_solver(solver, **solver_options), output_index)
+
+
+def output_range_batch(
+    suffix: PiecewiseLinearNetwork,
+    feature_sets: Sequence[FeatureSet],
+    output_index: int = 0,
+    domain: str = "interval",
+) -> list[OutputRange]:
+    """Sound (not exact) ranges of one output over *many* sets at once.
+
+    The batched-abstraction view of output-range analysis: a single
+    vectorized propagation (:func:`~repro.verification.prescreen.output_enclosure_batch`)
+    bounds the target coordinate for every feature set.  The intervals
+    *contain* the exact reachable ranges — ``exact=False`` marks them as
+    enclosures; use :func:`output_range` for the two-MILP exact answer
+    on any region where the enclosure is too coarse.
+    """
+    from repro.verification.prescreen import output_enclosure_batch
+
+    if not 0 <= output_index < suffix.out_dim:
+        raise ValueError(
+            f"output index {output_index} out of range for {suffix.out_dim} outputs"
+        )
+    ranges = []
+    for enclosure in output_enclosure_batch(suffix, feature_sets, domain):
+        if domain == "zonotope":
+            direction = [0.0] * suffix.out_dim
+            direction[output_index] = 1.0
+            lo, hi = enclosure.linear_value_bounds(direction)
+        else:
+            lo = float(enclosure.lower[output_index])
+            hi = float(enclosure.upper[output_index])
+        ranges.append(
+            OutputRange(
+                output_index=output_index, lower=float(lo), upper=float(hi), exact=False
+            )
+        )
+    return ranges

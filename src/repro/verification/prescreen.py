@@ -17,15 +17,19 @@ the over-approximation sound).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.nn.graph import PiecewiseLinearNetwork
 from repro.properties.risk import RiskCondition
-from repro.verification.abstraction.interval import propagate_box
+from repro.verification.abstraction.interval import propagate_box, propagate_box_batch
 from repro.verification.abstraction.symbolic import propagate_symbolic
-from repro.verification.abstraction.zonotope import propagate_zonotope
-from repro.verification.sets import Box, FeatureSet
+from repro.verification.abstraction.zonotope import (
+    propagate_zonotope,
+    propagate_zonotope_batch,
+)
+from repro.verification.sets import Box, BoxBatch, FeatureSet
 
 
 @dataclass(frozen=True)
@@ -65,6 +69,43 @@ def output_enclosure(
         return propagate_symbolic(suffix, hull)
     if domain == "zonotope":
         return propagate_zonotope(suffix, hull)
+    raise ValueError(f"unknown domain {domain!r}; use interval, symbolic or zonotope")
+
+
+def output_enclosure_batch(
+    suffix: PiecewiseLinearNetwork,
+    feature_sets: "Sequence[FeatureSet] | BoxBatch",
+    domain: str = "interval",
+) -> list:
+    """Batched twin of :func:`output_enclosure` over many feature sets.
+
+    Stacks the interval hulls of all sets into one
+    :class:`~repro.verification.sets.BoxBatch` (or consumes a ready
+    ``BoxBatch`` of hulls directly, skipping per-set materialization)
+    and propagates them through ``suffix`` in a single vectorized pass,
+    returning one abstract element per set (a :class:`Box` for
+    ``interval``, a
+    :class:`~repro.verification.abstraction.zonotope.Zonotope` for
+    ``zonotope``) — each interchangeable with the scalar path's result
+    in :func:`screen_enclosure`.  The ``symbolic`` domain has no batched
+    transformer and falls back to a scalar loop.
+    """
+    if isinstance(feature_sets, BoxBatch):
+        hulls = feature_sets.flat()
+        if domain == "symbolic":
+            feature_sets = hulls.boxes()
+    elif not feature_sets:
+        return []
+    else:
+        hulls = BoxBatch.from_boxes([Box(*fs.bounds()) for fs in feature_sets])
+    if domain == "interval":
+        out = propagate_box_batch(suffix, hulls)
+        return out.boxes()
+    if domain == "zonotope":
+        out = propagate_zonotope_batch(suffix, hulls)
+        return [out.zonotope(i) for i in range(out.n_regions)]
+    if domain == "symbolic":
+        return [output_enclosure(suffix, fs, domain) for fs in feature_sets]
     raise ValueError(f"unknown domain {domain!r}; use interval, symbolic or zonotope")
 
 
@@ -110,3 +151,24 @@ def prescreen(
             f"risk is over {risk.dim} outputs, network has {suffix.out_dim}"
         )
     return screen_enclosure(output_enclosure(suffix, feature_set, domain), risk, domain)
+
+
+def prescreen_batch(
+    suffix: PiecewiseLinearNetwork,
+    feature_sets: Sequence[FeatureSet],
+    risk: RiskCondition,
+    domain: str = "interval",
+) -> list[PrescreenResult]:
+    """Region-major prescreen: one risk over many feature sets.
+
+    Semantically ``[prescreen(suffix, fs, risk, domain) for fs in
+    feature_sets]`` but the enclosures are computed in one batched
+    propagation pass (:func:`output_enclosure_batch`), so the cost is
+    roughly that of a single scalar prescreen plus ``n`` margin checks.
+    """
+    if risk.dim != suffix.out_dim:
+        raise ValueError(
+            f"risk is over {risk.dim} outputs, network has {suffix.out_dim}"
+        )
+    enclosures = output_enclosure_batch(suffix, feature_sets, domain)
+    return [screen_enclosure(enc, risk, domain) for enc in enclosures]

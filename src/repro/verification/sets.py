@@ -22,6 +22,34 @@ from dataclasses import dataclass
 import numpy as np
 
 
+class IntervalBoundError(ValueError):
+    """An interval's lower bound exceeded its upper bound.
+
+    Carries *where* the violation happened so that campaign-scale
+    propagation failures are debuggable: ``layer_index`` is the position
+    in the model (``None`` when raised outside a propagation loop) and
+    ``region_index`` the offending member of a batch (``None`` for the
+    scalar path).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        layer_index: int | None = None,
+        region_index: int | None = None,
+    ):
+        context = []
+        if layer_index is not None:
+            context.append(f"layer {layer_index}")
+        if region_index is not None:
+            context.append(f"region {region_index}")
+        if context:
+            message = f"{message} (at {', '.join(context)})"
+        super().__init__(message)
+        self.layer_index = layer_index
+        self.region_index = region_index
+
+
 def _as_points(points: np.ndarray, dim: int) -> np.ndarray:
     points = np.asarray(points, dtype=float)
     single = points.ndim == 1
@@ -121,6 +149,76 @@ class Box(FeatureSet):
         return Box(
             np.maximum(self.lower, other.lower), np.minimum(self.upper, other.upper)
         )
+
+
+@dataclass(frozen=True)
+class BoxBatch:
+    """A stack of ``n`` same-dimension boxes: ``lower``/``upper`` are
+    ``(n, d)`` (or ``(n, *shape)`` for image-space boxes).
+
+    This is the unit of work of the batched abstraction backend
+    (:mod:`repro.verification.abstraction`): one propagation call bounds
+    every region in the batch simultaneously.  A ``BoxBatch`` is *not* a
+    :class:`FeatureSet` — it is a batch of them; use :meth:`box` to
+    extract one member as a :class:`Box`.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        lower = np.asarray(self.lower, dtype=float)
+        upper = np.asarray(self.upper, dtype=float)
+        if lower.shape != upper.shape or lower.ndim < 2:
+            raise ValueError(
+                f"batch bounds must be (n, ...) of equal shape, got "
+                f"{lower.shape}/{upper.shape}"
+            )
+        if np.any(lower > upper):
+            region = int(np.argmax(np.any(
+                (lower > upper).reshape(lower.shape[0], -1), axis=1
+            )))
+            raise IntervalBoundError(
+                "batch has lower > upper bound", region_index=region
+            )
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    @property
+    def n_regions(self) -> int:
+        return self.lower.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Flat feature dimension of each member."""
+        return int(np.prod(self.lower.shape[1:]))
+
+    def __len__(self) -> int:
+        return self.n_regions
+
+    @classmethod
+    def from_boxes(cls, boxes: "list[Box] | tuple[Box, ...]") -> "BoxBatch":
+        """Stack same-dimension boxes along a new leading region axis."""
+        if not boxes:
+            raise ValueError("cannot build a BoxBatch from zero boxes")
+        return cls(
+            np.stack([b.lower for b in boxes]),
+            np.stack([b.upper for b in boxes]),
+        )
+
+    def box(self, region: int) -> Box:
+        """Member ``region`` as a flat :class:`Box`."""
+        return Box(
+            self.lower[region].reshape(-1), self.upper[region].reshape(-1)
+        )
+
+    def boxes(self) -> "list[Box]":
+        return [self.box(i) for i in range(self.n_regions)]
+
+    def flat(self) -> "BoxBatch":
+        """The batch with each member flattened to ``(n, d)``."""
+        n = self.n_regions
+        return BoxBatch(self.lower.reshape(n, -1), self.upper.reshape(n, -1))
 
 
 @dataclass(frozen=True)

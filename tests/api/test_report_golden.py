@@ -1,0 +1,130 @@
+"""Golden-file regression test for the ``CampaignReport`` JSON contract.
+
+Engine refactors must not silently change the report *shape* (the set of
+JSON key paths) or the *verdict semantics* (per-query verdict, monitor
+flag, solver status and deciding ladder step) of a fixed, fully seeded
+12-query campaign.  Timing fields are zeroed and value-level floats are
+dropped before comparison, so the golden file only pins what a refactor
+must preserve.
+
+Regenerating after an **intentional** contract change::
+
+    PYTHONPATH=src python tests/api/test_report_golden.py --regenerate
+
+then commit the updated ``tests/api/golden/campaign_report.json``
+together with the change that motivated it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import Campaign, VerificationEngine
+from repro.perception.characterizer import train_characterizer
+from repro.perception.network import build_mlp_perception_network, default_cut_layer
+from repro.properties.library import steer_far_left
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "campaign_report.json"
+
+#: fixed absolute thresholds, all well clear of the system's decision
+#: boundaries (reachable waypoint range is about [-1.79, 0.54] plain and
+#: [-0.14, 0.54] under the characterizer) so float drift cannot flip a verdict
+THRESHOLDS = (-1.0, -0.2, 0.1, 0.4, 0.7, 1.2)
+
+
+def _build_report_dict() -> dict:
+    """The seeded 12-query campaign report, as a JSON dict."""
+    model = build_mlp_perception_network(
+        input_dim=6, hidden=(12,), feature_width=6, seed=4
+    )
+    rng = np.random.default_rng(12345)
+    images = rng.uniform(0, 1, size=(200, 6))
+    cut = default_cut_layer(model)
+    features = model.prefix_apply(images, cut)
+    labels = (features[:, 0] > np.median(features[:, 0])).astype(float)
+    characterizer, _ = train_characterizer(
+        "high_f0", cut, features, labels, features, labels, epochs=100, seed=0
+    )
+    engine = VerificationEngine(model, cut, solver="highs")
+    engine.add_feature_set_from_features(features, kind="box+diff")
+    engine.attach_characterizer(characterizer)
+    campaign = Campaign("golden-12").add_grid(
+        risks=[steer_far_left(t) for t in THRESHOLDS],
+        properties=("high_f0", None),
+    )
+    report = engine.run(campaign)
+    assert len(report) == 12
+    assert not report.errors, [r.error for r in report.errors]
+    return json.loads(report.to_json())
+
+
+def _key_paths(node, prefix: str = "") -> set[str]:
+    """All JSON key paths; list elements collapse to ``[]``."""
+    paths = set()
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            paths.add(path)
+            paths.update(_key_paths(value, path))
+    elif isinstance(node, list):
+        for value in node:
+            paths.update(_key_paths(value, f"{prefix}[]"))
+    return paths
+
+
+def _normalize(report: dict) -> dict:
+    """The schema + verdict-semantics projection pinned by the golden file."""
+    return {
+        "campaign": report["campaign"],
+        "workers": report["workers"],
+        "executor": report["executor"],
+        "verdict_counts": report["verdict_counts"],
+        "schema": sorted(_key_paths(report)),
+        "queries": [
+            {
+                "label": result["query"]["label"],
+                "set": result["query"]["set"],
+                "property": result["query"]["property"],
+                "risk_description": result["query"]["risk_description"],
+                "verdict": result["verdict"],
+                "monitored": result["monitored"],
+                "solver_status": result["solver_status"],
+                "decided_by": result["decided_by"],
+                "has_counterexample": "counterexample" in result,
+            }
+            for result in report["results"]
+        ],
+    }
+
+
+def test_campaign_report_matches_golden():
+    """See the module docstring for the regeneration command."""
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing; generate it with "
+        f"PYTHONPATH=src python {Path(__file__).relative_to(Path.cwd())} --regenerate"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    actual = _normalize(_build_report_dict())
+    assert actual == golden, (
+        "CampaignReport schema or verdict semantics changed; if intentional, "
+        "regenerate the golden file (see module docstring) and commit it"
+    )
+
+
+def main(argv: list[str]) -> int:
+    if "--regenerate" not in argv:
+        print(__doc__)
+        return 2
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    normalized = _normalize(_build_report_dict())
+    GOLDEN_PATH.write_text(json.dumps(normalized, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

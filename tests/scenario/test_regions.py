@@ -1,0 +1,156 @@
+"""Tests for scenario-perturbation region grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenario.dataset import SceneConfig, sample_scene
+from repro.scenario.regions import (
+    PerturbationAxes,
+    RegionGrid,
+    region_from_scene,
+    scenario_region_grid,
+)
+from repro.scenario.render import render_ground, render_vehicles
+from repro.scenario.weather import Weather
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return SceneConfig(weather_variation=False, traffic_probability=0.0)
+
+
+@pytest.fixture(scope="module")
+def base_scene(base_config):
+    return sample_scene(np.random.default_rng(5), base_config)
+
+
+class TestPerturbationAxes:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="weather"):
+            PerturbationAxes(weather=1.5)
+        with pytest.raises(ValueError, match="camera_jitter"):
+            PerturbationAxes(camera_jitter=-1.0)
+        with pytest.raises(ValueError, match="traffic"):
+            PerturbationAxes(traffic=-1)
+
+    def test_describe_is_string_pairs(self):
+        axes = PerturbationAxes(weather=0.5, camera_jitter=1.0, traffic=2)
+        described = dict(axes.describe())
+        assert described == {"weather": "0.5", "camera_jitter": "1", "traffic": "2"}
+
+
+class TestRegionFromScene:
+    def test_point_region_without_perturbations(self, base_scene, base_config):
+        """Only epsilon widens the box when every axis is at zero."""
+        region = region_from_scene(
+            base_scene, PerturbationAxes(), base_config, epsilon=0.01
+        )
+        assert region.lower.shape == (1, 32, 32)
+        # interior pixels (not clipped at 0/1) have exactly 2*epsilon width
+        assert region.width == pytest.approx(0.02, abs=1e-12)
+
+    def test_zero_epsilon_zero_axes_is_degenerate(self, base_scene, base_config):
+        region = region_from_scene(
+            base_scene, PerturbationAxes(), base_config, epsilon=0.0
+        )
+        assert region.width == 0.0
+
+    def test_weather_axis_widens_the_box(self, base_scene, base_config):
+        base = region_from_scene(base_scene, PerturbationAxes(), base_config, epsilon=0.0)
+        foul = region_from_scene(
+            base_scene, PerturbationAxes(weather=1.0), base_config, epsilon=0.0
+        )
+        assert foul.width > base.width
+        assert np.all(foul.lower <= base.lower + 1e-12)
+        assert np.all(foul.upper >= base.upper - 1e-12)
+
+    @pytest.mark.parametrize(
+        "weather",
+        [
+            Weather(brightness=1.05, contrast=0.95),  # interior point
+            Weather(brightness=1.15, contrast=1.10, fog_density=0.04),  # bright+fog
+            Weather(brightness=0.85, contrast=0.90, fog_density=0.04),  # dark+fog
+            Weather(brightness=1.15, contrast=0.90),  # mixed (b, c) corner
+            Weather(brightness=0.85, contrast=1.10, fog_density=0.02),
+        ],
+    )
+    def test_envelope_contains_variant_renderings(
+        self, base_scene, base_config, weather
+    ):
+        """The box encloses every in-family rendering, combined axes included."""
+        axes = PerturbationAxes(weather=1.0)
+        region = region_from_scene(base_scene, axes, base_config, epsilon=0.0)
+        rng = np.random.default_rng(base_scene.texture_seed)
+        image, distance = render_ground(base_scene.road, base_config.camera, rng)
+        render_vehicles(image, distance, base_scene.road, base_config.camera, base_scene.vehicles)
+        variant = weather.apply(image, distance, rng)
+        assert np.all(variant >= region.lower[0] - 1e-9)
+        assert np.all(variant <= region.upper[0] + 1e-9)
+
+    def test_traffic_axis_covers_empty_road(self, base_scene, base_config):
+        with_traffic = region_from_scene(
+            base_scene, PerturbationAxes(traffic=2), base_config, epsilon=0.0
+        )
+        empty = region_from_scene(
+            base_scene, PerturbationAxes(), base_config, epsilon=0.0
+        )
+        assert np.all(with_traffic.lower <= empty.lower + 1e-12)
+        assert np.all(with_traffic.upper >= empty.upper - 1e-12)
+
+    def test_negative_epsilon_rejected(self, base_scene, base_config):
+        with pytest.raises(ValueError, match="epsilon"):
+            region_from_scene(base_scene, PerturbationAxes(), base_config, epsilon=-0.1)
+
+    def test_bounds_stay_in_pixel_range(self, base_scene, base_config):
+        region = region_from_scene(
+            base_scene,
+            PerturbationAxes(weather=1.0, camera_jitter=2.0, traffic=1),
+            base_config,
+            epsilon=0.05,
+        )
+        assert np.all(region.lower >= 0.0) and np.all(region.upper <= 1.0)
+
+
+class TestScenarioRegionGrid:
+    def test_grid_shape_and_names(self):
+        grid = scenario_region_grid(
+            n_scenes=2,
+            weather_levels=(0.0, 1.0),
+            jitter_levels=(0.0, 1.0),
+            traffic_levels=(0,),
+            seed=3,
+        )
+        assert len(grid) == 8
+        assert grid.names == [f"region-{i:03d}" for i in range(8)]
+        batch = grid.box_batch()
+        assert batch.lower.shape == (8, 1, 32, 32)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = scenario_region_grid(n_scenes=1, weather_levels=(0.5,), seed=11)
+        b = scenario_region_grid(n_scenes=1, weather_levels=(0.5,), seed=11)
+        np.testing.assert_array_equal(a[0].lower, b[0].lower)
+        np.testing.assert_array_equal(a[0].upper, b[0].upper)
+
+    def test_truncated(self):
+        grid = scenario_region_grid(n_scenes=2, seed=0)
+        cut = grid.truncated(3)
+        assert len(cut) == 3 and cut.names == grid.names[:3]
+        with pytest.raises(ValueError):
+            grid.truncated(0)
+        with pytest.raises(ValueError):
+            grid.truncated(len(grid) + 1)
+
+    def test_unique_names_enforced(self):
+        grid = scenario_region_grid(n_scenes=1, seed=0)
+        with pytest.raises(ValueError, match="unique"):
+            RegionGrid([grid[0], grid[0]], grid.config)
+
+    def test_metadata_carries_axes(self):
+        grid = scenario_region_grid(
+            n_scenes=1, weather_levels=(1.0,), traffic_levels=(2,), seed=0
+        )
+        meta = dict(grid[0].metadata())
+        assert meta["region"] == "region-000"
+        assert meta["weather"] == "1" and meta["traffic"] == "2"
