@@ -11,10 +11,11 @@ exposes it through exactly one path:
   property × risk × set grids into query batches;
 - :class:`~repro.api.engine.VerificationEngine` — plans a strategy
   ladder per query (prescreen → support-function cache → relaxed LP →
-  complete solver → optional refinement), caches every risk-independent
-  artifact (suffix lowering, abstraction bounds, output enclosures,
-  MILP/relaxed encodings, support values), and fans campaigns out over
-  a process pool;
+  complete solver → anytime CEGAR refinement of the set's input
+  region), caches every risk-independent artifact (suffix lowering,
+  abstraction bounds, output enclosures, MILP/relaxed encodings,
+  support values, resumable refinement loops), and fans campaigns out
+  over a process pool;
 - :class:`~repro.api.campaign.CampaignReport` — per-query verdicts with
   timing and cache provenance, JSON-serializable.
 

@@ -19,6 +19,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.core.verdict import VerificationVerdict
 from repro.properties.risk import RiskCondition
 from repro.api.query import Method, VerificationQuery
+from repro.verification.cegar import CegarResult
 from repro.verification.output_range import OutputRange
 from repro.verification.refinement import RefinementResult
 from repro.verification.robustness import RobustnessResult
@@ -30,17 +31,25 @@ class Campaign:
 
     Build explicitly with :meth:`add`, or declaratively with
     :meth:`add_grid`, which expands the cartesian product of risks,
-    properties and feature sets into one query each::
+    properties and feature sets into one query each.
 
-        campaign = (
-            Campaign("nightly")
-            .add_grid(
-                risks=[steer_far_left(t) for t in thresholds],
-                properties=("bends_right", "bends_left"),
-                sets=("data",),
-            )
-        )
-        report = engine.run(campaign, workers=4)
+    Parameters
+    ----------
+    name : str, optional
+        Report label.
+    queries : list of VerificationQuery, optional
+        Seed queries (usually grown via the builder methods).
+
+    Examples
+    --------
+    >>> from repro.properties.risk import RiskCondition, output_geq
+    >>> risks = [RiskCondition(f"t{t}", (output_geq(2, 0, t),)) for t in (1, 2)]
+    >>> campaign = Campaign("sweep").add_grid(
+    ...     risks=risks, properties=("bends_right", None))
+    >>> len(campaign)
+    4
+    >>> campaign[0].property_name
+    'bends_right'
     """
 
     name: str = "campaign"
@@ -63,6 +72,7 @@ class Campaign:
         prescreen_domain: str | None = "interval",
         time_limit: float | None = None,
         node_limit: int | None = None,
+        refine_budget: int | None = None,
     ) -> "Campaign":
         """Region-major campaign over a scenario region grid.
 
@@ -91,6 +101,7 @@ class Campaign:
                             prescreen_domain=prescreen_domain,
                             time_limit=time_limit,
                             node_limit=node_limit,
+                            refine_budget=refine_budget,
                             metadata=region.metadata(),
                         )
                     )
@@ -106,6 +117,7 @@ class Campaign:
         prescreen_domain: str | None = "interval",
         time_limit: float | None = None,
         node_limit: int | None = None,
+        refine_budget: int | None = None,
     ) -> "Campaign":
         """Expand ``risks × properties × sets`` into queries (in order)."""
         if not risks:
@@ -123,6 +135,7 @@ class Campaign:
                             prescreen_domain=prescreen_domain,
                             time_limit=time_limit,
                             node_limit=node_limit,
+                            refine_budget=refine_budget,
                         )
                     )
         return self
@@ -175,6 +188,9 @@ class QueryResult:
     robustness: RobustnessResult | None = None
     output_range: OutputRange | None = None
     refinement: RefinementResult | None = None
+    #: anytime CEGAR outcome (status, witness, RefinementTrace) for
+    #: ``cegar`` queries and cegar-fallback results
+    cegar: CegarResult | None = None
     elapsed: float = 0.0
     ladder: tuple[str, ...] = ()
     decided_by: str | None = None
@@ -229,12 +245,36 @@ class QueryResult:
                 "final_cut_layers": list(self.refinement.final_cut_layers),
                 "refinements_used": self.refinement.refinements_used,
             }
+        if self.cegar is not None:
+            out["cegar"] = {
+                "status": self.cegar.status.value,
+                "subproblems_processed": self.cegar.subproblems_processed,
+                "queued": self.cegar.queued,
+                "parked": self.cegar.parked,
+                "trace": self.cegar.trace.to_dict(),
+            }
         return out
 
 
 @dataclass
 class CampaignReport:
-    """Everything :meth:`VerificationEngine.run` learned, auditable."""
+    """Everything :meth:`VerificationEngine.run` learned, auditable.
+
+    Examples
+    --------
+    >>> from repro.api.query import VerificationQuery
+    >>> from repro.properties.risk import RiskCondition, output_geq
+    >>> query = VerificationQuery(
+    ...     risk=RiskCondition("r", (output_geq(2, 0, 1.0),)))
+    >>> report = CampaignReport(
+    ...     campaign_name="demo",
+    ...     results=[QueryResult(query=query, error="boom", decided_by="error")],
+    ...     total_time=0.01, workers=1, executor="sequential")
+    >>> report.verdict_counts()
+    {'error': 1}
+    >>> import json; "results" in json.loads(report.to_json())
+    True
+    """
 
     campaign_name: str
     results: list[QueryResult]
@@ -317,7 +357,15 @@ class CampaignReport:
 
 
 def as_queries(campaign: "Campaign | Iterable[VerificationQuery]") -> tuple[str, list[VerificationQuery]]:
-    """Normalize a campaign or plain iterable into ``(name, queries)``."""
+    """Normalize a campaign or plain iterable into ``(name, queries)``.
+
+    Examples
+    --------
+    >>> as_queries(Campaign("empty"))
+    ('empty', [])
+    >>> as_queries([])
+    ('campaign', [])
+    """
     if isinstance(campaign, Campaign):
         return campaign.name, list(campaign.queries)
     queries = list(campaign)

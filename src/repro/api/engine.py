@@ -19,8 +19,15 @@ Per query the engine plans a **strategy ladder**:
    infeasible LP is a proof, an LP point satisfying the exact neuron
    semantics is a genuine witness;
 4. *solve* — the complete backend (registry-dispatched by encoding);
-5. *refine* — optional layer-wise abstraction-refinement fallback when
-   the backend hits its resource limits.
+5. *cegar* — anytime counterexample-guided refinement of the feature
+   set's input region (:class:`repro.verification.cegar.CegarLoop`):
+   batched prescreen of the split frontier per round, concretization
+   through the real network, budgeted and **resumable** — the loop (and
+   its shared MILP encoding) is cached per ``(set, risk)``, so
+   re-running an UNKNOWN query spends a fresh budget on the surviving
+   frontier instead of starting over.  Falls back to the legacy
+   layer-wise envelope refinement when the set has no input-region
+   provenance but refinement images were provided.
 
 All risk-independent work is cached per ``(feature set, characterizer)``:
 suffix lowering happens once per engine, abstraction bounds once per
@@ -58,7 +65,12 @@ from repro.verification.abstraction.propagate import (
 )
 from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
 from repro.verification.assume_guarantee import feature_set_from_data
-from repro.verification.counterexample import decode_witness
+from repro.verification.cegar import (
+    CegarConfig,
+    CegarLoop,
+    _ScopedLeafSolver,
+)
+from repro.verification.counterexample import FeatureCounterexample, decode_witness
 from repro.verification.milp.bigm import op_bounds_for_set
 from repro.verification.milp.encoder import (
     append_risk_rows,
@@ -89,6 +101,9 @@ class RegisteredFeatureSet:
     feature_set: FeatureSet
     kind: str
     sound: bool  #: True = valid for all inputs (Lemma 2); False = needs monitor
+    #: input-space ``(lower, upper)`` bounds this set was propagated
+    #: from, when known — what the CEGAR ladder rung splits on
+    input_box: tuple[np.ndarray, np.ndarray] | None = None
 
 
 class VerificationEngine:
@@ -111,6 +126,29 @@ class VerificationEngine:
     :meth:`add_region_sets` (batched input-box propagation to the cut
     layer) this makes scenario-grid sweeps pay roughly one propagation
     instead of one per region.
+
+    ``cegar_workers`` / ``cegar_budget`` configure the anytime CEGAR
+    rung: the default subproblem budget per ``cegar`` query (overridden
+    by :attr:`VerificationQuery.refine_budget`) and the frontier-parallel
+    pool cap for its leaf solves.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import VerificationQuery
+    >>> from repro.perception.network import (
+    ...     build_mlp_perception_network, default_cut_layer)
+    >>> from repro.properties.risk import RiskCondition, output_geq
+    >>> model = build_mlp_perception_network(
+    ...     input_dim=4, hidden=(8,), feature_width=4, seed=1)
+    >>> engine = VerificationEngine(
+    ...     model, default_cut_layer(model), solver="highs")
+    >>> _ = engine.add_static_feature_set(0.0, 1.0, name="domain")
+    >>> unreachable = RiskCondition("far", (output_geq(2, 0, 1e6),))
+    >>> result = engine.run_query(
+    ...     VerificationQuery(risk=unreachable, set_name="domain"))
+    >>> result.verdict.verdict.value, result.decided_by
+    ('safe', 'prescreen')
     """
 
     def __init__(
@@ -123,6 +161,8 @@ class VerificationEngine:
         refine_fallback: bool = False,
         cache: bool = True,
         batch_prescreen: bool = True,
+        cegar_workers: int = 1,
+        cegar_budget: int = 64,
         **solver_options,
     ):
         model._check_index(cut_layer, allow_zero=True)
@@ -147,6 +187,10 @@ class VerificationEngine:
         self.refine_fallback = refine_fallback
         self.cache_enabled = cache
         self.batch_prescreen = batch_prescreen
+        if cegar_workers < 1 or cegar_budget < 1:
+            raise ValueError("cegar_workers and cegar_budget must be >= 1")
+        self.cegar_workers = cegar_workers
+        self.cegar_budget = cegar_budget
         self.characterizers: dict[str, Characterizer] = {}
         self.confusions: dict[str, ConfusionEstimate] = {}
         self._sets: dict[str, RegisteredFeatureSet] = {}
@@ -164,6 +208,8 @@ class VerificationEngine:
         self._support_cache: dict[tuple, tuple | None] = {}
         #: single-row directions seen by one-off queries (amortization gate)
         self._direction_seen: dict[tuple, int] = {}
+        #: (set, risk) -> resumable CegarLoop with its shared encoding
+        self._cegar_loops: dict[tuple, CegarLoop] = {}
         self._campaign_mode = False
         self.cache_stats: dict[str, int] = {}
 
@@ -184,6 +230,7 @@ class VerificationEngine:
             "_encoding_cache",
             "_support_cache",
             "_direction_seen",
+            "_cegar_loops",
         ):
             state[key] = {}
         state["_enclosure_cache"] = (
@@ -273,6 +320,7 @@ class VerificationEngine:
                 self._enclosure_cache,
                 self._encoding_cache,
                 self._support_cache,
+                self._cegar_loops,
             ):
                 for key in [k for k in cache if k[0] == name]:
                     del cache[key]
@@ -314,7 +362,17 @@ class VerificationEngine:
         name: str = "static",
         overwrite: bool = False,
     ) -> FeatureSet:
-        """Sound ``S`` by abstract interpretation from an input box (Lemma 2)."""
+        """Sound ``S`` by abstract interpretation from an input box (Lemma 2).
+
+        The input box is remembered as the set's input-region
+        provenance, so ``cegar`` queries (and the cegar fallback) can
+        split it.
+        """
+        shape = self.model.input_shape
+        input_box = (
+            np.broadcast_to(np.asarray(input_lower, dtype=float), shape).copy(),
+            np.broadcast_to(np.asarray(input_upper, dtype=float), shape).copy(),
+        )
         if domain == "interval":
             feature_set: FeatureSet = propagate_input_box(
                 self.model, input_lower, input_upper, self.cut_layer
@@ -332,7 +390,11 @@ class VerificationEngine:
         else:
             raise ValueError(f"unknown domain {domain!r}; use interval or zonotope")
         self._register_set(
-            name, RegisteredFeatureSet(feature_set, f"{domain}(static)", sound=True), overwrite
+            name,
+            RegisteredFeatureSet(
+                feature_set, f"{domain}(static)", sound=True, input_box=input_box
+            ),
+            overwrite,
         )
         return feature_set
 
@@ -398,10 +460,15 @@ class VerificationEngine:
                 )
                 for i in range(boxes.n_regions)
             ]
-        for name, cut_box in zip(names, cut_boxes):
+        for index, (name, cut_box) in enumerate(zip(names, cut_boxes)):
             self._register_set(
                 name,
-                RegisteredFeatureSet(cut_box, "interval(region)", sound=True),
+                RegisteredFeatureSet(
+                    cut_box,
+                    "interval(region)",
+                    sound=True,
+                    input_box=(boxes.lower[index].copy(), boxes.upper[index].copy()),
+                ),
                 overwrite,
             )
         return names
@@ -634,6 +701,8 @@ class VerificationEngine:
             payload = self._run_range(query, ladder, hits)
         elif query.method is Method.REFINE:
             payload = self._run_refine(query, ladder)
+        elif query.method is Method.CEGAR:
+            payload = self._run_cegar(query, ladder, hits)
         else:
             payload = self._run_verdict(query, ladder, hits)
 
@@ -836,16 +905,22 @@ class VerificationEngine:
                     problem, result.witness, self.model, self.cut_layer, risk
                 )
 
-        # 5. refinement fallback on resource exhaustion
-        if (
-            result.status is SolveStatus.UNKNOWN
-            and self.refine_fallback
-            and self._refinement_images is not None
-        ):
-            ladder.append("refine-fallback")
-            fallback = self._run_refine(query, ladder=[])
-            fallback.decided_by = "refine-fallback"
-            return fallback
+        # 5. refinement fallback on resource exhaustion: CEGAR over the
+        #    set's input region when it has one (anytime, resumable),
+        #    else the legacy layer-wise envelope refinement
+        if result.status is SolveStatus.UNKNOWN and self.refine_fallback:
+            if registered.input_box is not None and query.property_name is None:
+                ladder.append("cegar-fallback")
+                fallback = self._run_cegar(
+                    query, ladder=[], hits=hits, coerce_domain=True
+                )
+                fallback.decided_by = "cegar-fallback"
+                return fallback
+            if self._refinement_images is not None:
+                ladder.append("refine-fallback")
+                fallback = self._run_refine(query, ladder=[])
+                fallback.decided_by = "refine-fallback"
+                return fallback
 
         verdict = self._make_verdict(registered, query, result, counterexample)
         return QueryResult(query=query, verdict=verdict, decided_by=f"solve:{spec.name}")
@@ -872,6 +947,139 @@ class VerificationEngine:
             solve_result=result,
             counterexample=counterexample,
             confusion=self.confusions.get(query.property_name),
+        )
+
+    # cegar ----------------------------------------------------------------
+
+    def _run_cegar(
+        self,
+        query: VerificationQuery,
+        ladder: list[str],
+        hits: list[str],
+        *,
+        coerce_domain: bool = False,
+    ) -> QueryResult:
+        """Anytime CEGAR over the set's input region, resumable per (set, risk).
+
+        The loop shares the engine's cached risk-free MILP encoding for
+        the set (leaf solves tighten its bounds transactionally), and
+        the loop object itself is cached so a repeated query — e.g. the
+        same UNKNOWN query re-submitted with a fresh ``refine_budget``
+        — resumes from the surviving frontier.
+        """
+        registered = self._registered(query.set_name)
+        risk = query.risk
+        assert risk is not None  # enforced by VerificationQuery validation
+        if risk.dim != self.suffix.out_dim:
+            raise ValueError(
+                f"risk condition is over {risk.dim} outputs, network has "
+                f"{self.suffix.out_dim}"
+            )
+        if registered.input_box is None:
+            raise ValueError(
+                f"cegar needs a feature set with input-region provenance; "
+                f"register {query.set_name!r} via add_region_sets or "
+                f"add_static_feature_set"
+            )
+        if query.property_name is not None:
+            raise ValueError(
+                "cegar refines the phi-free reachability question; "
+                "property_name must be None"
+            )
+        ladder.append("cegar")
+        solver_name = self._milp_solver_name(query)
+        spec = solver_spec(solver_name)
+        options = self._options_for(spec, query)
+        if query.prescreen_domain in ("interval", "zonotope"):
+            domain = query.prescreen_domain
+        elif coerce_domain:
+            # fallback entry: the exact-path query may legitimately have
+            # skipped its own prescreen; the per-round batched prescreen
+            # is integral to CEGAR, so refine with the default domain
+            domain = "interval"
+        else:
+            raise ValueError(
+                "cegar queries need a batched prescreen domain of "
+                f"'interval' or 'zonotope', got {query.prescreen_domain!r}"
+            )
+        # resumability is per *configuration*: a re-submitted query with
+        # a different backend or domain must not silently resume a loop
+        # built for the old one (a different refine_budget, by contrast,
+        # is exactly the resume workflow and keys identically)
+        key = (
+            query.set_name,
+            risk,
+            solver_name,
+            domain,
+            tuple(sorted(options.items())),
+        )
+        loop = self._cegar_loops.get(key) if self.cache_enabled else None
+        if loop is not None:
+            hits.append("cegar-loop")
+        else:
+            base = self._base_encoding(query.set_name, None, "milp", hits)
+            leaf = _ScopedLeafSolver(base, risk, solver_name, options)
+            lower, upper = registered.input_box
+            loop = CegarLoop(
+                self.model,
+                risk,
+                lower,
+                upper,
+                cut_layer=self.cut_layer,
+                config=CegarConfig(
+                    domain=domain,
+                    solver=solver_name,
+                    solver_options=tuple(sorted(options.items())),
+                ),
+                batch_prescreen=self.batch_prescreen,
+                leaf_solver=leaf,
+                name=query.set_name,
+            )
+            if self.cache_enabled:
+                self._cegar_loops[key] = loop
+        budget = query.refine_budget or self.cegar_budget
+        try:
+            cegar = loop.run(budget=budget, workers=self.cegar_workers)
+        except Exception:
+            # the loop's frontier may have lost subproblems mid-round;
+            # evict it so a re-submitted query starts fresh instead of
+            # resuming toward an unsound SAFE
+            self._cegar_loops.pop(key, None)
+            raise
+
+        stats = {
+            "decided": "cegar",
+            "rounds": len(cegar.trace.rounds),
+            "decided_volume": cegar.decided_fraction,
+            "open_frontier": cegar.trace.open_frontier,
+            "parked": cegar.parked,
+        }
+        counterexample = None
+        if cegar.status is SolveStatus.SAT:
+            image = cegar.counterexample.image
+            features = self.model.prefix_apply(image[None, ...], self.cut_layer)[0]
+            counterexample = FeatureCounterexample(
+                features=features,
+                predicted_output=cegar.counterexample.output,
+                risk_margin=cegar.counterexample.risk_margin,
+                characterizer_logit=None,
+            )
+            result = SolveResult(
+                status=SolveStatus.SAT, witness=features, stats=stats
+            )
+        else:
+            result = SolveResult(status=cegar.status, stats=stats)
+        # the verdict's provenance is the input region itself: a full
+        # CEGAR proof is sound for every input in the region, monitor-free
+        provenance = RegisteredFeatureSet(
+            registered.feature_set,
+            "cegar(input-region)",
+            sound=True,
+            input_box=registered.input_box,
+        )
+        verdict = self._make_verdict(provenance, query, result, counterexample)
+        return QueryResult(
+            query=query, verdict=verdict, cegar=cegar, decided_by="cegar"
         )
 
     # refine ---------------------------------------------------------------

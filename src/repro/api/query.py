@@ -22,6 +22,14 @@ Methods
 ``refine``
     The layer-wise incremental abstraction refinement loop
     (:func:`repro.verification.refinement.verify_with_refinement`).
+``cegar``
+    Counterexample-guided refinement of the feature set's *input
+    region* (:class:`repro.verification.cegar.CegarLoop`): anytime,
+    budgeted (``refine_budget``) and resumable — repeating the same
+    query spends a fresh budget on the surviving frontier.  Needs a
+    feature set with input-region provenance
+    (:meth:`~repro.api.engine.VerificationEngine.add_region_sets` or
+    :meth:`~repro.api.engine.VerificationEngine.add_static_feature_set`).
 ``robustness``
     The local-robustness baseline around a concrete feature vector
     (:func:`repro.verification.robustness.verify_local_robustness`).
@@ -39,32 +47,71 @@ from repro.properties.risk import RiskCondition
 
 
 class Method(enum.Enum):
-    """How a :class:`VerificationQuery` should be answered."""
+    """How a :class:`VerificationQuery` should be answered.
+
+    Examples
+    --------
+    >>> Method("exact") is Method.EXACT
+    True
+    >>> sorted(m.value for m in Method)
+    ['cegar', 'exact', 'range', 'refine', 'relaxed', 'robustness']
+    """
 
     EXACT = "exact"
     RELAXED = "relaxed"
     REFINE = "refine"
+    CEGAR = "cegar"
     ROBUSTNESS = "robustness"
     RANGE = "range"
 
 
 #: methods that answer a Definition 1 reachability question on a risk
-VERDICT_METHODS = (Method.EXACT, Method.RELAXED, Method.REFINE)
+VERDICT_METHODS = (Method.EXACT, Method.RELAXED, Method.REFINE, Method.CEGAR)
 
 
 @dataclass(frozen=True)
 class VerificationQuery:
     """One declarative verification question.
 
-    ``risk`` is the undesired output region ``psi`` (required for the
-    verdict methods); ``property_name`` selects the characterizer ``phi``
-    conjunct (``None`` drops it); ``set_name`` names a feature set
-    registered with the engine.  ``solver`` overrides the engine default;
-    ``time_limit`` / ``node_limit`` bound the backend search.
+    Parameters
+    ----------
+    risk : RiskCondition, optional
+        The undesired output region ``psi`` (required for the verdict
+        methods ``exact`` / ``relaxed`` / ``refine`` / ``cegar``).
+    property_name : str, optional
+        Selects the characterizer ``phi`` conjunct; ``None`` drops it.
+    set_name : str, optional
+        Names a feature set registered with the engine.
+    method : Method or str, optional
+        How to answer; see :class:`Method`.
+    solver : str, optional
+        Overrides the engine's default backend for this query.
+    prescreen_domain : str or None, optional
+        Abstract domain of the bound-propagation prescreen
+        (``"interval"``, ``"zonotope"``, ``"symbolic"``) or ``None`` to
+        skip it.
+    time_limit, node_limit : float, int, optional
+        Resource budgets for the complete backend.
+    refine_budget : int, optional
+        CEGAR subproblem budget for ``cegar`` queries and the engine's
+        cegar fallback (``None`` uses the engine default).
+    anchor, epsilon, delta : optional
+        Robustness-only: an L∞ ball of radius ``epsilon`` at ``anchor``
+        must keep outputs within ``delta``.
+    output_index : int, optional
+        Range-only: which output coordinate to bound.
 
-    ``robustness`` queries instead anchor an L∞ ball of radius
-    ``epsilon`` at ``anchor`` and require ``delta``-invariance; ``range``
-    queries target ``output_index``.
+    Examples
+    --------
+    >>> from repro.properties.risk import RiskCondition, output_geq
+    >>> risk = RiskCondition("far-left", (output_geq(2, 0, 2.0),))
+    >>> query = VerificationQuery(risk=risk, property_name="bends_right")
+    >>> query.name
+    'exact phi=bends_right psi=far-left set=data'
+    >>> query.to_dict()["method"]
+    'exact'
+    >>> VerificationQuery(risk=risk, method="cegar", refine_budget=32).method
+    <Method.CEGAR: 'cegar'>
     """
 
     risk: RiskCondition | None = None
@@ -75,6 +122,9 @@ class VerificationQuery:
     prescreen_domain: str | None = "interval"
     time_limit: float | None = None
     node_limit: int | None = None
+    #: CEGAR subproblem budget for ``cegar`` queries and the engine's
+    #: cegar fallback (``None`` uses the engine default)
+    refine_budget: int | None = None
     # robustness-only parameters
     anchor: tuple[float, ...] | None = None
     epsilon: float | None = None
@@ -108,6 +158,10 @@ class VerificationQuery:
             raise ValueError(f"time_limit must be positive, got {self.time_limit}")
         if self.node_limit is not None and self.node_limit <= 0:
             raise ValueError(f"node_limit must be positive, got {self.node_limit}")
+        if self.refine_budget is not None and self.refine_budget <= 0:
+            raise ValueError(
+                f"refine_budget must be positive, got {self.refine_budget}"
+            )
 
     @property
     def name(self) -> str:
@@ -146,6 +200,8 @@ class VerificationQuery:
             out["delta"] = self.delta
         if self.method is Method.RANGE:
             out["output_index"] = self.output_index
+        if self.refine_budget is not None:
+            out["refine_budget"] = self.refine_budget
         if self.metadata:
             out["metadata"] = dict(self.metadata)
         return out

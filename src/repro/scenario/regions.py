@@ -66,7 +66,7 @@ from repro.scenario.dataset import SceneConfig, SceneParams, sample_scene
 from repro.scenario.render import render_ground, render_vehicles
 from repro.scenario.traffic import Vehicle
 from repro.scenario.weather import Weather
-from repro.verification.sets import BoxBatch
+from repro.verification.sets import BoxBatch, bisect_bounds
 
 
 @dataclass(frozen=True)
@@ -121,6 +121,41 @@ class Region:
 
     def metadata(self) -> tuple[tuple[str, str], ...]:
         return (("region", self.name), *self.axes.describe())
+
+    def split(self, pixel: int | None = None) -> tuple["Region", "Region"]:
+        """Bisect the region for CEGAR refinement, keeping provenance.
+
+        ``pixel`` is a flat index into the pixel array (``None`` picks
+        the widest pixel interval, the refinement loop's default
+        heuristic).  Both children carry the same scene and
+        perturbation-axes provenance and are, by construction, subsets
+        of this region — refinement never escapes the scenario
+        envelope the axes certify.
+
+        Returns
+        -------
+        tuple[Region, Region]
+            The lower and upper halves, named ``{name}/{pixel}L`` and
+            ``{name}/{pixel}R``; their union is exactly this region.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.scenario.dataset import SceneConfig, sample_scene
+        >>> scene = sample_scene(np.random.default_rng(0), SceneConfig())
+        >>> region = region_from_scene(
+        ...     scene, PerturbationAxes(), SceneConfig(), epsilon=0.01)
+        >>> left, right = region.split()
+        >>> bool(np.all(left.upper >= left.lower)) and left.width <= region.width
+        True
+        """
+        if pixel is None:
+            pixel = int(np.argmax((self.upper - self.lower).reshape(-1)))
+        # range and degenerate-width validation live in bisect_bounds
+        left_upper, right_lower = bisect_bounds(self.lower, self.upper, pixel)
+        left = replace(self, name=f"{self.name}/{pixel}L", upper=left_upper)
+        right = replace(self, name=f"{self.name}/{pixel}R", lower=right_lower)
+        return left, right
 
 
 class RegionGrid:

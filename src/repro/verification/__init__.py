@@ -23,6 +23,14 @@ from repro.verification.assume_guarantee import (
     box_with_diffs_from_data,
     feature_set_from_data,
 )
+from repro.verification.cegar import (
+    CegarConfig,
+    CegarLoop,
+    CegarResult,
+    RefinementRound,
+    RefinementTrace,
+    refine_region,
+)
 from repro.verification.output_range import OutputRange, output_range
 from repro.verification.prescreen import PrescreenResult, prescreen
 from repro.verification.refinement import (
@@ -46,6 +54,9 @@ from repro.verification.statistical import (
 __all__ = [
     "Box",
     "BoxWithDiffs",
+    "CegarConfig",
+    "CegarLoop",
+    "CegarResult",
     "ConfusionEstimate",
     "FeatureSet",
     "GammaCellAudit",
@@ -53,6 +64,8 @@ __all__ = [
     "Polyhedron",
     "PrescreenResult",
     "RefinementResult",
+    "RefinementRound",
+    "RefinementTrace",
     "RobustnessResult",
     "audit_gamma_cell",
     "box_from_data",
@@ -63,6 +76,7 @@ __all__ = [
     "maximal_robust_radius",
     "output_range",
     "prescreen",
+    "refine_region",
     "verify_local_robustness",
     "verify_with_refinement",
 ]

@@ -94,6 +94,174 @@ def _risk_gradient_direction(risk: RiskCondition, output: np.ndarray) -> np.ndar
     return -a
 
 
+def pgd_in_boxes(
+    model: Sequential,
+    risk: RiskCondition,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    *,
+    steps: int = 10,
+    step_fraction: float = 0.25,
+) -> tuple[int, InputCounterexample] | None:
+    """Batched counterexample concretization inside many input boxes.
+
+    The CEGAR loop's concretization primitive: for ``k`` input regions
+    at once, start at each box center and run projected gradient ascent
+    on the risk margin, clipping every iterate to its own box.  All
+    ``k`` searches advance together — one batched forward and one
+    batched gradient per step — so concretizing a whole refinement
+    frontier costs roughly one adversarial search.
+
+    Parameters
+    ----------
+    model : Sequential
+        The real network; candidates are evaluated with exact forward
+        passes, so a hit is a *genuine* input-space counterexample.
+    risk : RiskCondition
+        The undesired output region ``psi``.
+    lower, upper : numpy.ndarray
+        Stacked box bounds of shape ``(k, *model.input_shape)``.
+    steps : int, optional
+        Gradient-ascent iterations (step 0 already evaluates centers).
+    step_fraction : float, optional
+        Step size per iteration as a fraction of each box's per-pixel
+        width, so narrow subregions take proportionally small steps.
+
+    Returns
+    -------
+    tuple[int, InputCounterexample] or None
+        ``(box index, counterexample)`` for the first box whose iterate
+        satisfies the risk, or ``None`` if no search reached it.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.perception.network import build_mlp_perception_network
+    >>> from repro.properties.risk import RiskCondition, output_geq
+    >>> model = build_mlp_perception_network(
+    ...     input_dim=3, hidden=(4,), feature_width=3, seed=0)
+    >>> lower = np.zeros((2, 3)); upper = np.ones((2, 3))
+    >>> risk = RiskCondition("reach", (output_geq(2, 0, -1e9),))  # always on
+    >>> index, cex = pgd_in_boxes(model, risk, lower, upper, steps=1)
+    >>> index in (0, 1) and cex.risk_occurs
+    True
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if lower.shape != upper.shape or lower.shape[1:] != model.input_shape:
+        raise ValueError(
+            f"expected stacked bounds of shape (k, {model.input_shape}), got "
+            f"{lower.shape} / {upper.shape}"
+        )
+    a_matrix, _ = risk.as_matrix()
+    x = 0.5 * (lower + upper)
+    width = upper - lower
+    for it in range(steps + 1):
+        outputs = model.forward(x, training=False)
+        margins = np.asarray(risk.margin(outputs), dtype=float)
+        hit = np.nonzero(margins >= 0.0)[0]
+        if hit.size:
+            index = int(hit[0])
+            return index, InputCounterexample(
+                image=x[index],
+                output=outputs[index],
+                risk_margin=float(margins[index]),
+                iterations=it,
+            )
+        if it == steps:
+            break
+        # ascend each sample's worst inequality: margin = b - a.y, so
+        # pushing y along -a increases it
+        per_row = np.stack(
+            [np.asarray(ineq.margin(outputs), dtype=float) for ineq in risk.inequalities]
+        )
+        worst = np.argmin(per_row, axis=0)
+        directions = -a_matrix[worst]
+        _, grads = input_gradient(model, x, directions)
+        x = np.clip(x + step_fraction * width * np.sign(grads), lower, upper)
+    return None
+
+
+def attack_frontier(
+    model: Sequential,
+    make_risk,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    lo: float,
+    hi: float,
+    *,
+    iterations: int = 12,
+    steps: int = 20,
+) -> float:
+    """Bisect the PGD-reachable frontier of a threshold family.
+
+    The shared threshold-picking primitive of the CLI ``refine``
+    command and the refinement examples: thresholds *below* the
+    returned frontier are reachable by the same attack CEGAR's
+    concretization uses (instant UNSAFE), thresholds just *above* it
+    are the genuinely undecided band where refinement has to work.
+
+    Parameters
+    ----------
+    model : Sequential
+        The network under attack.
+    make_risk : callable
+        ``make_risk(t)`` builds the risk "output beyond threshold t".
+    lower, upper : numpy.ndarray
+        Stacked region bounds of shape ``(k, *model.input_shape)``.
+    lo, hi : float
+        Bracketing thresholds (e.g. the output enclosure's bounds).
+    iterations : int, optional
+        Bisection steps; the frontier is located to within
+        ``(hi - lo) / 2**iterations``.
+    steps : int, optional
+        PGD steps per probe (see :func:`pgd_in_boxes`).
+
+    Returns
+    -------
+    float
+        The largest probed threshold the attack could still reach
+        (``lo`` if even that is unreachable).
+    """
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if pgd_in_boxes(model, make_risk(mid), lower, upper, steps=steps) is not None:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def undecided_band_threshold(
+    model: Sequential,
+    make_risk,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    lo: float,
+    hi: float,
+    *,
+    band: float = 0.1,
+    iterations: int = 12,
+    steps: int = 20,
+) -> float:
+    """A threshold just above the attack frontier (the undecided band).
+
+    The one shared policy behind ``repro refine``'s default threshold
+    and the refinement examples: :func:`attack_frontier` locates the
+    PGD-reachable maximum, and the returned threshold sits ``band`` of
+    the way from there toward ``hi`` (the sound output bound) — low
+    enough that bound propagation cannot decide the root, high enough
+    that concretization cannot instantly refute it, so a refinement
+    loop genuinely has to work.
+    """
+    frontier = attack_frontier(
+        model, make_risk, lower, upper, lo, hi, iterations=iterations, steps=steps
+    )
+    return round(frontier + band * (hi - frontier), 3)
+
+
 def fgsm_falsify(
     model: Sequential,
     risk: RiskCondition,

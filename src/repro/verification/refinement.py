@@ -1,4 +1,4 @@
-"""Layer-wise incremental abstraction refinement.
+"""Layer-wise incremental abstraction refinement (envelope chaining).
 
 The paper's concluding remark: "Our approach of looking at close-to-output
 layers can be viewed as an abstraction which can, in future work, lead to
@@ -19,6 +19,22 @@ constraints: the feasible set shrinks monotonically, so
 
 This strictly generalizes re-verifying at an earlier layer (which could
 even be looser, since early wide layers have weaker data envelopes).
+
+How to reach it from the declarative API
+----------------------------------------
+
+This loop is the engine's *data-envelope* refinement: submit a
+:class:`repro.api.VerificationQuery` with ``method="refine"`` to a
+:class:`repro.api.VerificationEngine` after providing per-layer
+envelope images via
+:meth:`~repro.api.engine.VerificationEngine.set_refinement_data`.  For
+feature sets with input-region provenance, prefer the anytime
+``method="cegar"`` loop (:mod:`repro.verification.cegar`), which splits
+the input region itself, shares the engine's batched enclosure and
+encoding caches, and is budgeted and resumable; the engine's
+``refine_fallback`` picks between the two automatically.  The direct
+:func:`verify_with_refinement` entry point below remains for standalone
+use (``examples/incremental_refinement.py``).
 """
 
 from __future__ import annotations

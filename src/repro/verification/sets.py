@@ -38,6 +38,7 @@ class IntervalBoundError(ValueError):
         layer_index: int | None = None,
         region_index: int | None = None,
     ):
+        self._raw_message = message
         context = []
         if layer_index is not None:
             context.append(f"layer {layer_index}")
@@ -48,6 +49,45 @@ class IntervalBoundError(ValueError):
         super().__init__(message)
         self.layer_index = layer_index
         self.region_index = region_index
+
+    def __reduce__(self):
+        # the default exception reduction reconstructs from the
+        # *formatted* args alone, which silently drops layer/region
+        # provenance whenever the error crosses a process-pool boundary
+        # (engine.run(workers=N), the CEGAR leaf pool); rebuild from the
+        # raw parts instead so the attributes survive pickling
+        return (
+            type(self),
+            (self._raw_message, self.layer_index, self.region_index),
+        )
+
+
+def bisect_bounds(
+    lower: np.ndarray, upper: np.ndarray, index: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Midpoint bisection of array bounds along one flattened dimension.
+
+    The single split rule shared by every refinement surface
+    (:class:`repro.verification.cegar.CegarLoop` subproblems and
+    :meth:`repro.scenario.regions.Region.split`), so split semantics
+    cannot drift between them.  Returns ``(left_upper, right_lower)``
+    with the original shapes: the left child is ``(lower, left_upper)``
+    and the right child ``(right_lower, upper)``; their union is
+    exactly the parent box.
+    """
+    widths = (upper - lower).reshape(-1)
+    if not 0 <= index < widths.shape[0]:
+        raise ValueError(f"index {index} out of range for {widths.shape[0]} dims")
+    if widths[index] <= 0.0:
+        raise ValueError(f"cannot bisect degenerate dimension {index}")
+    lo_flat = lower.reshape(-1)
+    hi_flat = upper.reshape(-1)
+    mid = 0.5 * (lo_flat[index] + hi_flat[index])
+    left_upper = hi_flat.copy()
+    left_upper[index] = mid
+    right_lower = lo_flat.copy()
+    right_lower[index] = mid
+    return left_upper.reshape(upper.shape), right_lower.reshape(lower.shape)
 
 
 def _as_points(points: np.ndarray, dim: int) -> np.ndarray:

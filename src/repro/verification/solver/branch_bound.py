@@ -52,16 +52,20 @@ class BranchAndBoundSolver:
         nodes = 0
         hit_limit = False
 
-        # stack of (lower, upper) bound pairs; root uses the model bounds
-        stack: list[tuple[np.ndarray, np.ndarray]] = [
-            (arrays.lower.copy(), arrays.upper.copy())
+        # stack of (lower, upper, parent LP objective) triples; the root's
+        # parent bound is -inf.  Each open node's parent bound is a valid
+        # lower bound on every MILP solution below it, so on a resource
+        # limit the minimum over the stack is a sound global bound — the
+        # anytime gap the CEGAR trace and range queries report.
+        stack: list[tuple[np.ndarray, np.ndarray, float]] = [
+            (arrays.lower.copy(), arrays.upper.copy(), -np.inf)
         ]
 
         while stack:
             if nodes >= self.node_limit or time.perf_counter() - start > self.time_limit:
                 hit_limit = True
                 break
-            lower, upper = stack.pop()
+            lower, upper, _ = stack.pop()
             nodes += 1
             relaxation = solve_lp_relaxation(arrays, lower, upper)
             if not relaxation.feasible:
@@ -94,29 +98,39 @@ class BranchAndBoundSolver:
             floor_upper[j] = 0.0
             ceil_lower, ceil_upper = lower.copy(), upper.copy()
             ceil_lower[j] = 1.0
+            parent_obj = float(relaxation.objective)
             if value >= 0.5:
-                stack.append((floor_lower, floor_upper))
-                stack.append((ceil_lower, ceil_upper))
+                stack.append((floor_lower, floor_upper, parent_obj))
+                stack.append((ceil_lower, ceil_upper, parent_obj))
             else:
-                stack.append((ceil_lower, ceil_upper))
-                stack.append((floor_lower, floor_upper))
+                stack.append((ceil_lower, ceil_upper, parent_obj))
+                stack.append((floor_lower, floor_upper, parent_obj))
 
         elapsed = time.perf_counter() - start
+        best_bound = min((entry[2] for entry in stack), default=np.inf)
         if hit_limit and incumbent_x is None:
             return SolveResult(
                 status=SolveStatus.UNKNOWN,
                 nodes_explored=nodes,
                 solve_time=elapsed,
-                stats={"limit": "nodes" if nodes >= self.node_limit else "time"},
+                stats={
+                    "limit": "nodes" if nodes >= self.node_limit else "time",
+                    "open_nodes": len(stack),
+                    "best_bound": best_bound,
+                },
             )
         if optimize and incumbent_x is not None:
+            stats: dict = {"proved_optimal": not hit_limit}
+            if hit_limit:
+                stats["open_nodes"] = len(stack)
+                stats["best_bound"] = min(best_bound, incumbent_obj)
             return SolveResult(
                 status=SolveStatus.SAT,
                 witness=incumbent_x,
                 objective=incumbent_obj,
                 nodes_explored=nodes,
                 solve_time=elapsed,
-                stats={"proved_optimal": not hit_limit},
+                stats=stats,
             )
         return SolveResult(
             status=SolveStatus.UNSAT, nodes_explored=nodes, solve_time=elapsed

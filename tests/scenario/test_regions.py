@@ -154,3 +154,57 @@ class TestScenarioRegionGrid:
         meta = dict(grid[0].metadata())
         assert meta["region"] == "region-000"
         assert meta["weather"] == "1" and meta["traffic"] == "2"
+
+
+class TestRegionSplit:
+    @pytest.fixture(scope="class")
+    def region(self, base_scene, base_config):
+        return region_from_scene(
+            base_scene, PerturbationAxes(weather=1.0), base_config, epsilon=0.02
+        )
+
+    def test_children_partition_the_region(self, region):
+        left, right = region.split()
+        assert left.name == region.name + f"/{np.argmax((region.upper - region.lower).reshape(-1))}L"
+        np.testing.assert_array_equal(
+            np.minimum(left.lower, right.lower), region.lower
+        )
+        np.testing.assert_array_equal(
+            np.maximum(left.upper, right.upper), region.upper
+        )
+        # children never escape the scenario envelope
+        assert np.all(left.lower >= region.lower) and np.all(left.upper <= region.upper)
+        assert np.all(right.lower >= region.lower) and np.all(right.upper <= region.upper)
+
+    def test_split_halves_the_widest_pixel(self, region):
+        pixel = int(np.argmax((region.upper - region.lower).reshape(-1)))
+        left, right = region.split()
+        lo = region.lower.reshape(-1)[pixel]
+        hi = region.upper.reshape(-1)[pixel]
+        assert left.upper.reshape(-1)[pixel] == pytest.approx(0.5 * (lo + hi))
+        assert right.lower.reshape(-1)[pixel] == pytest.approx(0.5 * (lo + hi))
+        assert left.width <= region.width and right.width <= region.width
+
+    def test_children_keep_provenance(self, region):
+        left, _ = region.split()
+        assert left.scene is region.scene
+        assert left.axes is region.axes
+        assert dict(left.metadata())["weather"] == "1"
+
+    def test_explicit_pixel_and_validation(self, region):
+        widths = (region.upper - region.lower).reshape(-1)
+        wide = int(np.argmax(widths))
+        left, right = region.split(pixel=wide)
+        assert left.name.endswith(f"/{wide}L") and right.name.endswith(f"/{wide}R")
+        with pytest.raises(ValueError, match="out of range"):
+            region.split(pixel=widths.shape[0] + 7)
+
+    def test_degenerate_pixel_rejected(self, base_scene, base_config):
+        point = region_from_scene(
+            base_scene, PerturbationAxes(), base_config, epsilon=0.0
+        )
+        degenerate = int(np.argmin((point.upper - point.lower).reshape(-1)))
+        if (point.upper - point.lower).reshape(-1)[degenerate] > 0.0:
+            pytest.skip("no degenerate pixel on this scene")
+        with pytest.raises(ValueError, match="degenerate"):
+            point.split(pixel=degenerate)

@@ -1,0 +1,113 @@
+"""Property-based soundness of CEGAR splitting (hypothesis).
+
+On random 2-layer networks and random thresholds:
+
+- splitting partitions exactly: the union of the two children is the
+  parent region and they only share the split hyperplane;
+- the anytime trace's decided-volume fraction is monotonically
+  non-decreasing round over round, and never exceeds 1;
+- a SAFE verdict is sound in the limit: no sampled point of the region
+  triggers the risk;
+- a concrete counterexample, replayed through ``Sequential.forward``,
+  really violates the property and really lies inside the region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.dense import Dense
+from repro.nn.sequential import Sequential
+from repro.properties.risk import RiskCondition, output_geq
+from repro.verification.cegar import CegarConfig, CegarLoop, Subproblem
+from repro.verification.solver.result import SolveStatus
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _two_layer_network(seed: int, in_dim: int = 3, hidden: int = 5) -> Sequential:
+    model = Sequential(
+        [Dense(hidden), ReLU(), Dense(2)], input_shape=(in_dim,), seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    dense1, _, dense2 = model.layers
+    dense1.weight.value = rng.normal(scale=0.8, size=(in_dim, hidden))
+    dense1.bias.value = rng.normal(scale=0.2, size=hidden)
+    dense2.weight.value = rng.normal(scale=0.8, size=(hidden, 2))
+    dense2.bias.value = rng.normal(scale=0.2, size=2)
+    return model
+
+
+def _risk(threshold: float) -> RiskCondition:
+    return RiskCondition("y0-high", (output_geq(2, 0, threshold),))
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000), data=st.data())
+def test_split_partitions_parent_exactly(seed, data):
+    model = _two_layer_network(seed)
+    loop = CegarLoop(model, _risk(1e9), 0.0, 1.0)
+    rng = np.random.default_rng(seed)
+    lower = rng.uniform(0.0, 0.4, size=3)
+    upper = lower + rng.uniform(0.05, 0.6, size=3)
+    parent = Subproblem(lower, upper, depth=0, volume=1.0, path="p")
+    left, right = loop._split(parent)
+
+    # children stay inside the parent and cover it: every sampled parent
+    # point is in exactly one child (or both, on the split hyperplane)
+    points = rng.uniform(lower, upper, size=(64, 3))
+    in_left = np.all((points >= left.lower) & (points <= left.upper), axis=1)
+    in_right = np.all((points >= right.lower) & (points <= right.upper), axis=1)
+    assert np.all(in_left | in_right)
+    assert left.volume + right.volume == parent.volume
+    np.testing.assert_array_equal(np.minimum(left.lower, right.lower), lower)
+    np.testing.assert_array_equal(np.maximum(left.upper, right.upper), upper)
+    # the shared face is the split midplane of one dimension
+    dim = int(np.argmax(upper - lower))
+    assert left.upper[dim] == right.lower[dim]
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    offset=st.floats(-0.5, 2.0),
+    budget=st.integers(2, 40),
+)
+def test_trace_monotone_and_verdicts_sound(seed, offset, budget):
+    model = _two_layer_network(seed)
+    rng = np.random.default_rng(seed + 1)
+    samples = model.forward(rng.uniform(0, 1, size=(512, 3)), training=False)
+    threshold = float(samples[:, 0].max()) + offset
+    risk = _risk(threshold)
+
+    loop = CegarLoop(
+        model, risk, 0.0, 1.0, cut_layer=2,
+        config=CegarConfig(solve_depth=2, max_depth=12),
+    )
+    result = loop.run(budget=budget)
+
+    fractions = result.trace.decided_fractions()
+    assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+    assert all(0.0 <= f <= 1.0 + 1e-9 for f in fractions)
+
+    if result.status is SolveStatus.SAT:
+        cex = result.counterexample
+        replay = model.forward(cex.image[None, :], training=False)[0]
+        assert float(risk.margin(replay[None, :])[0]) >= 0.0
+        assert np.all(cex.image >= 0.0) and np.all(cex.image <= 1.0)
+    elif result.status is SolveStatus.UNSAT:
+        # complete-in-the-limit: a full proof excludes every sample (up
+        # to solver tolerance — offset=0 puts the threshold exactly on
+        # a sample's output, where margin is legitimately 0)
+        margins = risk.margin(samples)
+        assert np.all(margins <= 1e-6)
+        assert result.decided_fraction == 1.0
+    else:
+        assert loop.frontier_size > 0  # budget ran out with work left

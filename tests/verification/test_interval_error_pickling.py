@@ -1,0 +1,61 @@
+"""IntervalBoundError provenance must survive the process-pool boundary.
+
+Campaign workers (``engine.run(workers=N)``) and the CEGAR leaf pool
+ship exceptions between processes via pickle.  The default exception
+reduction rebuilds from the *formatted* message alone, which silently
+dropped ``layer_index`` / ``region_index`` — the very context that makes
+a campaign-scale propagation failure debuggable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.verification.sets import IntervalBoundError
+
+
+def _raise_with_provenance(_: int) -> None:
+    raise IntervalBoundError(
+        "interval has lower > upper bound", layer_index=3, region_index=5
+    )
+
+
+class TestPickleRoundTrip:
+    def test_provenance_attributes_survive(self):
+        err = IntervalBoundError("boom", layer_index=7, region_index=2)
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.layer_index == 7
+        assert clone.region_index == 2
+
+    def test_message_is_not_doubled(self):
+        err = IntervalBoundError("boom", layer_index=7, region_index=2)
+        clone = pickle.loads(pickle.dumps(err))
+        assert str(clone) == str(err) == "boom (at layer 7, region 2)"
+        assert str(clone).count("(at") == 1
+
+    def test_plain_error_round_trips(self):
+        clone = pickle.loads(pickle.dumps(IntervalBoundError("plain")))
+        assert clone.layer_index is None and clone.region_index is None
+        assert str(clone) == "plain"
+
+    def test_double_round_trip_is_stable(self):
+        err = IntervalBoundError("boom", layer_index=1)
+        twice = pickle.loads(pickle.dumps(pickle.loads(pickle.dumps(err))))
+        assert twice.layer_index == 1 and str(twice) == "boom (at layer 1)"
+
+
+class TestAcrossProcessPool:
+    def test_worker_exception_keeps_layer_and_region(self):
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            with pytest.raises(IntervalBoundError, match="layer 3.*region 5") as exc:
+                list(pool.map(_raise_with_provenance, [0]))
+        assert exc.value.layer_index == 3
+        assert exc.value.region_index == 5

@@ -81,6 +81,42 @@ class TestBranchAndBound:
         result = BranchAndBoundSolver(node_limit=2).solve(problem.model)
         assert result.status in (SolveStatus.UNKNOWN, SolveStatus.UNSAT)
 
+    def test_limit_reports_anytime_open_node_stats(self):
+        """A limit-hit UNKNOWN carries the open frontier and a sound bound."""
+        # root LP is forcibly fractional (b0 + b1 == 1.5 over binaries is
+        # integrally infeasible but LP-feasible), so node_limit=1 always
+        # pops the root, branches, and then hits the limit with two
+        # children open
+        model = MILPModel()
+        b0 = model.add_binary("b0")
+        b1 = model.add_binary("b1")
+        model.add_eq({b0: 1.0, b1: 1.0}, 1.5)
+        result = BranchAndBoundSolver(node_limit=1).solve(model)
+        assert result.status is SolveStatus.UNKNOWN
+        assert result.stats["limit"] == "nodes"
+        assert result.stats["open_nodes"] == 2
+        assert "best_bound" in result.stats
+
+    def test_truncated_minimize_bound_brackets_optimum(self):
+        """best_bound <= true optimum when optimization hits its limit."""
+        # min -(b0 + b1) s.t. b0 + b1 <= 1.5: the LP root is fractional
+        # (0.75, 0.75, objective -1.5); DFS finds the integral incumbent
+        # -1 after 4 nodes and node_limit=4 stops with the other branch
+        # open, so the truncated solve is SAT but not proved optimal
+        model = MILPModel()
+        b0 = model.add_binary("b0")
+        b1 = model.add_binary("b1")
+        model.add_leq({b0: 1.0, b1: 1.0}, 1.5)
+        model.set_objective({b0: -1.0, b1: -1.0})
+        full = BranchAndBoundSolver().minimize(model)
+        assert full.stats["proved_optimal"] and full.objective == pytest.approx(-1.0)
+        truncated = BranchAndBoundSolver(node_limit=4).minimize(model)
+        assert truncated.status is SolveStatus.SAT
+        assert not truncated.stats["proved_optimal"]
+        assert truncated.stats["open_nodes"] > 0
+        # the reported bound soundly brackets the true optimum
+        assert truncated.stats["best_bound"] <= full.objective + 1e-9
+
     def test_pure_lp_no_binaries(self):
         model = MILPModel()
         x = model.add_continuous(1.0, 2.0)
