@@ -42,11 +42,12 @@ from repro.api import Campaign, VerificationEngine
 from repro.properties.library import steer_far_left
 from repro.scenario.regions import scenario_region_grid
 from repro.verification.abstraction.propagate import (
-    propagate_input_box,
-    propagate_input_box_batch,
+    propagate_regions,
+    region_boxes,
 )
 from repro.verification.output_range import output_range_batch
 from repro.verification.prescreen import output_enclosure, output_enclosure_batch
+from repro.verification.sets import BoxBatch
 
 
 @pytest.fixture(scope="module")
@@ -128,13 +129,17 @@ def test_batched_prescreen_speedup(system, region_grid):
 
     def scalar_stage():
         sets = [
-            propagate_input_box(model, boxes.lower[i], boxes.upper[i], cut)
+            region_boxes(
+                model,
+                BoxBatch(boxes.lower[i][None], boxes.upper[i][None]),
+                cut,
+            ).box(0)
             for i in range(len(boxes))
         ]
         return [output_enclosure(suffix, s, "interval") for s in sets]
 
     def batched_stage():
-        cut_boxes = propagate_input_box_batch(model, boxes, cut)
+        cut_boxes = region_boxes(model, boxes, cut)
         return output_enclosure_batch(suffix, cut_boxes, "interval")
 
     scalar_stage(), batched_stage()  # warm both paths

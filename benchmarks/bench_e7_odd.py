@@ -13,14 +13,23 @@ import pytest
 
 from repro.core.verdict import Verdict
 from repro.properties.library import steer_far_left
-from repro.verification.abstraction.propagate import propagate_input_box
+from repro.verification.abstraction.propagate import region_boxes
+from repro.verification.sets import BoxBatch
+
+
+def _unit_regions(system) -> BoxBatch:
+    """The ``[0, 1]`` input domain as a batch of one region."""
+    shape = system.model.input_shape
+    return BoxBatch(np.zeros((1,) + shape), np.ones((1,) + shape))
 
 
 @pytest.mark.benchmark(group="e7-odd")
 def test_e7_static_propagation_cost(benchmark, system):
     """Interval propagation [0,1]^pixels -> cut layer, through the convs."""
     box = benchmark(
-        lambda: propagate_input_box(system.model, 0.0, 1.0, system.cut_layer)
+        lambda: region_boxes(
+            system.model, _unit_regions(system), system.cut_layer
+        ).box(0)
     )
     assert box.dim == system.model.feature_dim(system.cut_layer)
 
@@ -28,7 +37,7 @@ def test_e7_static_propagation_cost(benchmark, system):
 @pytest.mark.benchmark(group="e7-odd")
 def test_e7_static_set_explodes(benchmark, system):
     """The static S is orders of magnitude wider than the data S~."""
-    static = propagate_input_box(system.model, 0.0, 1.0, system.cut_layer)
+    static = region_boxes(system.model, _unit_regions(system), system.cut_layer).box(0)
     data_lower, data_upper = system.verifier.feature_set("data").bounds()
 
     def width_ratio():

@@ -23,7 +23,8 @@ from repro.perception.features import extract_features
 from repro.properties.library import STEER_STRAIGHT, steer_far_left
 from repro.scenario.dataset import balanced_property_dataset, render_scene, sample_scene
 from repro.scenario.weather import Weather
-from repro.verification.abstraction.propagate import propagate_input_box
+from repro.verification.abstraction.propagate import region_boxes
+from repro.verification.sets import BoxBatch
 from repro.verification.assume_guarantee import (
     box_with_diffs_from_data,
     feature_set_from_data,
@@ -131,7 +132,12 @@ def main() -> None:  # noqa: C901 - a linear report script
 
     # ---------------------------------------------------------------- E7
     print("\n## E7 — static input-domain analysis vs data envelope\n")
-    static_box = propagate_input_box(system.model, 0.0, 1.0, system.cut_layer)
+    shape = system.model.input_shape
+    static_box = region_boxes(
+        system.model,
+        BoxBatch(np.zeros((1,) + shape), np.ones((1,) + shape)),
+        system.cut_layer,
+    ).box(0)
     dlo, dhi = data_set.bounds()
     ratio = float(np.median(
         (static_box.upper - static_box.lower) / np.maximum(dhi - dlo, 1e-9)

@@ -69,6 +69,7 @@ class Campaign:
         name: str = "scenario-grid",
         method: Method | str = Method.EXACT,
         solver: str | None = None,
+        domain: str | None = None,
         prescreen_domain: str | None = "interval",
         time_limit: float | None = None,
         node_limit: int | None = None,
@@ -98,6 +99,7 @@ class Campaign:
                             set_name=region.name,
                             method=method,
                             solver=solver,
+                            domain=domain,
                             prescreen_domain=prescreen_domain,
                             time_limit=time_limit,
                             node_limit=node_limit,
@@ -114,6 +116,7 @@ class Campaign:
         sets: Sequence[str] = ("data",),
         method: Method | str = Method.EXACT,
         solver: str | None = None,
+        domain: str | None = None,
         prescreen_domain: str | None = "interval",
         time_limit: float | None = None,
         node_limit: int | None = None,
@@ -132,6 +135,7 @@ class Campaign:
                             set_name=set_name,
                             method=method,
                             solver=solver,
+                            domain=domain,
                             prescreen_domain=prescreen_domain,
                             time_limit=time_limit,
                             node_limit=node_limit,

@@ -8,7 +8,10 @@ fanned out over a process pool.
 
 Per query the engine plans a **strategy ladder**:
 
-1. *prescreen* — sound bound propagation over a cached output enclosure;
+1. *prescreen* — sound bound propagation over cached output enclosures,
+   escalating the abstract-domain precision ladder (interval → octagon
+   → zonotope → symbolic) up to the query's ``domain``, one cached
+   enclosure per ``(set, domain)`` rung;
 2. *support-cache* — for single-inequality risks ``a·y >= t`` (the
    threshold-sweep family), one exact MILP optimization of ``a·y`` over
    the constrained region answers **every** threshold: ``t`` beyond the
@@ -58,12 +61,8 @@ from repro.perception.characterizer import Characterizer
 from repro.perception.features import extract_features
 from repro.properties.risk import RiskCondition
 from repro.scenario.regions import RegionGrid
-from repro.verification.abstraction.octagon import box_with_diffs_from_zonotope
-from repro.verification.abstraction.propagate import (
-    propagate_input_box,
-    propagate_input_box_batch,
-)
-from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
+from repro.verification.abstraction.domain import get_domain, precision_ladder
+from repro.verification.abstraction.propagate import propagate_regions, region_boxes
 from repro.verification.assume_guarantee import feature_set_from_data
 from repro.verification.cegar import (
     CegarConfig,
@@ -364,31 +363,26 @@ class VerificationEngine:
     ) -> FeatureSet:
         """Sound ``S`` by abstract interpretation from an input box (Lemma 2).
 
-        The input box is remembered as the set's input-region
-        provenance, so ``cegar`` queries (and the cegar fallback) can
-        split it.
+        ``domain`` is any registered abstract domain; relational domains
+        (``octagon``, ``zonotope``) yield a
+        :class:`~repro.verification.sets.BoxWithDiffs` whose
+        adjacent-difference rows join the MILP encoding.  The input box
+        is remembered as the set's input-region provenance, so ``cegar``
+        queries (and the cegar fallback) can split it.
         """
         shape = self.model.input_shape
         input_box = (
             np.broadcast_to(np.asarray(input_lower, dtype=float), shape).copy(),
             np.broadcast_to(np.asarray(input_upper, dtype=float), shape).copy(),
         )
-        if domain == "interval":
-            feature_set: FeatureSet = propagate_input_box(
-                self.model, input_lower, input_upper, self.cut_layer
-            )
-        elif domain == "zonotope":
-            box = propagate_input_box(self.model, input_lower, input_upper, 0)
-            from repro.nn.graph import lower_layers
-
-            prefix_net = lower_layers(
-                self.model.layers[: self.cut_layer],
-                self.model.feature_dim(0),
-            )
-            zonotope = propagate_zonotope(prefix_net, Zonotope.from_box(box))
-            feature_set = box_with_diffs_from_zonotope(zonotope)
-        else:
-            raise ValueError(f"unknown domain {domain!r}; use interval or zonotope")
+        dom = get_domain(domain)
+        element = propagate_regions(
+            self.model,
+            BoxBatch(input_box[0][None], input_box[1][None]),
+            self.cut_layer,
+            domain,
+        )
+        feature_set = dom.feature_set(dom.extract(element, 0))
         self._register_set(
             name,
             RegisteredFeatureSet(
@@ -419,6 +413,7 @@ class VerificationEngine:
         name_prefix: str = "region",
         batch: bool = True,
         overwrite: bool = False,
+        domain: str = "interval",
     ) -> list[str]:
         """Register one sound feature set per scenario region (Lemma 2).
 
@@ -426,7 +421,10 @@ class VerificationEngine:
         names come from the grid) or a raw input-shaped
         :class:`~repro.verification.sets.BoxBatch` (sets are named
         ``{name_prefix}-{i:03d}``).  All input boxes are pushed through
-        the prefix to the cut layer in **one** batched interval pass;
+        the prefix to the cut layer in **one** batched pass of the
+        chosen abstract domain's transformers over the cached lowered
+        prefix; relational domains register
+        :class:`~repro.verification.sets.BoxWithDiffs` sets.
         ``batch=False`` keeps the scalar per-region propagation (the
         comparison baseline of ``bench_campaign.py``).  Returns the
         registered set names, in region order.
@@ -449,23 +447,28 @@ class VerificationEngine:
                     f"feature sets already registered: {clashes}; pass "
                     f"overwrite=True to replace them"
                 )
+        dom = get_domain(domain)
         if batch:
-            cut_boxes = propagate_input_box_batch(
-                self.model, boxes, self.cut_layer
-            ).boxes()
-        else:
-            cut_boxes = [
-                propagate_input_box(
-                    self.model, boxes.lower[i], boxes.upper[i], self.cut_layer
-                )
-                for i in range(boxes.n_regions)
+            element = propagate_regions(self.model, boxes, self.cut_layer, domain)
+            feature_sets = [
+                dom.feature_set(enclosure) for enclosure in dom.enclosures(element)
             ]
-        for index, (name, cut_box) in enumerate(zip(names, cut_boxes)):
+        else:
+            feature_sets = []
+            for i in range(boxes.n_regions):
+                element = propagate_regions(
+                    self.model,
+                    BoxBatch(boxes.lower[i][None], boxes.upper[i][None]),
+                    self.cut_layer,
+                    domain,
+                )
+                feature_sets.append(dom.feature_set(dom.extract(element, 0)))
+        for index, (name, feature_set) in enumerate(zip(names, feature_sets)):
             self._register_set(
                 name,
                 RegisteredFeatureSet(
-                    cut_box,
-                    "interval(region)",
+                    feature_set,
+                    f"{domain}(region)",
                     sound=True,
                     input_box=(boxes.lower[index].copy(), boxes.upper[index].copy()),
                 ),
@@ -736,22 +739,29 @@ class VerificationEngine:
 
         # 1. sound bound-propagation prescreen (runs before the
         #    characterizer is even looked up, as the legacy verify did:
-        #    the prescreen drops the characterizer conjunct anyway)
-        if query.prescreen_domain is not None:
+        #    the prescreen drops the characterizer conjunct anyway).
+        #    The engine escalates through the precision ladder up to the
+        #    query's domain — interval → octagon → zonotope → symbolic —
+        #    with every rung's enclosure cached per (set, domain), so a
+        #    cheap rung deciding first spares the expensive ones.
+        if query.domain is not None:
             ladder.append("prescreen")
-            enclosure = self._enclosure(query.set_name, query.prescreen_domain, hits)
-            screen = screen_enclosure(enclosure, risk, query.prescreen_domain)
-            if screen.excluded:
-                verdict = self._make_verdict(
-                    registered,
-                    query,
-                    SolveResult(
-                        status=SolveStatus.UNSAT,
-                        stats={"prescreen": screen.domain},
-                    ),
-                    counterexample=None,
-                )
-                return QueryResult(query=query, verdict=verdict, decided_by="prescreen")
+            for rung in precision_ladder(query.domain):
+                enclosure = self._enclosure(query.set_name, rung, hits)
+                screen = screen_enclosure(enclosure, risk, rung)
+                if screen.excluded:
+                    verdict = self._make_verdict(
+                        registered,
+                        query,
+                        SolveResult(
+                            status=SolveStatus.UNSAT,
+                            stats={"prescreen": screen.domain},
+                        ),
+                        counterexample=None,
+                    )
+                    return QueryResult(
+                        query=query, verdict=verdict, decided_by="prescreen"
+                    )
 
         # 2. support-function cache: a single-row risk ``a·y <= b`` is
         #    feasible iff b >= min a·y over the region, and the cached
@@ -990,8 +1000,8 @@ class VerificationEngine:
         solver_name = self._milp_solver_name(query)
         spec = solver_spec(solver_name)
         options = self._options_for(spec, query)
-        if query.prescreen_domain in ("interval", "zonotope"):
-            domain = query.prescreen_domain
+        if query.domain is not None:
+            domain = query.domain
         elif coerce_domain:
             # fallback entry: the exact-path query may legitimately have
             # skipped its own prescreen; the per-round batched prescreen
@@ -999,8 +1009,8 @@ class VerificationEngine:
             domain = "interval"
         else:
             raise ValueError(
-                "cegar queries need a batched prescreen domain of "
-                f"'interval' or 'zonotope', got {query.prescreen_domain!r}"
+                "cegar queries need a batched prescreen domain "
+                "(any registered abstract domain), got None"
             )
         # resumability is per *configuration*: a re-submitted query with
         # a different backend or domain must not silently resume a loop
@@ -1186,16 +1196,23 @@ class VerificationEngine:
         for query in queries:
             if query.method not in (Method.EXACT, Method.RELAXED):
                 continue
-            if query.prescreen_domain not in ("interval", "zonotope"):
+            if query.domain is None:
                 continue
             if query.set_name not in self._sets:
                 continue  # invalid queries error per-query, not here
-            key = (query.set_name, query.prescreen_domain)
-            if key in self._enclosure_cache:
-                continue
-            names = needed.setdefault(query.prescreen_domain, [])
-            if query.set_name not in names:
-                names.append(query.set_name)
+            # prewarm the rungs that are near-certain to run: the
+            # cheapest (which usually decides, sparing the rest) and
+            # the requested domain (the decider when it does not).
+            # Intermediate rungs stay lazy — computed per set only if a
+            # query actually escalates through them.
+            ladder_rungs = precision_ladder(query.domain)
+            for rung in dict.fromkeys((ladder_rungs[0], ladder_rungs[-1])):
+                key = (query.set_name, rung)
+                if key in self._enclosure_cache:
+                    continue
+                names = needed.setdefault(rung, [])
+                if query.set_name not in names:
+                    names.append(query.set_name)
         for domain, names in needed.items():
             if len(names) < 2:
                 continue

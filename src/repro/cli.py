@@ -136,7 +136,7 @@ def _verify(args: argparse.Namespace) -> int:
 
 
 def _scenario_grid_campaign(
-    engine: VerificationEngine, n_regions: int, seed: int
+    engine: VerificationEngine, n_regions: int, seed: int, domain: str = "interval"
 ) -> Campaign:
     """Build and register a scenario region grid, return its campaign.
 
@@ -158,6 +158,9 @@ def _scenario_grid_campaign(
         traffic_levels=traffic_levels,
         seed=seed,
     ).truncated(n_regions)
+    # region sets stay interval cut-boxes (a relational prefix pass over
+    # image-space boxes would carry one noise symbol per pixel); the
+    # domain choice governs the suffix prescreen ladder and refinement
     engine.add_region_sets(grid)
     enclosures = engine.output_enclosures(grid.names)
     hi = max(float(e.upper[0]) for e in enclosures)
@@ -169,6 +172,7 @@ def _scenario_grid_campaign(
             steer_far_left(round(0.5 * (lo + hi), 3)),
         ],
         name="cli-scenario-grid",
+        domain=domain,
     )
 
 
@@ -211,6 +215,7 @@ def _refine(args: argparse.Namespace) -> int:
         set_name=names[0],
         method="cegar",
         refine_budget=args.budget,
+        domain=args.domain,
     )
     print(
         f"refining psi = waypoint >= {threshold} over {names[0]} "
@@ -240,7 +245,9 @@ def _campaign(args: argparse.Namespace) -> int:
                 "CEGAR refines); the threshold sweep ignores it"
             )
     if args.scenario_grid:
-        campaign = _scenario_grid_campaign(engine, args.scenario_grid, args.seed)
+        campaign = _scenario_grid_campaign(
+            engine, args.scenario_grid, args.seed, domain=args.domain
+        )
     else:
         reach = engine.run_query(VerificationQuery(method="range")).output_range
         thresholds = np.linspace(reach.lower, reach.upper + 0.5, args.thresholds)
@@ -248,6 +255,7 @@ def _campaign(args: argparse.Namespace) -> int:
             risks=[steer_far_left(round(float(t), 3)) for t in thresholds],
             properties=(*meta["properties"], None),
             method=args.method,
+            domain=args.domain,
         )
     report = engine.run(campaign, workers=args.workers)
     print(report.summary())
@@ -360,6 +368,13 @@ def main(argv: list[str] | None = None) -> int:
         "prescreen) instead of the threshold grid",
     )
     campaign.add_argument("--seed", type=int, default=0, help="scenario-grid seed")
+    campaign.add_argument(
+        "--domain",
+        default="interval",
+        choices=["interval", "octagon", "zonotope", "symbolic"],
+        help="abstract domain for prescreen enclosures and region sets "
+        "(the engine escalates its precision ladder up to this domain)",
+    )
     campaign.add_argument("--json", default=None, help="write the JSON report here")
     campaign.add_argument(
         "--refine-budget",
@@ -394,6 +409,12 @@ def main(argv: list[str] | None = None) -> int:
         "to split)",
     )
     refine.add_argument("--epsilon", type=float, default=0.02, help="region widening")
+    refine.add_argument(
+        "--domain",
+        default="interval",
+        choices=["interval", "octagon", "zonotope", "symbolic"],
+        help="abstract domain of the per-round CEGAR frontier prescreen",
+    )
     refine.add_argument("--seed", type=int, default=0)
     refine.add_argument("--json", default=None, help="write the JSON result here")
     refine.set_defaults(func=_refine)

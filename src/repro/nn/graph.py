@@ -22,7 +22,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.nn.tensor import FLOAT
+from repro.nn.tensor import FLOAT, col2im, conv_output_size, flat_size, im2col
+
+#: refuse to materialize affine matrices bigger than this many entries
+MAX_AFFINE_ENTRIES = 64_000_000
 
 
 @dataclass
@@ -127,7 +130,233 @@ class MaxGroupOp:
         return out[0] if single else out
 
 
-PLOp = AffineOp | ReLUOp | LeakyReLUOp | MaxGroupOp
+@dataclass
+class ElementwiseAffineOp:
+    """``y_i = scale_i * x_i + shift_i`` — a diagonal affine map kept sparse.
+
+    This is what eval-mode :class:`~repro.nn.layers.batchnorm.BatchNorm`
+    lowers to in the IR (per-channel coefficients broadcast to the flat
+    feature vector) when it cannot be folded into an adjacent affine or
+    convolution op.  Unlike ``AffineOp(np.diag(scale), shift)`` it never
+    materializes a ``d x d`` matrix.
+    """
+
+    scale: np.ndarray
+    shift: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.scale = np.asarray(self.scale, dtype=FLOAT).reshape(-1)
+        self.shift = np.asarray(self.shift, dtype=FLOAT).reshape(-1)
+        if self.scale.shape != self.shift.shape:
+            raise ValueError(
+                f"scale shape {self.scale.shape} != shift shape {self.shift.shape}"
+            )
+
+    @property
+    def in_dim(self) -> int:
+        return self.scale.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.scale.shape[0]
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return x * self.scale + self.shift
+
+
+@dataclass
+class ReshapeOp:
+    """Marker op recording a feature-shape change (e.g. ``Flatten``).
+
+    Every IR value is already a flat row-major vector, so the op is the
+    identity at run time; it exists so a lowered program documents where
+    the spatial interpretation of the vector changes.
+    """
+
+    in_shape: tuple[int, ...]
+    out_shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        self.in_shape = tuple(int(d) for d in self.in_shape)
+        self.out_shape = tuple(int(d) for d in self.out_shape)
+        if flat_size(self.in_shape) != flat_size(self.out_shape):
+            raise ValueError(
+                f"reshape changes element count: {self.in_shape} -> {self.out_shape}"
+            )
+
+    @property
+    def in_dim(self) -> int:
+        return flat_size(self.in_shape)
+
+    @property
+    def out_dim(self) -> int:
+        return flat_size(self.out_shape)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+
+@dataclass
+class ConvOp:
+    """2-D convolution kept in kernel form (conv-as-im2col-matmul).
+
+    The IR twin of :class:`~repro.nn.layers.conv.Conv2D`: the op stores
+    the ``(filters, channels, k, k)`` kernel instead of a materialized
+    ``d_out x d_in`` affine matrix, so prefix propagation of image-space
+    regions runs as one batched GEMM per op instead of a dense matmul
+    against a huge materialized matrix.  ``apply`` follows the flat-vector
+    IR convention (rows are flattened NCHW images).
+    """
+
+    weight: np.ndarray  #: (filters, channels, k, k)
+    bias: np.ndarray  #: (filters,)
+    stride: int
+    padding: int
+    in_shape: tuple[int, int, int]  #: (C, H, W)
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=FLOAT)
+        self.bias = np.asarray(self.bias, dtype=FLOAT)
+        if self.weight.ndim != 4:
+            raise ValueError(f"conv weight must be 4-D, got {self.weight.shape}")
+        if self.bias.shape != (self.weight.shape[0],):
+            raise ValueError(
+                f"bias shape {self.bias.shape} incompatible with "
+                f"{self.weight.shape[0]} filters"
+            )
+        self.in_shape = tuple(int(d) for d in self.in_shape)
+        if len(self.in_shape) != 3 or self.in_shape[0] != self.weight.shape[1]:
+            raise ValueError(
+                f"in_shape {self.in_shape} incompatible with conv weight "
+                f"{self.weight.shape}"
+            )
+
+    @property
+    def kernel(self) -> int:
+        return self.weight.shape[2]
+
+    @property
+    def out_shape(self) -> tuple[int, int, int]:
+        _, h, w = self.in_shape
+        ho = conv_output_size(h, self.kernel, self.stride, self.padding)
+        wo = conv_output_size(w, self.kernel, self.stride, self.padding)
+        return (self.weight.shape[0], ho, wo)
+
+    @property
+    def in_dim(self) -> int:
+        return flat_size(self.in_shape)
+
+    @property
+    def out_dim(self) -> int:
+        return flat_size(self.out_shape)
+
+    def apply_spatial(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray | None = None,
+        bias: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Convolution forward on ``(N, C, H, W)`` with substitutable
+        weights (abstract transformers run it with ``|W|`` for radii)."""
+        weight = self.weight if weight is None else weight
+        bias = self.bias if bias is None else bias
+        cols, ho, wo = im2col(x, self.kernel, self.stride, self.padding)
+        w_flat = weight.reshape(weight.shape[0], -1)
+        out = np.matmul(w_flat, cols) + bias[None, :, None]
+        return out.reshape(x.shape[0], weight.shape[0], ho, wo)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=FLOAT)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        out = self.apply_spatial(x.reshape((x.shape[0],) + self.in_shape))
+        out = out.reshape(x.shape[0], -1)
+        return out[0] if single else out
+
+    def input_gradient(self, grad_out: np.ndarray) -> np.ndarray:
+        """Flat input gradient from a flat output gradient (the conv VJP)."""
+        n = grad_out.shape[0]
+        g = grad_out.reshape((n,) + self.out_shape)
+        f, ho, wo = self.out_shape
+        w_flat = self.weight.reshape(f, -1)
+        dcols = np.einsum("fk,nfp->nkp", w_flat, g.reshape(n, f, ho * wo))
+        dx = col2im(
+            dcols, (n,) + self.in_shape, self.kernel, self.stride, self.padding
+        )
+        return dx.reshape(n, -1)
+
+    def as_affine(self, max_entries: int = MAX_AFFINE_ENTRIES) -> AffineOp:
+        """Materialize the convolution as a dense affine map on flat vectors.
+
+        Only feasible for modest spatial sizes; used by the MILP-facing
+        piecewise-linear view of a lowered program.
+        """
+        din, dout = self.in_dim, self.out_dim
+        if din * dout > max_entries:
+            raise ValueError(
+                f"Conv2D affine materialization would need {din}x{dout} entries; "
+                f"choose a later verification cut layer"
+            )
+        basis = np.eye(din, dtype=FLOAT)
+        col_out = self.apply(basis)  # (din, dout) columns of the map
+        bias_out = self.apply(np.zeros((1, din), dtype=FLOAT))[0]
+        return AffineOp((col_out - bias_out[None, :]).T, bias_out)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500.0, 500.0)))
+
+
+#: named elementwise monotone functions usable in a MonotoneOp: the op
+#: stores the *name* (keeping lowered programs picklable for process
+#: pools) and looks up ``(forward, derivative)`` here
+MONOTONE_FNS: dict = {
+    "sigmoid": (_sigmoid, lambda x: _sigmoid(x) * (1.0 - _sigmoid(x))),
+    "tanh": (np.tanh, lambda x: 1.0 - np.tanh(x) ** 2),
+}
+
+
+@dataclass
+class MonotoneOp:
+    """Elementwise monotone (but not piecewise-linear) activation.
+
+    Lowers ``Sigmoid`` / ``Tanh`` prefix layers: interval propagation is
+    exact on monotone maps (apply to both bounds), while MILP encoding
+    and the relational domains reject the op — such layers may only
+    appear before the verification cut, exactly as before.
+    """
+
+    kind: str
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in MONOTONE_FNS:
+            raise ValueError(
+                f"unknown monotone function {self.kind!r}; "
+                f"known: {sorted(MONOTONE_FNS)}"
+            )
+
+    @property
+    def in_dim(self) -> int:
+        return self.dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.dim
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return MONOTONE_FNS[self.kind][0](np.asarray(x, dtype=FLOAT))
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return MONOTONE_FNS[self.kind][1](np.asarray(x, dtype=FLOAT))
+
+
+#: ops with an exact piecewise-linear semantics (MILP-encodable)
+PLOp = AffineOp | ElementwiseAffineOp | ReLUOp | LeakyReLUOp | MaxGroupOp | ReshapeOp
+
+#: every op a lowered program may contain
+IROp = PLOp | ConvOp | MonotoneOp
 
 
 class PiecewiseLinearNetwork:

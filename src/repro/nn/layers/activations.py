@@ -6,7 +6,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.nn.graph import LeakyReLUOp, ReLUOp
+from repro.nn.graph import LeakyReLUOp, MonotoneOp, ReLUOp
 from repro.nn.layers.base import Layer
 from repro.nn.tensor import flat_size
 
@@ -93,6 +93,10 @@ class Sigmoid(_Elementwise):
     def _grad_from_cache(self) -> np.ndarray:
         return self._cache * (1.0 - self._cache)
 
+    def as_abstract_ops(self) -> list:
+        assert self.input_shape is not None, "layer not built"
+        return [MonotoneOp("sigmoid", flat_size(self.input_shape))]
+
 
 class Tanh(_Elementwise):
     """Hyperbolic tangent activation (not piecewise-linear)."""
@@ -108,6 +112,10 @@ class Tanh(_Elementwise):
 
     def _grad_from_cache(self) -> np.ndarray:
         return 1.0 - self._cache**2
+
+    def as_abstract_ops(self) -> list:
+        assert self.input_shape is not None, "layer not built"
+        return [MonotoneOp("tanh", flat_size(self.input_shape))]
 
 
 class Identity(_Elementwise):

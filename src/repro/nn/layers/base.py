@@ -95,6 +95,19 @@ class Layer(ABC):
         """
         return None
 
+    def as_abstract_ops(self) -> list | None:
+        """Primitive IR ops for :mod:`repro.verification.ir` lowering.
+
+        Defaults to :meth:`as_verification_ops`; layers with a cheaper
+        non-materialized IR form (``Conv2D`` as a kernel-form
+        :class:`~repro.nn.graph.ConvOp`, ``BatchNorm`` as a diagonal
+        :class:`~repro.nn.graph.ElementwiseAffineOp`) and monotone
+        non-piecewise-linear activations (``Sigmoid`` / ``Tanh`` as
+        :class:`~repro.nn.graph.MonotoneOp`) override it.  ``None``
+        means the layer cannot be lowered at all.
+        """
+        return self.as_verification_ops()
+
     def __repr__(self) -> str:
         args = ", ".join(f"{k}={v!r}" for k, v in self.config().items())
         return f"{type(self).__name__}({args})"

@@ -16,7 +16,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.nn.graph import AffineOp
+from repro.nn.graph import AffineOp, ElementwiseAffineOp
 from repro.nn.layers.base import Layer
 from repro.nn.tensor import FLOAT, Parameter, flat_size
 
@@ -129,6 +129,17 @@ class BatchNorm(Layer):
             scale = np.repeat(scale, spatial)
             shift = np.repeat(shift, spatial)
         return [AffineOp(np.diag(scale), shift)]
+
+    def as_abstract_ops(self) -> list:
+        """Diagonal IR lowering; the program builder folds it into an
+        adjacent affine/conv op where one exists."""
+        assert self.input_shape is not None, "layer not built"
+        scale, shift = self.affine_coefficients()
+        if len(self.input_shape) == 3:
+            spatial = flat_size(self.input_shape[1:])
+            scale = np.repeat(scale, spatial)
+            shift = np.repeat(shift, spatial)
+        return [ElementwiseAffineOp(scale, shift)]
 
     # -- (de)serialization ------------------------------------------------------
 

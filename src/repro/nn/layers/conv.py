@@ -7,53 +7,18 @@ from typing import Any
 import numpy as np
 
 from repro.nn import initializers
-from repro.nn.graph import AffineOp
+from repro.nn.graph import MAX_AFFINE_ENTRIES, ConvOp
 from repro.nn.layers.base import Layer
-from repro.nn.tensor import FLOAT, Parameter, conv_output_size, flat_size
+from repro.nn.tensor import FLOAT, Parameter, col2im, conv_output_size, im2col
 
-#: refuse to materialize affine matrices bigger than this many entries
-_MAX_AFFINE_ENTRIES = 64_000_000
-
-
-def _im2col(
-    x: np.ndarray, kernel: int, stride: int, padding: int
-) -> tuple[np.ndarray, int, int]:
-    """Unfold ``x (N, C, H, W)`` into columns ``(N, C*k*k, Ho*Wo)``."""
-    n, c, h, w = x.shape
-    ho = conv_output_size(h, kernel, stride, padding)
-    wo = conv_output_size(w, kernel, stride, padding)
-    if padding:
-        x = np.pad(
-            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
-        )
-    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
-    windows = windows[:, :, ::stride, ::stride, :, :]  # (N, C, Ho, Wo, k, k)
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel * kernel, ho * wo)
-    return np.ascontiguousarray(cols), ho, wo
+#: backward-compatible alias; the canonical limit lives in repro.nn.graph
+_MAX_AFFINE_ENTRIES = MAX_AFFINE_ENTRIES
 
 
-def _col2im(
-    cols: np.ndarray,
-    x_shape: tuple[int, int, int, int],
-    kernel: int,
-    stride: int,
-    padding: int,
-) -> np.ndarray:
-    """Adjoint of :func:`_im2col` (scatter-add columns back to an image)."""
-    n, c, h, w = x_shape
-    ho = conv_output_size(h, kernel, stride, padding)
-    wo = conv_output_size(w, kernel, stride, padding)
-    hp, wp = h + 2 * padding, w + 2 * padding
-    out = np.zeros((n, c, hp, wp), dtype=FLOAT)
-    cols = cols.reshape(n, c, kernel, kernel, ho, wo)
-    for ki in range(kernel):
-        for kj in range(kernel):
-            out[:, :, ki : ki + stride * ho : stride, kj : kj + stride * wo : stride] += (
-                cols[:, :, ki, kj]
-            )
-    if padding:
-        out = out[:, :, padding:-padding, padding:-padding]
-    return out
+#: backward-compatible aliases; the canonical helpers live in
+#: :mod:`repro.nn.tensor` so the lowered IR ops can share them
+_im2col = im2col
+_col2im = col2im
 
 
 class Conv2D(Layer):
@@ -130,22 +95,26 @@ class Conv2D(Layer):
     def as_verification_ops(self) -> list:
         """Materialize the convolution as a dense affine map on flat vectors.
 
-        Only feasible for modest spatial sizes; the intended verification
-        cut is after the convolutional stack, so this path is exercised by
-        whole-network analyses (e.g. experiment E7) on small images.
+        Delegates to :meth:`~repro.nn.graph.ConvOp.as_affine` — the
+        single implementation of the identity-basis materialization —
+        so it shares the size guard and the exact arithmetic with the
+        IR's piecewise-linear view.  Only feasible for modest spatial
+        sizes; the intended verification cut is after the convolutional
+        stack, so this path is exercised by whole-network analyses
+        (e.g. experiment E7) on small images.
         """
+        return [op.as_affine() for op in self.as_abstract_ops()]
+
+    def as_abstract_ops(self) -> list:
+        """Kernel-form IR lowering: conv stays a batched im2col matmul."""
         assert self.weight is not None and self.bias is not None, "layer not built"
-        assert self.input_shape is not None and self.output_shape_ is not None
-        din = flat_size(self.input_shape)
-        dout = flat_size(self.output_shape_)
-        if din * dout > _MAX_AFFINE_ENTRIES:
-            raise ValueError(
-                f"Conv2D affine materialization would need {din}x{dout} entries; "
-                f"choose a later verification cut layer"
+        assert self.input_shape is not None
+        return [
+            ConvOp(
+                self.weight.value,
+                self.bias.value,
+                self.stride,
+                self.padding,
+                self.input_shape,
             )
-        basis = np.eye(din, dtype=FLOAT).reshape((din,) + self.input_shape)
-        zero = np.zeros((1,) + self.input_shape, dtype=FLOAT)
-        col_out = self.forward(basis).reshape(din, dout)
-        bias_out = self.forward(zero).reshape(dout)
-        weight = (col_out - bias_out[None, :]).T  # (dout, din)
-        return [AffineOp(weight, bias_out)]
+        ]

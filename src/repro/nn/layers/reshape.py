@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.graph import ReshapeOp
 from repro.nn.layers.base import Layer
 from repro.nn.tensor import flat_size
 
@@ -33,3 +34,7 @@ class Flatten(Layer):
 
     def as_verification_ops(self) -> list:
         return []
+
+    def as_abstract_ops(self) -> list:
+        assert self.input_shape is not None and self.output_shape_ is not None
+        return [ReshapeOp(self.input_shape, self.output_shape_)]

@@ -17,7 +17,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.nn.graph import PiecewiseLinearNetwork, lower_layers
+from repro.nn.graph import PiecewiseLinearNetwork
 from repro.nn.layers.base import Layer
 from repro.nn.tensor import FLOAT, Parameter, flat_size
 
@@ -91,6 +91,11 @@ class Sequential:
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Full forward pass ``f^(L)`` on a batch."""
+        if training:
+            # a training forward already mutates verification-relevant
+            # state (BatchNorm running statistics) even without a
+            # backward pass, so cached lowered programs are stale now
+            self.invalidate_lowering()
         x = np.asarray(x, dtype=FLOAT)
         for layer in self.layers:
             x = layer.forward(x, training=training)
@@ -101,9 +106,31 @@ class Sequential:
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backpropagate through all layers (after a training forward)."""
+        # a backward pass precedes an optimizer step that mutates the
+        # weights in place, so any cached lowered program is about to
+        # go stale — drop it here rather than trusting callers
+        self.invalidate_lowering()
         for layer in reversed(self.layers):
             grad_out = layer.backward(grad_out)
         return grad_out
+
+    def invalidate_lowering(self) -> None:
+        """Drop cached lowered-IR programs (call after mutating weights).
+
+        :func:`repro.verification.ir.lower_network` caches programs on
+        the model; training invalidates automatically via
+        :meth:`backward`, but code mutating parameters directly must
+        call this by hand.
+        """
+        self.__dict__.pop("_lowering_cache", None)
+
+    def __getstate__(self) -> dict:
+        # lowered programs partially alias the layer weights; shipping
+        # them to process-pool workers would duplicate every matrix, and
+        # workers rebuild their own cache on first use anyway
+        state = self.__dict__.copy()
+        state.pop("_lowering_cache", None)
+        return state
 
     def zero_grad(self) -> None:
         for p in self.parameters():
@@ -132,10 +159,18 @@ class Sequential:
     # -- verification views ------------------------------------------------------
 
     def suffix_network(self, layer_index: int) -> PiecewiseLinearNetwork:
-        """Lower layers ``l+1 .. L`` to a piecewise-linear network."""
+        """Lower layers ``l+1 .. L`` to a piecewise-linear program.
+
+        Delegates to the cached IR lowering
+        (:func:`repro.verification.ir.lowered_suffix`), so repeated
+        calls — prescreen, MILP encoding, CEGAR — share one program.
+        """
         self._check_index(layer_index, allow_zero=True)
-        in_dim = self.feature_dim(layer_index)
-        return lower_layers(self.layers[layer_index:], in_dim)
+        # local import: nn/ stays import-independent of the verification
+        # package; only this lowering hook reaches upward
+        from repro.verification.ir import lowered_suffix
+
+        return lowered_suffix(self, layer_index)
 
     def full_network(self) -> PiecewiseLinearNetwork:
         """Lower the whole model (requires every layer piecewise-linear)."""

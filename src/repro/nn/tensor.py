@@ -69,3 +69,44 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 def flat_size(shape: tuple[int, ...]) -> int:
     """Number of scalar entries of a feature shape."""
     return int(math.prod(shape))
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``x (N, C, H, W)`` into columns ``(N, C*k*k, Ho*Wo)``."""
+    n, c, h, w = x.shape
+    ho = conv_output_size(h, kernel, stride, padding)
+    wo = conv_output_size(w, kernel, stride, padding)
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]  # (N, C, Ho, Wo, k, k)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel * kernel, ho * wo)
+    return np.ascontiguousarray(cols), ho, wo
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col` (scatter-add columns back to an image)."""
+    n, c, h, w = x_shape
+    ho = conv_output_size(h, kernel, stride, padding)
+    wo = conv_output_size(w, kernel, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=FLOAT)
+    cols = cols.reshape(n, c, kernel, kernel, ho, wo)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            out[:, :, ki : ki + stride * ho : stride, kj : kj + stride * wo : stride] += (
+                cols[:, :, ki, kj]
+            )
+    if padding:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return out

@@ -48,7 +48,7 @@ three-sigma bound) and treat noise beyond it as out of family.
 :func:`scenario_region_grid` expands base scenes × axis levels into a
 :class:`RegionGrid`, whose :meth:`RegionGrid.box_batch` feeds the
 batched abstraction backend
-(:func:`repro.verification.abstraction.propagate.propagate_input_box_batch`)
+(:func:`repro.verification.abstraction.propagate.propagate_regions`)
 and whose region names become engine feature-set names
 (:meth:`repro.api.VerificationEngine.add_region_sets` /
 :meth:`repro.api.Campaign.from_scenario_grid`).

@@ -1,42 +1,34 @@
-"""Interval propagation of an *input-space* box through a full model.
+"""Input-region propagation to a cut layer over the lowered IR.
 
 This is the static analysis of the paper's Lemma 2 (and footnote 1):
-starting from the raw input domain — e.g. ``[0, 1]`` per pixel — push an
-interval through *every* layer (convolutions, pooling, batch
-normalization, smooth activations included) down to the cut layer ``l``,
-obtaining a sound over-approximation ``S`` of ``f^(l)`` images.
+starting from the raw input domain — e.g. ``[0, 1]`` per pixel — push a
+batch of regions through *every* layer (convolutions, pooling, batch
+normalization, smooth activations included) down to the cut layer
+``l``, obtaining sound over-approximations ``S`` of ``f^(l)`` images.
 
-Works directly on :class:`~repro.nn.layers.base.Layer` objects so that
-convolutions are handled by interval arithmetic on their own kernels
-(midpoint/radius form) instead of materialized affine matrices.
+The canonical entry point is :func:`propagate_regions`: it lowers the
+prefix **once** (cached, see :mod:`repro.verification.ir`) and runs the
+chosen abstract domain's batched transformers over the program — one
+code path for every region count and every domain.
 
-Two entry points:
-
-- :func:`propagate_input_box` — one box ("batch of one", the scalar
-  path);
-- :func:`propagate_input_box_batch` (alias :func:`propagate_batch`) —
-  a whole :class:`~repro.verification.sets.BoxBatch` of input regions in
-  one pass, with every layer transformer vectorized over the leading
-  region axis.  This is what scenario-grid campaigns use to bound
-  hundreds of perturbation regions at the cost of roughly one.
+The four historical entry points of the pre-IR propagation stacks
+(:func:`layer_interval`, :func:`layer_interval_batch`,
+:func:`propagate_input_box`, :func:`propagate_input_box_batch`) survive
+as thin deprecation shims over the same code.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.nn.layers.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.nn.layers.base import Layer
-from repro.nn.layers.batchnorm import BatchNorm
-from repro.nn.layers.conv import Conv2D, _im2col
-from repro.nn.layers.dense import Dense
-from repro.nn.layers.dropout import Dropout
-from repro.nn.layers.pool import AvgPool2D, MaxPool2D
-from repro.nn.layers.reshape import Flatten
 from repro.nn.sequential import Sequential
+from repro.verification.abstraction.domain import get_domain
+from repro.verification.abstraction.interval import INTERVAL
+from repro.verification.ir import lowered_prefix
 from repro.verification.sets import Box, BoxBatch, IntervalBoundError
-
-_MONOTONE_LAYERS = (ReLU, LeakyReLU, Sigmoid, Tanh, Identity, MaxPool2D, AvgPool2D)
 
 
 def _check_ordered(
@@ -60,17 +52,92 @@ def _check_ordered(
     )
 
 
-def _conv_apply(layer: Conv2D, x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
-    """Convolution forward with substituted weights (for |W| arithmetic).
+def propagate_regions(
+    model: Sequential,
+    regions: BoxBatch,
+    to_layer: int,
+    domain: str = "interval",
+):
+    """Push ``n`` input regions through layers ``1 .. to_layer`` at once.
 
-    Uses a broadcasted BLAS matmul over the region batch rather than
-    ``einsum`` — on wide region batches the batched GEMM is what turns
-    the interval conv transformer into a single hardware-speed pass.
+    ``regions`` members must have the model's input shape (an ``(n,
+    *input shape)`` stack).  Returns the chosen domain's batched element
+    at the cut layer; concretize it (``get_domain(domain).concretize``)
+    for per-region boxes, or extract per-region enclosure values /
+    feature sets.  :class:`IntervalBoundError` raised mid-propagation
+    carries the offending layer and region.
     """
-    cols, ho, wo = _im2col(x, layer.kernel, layer.stride, layer.padding)
-    w_flat = weight.reshape(layer.filters, -1)
-    out = np.matmul(w_flat, cols) + bias[None, :, None]
-    return out.reshape(x.shape[0], layer.filters, ho, wo)
+    model._check_index(to_layer, allow_zero=True)
+    shape = model.input_shape
+    if regions.lower.shape[1:] != shape:
+        raise ValueError(
+            f"batch members have shape {regions.lower.shape[1:]}, "
+            f"model input is {shape}"
+        )
+    program = lowered_prefix(model, to_layer)
+    dom = get_domain(domain)
+    if not dom.supports_program(program):
+        unsupported = sorted(
+            {
+                type(op).__name__
+                for op in program.ops
+                if not dom.supports(op)
+            }
+        )
+        raise ValueError(
+            f"domain {domain!r} has no transformer for {', '.join(unsupported)} "
+            f"in the prefix (layers 1..{to_layer}); use a domain that supports "
+            f"every prefix op (e.g. 'interval') or cut after the offending layer"
+        )
+    element = dom.lift(regions)
+    for op, layer_index in zip(program.ops, program.op_layers):
+        try:
+            element = dom.transform(op, element)
+        except IntervalBoundError as err:
+            raise IntervalBoundError(
+                "interval has lower > upper bound",
+                layer_index=layer_index,
+                region_index=err.region_index,
+            ) from None
+    return element
+
+
+def region_boxes(
+    model: Sequential,
+    regions: BoxBatch,
+    to_layer: int,
+    domain: str = "interval",
+) -> BoxBatch:
+    """Per-region cut-layer interval hulls (flat ``(n, d_l)``)."""
+    dom = get_domain(domain)
+    return dom.concretize(propagate_regions(model, regions, to_layer, domain)).flat()
+
+
+# -- deprecated pre-IR entry points ------------------------------------------
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} "
+        f"(the lowered-IR propagation path)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _single_layer_interval(
+    layer: Layer, lower: np.ndarray, upper: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interval image of one layer on stacked feature-shaped bounds."""
+    ops = layer.as_abstract_ops()
+    if ops is None:
+        raise TypeError(f"no interval transformer for layer {type(layer).__name__}")
+    n = lower.shape[0]
+    element = BoxBatch(lower.reshape(n, -1), upper.reshape(n, -1))
+    for op in ops:
+        element = INTERVAL.transform(op, element)
+    out_shape = (n,) + tuple(layer.output_shape_)
+    return element.lower.reshape(out_shape), element.upper.reshape(out_shape)
 
 
 def layer_interval(
@@ -81,16 +148,19 @@ def layer_interval(
     layer_index: int | None = None,
     region_index: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Sound interval transformer for one layer (batch of one).
+    """Deprecated: lower the layer and use the interval domain instead.
 
+    Sound interval transformer for one layer (batch of one);
     ``lower``/``upper`` are feature-shaped arrays (no batch dimension).
-    ``layer_index``/``region_index`` are optional provenance attached to
-    the :class:`IntervalBoundError` raised on inverted bounds, so that
-    callers propagating many layers/regions surface *where* it failed.
     """
+    _deprecated(
+        "layer_interval",
+        "repro.verification.abstraction.get_domain('interval').transform "
+        "over layer.as_abstract_ops()",
+    )
     _check_ordered(lower, upper, layer_index, region_index, batched=False)
-    out = _layer_interval_impl(layer, lower[None], upper[None])
-    return out[0][0], out[1][0]
+    out_lower, out_upper = _single_layer_interval(layer, lower[None], upper[None])
+    return out_lower[0], out_upper[0]
 
 
 def layer_interval_batch(
@@ -100,59 +170,14 @@ def layer_interval_batch(
     *,
     layer_index: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Sound interval transformer for one layer over ``n`` stacked regions.
-
-    ``lower``/``upper`` carry a leading region axis: ``(n, *feature
-    shape)``.  Equivalent to ``n`` calls of :func:`layer_interval` but
-    vectorized — convolutions, pooling and dense maps each run as one
-    batched numpy op over all regions.
-    """
+    """Deprecated batched twin of :func:`layer_interval` (same registry)."""
+    _deprecated(
+        "layer_interval_batch",
+        "repro.verification.abstraction.get_domain('interval').transform "
+        "over layer.as_abstract_ops()",
+    )
     _check_ordered(lower, upper, layer_index, None, batched=True)
-    return _layer_interval_impl(layer, lower, upper)
-
-
-def _layer_interval_impl(
-    layer: Layer, lower: np.ndarray, upper: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Shared transformer body; ``lower``/``upper`` are ``(n, *features)``."""
-    if isinstance(layer, Dense):
-        center = 0.5 * (lower + upper)
-        radius = 0.5 * (upper - lower)
-        w = layer.weight.value
-        out_center = center @ w + layer.bias.value
-        out_radius = radius @ np.abs(w)
-        return out_center - out_radius, out_center + out_radius
-
-    if isinstance(layer, Conv2D):
-        center = 0.5 * (lower + upper)
-        radius = 0.5 * (upper - lower)
-        out_center = _conv_apply(layer, center, layer.weight.value, layer.bias.value)
-        zero_bias = np.zeros_like(layer.bias.value)
-        out_radius = _conv_apply(layer, radius, np.abs(layer.weight.value), zero_bias)
-        return out_center - out_radius, out_center + out_radius
-
-    if isinstance(layer, BatchNorm):
-        scale, shift = layer.affine_coefficients()
-        if lower.ndim == 4:  # conv features: per-channel coefficients
-            scale = scale[:, None, None]
-            shift = shift[:, None, None]
-        a = scale * lower + shift
-        b = scale * upper + shift
-        return np.minimum(a, b), np.maximum(a, b)
-
-    if isinstance(layer, Dropout):
-        return lower, upper
-
-    if isinstance(layer, Flatten):
-        n = lower.shape[0]
-        return lower.reshape(n, -1), upper.reshape(n, -1)
-
-    if isinstance(layer, _MONOTONE_LAYERS):
-        out_lower = layer.forward(lower, training=False)
-        out_upper = layer.forward(upper, training=False)
-        return out_lower, out_upper
-
-    raise TypeError(f"no interval transformer for layer {type(layer).__name__}")
+    return _single_layer_interval(layer, lower, upper)
 
 
 def propagate_input_box(
@@ -161,20 +186,19 @@ def propagate_input_box(
     upper: np.ndarray | float,
     to_layer: int,
 ) -> Box:
-    """Push an input box through layers ``1 .. to_layer``; return a flat box.
+    """Deprecated: use :func:`propagate_regions` (batch of one).
 
     Scalars broadcast to the whole input shape, so
     ``propagate_input_box(model, 0.0, 1.0, l)`` is exactly the paper's
     "verification using an input domain of ``[0, 1]^{d_l0}``".
     """
+    _deprecated("propagate_input_box", "propagate_regions")
     model._check_index(to_layer, allow_zero=True)
     shape = model.input_shape
     lo = np.broadcast_to(np.asarray(lower, dtype=float), shape).copy()
     hi = np.broadcast_to(np.asarray(upper, dtype=float), shape).copy()
     _check_ordered(lo, hi, None, None, batched=False)
-    for i, layer in enumerate(model.layers[:to_layer]):
-        lo, hi = layer_interval(layer, lo, hi, layer_index=i)
-    return Box(lo.reshape(-1), hi.reshape(-1))
+    return region_boxes(model, BoxBatch(lo[None], hi[None]), to_layer).box(0)
 
 
 def propagate_input_box_batch(
@@ -182,28 +206,13 @@ def propagate_input_box_batch(
     batch: BoxBatch,
     to_layer: int,
 ) -> BoxBatch:
-    """Push ``n`` input boxes through layers ``1 .. to_layer`` in one pass.
-
-    ``batch`` members must have the model's input shape (an ``(n, *input
-    shape)`` stack).  Returns a flat ``(n, d_l)`` :class:`BoxBatch` whose
-    member ``i`` equals ``propagate_input_box`` of box ``i`` (within
-    floating-point reassociation).  This is the hot path of scenario-grid
-    campaigns: one batched pass replaces ``n`` scalar propagations.
-    """
-    model._check_index(to_layer, allow_zero=True)
-    shape = model.input_shape
-    if batch.lower.shape[1:] != shape:
-        raise ValueError(
-            f"batch members have shape {batch.lower.shape[1:]}, "
-            f"model input is {shape}"
-        )
-    lo = batch.lower.astype(float, copy=True)
-    hi = batch.upper.astype(float, copy=True)
-    for i, layer in enumerate(model.layers[:to_layer]):
-        lo, hi = layer_interval_batch(layer, lo, hi, layer_index=i)
-    n = lo.shape[0]
-    return BoxBatch(lo.reshape(n, -1), hi.reshape(n, -1))
+    """Deprecated: use :func:`propagate_regions` / :func:`region_boxes`."""
+    _deprecated("propagate_input_box_batch", "propagate_regions")
+    return region_boxes(model, batch, to_layer)
 
 
-#: public alias: the batched layer-level propagation entry point
-propagate_batch = propagate_input_box_batch
+#: deprecated alias of the deprecated batched entry point
+def propagate_batch(model: Sequential, batch: BoxBatch, to_layer: int) -> BoxBatch:
+    """Deprecated alias of :func:`propagate_input_box_batch`."""
+    _deprecated("propagate_batch", "propagate_regions")
+    return region_boxes(model, batch, to_layer)

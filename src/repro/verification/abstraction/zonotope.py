@@ -8,27 +8,38 @@ domain tracks *relations* between neurons that plain intervals lose —
 which is what makes the derived adjacent-difference bounds
 (:mod:`repro.verification.abstraction.octagon`) non-trivial.
 
-:class:`ZonotopeBatch` is the vectorized twin: ``n`` zonotopes sharing
-one rectangular generator tensor ``(n, k, d)`` so a single propagation
-call bounds every region of a campaign.  Regions whose ReLU transformer
+The only transformer implementation is batched
+(:class:`ZonotopeBatch`: ``n`` zonotopes sharing one rectangular
+generator tensor ``(n, k, d)``), registered per op in the domain
+registry; :class:`Zonotope` is the per-region enclosure value the
+engine caches and screens against.  Regions whose ReLU transformer
 would introduce fewer fresh symbols than their batch-mates simply carry
 zero generator rows — zero rows contribute nothing to any radius, so
-the per-region bounds are identical to the scalar path's.
+the per-region bounds are identical to a batch-of-one run.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.nn.graph import (
     AffineOp,
+    ConvOp,
+    ElementwiseAffineOp,
     LeakyReLUOp,
     MaxGroupOp,
     PiecewiseLinearNetwork,
     PLOp,
     ReLUOp,
+    ReshapeOp,
+)
+from repro.verification.abstraction.domain import (
+    AbstractDomain,
+    register_domain,
+    register_transformer,
 )
 from repro.verification.sets import Box, BoxBatch
 
@@ -84,115 +95,6 @@ class Zonotope:
         mid = float(a @ self.center)
         rad = float(np.abs(self.generators @ a).sum())
         return mid - rad, mid + rad
-
-
-def _affine(zonotope: Zonotope, op: AffineOp) -> Zonotope:
-    return Zonotope(
-        op.weight @ zonotope.center + op.bias,
-        zonotope.generators @ op.weight.T,
-    )
-
-
-def _relu_like(zonotope: Zonotope, alpha: float) -> Zonotope:
-    """Shared transformer for ReLU (alpha=0) and LeakyReLU.
-
-    For an unstable neuron with pre-activation range ``[lo, hi]``
-    (``lo < 0 < hi``), the activation output is enclosed by the affine
-    form ``lam * x + mu ± beta`` with
-
-        lam  = (hi - alpha*lo) / (hi - lo)
-        beta = (1 - alpha) * hi * (-lo) / (hi - lo) / 2
-        mu   = beta
-
-    which is the minimal-area parallelogram enclosure.
-    """
-    box = zonotope.to_box()
-    lo, hi = box.lower, box.upper
-    d = zonotope.dim
-
-    lam = np.ones(d)
-    mu = np.zeros(d)
-    beta = np.zeros(d)
-
-    stable_neg = hi <= 0.0
-    lam[stable_neg] = alpha
-
-    unstable = (lo < 0.0) & (hi > 0.0)
-    if np.any(unstable):
-        lo_u, hi_u = lo[unstable], hi[unstable]
-        lam_u = (hi_u - alpha * lo_u) / (hi_u - lo_u)
-        beta_u = 0.5 * (1.0 - alpha) * hi_u * (-lo_u) / (hi_u - lo_u)
-        lam[unstable] = lam_u
-        mu[unstable] = beta_u
-        beta[unstable] = beta_u
-
-    center = lam * zonotope.center + mu
-    generators = zonotope.generators * lam[None, :]
-    fresh_idx = np.nonzero(beta > 0.0)[0]
-    if fresh_idx.size:
-        fresh = np.zeros((fresh_idx.size, d))
-        fresh[np.arange(fresh_idx.size), fresh_idx] = beta[fresh_idx]
-        generators = np.vstack([generators, fresh])
-    return Zonotope(center, generators)
-
-
-def _max_group(zonotope: Zonotope, op: MaxGroupOp) -> Zonotope:
-    """Sound (interval-fallback) transformer for grouped max.
-
-    Exact when a group member dominates all others over the whole
-    zonotope; otherwise the output neuron gets a fresh symbol spanning
-    the interval hull of the group maximum.
-    """
-    box = zonotope.to_box()
-    out_dim = op.out_dim
-    center = np.zeros(out_dim)
-    rows: list[np.ndarray] = []
-    keep = np.zeros((zonotope.num_generators, out_dim))
-    for j, group in enumerate(op.groups):
-        lows, highs = box.lower[group], box.upper[group]
-        best = int(np.argmax(lows))
-        if lows[best] >= np.max(np.delete(highs, best), initial=-np.inf):
-            # one member dominates: max is exactly that member's affine form
-            g = group[best]
-            center[j] = zonotope.center[g]
-            keep[:, j] = zonotope.generators[:, g]
-        else:
-            lo_j = float(lows.max())
-            hi_j = float(highs.max())
-            center[j] = 0.5 * (lo_j + hi_j)
-            fresh = np.zeros(out_dim)
-            fresh[j] = 0.5 * (hi_j - lo_j)
-            rows.append(fresh)
-    generators = keep if not rows else np.vstack([keep, np.stack(rows)])
-    return Zonotope(center, generators)
-
-
-def transform(zonotope: Zonotope, op: PLOp) -> Zonotope:
-    """Zonotope transformer for one primitive op."""
-    if zonotope.dim != op.in_dim:
-        raise ValueError(f"zonotope dim {zonotope.dim} vs op input {op.in_dim}")
-    if isinstance(op, AffineOp):
-        return _affine(zonotope, op)
-    if isinstance(op, ReLUOp):
-        return _relu_like(zonotope, 0.0)
-    if isinstance(op, LeakyReLUOp):
-        return _relu_like(zonotope, op.alpha)
-    if isinstance(op, MaxGroupOp):
-        return _max_group(zonotope, op)
-    raise TypeError(f"no zonotope transformer for {type(op).__name__}")
-
-
-def propagate_zonotope(
-    network: PiecewiseLinearNetwork, start: Zonotope | Box
-) -> Zonotope:
-    """Zonotope image of the whole network."""
-    zonotope = Zonotope.from_box(start) if isinstance(start, Box) else start
-    for op in network.ops:
-        zonotope = transform(zonotope, op)
-    return zonotope
-
-
-# -- batched zonotopes (leading region axis) ---------------------------------
 
 
 @dataclass(frozen=True)
@@ -264,19 +166,58 @@ class ZonotopeBatch:
         return mid - rad, mid + rad
 
 
-def _affine_batch(batch: ZonotopeBatch, op: AffineOp) -> ZonotopeBatch:
+@register_transformer("zonotope", AffineOp)
+def _affine(domain, op: AffineOp, batch: ZonotopeBatch) -> ZonotopeBatch:
     return ZonotopeBatch(
         batch.center @ op.weight.T + op.bias,
         batch.generators @ op.weight.T,
     )
 
 
-def _relu_like_batch(batch: ZonotopeBatch, alpha: float) -> ZonotopeBatch:
-    """Batched ReLU/LeakyReLU transformer (see :func:`_relu_like`).
+@register_transformer("zonotope", ElementwiseAffineOp)
+def _elementwise_affine(
+    domain, op: ElementwiseAffineOp, batch: ZonotopeBatch
+) -> ZonotopeBatch:
+    return ZonotopeBatch(
+        batch.center * op.scale + op.shift,
+        batch.generators * op.scale[None, None, :],
+    )
 
-    Fresh noise symbols are appended as one ``(n, d, d)`` diagonal block
-    per layer — diagonal entries are the per-region ``beta`` (zero for
-    stable neurons), so each region's bounds equal the scalar path's.
+
+@register_transformer("zonotope", ConvOp)
+def _conv(domain, op: ConvOp, batch: ZonotopeBatch) -> ZonotopeBatch:
+    """Exact zonotope image of a convolution, kept in kernel form.
+
+    The center goes through the op; generator rows go through the
+    bias-free convolution as one stacked ``(n * k)`` image batch.
+    """
+    n, k = batch.n_regions, batch.num_generators
+    center = op.apply_spatial(batch.center.reshape((n,) + op.in_shape)).reshape(n, -1)
+    if k:
+        zero_bias = np.zeros_like(op.bias)
+        gens = op.apply_spatial(
+            batch.generators.reshape((n * k,) + op.in_shape), None, zero_bias
+        ).reshape(n, k, -1)
+    else:
+        gens = np.zeros((n, 0, center.shape[1]))
+    return ZonotopeBatch(center, gens)
+
+
+def _relu_like(batch: ZonotopeBatch, alpha: float) -> ZonotopeBatch:
+    """Batched ReLU/LeakyReLU transformer.
+
+    For an unstable neuron with pre-activation range ``[lo, hi]``
+    (``lo < 0 < hi``), the activation output is enclosed by the affine
+    form ``lam * x + mu ± beta`` with
+
+        lam  = (hi - alpha*lo) / (hi - lo)
+        beta = (1 - alpha) * hi * (-lo) / (hi - lo) / 2
+        mu   = beta
+
+    which is the minimal-area parallelogram enclosure.  Fresh noise
+    symbols are appended as one ``(n, d, d)`` diagonal block per layer —
+    diagonal entries are the per-region ``beta`` (zero for stable
+    neurons), so each region's bounds equal a batch-of-one run's.
     """
     hull = batch.to_box_batch()
     lo, hi = hull.lower, hull.upper
@@ -308,8 +249,19 @@ def _relu_like_batch(batch: ZonotopeBatch, alpha: float) -> ZonotopeBatch:
     return ZonotopeBatch(center, generators)
 
 
-def _max_group_batch(batch: ZonotopeBatch, op: MaxGroupOp) -> ZonotopeBatch:
-    """Batched grouped max (see :func:`_max_group`), vectorized over regions.
+@register_transformer("zonotope", ReLUOp)
+def _relu(domain, op: ReLUOp, batch: ZonotopeBatch) -> ZonotopeBatch:
+    return _relu_like(batch, 0.0)
+
+
+@register_transformer("zonotope", LeakyReLUOp)
+def _leaky_relu(domain, op: LeakyReLUOp, batch: ZonotopeBatch) -> ZonotopeBatch:
+    return _relu_like(batch, op.alpha)
+
+
+@register_transformer("zonotope", MaxGroupOp)
+def _max_group(domain, op: MaxGroupOp, batch: ZonotopeBatch) -> ZonotopeBatch:
+    """Batched grouped max, vectorized over regions.
 
     Per output group, regions where one member dominates keep that
     member's exact affine form; the rest get a fresh symbol spanning the
@@ -350,28 +302,99 @@ def _max_group_batch(batch: ZonotopeBatch, op: MaxGroupOp) -> ZonotopeBatch:
     return ZonotopeBatch(center, np.concatenate([keep, fresh], axis=1))
 
 
+@register_transformer("zonotope", ReshapeOp)
+def _reshape(domain, op: ReshapeOp, batch: ZonotopeBatch) -> ZonotopeBatch:
+    return batch
+
+
+class ZonotopeDomain(AbstractDomain):
+    """Relational domain of affine forms over shared noise symbols."""
+
+    name = "zonotope"
+    cost_rank = 2
+    refines: tuple[str, ...] = ()
+
+    def lift(self, regions: BoxBatch) -> ZonotopeBatch:
+        return ZonotopeBatch.from_box_batch(regions)
+
+    def concretize(self, element: ZonotopeBatch) -> BoxBatch:
+        return element.to_box_batch()
+
+    def extract(self, element: ZonotopeBatch, index: int) -> Zonotope:
+        return element.zonotope(index)
+
+    def linear_lower_bound(self, enclosure: Zonotope, a: np.ndarray) -> float:
+        return enclosure.linear_value_bounds(a)[0]
+
+    def enclosure_box(self, enclosure: Zonotope) -> Box:
+        return enclosure.to_box()
+
+    def feature_set(self, enclosure: Zonotope):
+        """Interval hull plus zonotope-derived adjacent-difference bounds
+        (a :class:`~repro.verification.sets.BoxWithDiffs`) when the
+        dimension admits them — the record the paper's Section V asks
+        for; a plain box in one dimension."""
+        if enclosure.dim < 2:
+            return enclosure.to_box()
+        from repro.verification.abstraction.octagon import (
+            box_with_diffs_from_zonotope,
+        )
+
+        return box_with_diffs_from_zonotope(enclosure)
+
+
+ZONOTOPE = register_domain(ZonotopeDomain())
+
+
+# -- scalar conveniences (batch-of-one views) --------------------------------
+
+
+def transform(zonotope: Zonotope, op: PLOp) -> Zonotope:
+    """Zonotope transformer for one primitive op (batch of one)."""
+    if zonotope.dim != op.in_dim:
+        raise ValueError(f"zonotope dim {zonotope.dim} vs op input {op.in_dim}")
+    out = ZONOTOPE.transform(
+        op, ZonotopeBatch(zonotope.center[None], zonotope.generators[None])
+    )
+    return out.zonotope(0)
+
+
+def propagate_zonotope(
+    network: PiecewiseLinearNetwork, start: Zonotope | Box
+) -> Zonotope:
+    """Zonotope image of the whole network (batch of one)."""
+    zonotope = Zonotope.from_box(start) if isinstance(start, Box) else start
+    element = ZonotopeBatch(zonotope.center[None], zonotope.generators[None])
+    return ZONOTOPE.propagate(network, element).zonotope(0)
+
+
+# -- deprecated batched entry points -----------------------------------------
+
+
 def transform_batch(batch: ZonotopeBatch, op: PLOp) -> ZonotopeBatch:
-    """Batched zonotope transformer for one primitive op."""
+    """Deprecated: use ``get_domain("zonotope").transform(op, batch)``."""
+    warnings.warn(
+        "transform_batch is deprecated; use "
+        "repro.verification.abstraction.get_domain('zonotope').transform",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if batch.dim != op.in_dim:
         raise ValueError(f"zonotope batch dim {batch.dim} vs op input {op.in_dim}")
-    if isinstance(op, AffineOp):
-        return _affine_batch(batch, op)
-    if isinstance(op, ReLUOp):
-        return _relu_like_batch(batch, 0.0)
-    if isinstance(op, LeakyReLUOp):
-        return _relu_like_batch(batch, op.alpha)
-    if isinstance(op, MaxGroupOp):
-        return _max_group_batch(batch, op)
-    raise TypeError(f"no zonotope transformer for {type(op).__name__}")
+    return ZONOTOPE.transform(op, batch)
 
 
 def propagate_zonotope_batch(
     network: PiecewiseLinearNetwork, start: ZonotopeBatch | BoxBatch
 ) -> ZonotopeBatch:
-    """Zonotope image of the whole network for every region at once."""
+    """Deprecated: use ``get_domain("zonotope").propagate(program, element)``."""
+    warnings.warn(
+        "propagate_zonotope_batch is deprecated; use "
+        "repro.verification.abstraction.get_domain('zonotope').propagate",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     batch = (
         ZonotopeBatch.from_box_batch(start) if isinstance(start, BoxBatch) else start
     )
-    for op in network.ops:
-        batch = transform_batch(batch, op)
-    return batch
+    return ZONOTOPE.propagate(network, batch)

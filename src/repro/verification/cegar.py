@@ -10,11 +10,12 @@ strengtheners) as an **anytime, budgeted, resumable** loop:
   undecided volume first, so partial guarantees grow as fast as
   possible;
 - per round, a **batched prescreen** of the whole pending frontier: one
-  :func:`~repro.verification.abstraction.propagate.propagate_input_box_batch`
-  pass to the cut layer plus one
+  :func:`~repro.verification.abstraction.propagate.propagate_regions`
+  pass over the cached lowered prefix plus one
   :func:`~repro.verification.prescreen.prescreen_batch` pass over the
   suffix decide every child the abstraction can decide, at roughly the
-  cost of a single scalar prescreen;
+  cost of a single scalar prescreen — in any registered abstract
+  domain (``--domain`` on the CLI);
 - **counterexample concretization**: undecided subregions are attacked
   with a batched projected-gradient search
   (:func:`~repro.verification.counterexample.pgd_in_boxes`) through the
@@ -59,11 +60,9 @@ from repro.verification.milp.encoder import (
     append_risk_rows,
     encode_verification_problem,
 )
-from repro.verification.abstraction.propagate import (
-    propagate_input_box,
-    propagate_input_box_batch,
-)
-from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
+from repro.verification.abstraction.domain import get_domain, registered_domains
+from repro.verification.abstraction.propagate import region_boxes
+from repro.verification.ir import lowered_full
 from repro.verification.output_range import trivial_reachability_risk
 from repro.verification.prescreen import prescreen_batch, screen_enclosure, output_enclosure
 from repro.verification.sets import Box, BoxBatch, bisect_bounds
@@ -80,8 +79,9 @@ class CegarConfig:
     Parameters
     ----------
     domain : str, optional
-        Abstract domain of the per-round batched prescreen:
-        ``"interval"`` or ``"zonotope"``.
+        Abstract domain of the per-round batched prescreen: any
+        registered domain name (``"interval"``, ``"octagon"``,
+        ``"zonotope"``, ``"symbolic"``).
     solver : str or None, optional
         Complete backend (any registered solver name) for leaf solves;
         ``None`` disables the solver rung — the loop then decides by
@@ -125,9 +125,9 @@ class CegarConfig:
     solver_options: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.domain not in ("interval", "zonotope"):
+        if self.domain not in registered_domains():
             raise ValueError(
-                f"domain must be interval or zonotope, got {self.domain!r}"
+                f"domain must be one of {registered_domains()}, got {self.domain!r}"
             )
         if self.split not in _SPLIT_HEURISTICS:
             raise ValueError(
@@ -542,15 +542,22 @@ class CegarLoop:
     # -- abstraction ------------------------------------------------------
 
     def _cut_boxes(self, subs: list[Subproblem]) -> list[Box]:
-        """Cut-layer boxes of a frontier slice (batched when enabled)."""
+        """Cut-layer boxes of a frontier slice (batched when enabled).
+
+        Both paths run the same lowered-IR interval transformers;
+        ``batch_prescreen=False`` merely loops them one region at a time
+        (the benchmark baseline).
+        """
         if self.batch_prescreen:
             batch = BoxBatch(
                 np.stack([s.lower for s in subs]),
                 np.stack([s.upper for s in subs]),
             )
-            return propagate_input_box_batch(self.model, batch, self.cut_layer).boxes()
+            return region_boxes(self.model, batch, self.cut_layer).boxes()
         return [
-            propagate_input_box(self.model, s.lower, s.upper, self.cut_layer)
+            region_boxes(
+                self.model, BoxBatch(s.lower[None], s.upper[None]), self.cut_layer
+            ).box(0)
             for s in subs
         ]
 
@@ -589,15 +596,20 @@ class CegarLoop:
         responsible for the most output uncertainty".
         """
         if self._full_network is None:
-            self._full_network = self.model.full_network()
-        box = Box(sub.lower.reshape(-1), sub.upper.reshape(-1))
-        out = propagate_zonotope(self._full_network, Zonotope.from_box(box))
-        n_inputs = box.dim
-        # from_box keeps exactly one generator per input dimension and
-        # the transformers only scale/append rows, so the leading
-        # n_inputs rows stay aligned with the input dimensions
+            # abstract IR view: conv stays in kernel form, so the
+            # zonotope transformers run without materializing anything
+            self._full_network = lowered_full(self.model)
+        zonotope_domain = get_domain("zonotope")
+        element = zonotope_domain.lift(
+            BoxBatch(sub.lower.reshape(1, -1), sub.upper.reshape(1, -1))
+        )
+        out = zonotope_domain.propagate(self._full_network, element)
+        n_inputs = sub.lower.size
+        # lift keeps exactly one generator per input dimension and the
+        # transformers only scale/append rows, so the leading n_inputs
+        # rows stay aligned with the input dimensions
         assert out.num_generators >= n_inputs
-        return np.abs(out.generators[:n_inputs]).sum(axis=1)
+        return np.abs(out.generators[0, :n_inputs]).sum(axis=1)
 
     def _split(self, sub: Subproblem) -> tuple[Subproblem, Subproblem]:
         dim = self._split_dim(sub)
@@ -699,9 +711,11 @@ class CegarLoop:
 
     def _root_box_at_cut(self) -> Box:
         if self._root_cut_box is None:
-            self._root_cut_box = propagate_input_box(
-                self.model, self._root_lower, self._root_upper, self.cut_layer
-            )
+            self._root_cut_box = region_boxes(
+                self.model,
+                BoxBatch(self._root_lower[None], self._root_upper[None]),
+                self.cut_layer,
+            ).box(0)
         return self._root_cut_box
 
     def _solve_leaves(

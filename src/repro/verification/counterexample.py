@@ -19,7 +19,21 @@ import numpy as np
 from repro.nn.autodiff import input_gradient
 from repro.nn.sequential import Sequential
 from repro.properties.risk import RiskCondition
+from repro.verification.ir import LoweredProgram, lowered_full
 from repro.verification.milp.encoder import EncodedProblem
+
+
+def _attack_program(model: Sequential) -> LoweredProgram | None:
+    """The cached lowered program PGD ascends, if the model lowers.
+
+    Falling back to ``None`` (layer-walking forward + autodiff) keeps
+    adversarial search available for exotic models without an IR
+    lowering; every built-in layer lowers.
+    """
+    try:
+        return lowered_full(model)
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -156,10 +170,15 @@ def pgd_in_boxes(
             f"{lower.shape} / {upper.shape}"
         )
     a_matrix, _ = risk.as_matrix()
+    program = _attack_program(model)
     x = 0.5 * (lower + upper)
     width = upper - lower
+    k = x.shape[0]
     for it in range(steps + 1):
-        outputs = model.forward(x, training=False)
+        if program is not None:
+            outputs = program.apply(x.reshape(k, -1))
+        else:
+            outputs = model.forward(x, training=False)
         margins = np.asarray(risk.margin(outputs), dtype=float)
         hit = np.nonzero(margins >= 0.0)[0]
         if hit.size:
@@ -179,7 +198,13 @@ def pgd_in_boxes(
         )
         worst = np.argmin(per_row, axis=0)
         directions = -a_matrix[worst]
-        _, grads = input_gradient(model, x, directions)
+        if program is not None:
+            _, flat_grads = program.value_and_input_gradient(
+                x.reshape(k, -1), directions
+            )
+            grads = flat_grads.reshape(x.shape)
+        else:
+            _, grads = input_gradient(model, x, directions)
         x = np.clip(x + step_fraction * width * np.sign(grads), lower, upper)
     return None
 
@@ -285,11 +310,15 @@ def fgsm_falsify(
     if images.ndim == len(model.input_shape):
         images = images[None, ...]
     alpha = step_size if step_size is not None else 2.5 * epsilon / steps
+    program = _attack_program(model)
 
     for seed in images:
         x = seed.copy()
         for it in range(steps):
-            output = model.forward(x[None, ...], training=False)
+            if program is not None:
+                output = program.apply(x.reshape(1, -1))
+            else:
+                output = model.forward(x[None, ...], training=False)
             direction = _risk_gradient_direction(risk, output[0])
             if float(risk.margin(output)[0]) >= 0.0:
                 return InputCounterexample(
@@ -298,7 +327,13 @@ def fgsm_falsify(
                     risk_margin=float(risk.margin(output)[0]),
                     iterations=it,
                 )
-            _, grad_in = input_gradient(model, x[None, ...], direction[None, :])
+            if program is not None:
+                _, flat_grad = program.value_and_input_gradient(
+                    x.reshape(1, -1), direction[None, :]
+                )
+                grad_in = flat_grad.reshape(x[None, ...].shape)
+            else:
+                _, grad_in = input_gradient(model, x[None, ...], direction[None, :])
             x = x + alpha * np.sign(grad_in[0])
             x = np.clip(x, seed - epsilon, seed + epsilon)
             x = np.clip(x, 0.0, 1.0)

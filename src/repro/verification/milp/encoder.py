@@ -24,10 +24,12 @@ import numpy as np
 
 from repro.nn.graph import (
     AffineOp,
+    ElementwiseAffineOp,
     LeakyReLUOp,
     MaxGroupOp,
     PiecewiseLinearNetwork,
     ReLUOp,
+    ReshapeOp,
 )
 from repro.properties.risk import RiskCondition
 from repro.verification.milp.bigm import op_bounds_for_set
@@ -94,13 +96,17 @@ class _NetworkEncoder:
             self._op_count += 1
             if isinstance(op, AffineOp):
                 cur = self._affine(op, cur, out_box, tag)
+            elif isinstance(op, ElementwiseAffineOp):
+                cur = self._elementwise_affine(op, cur, out_box, tag)
             elif isinstance(op, ReLUOp):
                 cur = self._relu_like(cur, in_box, 0.0, tag)
             elif isinstance(op, LeakyReLUOp):
                 cur = self._relu_like(cur, in_box, op.alpha, tag)
             elif isinstance(op, MaxGroupOp):
                 cur = self._max_group(op, cur, in_box, tag)
-            else:  # pragma: no cover - lower_layers only emits the above
+            elif isinstance(op, ReshapeOp):
+                pass  # identity on flat variables
+            else:  # pragma: no cover - the PL view only emits the above
                 raise TypeError(f"cannot encode op {type(op).__name__}")
         return cur
 
@@ -120,6 +126,18 @@ class _NetworkEncoder:
                 if w != 0.0:
                     coeffs[xs[k]] = coeffs.get(xs[k], 0.0) + w
             self.model.add_eq(coeffs, -op.bias[j])
+        return ys
+
+    def _elementwise_affine(
+        self, op: ElementwiseAffineOp, xs: list[int], out_box: Box, tag: str
+    ) -> list[int]:
+        """Diagonal affine: one two-variable equality row per neuron."""
+        ys = [
+            self.model.add_continuous(out_box.lower[j], out_box.upper[j], f"{tag}.y{j}")
+            for j in range(op.out_dim)
+        ]
+        for j, (x, y) in enumerate(zip(xs, ys)):
+            self.model.add_eq({y: -1.0, x: float(op.scale[j])}, -float(op.shift[j]))
         return ys
 
     def _relu_like(

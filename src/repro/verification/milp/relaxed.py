@@ -22,10 +22,12 @@ import numpy as np
 
 from repro.nn.graph import (
     AffineOp,
+    ElementwiseAffineOp,
     LeakyReLUOp,
     MaxGroupOp,
     PiecewiseLinearNetwork,
     ReLUOp,
+    ReshapeOp,
 )
 from repro.properties.risk import RiskCondition
 from repro.verification.milp.bigm import op_bounds_for_set
@@ -103,6 +105,10 @@ class _RelaxedEncoder:
             self._op_count += 1
             if isinstance(op, AffineOp):
                 cur = self._affine(op, cur, out_box, tag)
+            elif isinstance(op, ElementwiseAffineOp):
+                cur = self._elementwise_affine(op, cur, out_box, tag)
+            elif isinstance(op, ReshapeOp):
+                pass  # identity on flat variables
             elif isinstance(op, ReLUOp):
                 cur = self._relu_like(cur, in_box, 0.0, tag)
             elif isinstance(op, LeakyReLUOp):
@@ -125,6 +131,18 @@ class _RelaxedEncoder:
                 if w != 0.0:
                     coeffs[xs[k]] = coeffs.get(xs[k], 0.0) + w
             self.model.add_eq(coeffs, -op.bias[j])
+        return ys
+
+    def _elementwise_affine(
+        self, op: ElementwiseAffineOp, xs: list[int], out_box: Box, tag: str
+    ) -> list[int]:
+        """Diagonal affine: one two-variable equality row per neuron."""
+        ys = [
+            self.model.add_continuous(out_box.lower[j], out_box.upper[j], f"{tag}.y{j}")
+            for j in range(op.out_dim)
+        ]
+        for j, (x, y) in enumerate(zip(xs, ys)):
+            self.model.add_eq({y: -1.0, x: float(op.scale[j])}, -float(op.shift[j]))
         return ys
 
     def _relu_like(

@@ -3,9 +3,11 @@
 Real verification stacks (the paper cites AI2 [6], symbolic propagation
 [21]) run cheap sound bound propagation first and fall back to an exact
 solver only when the bounds are inconclusive.  This module does the
-same: propagate the feature set's hull through the suffix with the
-interval or zonotope domain, and check whether the risk condition is
-already *excluded* by the resulting output enclosure.
+same: propagate the feature set's hull through the suffix with any
+registered abstract domain (``interval``, ``octagon``, ``zonotope``,
+``symbolic`` — see :mod:`repro.verification.abstraction.domain`) and
+check whether the risk condition is already *excluded* by the resulting
+output enclosure.
 
 - excluded  ⇒ UNSAT is certain (sound over-approximation) — skip MILP;
 - otherwise ⇒ inconclusive; the exact solver must decide.
@@ -23,12 +25,7 @@ import numpy as np
 
 from repro.nn.graph import PiecewiseLinearNetwork
 from repro.properties.risk import RiskCondition
-from repro.verification.abstraction.interval import propagate_box, propagate_box_batch
-from repro.verification.abstraction.symbolic import propagate_symbolic
-from repro.verification.abstraction.zonotope import (
-    propagate_zonotope,
-    propagate_zonotope_batch,
-)
+from repro.verification.abstraction.domain import get_domain
 from repro.verification.sets import Box, BoxBatch, FeatureSet
 
 
@@ -43,33 +40,21 @@ class PrescreenResult:
     best_possible_margin: float
 
 
-def _linear_upper_bound(
-    a: np.ndarray, lower: np.ndarray, upper: np.ndarray
-) -> float:
-    """Max of ``a . y`` over a box."""
-    return float(np.sum(np.where(a >= 0.0, a * upper, a * lower)))
-
-
 def output_enclosure(
     suffix: PiecewiseLinearNetwork, feature_set: FeatureSet, domain: str = "interval"
 ):
     """Risk-independent half of the pre-screen: the output enclosure.
 
-    Propagates the feature set's interval hull through ``suffix`` and
-    returns the abstract output element (a box for ``interval`` /
-    ``symbolic``, a zonotope for ``zonotope``).  The enclosure depends
-    only on ``(feature_set, domain)``, so callers screening many risk
-    conditions over one set (``repro.api.VerificationEngine``) compute it
-    once and reuse it via :func:`screen_enclosure`.
+    Propagates the feature set's interval hull through ``suffix`` with
+    the chosen domain and returns that domain's per-region *enclosure
+    value* (a :class:`~repro.verification.sets.Box` for ``interval`` /
+    ``symbolic``, a zonotope for ``zonotope``, a box-with-diffs for
+    ``octagon``).  The enclosure depends only on ``(feature_set,
+    domain)``, so callers screening many risk conditions over one set
+    (``repro.api.VerificationEngine``) compute it once and reuse it via
+    :func:`screen_enclosure`.
     """
-    hull = Box(*feature_set.bounds())
-    if domain == "interval":
-        return propagate_box(suffix, hull)
-    if domain == "symbolic":
-        return propagate_symbolic(suffix, hull)
-    if domain == "zonotope":
-        return propagate_zonotope(suffix, hull)
-    raise ValueError(f"unknown domain {domain!r}; use interval, symbolic or zonotope")
+    return output_enclosure_batch(suffix, [feature_set], domain)[0]
 
 
 def output_enclosure_batch(
@@ -82,51 +67,30 @@ def output_enclosure_batch(
     Stacks the interval hulls of all sets into one
     :class:`~repro.verification.sets.BoxBatch` (or consumes a ready
     ``BoxBatch`` of hulls directly, skipping per-set materialization)
-    and propagates them through ``suffix`` in a single vectorized pass,
-    returning one abstract element per set (a :class:`Box` for
-    ``interval``, a
-    :class:`~repro.verification.abstraction.zonotope.Zonotope` for
-    ``zonotope``) — each interchangeable with the scalar path's result
-    in :func:`screen_enclosure`.  The ``symbolic`` domain has no batched
-    transformer and falls back to a scalar loop.
+    and propagates them through ``suffix`` in a single vectorized pass
+    of the domain's batched transformers, returning one enclosure value
+    per set — each interchangeable with the scalar path's result in
+    :func:`screen_enclosure`.
     """
+    dom = get_domain(domain)
     if isinstance(feature_sets, BoxBatch):
         hulls = feature_sets.flat()
-        if domain == "symbolic":
-            feature_sets = hulls.boxes()
     elif not feature_sets:
         return []
     else:
         hulls = BoxBatch.from_boxes([Box(*fs.bounds()) for fs in feature_sets])
-    if domain == "interval":
-        out = propagate_box_batch(suffix, hulls)
-        return out.boxes()
-    if domain == "zonotope":
-        out = propagate_zonotope_batch(suffix, hulls)
-        return [out.zonotope(i) for i in range(out.n_regions)]
-    if domain == "symbolic":
-        return [output_enclosure(suffix, fs, domain) for fs in feature_sets]
-    raise ValueError(f"unknown domain {domain!r}; use interval, symbolic or zonotope")
+    element = dom.propagate(suffix, dom.lift(hulls))
+    return dom.enclosures(element)
 
 
 def screen_enclosure(enclosure, risk: RiskCondition, domain: str) -> PrescreenResult:
     """Risk-dependent half: margin check against a precomputed enclosure."""
+    dom = get_domain(domain)
     a_matrix, b_vector = risk.as_matrix()
-    if domain in ("interval", "symbolic"):
-        lower, upper = enclosure.lower, enclosure.upper
-        margins = [
-            b - (-_linear_upper_bound(-a, lower, upper))  # b - min(a.y)
-            for a, b in zip(a_matrix, b_vector)
-        ]
-    elif domain == "zonotope":
-        margins = [
-            b - enclosure.linear_value_bounds(a)[0]
-            for a, b in zip(a_matrix, b_vector)
-        ]
-    else:
-        raise ValueError(
-            f"unknown domain {domain!r}; use interval, symbolic or zonotope"
-        )
+    margins = [
+        b - dom.linear_lower_bound(enclosure, a)
+        for a, b in zip(a_matrix, b_vector)
+    ]
     worst = float(min(margins))
     return PrescreenResult(
         excluded=worst < 0.0, domain=domain, best_possible_margin=worst

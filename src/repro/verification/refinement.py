@@ -44,7 +44,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.nn.graph import PiecewiseLinearNetwork, lower_layers
+from repro.nn.graph import PiecewiseLinearNetwork
+from repro.verification.ir import lower_network
 from repro.nn.sequential import Sequential
 from repro.perception.features import extract_features
 from repro.properties.risk import RiskCondition, output_geq, output_leq
@@ -97,7 +98,7 @@ def encode_chained_problem(
     encoder = _NetworkEncoder(milp, "chain.")
     current_set: FeatureSet = first_set
     for prev, nxt in zip(cut_layers, cut_layers[1:]):
-        bridge = lower_layers(model.layers[prev:nxt], model.feature_dim(prev))
+        bridge = lower_network(model, prev, nxt, piecewise_linear=True)
         current_vars = encoder.encode(
             bridge, current_vars, op_bounds_for_set(bridge, current_set)
         )
@@ -267,9 +268,7 @@ def witness_realizable(
             f"need 0 <= from_layer < at_layer <= {model.num_layers}, "
             f"got {from_layer} / {at_layer}"
         )
-    bridge = lower_layers(
-        model.layers[from_layer:at_layer], model.feature_dim(from_layer)
-    )
+    bridge = lower_network(model, from_layer, at_layer, piecewise_linear=True)
     witness_features = np.asarray(witness_features, dtype=float)
     if witness_features.shape != (bridge.out_dim,):
         raise ValueError(

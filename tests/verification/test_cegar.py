@@ -167,7 +167,7 @@ class TestSplitting:
         with pytest.raises(ValueError, match="split"):
             CegarConfig(split="random")
         with pytest.raises(ValueError, match="domain"):
-            CegarConfig(domain="octagon")
+            CegarConfig(domain="polyhedra")
 
 
 class TestTrace:

@@ -155,6 +155,46 @@ class TestEncodingExactness:
         assert result.is_unsat
 
 
+class TestElementwiseAffineEncoding:
+    def test_batchnorm_led_suffix_is_exact(self, rng):
+        """A suffix starting with BatchNorm encodes via the diagonal op."""
+        from repro.nn import BatchNorm
+        from repro.nn.graph import ElementwiseAffineOp
+
+        model = Sequential(
+            [Dense(5), ReLU(), BatchNorm(), Dense(2)], input_shape=(3,), seed=4
+        )
+        model.forward(rng.normal(size=(32, 3)), training=True)
+        model.invalidate_lowering()
+        net = model.suffix_network(2)  # BatchNorm leads: nothing to fold into
+        assert any(isinstance(op, ElementwiseAffineOp) for op in net.ops)
+        features = model.prefix_apply(rng.normal(size=(30, 3)), 2)
+        sbox = box_from_data(features)
+        problem = encode_verification_problem(net, sbox, _trivial_risk(2))
+        result = BranchAndBoundSolver().solve(problem.model)
+        assert result.is_sat
+        decoded_in = problem.decode_input(result.witness)
+        decoded_out = problem.decode_output(result.witness)
+        np.testing.assert_allclose(net.apply(decoded_in), decoded_out, atol=1e-6)
+
+    def test_batchnorm_led_suffix_relaxed_encoding(self, rng):
+        from repro.nn import BatchNorm
+        from repro.verification.milp.relaxed import encode_relaxed_problem
+        from repro.verification.solver.lp import solve_lp_relaxation
+
+        model = Sequential(
+            [Dense(5), ReLU(), BatchNorm(), Dense(2)], input_shape=(3,), seed=4
+        )
+        model.forward(rng.normal(size=(32, 3)), training=True)
+        model.invalidate_lowering()
+        net = model.suffix_network(2)
+        features = model.prefix_apply(rng.normal(size=(30, 3)), 2)
+        sbox = box_from_data(features)
+        problem = encode_relaxed_problem(net, sbox, _trivial_risk(2))
+        lp = solve_lp_relaxation(problem.model.to_arrays())
+        assert lp.feasible
+
+
 class TestCharacterizerConjunct:
     def test_characterizer_restricts_feasible_region(self):
         rng = np.random.default_rng(5)

@@ -1,0 +1,218 @@
+"""Unit tests for the lowered network IR (repro.verification.ir)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.autodiff import input_gradient
+from repro.nn.graph import (
+    AffineOp,
+    ConvOp,
+    ElementwiseAffineOp,
+    MonotoneOp,
+    ReshapeOp,
+)
+from repro.verification.ir import (
+    LoweredProgram,
+    lower_network,
+    lowered_full,
+    lowered_prefix,
+    lowered_suffix,
+    lowering_stats,
+    reset_lowering_stats,
+)
+
+
+@pytest.fixture
+def convnet(rng):
+    model = Sequential(
+        [
+            Conv2D(3, 3),
+            BatchNorm(),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dropout(0.3),
+            Dense(10),
+            Tanh(),
+            Dense(4),
+            ReLU(),
+            Dense(2),
+        ],
+        input_shape=(1, 10, 10),
+        seed=3,
+    )
+    # warm the batchnorm running statistics so eval mode is non-trivial
+    model.forward(rng.random((32, 1, 10, 10)), training=True)
+    model.invalidate_lowering()
+    return model
+
+
+class TestLowering:
+    def test_program_matches_forward(self, convnet, rng):
+        x = rng.random((8, 1, 10, 10))
+        program = lowered_full(convnet)
+        np.testing.assert_allclose(
+            program.apply(x.reshape(8, -1)),
+            convnet.forward(x, training=False),
+            atol=1e-12,
+        )
+
+    def test_batchnorm_folds_into_conv(self, convnet):
+        """No standalone elementwise-affine op survives after a conv."""
+        program = lowered_full(convnet)
+        kinds = [type(op) for op in program.ops]
+        assert ConvOp in kinds
+        assert ElementwiseAffineOp not in kinds
+
+    def test_dropout_lowers_to_nothing(self, convnet):
+        program = lowered_full(convnet)
+        names = {type(op).__name__ for op in program.ops}
+        assert "Dropout" not in names
+        # the op count is exactly conv, relu, maxpool, reshape,
+        # dense, tanh, dense, relu, dense
+        assert len(program.ops) == 9
+
+    def test_leading_batchnorm_stays_elementwise(self, rng):
+        model = Sequential(
+            [BatchNorm(), Dense(3)], input_shape=(4,), seed=0
+        )
+        model.forward(rng.random((16, 4)), training=True)
+        model.invalidate_lowering()
+        program = lowered_full(model)
+        assert isinstance(program.ops[0], ElementwiseAffineOp)
+        x = rng.random((5, 4))
+        np.testing.assert_allclose(
+            program.apply(x), model.forward(x), atol=1e-12
+        )
+
+    def test_monotone_ops_carry_prefix_activations(self, convnet):
+        program = lowered_full(convnet)
+        assert any(
+            isinstance(op, MonotoneOp) and op.kind == "tanh" for op in program.ops
+        )
+
+    def test_op_layers_provenance(self, convnet):
+        program = lowered_full(convnet)
+        assert len(program.op_layers) == len(program.ops)
+        assert program.op_layers[0] == 0  # conv (with folded batchnorm)
+        assert list(program.op_layers) == sorted(program.op_layers)
+
+    def test_sigmoid_prefix_lowers(self, rng):
+        model = Sequential(
+            [Dense(5), Sigmoid(), Dense(2)], input_shape=(3,), seed=1
+        )
+        program = lowered_full(model)
+        x = rng.random((4, 3))
+        np.testing.assert_allclose(program.apply(x), model.forward(x), atol=1e-12)
+
+
+class TestPiecewiseLinearView:
+    def test_suffix_materializes_conv(self, convnet):
+        program = lower_network(convnet, 0, 5, piecewise_linear=True)
+        assert all(not isinstance(op, ConvOp) for op in program.ops)
+        assert program.piecewise_linear
+
+    def test_suffix_rejects_monotone(self, convnet):
+        with pytest.raises(ValueError, match="not.*piecewise-linear"):
+            lowered_suffix(convnet, 6)  # suffix includes the Tanh
+
+    def test_reshape_is_identity_flat(self):
+        op = ReshapeOp((2, 3), (6,))
+        x = np.arange(12.0).reshape(2, 6)
+        np.testing.assert_array_equal(op.apply(x), x)
+        with pytest.raises(ValueError, match="element count"):
+            ReshapeOp((2, 3), (5,))
+
+    def test_suffix_network_routes_through_ir(self, convnet):
+        assert isinstance(convnet.suffix_network(8), LoweredProgram)
+
+
+class TestCache:
+    def test_cache_hits_across_consumers(self, convnet):
+        convnet.invalidate_lowering()
+        reset_lowering_stats()
+        a = lowered_prefix(convnet, 8)
+        b = lowered_prefix(convnet, 8)
+        c = lowered_suffix(convnet, 8)
+        d = convnet.suffix_network(8)
+        assert a is b and c is d
+        stats = lowering_stats()
+        assert stats["hits"] >= 2
+
+    def test_training_forward_invalidates(self, convnet, rng):
+        """BatchNorm recalibration (no backward!) must drop the cache."""
+        program = lowered_full(convnet)
+        x = rng.random((16, 1, 10, 10)) + 2.0  # shift the running stats
+        convnet.forward(x, training=True)
+        fresh = lowered_full(convnet)
+        assert fresh is not program
+        probe = rng.random((4, 1, 10, 10))
+        np.testing.assert_allclose(
+            fresh.apply(probe.reshape(4, -1)),
+            convnet.forward(probe, training=False),
+            atol=1e-12,
+        )
+
+    def test_backward_invalidates(self, convnet, rng):
+        program = lowered_full(convnet)
+        out = convnet.forward(rng.random((2, 1, 10, 10)), training=True)
+        convnet.backward(np.ones_like(out))
+        assert lowered_full(convnet) is not program
+
+    def test_pickle_drops_cache(self, convnet):
+        import pickle
+
+        lowered_full(convnet)
+        clone = pickle.loads(pickle.dumps(convnet))
+        assert "_lowering_cache" not in clone.__dict__
+
+
+class TestValueAndGradient:
+    def test_matches_autodiff(self, convnet, rng):
+        x = rng.random((6, 1, 10, 10))
+        directions = rng.normal(size=(6, 2))
+        program = lowered_full(convnet)
+        values, grads = program.value_and_input_gradient(
+            x.reshape(6, -1), directions
+        )
+        ref_values, ref_grads = input_gradient(convnet, x, directions)
+        np.testing.assert_allclose(values, ref_values, atol=1e-10)
+        np.testing.assert_allclose(
+            grads.reshape(x.shape), ref_grads, atol=1e-10
+        )
+
+    def test_shape_validation(self, convnet, rng):
+        program = lowered_full(convnet)
+        with pytest.raises(ValueError, match="inputs"):
+            program.value_and_input_gradient(np.zeros((2, 3)), np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="directions"):
+            program.value_and_input_gradient(
+                np.zeros((2, program.in_dim)), np.zeros((3, 2))
+            )
+
+
+class TestConvOp:
+    def test_as_affine_matches(self, rng):
+        model = Sequential([Conv2D(2, 3)], input_shape=(1, 6, 6), seed=7)
+        (conv_op,) = model.layers[0].as_abstract_ops()
+        affine = conv_op.as_affine()
+        x = rng.random((4, conv_op.in_dim))
+        np.testing.assert_allclose(affine.apply(x), conv_op.apply(x), atol=1e-10)
+
+    def test_as_affine_entry_guard(self, rng):
+        model = Sequential([Conv2D(2, 3)], input_shape=(1, 6, 6), seed=7)
+        (conv_op,) = model.layers[0].as_abstract_ops()
+        with pytest.raises(ValueError, match="materialization"):
+            conv_op.as_affine(max_entries=4)

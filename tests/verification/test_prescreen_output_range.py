@@ -56,7 +56,16 @@ class TestPrescreen:
         net, sbox, _ = net_and_set
         risk = RiskCondition("x", (output_geq(2, 0, 0.0),))
         with pytest.raises(ValueError, match="unknown domain"):
-            prescreen(net, sbox, risk, domain="octagon")
+            prescreen(net, sbox, risk, domain="polyhedra")
+
+    def test_every_registered_domain_screens(self, net_and_set):
+        """octagon/symbolic are first-class prescreen backends now."""
+        from repro.verification.abstraction import registered_domains
+
+        net, sbox, _ = net_and_set
+        risk = RiskCondition("x", (output_geq(2, 0, 1e9),))
+        for domain in registered_domains():
+            assert prescreen(net, sbox, risk, domain=domain).excluded
 
     def test_dim_mismatch(self, net_and_set):
         net, sbox, _ = net_and_set
