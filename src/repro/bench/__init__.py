@@ -1,0 +1,43 @@
+"""Competition-grade benchmark harness.
+
+Runs named :class:`~repro.bench.tracks.Track` configurations of the
+verification stack over on-disk benchmark instance directories
+(:mod:`repro.interchange.instances`), scores them CHC-COMP style
+(solved / unsound-penalty / PAR-2, :mod:`repro.bench.scoring`),
+cross-checks verdict consistency between tracks, and emits Markdown +
+JSON reports into ``docs/benchmarks/`` (:mod:`repro.bench.report`).
+``repro bench`` is the CLI entry point; the bundled suites in
+:mod:`repro.bench.suites` make the harness runnable in CI.
+"""
+
+from repro.bench.report import report_markdown, write_reports
+from repro.bench.runner import CompetitionReport, run_competition, run_instance
+from repro.bench.scoring import (
+    UNSOUND_PENALTY,
+    InstanceOutcome,
+    TrackScore,
+    rank_scores,
+    score_track,
+    verdict_disagreements,
+)
+from repro.bench.suites import ensure_suite, generate_smoke_suite, native_verdict
+from repro.bench.tracks import DEFAULT_TRACKS, Track
+
+__all__ = [
+    "DEFAULT_TRACKS",
+    "CompetitionReport",
+    "InstanceOutcome",
+    "Track",
+    "TrackScore",
+    "UNSOUND_PENALTY",
+    "ensure_suite",
+    "generate_smoke_suite",
+    "native_verdict",
+    "rank_scores",
+    "report_markdown",
+    "run_competition",
+    "run_instance",
+    "score_track",
+    "verdict_disagreements",
+    "write_reports",
+]

@@ -1,0 +1,259 @@
+"""The track-based competition runner.
+
+:func:`run_competition` is the CHC-COMP-shaped evaluation loop: every
+:class:`~repro.bench.tracks.Track` answers every
+:class:`~repro.interchange.instances.BenchmarkInstance` under a
+per-instance wall-clock budget, outcomes are scored
+(:mod:`repro.bench.scoring`) and cross-checked for verdict consistency,
+and the whole run is collected into a JSON-able
+:class:`CompetitionReport` (rendered by :mod:`repro.bench.report`).
+
+Models and parsed properties are loaded once per instance and shared
+across tracks; each track still gets a **fresh**
+:class:`~repro.api.VerificationEngine` per instance, so no track
+benefits from another track's caches — times are attributable to the
+configuration alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.bench.scoring import (
+    InstanceOutcome,
+    TrackScore,
+    rank_scores,
+    score_track,
+    verdict_disagreements,
+)
+from repro.api import VerificationQuery
+from repro.bench.tracks import Track
+from repro.core.verdict import Verdict
+from repro.interchange.instances import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    BenchmarkInstance,
+    combine_disjunct_verdicts,
+    instance_engine,
+)
+
+#: default cegar subproblem budget when a cegar track does not set one
+_CEGAR_BUDGET = 32
+
+_VERDICT_STATUS = {
+    Verdict.UNSAFE_IN_SET: SAT,
+    Verdict.SAFE: UNSAT,
+    Verdict.CONDITIONALLY_SAFE: UNSAT,
+    Verdict.UNKNOWN: UNKNOWN,
+}
+
+
+@dataclass
+class CompetitionReport:
+    """Everything one :func:`run_competition` call learned."""
+
+    instance_dir: str
+    suite: str | None
+    tracks: list[Track]
+    instances: list[str]
+    outcomes: list[InstanceOutcome]
+    scores: list[TrackScore]
+    disagreements: list[str]
+    total_time: float
+    timeout: float | None = None  #: CLI-level override, if any
+
+    @property
+    def consistent(self) -> bool:
+        return not self.disagreements
+
+    @property
+    def unsound_answers(self) -> int:
+        return sum(score.unsound for score in self.scores)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is trustworthy: consistent, sound, error-free."""
+        return (
+            self.consistent
+            and self.unsound_answers == 0
+            and all(score.errors == 0 for score in self.scores)
+        )
+
+    def outcome(self, track: str, instance: str) -> InstanceOutcome | None:
+        for row in self.outcomes:
+            if row.track == track and row.instance == instance:
+                return row
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "instance_dir": self.instance_dir,
+            "suite": self.suite,
+            "tracks": [track.to_dict() for track in self.tracks],
+            "instances": list(self.instances),
+            "scores": [score.to_dict() for score in rank_scores(self.scores)],
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "disagreements": list(self.disagreements),
+            "consistent": self.consistent,
+            "unsound_answers": self.unsound_answers,
+            "ok": self.ok,
+            "total_time": round(self.total_time, 4),
+        }
+
+
+def run_instance(
+    track: Track,
+    instance: BenchmarkInstance,
+    model=None,
+    prop=None,
+    timeout: float | None = None,
+) -> InstanceOutcome:
+    """Answer one instance under one track's configuration.
+
+    ``model``/``prop`` may be passed pre-loaded (the runner shares them
+    across tracks); ``timeout`` overrides the instance's own budget.
+    The wall clock covers engine construction, so expensive encodings
+    count against the track that needs them.
+
+    The budget is a genuine **per-instance** wall budget, CHC-COMP
+    style: every disjunct query is given only the *remaining* budget as
+    its solver limit, a ``sat`` disjunct ends the instance early, and
+    an answer arriving after the budget has elapsed does not count —
+    the outcome is ``timeout`` regardless of what the solver said.
+    """
+    budget = float(timeout if timeout is not None else instance.timeout)
+    start = time.perf_counter()
+    refine_budget = (
+        (track.refine_budget or _CEGAR_BUDGET) if track.method == "cegar" else None
+    )
+    try:
+        model = instance.load_model() if model is None else model
+        prop = instance.load_property() if prop is None else prop
+        engine = instance_engine(model, prop, solver=track.solver)
+        statuses: list[str] = []
+        deciders: set[str] = set()
+        timed_out = False
+        for disjunct in prop.disjuncts:
+            remaining = budget - (time.perf_counter() - start)
+            if remaining <= 0.0:
+                timed_out = True
+                break
+            result = engine.run_query_safe(
+                VerificationQuery(
+                    risk=disjunct,
+                    set_name="instance",
+                    method=track.method,
+                    domain=track.domain,
+                    time_limit=remaining,
+                    refine_budget=refine_budget,
+                )
+            )
+            if not result.ok:
+                return InstanceOutcome(
+                    track=track.name,
+                    instance=instance.name,
+                    status="error",
+                    elapsed=time.perf_counter() - start,
+                    timeout=budget,
+                    expected=instance.expected,
+                    detail=result.error or "query error",
+                )
+            if result.decided_by:
+                deciders.add(result.decided_by)
+            statuses.append(_VERDICT_STATUS.get(result.verdict.verdict, UNKNOWN))
+            if statuses[-1] == SAT:
+                break  # any reachable disjunct decides the instance
+    except Exception as exc:  # a broken instance must not sink the run
+        return InstanceOutcome(
+            track=track.name,
+            instance=instance.name,
+            status="error",
+            elapsed=time.perf_counter() - start,
+            timeout=budget,
+            expected=instance.expected,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    elapsed = time.perf_counter() - start
+
+    status = combine_disjunct_verdicts(statuses)
+    if timed_out or elapsed > budget:
+        status = "timeout"
+    return InstanceOutcome(
+        track=track.name,
+        instance=instance.name,
+        status=status,
+        elapsed=elapsed,
+        timeout=budget,
+        expected=instance.expected,
+        detail=",".join(sorted(deciders)),
+    )
+
+
+def run_competition(
+    instances: Sequence[BenchmarkInstance],
+    tracks: Sequence[Track] | None = None,
+    *,
+    instance_dir: str = "",
+    suite: str | None = None,
+    timeout: float | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CompetitionReport:
+    """Run every track over every instance and score the matrix."""
+    tracks = list(tracks) if tracks else None
+    if not tracks:
+        from repro.bench.tracks import DEFAULT_TRACKS
+
+        tracks = list(DEFAULT_TRACKS)
+    names = [track.name for track in tracks]
+    if len(set(names)) != len(names):
+        raise ValueError(f"track names must be unique, got {names}")
+    if not instances:
+        raise ValueError("run_competition needs at least one instance")
+
+    start = time.perf_counter()
+    outcomes: list[InstanceOutcome] = []
+    for instance in instances:
+        # load once, share across tracks (engines are still per-track);
+        # a file outside the supported subset becomes an error outcome
+        # for every track instead of sinking the whole run
+        load_error: str | None = None
+        model = prop = None
+        try:
+            model = instance.load_model()
+            prop = instance.load_property()
+        except Exception as exc:
+            load_error = f"{type(exc).__name__}: {exc}"
+        for track in tracks:
+            if load_error is not None:
+                outcome = InstanceOutcome(
+                    track=track.name,
+                    instance=instance.name,
+                    status="error",
+                    elapsed=0.0,
+                    timeout=float(timeout if timeout is not None else instance.timeout),
+                    expected=instance.expected,
+                    detail=load_error,
+                )
+            else:
+                outcome = run_instance(track, instance, model, prop, timeout=timeout)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(
+                    f"  {track.name:<18} {instance.name:<22} "
+                    f"{outcome.status:<8} {outcome.elapsed:7.3f}s"
+                )
+    scores = [score_track(track.name, outcomes) for track in tracks]
+    return CompetitionReport(
+        instance_dir=str(instance_dir),
+        suite=suite,
+        tracks=tracks,
+        instances=[instance.name for instance in instances],
+        outcomes=outcomes,
+        scores=scores,
+        disagreements=verdict_disagreements(outcomes),
+        total_time=time.perf_counter() - start,
+        timeout=timeout,
+    )

@@ -1,0 +1,162 @@
+"""CHC-COMP-style scoring of competition outcomes.
+
+One :class:`InstanceOutcome` records what a track answered on one
+instance; :func:`score_track` aggregates a track's outcomes into a
+:class:`TrackScore`:
+
+- **solved** — definite answers (``sat``/``unsat``) within budget;
+- **unsound** — definite answers contradicting the instance's recorded
+  ground truth.  CHC-COMP treats wrong answers as disqualifying; here
+  each one costs :data:`UNSOUND_PENALTY` solved instances, so an
+  unsound track ranks below an honest ``unknown``;
+- **PAR-2** — the standard penalized average runtime: solved instances
+  contribute their wall time, everything else twice its timeout budget.
+  Lower is better; ties in ``score`` rank by PAR-2.
+
+:func:`verdict_disagreements` performs the cross-track consistency
+check: two tracks returning contradictory *definite* verdicts on one
+instance proves at least one configuration unsound, which the harness
+surfaces as a hard error (exit code 1) rather than a score entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.interchange.instances import SAT, UNSAT
+
+#: solved-instance cost of one provably wrong answer
+UNSOUND_PENALTY = 4
+
+
+@dataclass(frozen=True)
+class InstanceOutcome:
+    """One (track, instance) cell of the competition matrix."""
+
+    track: str
+    instance: str
+    status: str  #: sat / unsat / unknown / timeout / error
+    elapsed: float
+    timeout: float  #: the budget this run was given
+    expected: str | None = None  #: ground truth from the instance index
+    detail: str = ""  #: error message, decided-by summary, ...
+
+    @property
+    def solved(self) -> bool:
+        return self.status in (SAT, UNSAT)
+
+    @property
+    def unsound(self) -> bool:
+        """Definite answer contradicting recorded ground truth."""
+        return (
+            self.solved
+            and self.expected in (SAT, UNSAT)
+            and self.status != self.expected
+        )
+
+    @property
+    def par2(self) -> float:
+        """This outcome's PAR-2 contribution (seconds)."""
+        return self.elapsed if self.solved and not self.unsound else 2.0 * self.timeout
+
+    def to_dict(self) -> dict:
+        out = {
+            "track": self.track,
+            "instance": self.instance,
+            "status": self.status,
+            "elapsed": round(self.elapsed, 4),
+            "timeout": self.timeout,
+        }
+        if self.expected is not None:
+            out["expected"] = self.expected
+        if self.unsound:
+            out["unsound"] = True
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass(frozen=True)
+class TrackScore:
+    """Aggregate of one track over the whole instance set."""
+
+    track: str
+    n_instances: int
+    solved: int
+    sat: int
+    unsat: int
+    unknown: int
+    timeouts: int
+    errors: int
+    unsound: int
+    par2: float  #: mean PAR-2 over instances, seconds
+    total_time: float
+
+    @property
+    def score(self) -> int:
+        """Solved instances minus the unsoundness penalty."""
+        return self.solved - UNSOUND_PENALTY * self.unsound
+
+    def to_dict(self) -> dict:
+        return {
+            "track": self.track,
+            "instances": self.n_instances,
+            "solved": self.solved,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "unsound": self.unsound,
+            "score": self.score,
+            "par2": round(self.par2, 4),
+            "total_time": round(self.total_time, 4),
+        }
+
+
+def score_track(track: str, outcomes: Sequence[InstanceOutcome]) -> TrackScore:
+    """Aggregate one track's outcomes (all rows must belong to ``track``)."""
+    rows = [o for o in outcomes if o.track == track]
+    if not rows:
+        raise ValueError(f"no outcomes recorded for track {track!r}")
+    return TrackScore(
+        track=track,
+        n_instances=len(rows),
+        solved=sum(o.solved for o in rows),
+        sat=sum(o.status == SAT for o in rows),
+        unsat=sum(o.status == UNSAT for o in rows),
+        unknown=sum(o.status == "unknown" for o in rows),
+        timeouts=sum(o.status == "timeout" for o in rows),
+        errors=sum(o.status == "error" for o in rows),
+        unsound=sum(o.unsound for o in rows),
+        par2=sum(o.par2 for o in rows) / len(rows),
+        total_time=sum(o.elapsed for o in rows),
+    )
+
+
+def rank_scores(scores: Sequence[TrackScore]) -> list[TrackScore]:
+    """Competition order: score descending, PAR-2 ascending on ties."""
+    return sorted(scores, key=lambda s: (-s.score, s.par2, s.track))
+
+
+def verdict_disagreements(outcomes: Sequence[InstanceOutcome]) -> list[str]:
+    """Cross-track consistency check; returns human-readable violations.
+
+    A disagreement is one instance on which some track answered ``sat``
+    and another ``unsat`` — proof that at least one configuration is
+    unsound, independent of any recorded ground truth.
+    """
+    by_instance: dict[str, list[InstanceOutcome]] = {}
+    for outcome in outcomes:
+        by_instance.setdefault(outcome.instance, []).append(outcome)
+    problems = []
+    for instance, rows in sorted(by_instance.items()):
+        sat_tracks = sorted(o.track for o in rows if o.status == SAT)
+        unsat_tracks = sorted(o.track for o in rows if o.status == UNSAT)
+        if sat_tracks and unsat_tracks:
+            problems.append(
+                f"{instance}: sat according to {', '.join(sat_tracks)} but "
+                f"unsat according to {', '.join(unsat_tracks)}"
+            )
+    return problems

@@ -1,0 +1,100 @@
+"""Competition tracks: named solver/domain/method configurations.
+
+A **track** is one configuration of the verification stack entered into
+a competition run — the cross product a campaign would sweep, frozen
+into a named entry so scores are attributable: *"interval prescreen +
+branch-and-bound"* versus *"zonotope prescreen + HiGHS"* versus *"LP
+relaxation only"*.  Tracks are deliberately tiny value objects; the
+engine construction they imply lives in :mod:`repro.bench.runner`.
+
+The CLI accepts tracks as ``name=domain:method:solver`` (later parts
+optional), e.g.::
+
+    repro bench --suite smoke --track fast=interval:relaxed:highs \\
+        --track exact=zonotope:exact:branch-and-bound
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.query import Method
+from repro.verification.abstraction.domain import get_domain
+from repro.verification.solver import solver_spec
+
+
+@dataclass(frozen=True)
+class Track:
+    """One competition entry: who answers the queries, and how."""
+
+    name: str
+    domain: str = "interval"  #: prescreen/abstraction domain (precision ladder cap)
+    method: str = "exact"  #: VerificationQuery method: exact / relaxed / cegar
+    solver: str = "branch-and-bound"  #: registered solver backend
+    refine_budget: int | None = None  #: cegar-only subproblem budget
+
+    def __post_init__(self) -> None:
+        get_domain(self.domain)  # fail fast on unknown names
+        solver_spec(self.solver)
+        if Method(self.method) not in (Method.EXACT, Method.RELAXED, Method.CEGAR):
+            raise ValueError(
+                f"track method must be exact, relaxed or cegar, got {self.method!r}"
+            )
+
+    @property
+    def complete(self) -> bool:
+        """Whether this configuration can answer every query definitively."""
+        return self.method == "exact"
+
+    def describe(self) -> str:
+        extra = f", budget={self.refine_budget}" if self.refine_budget else ""
+        return f"{self.domain}:{self.method}:{self.solver}{extra}"
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "domain": self.domain,
+            "method": self.method,
+            "solver": self.solver,
+        }
+        if self.refine_budget is not None:
+            out["refine_budget"] = self.refine_budget
+        return out
+
+    @classmethod
+    def parse(cls, spec: str) -> "Track":
+        """Parse ``name=domain:method:solver`` (later parts optional).
+
+        Examples
+        --------
+        >>> Track.parse("fast=interval:relaxed:highs").describe()
+        'interval:relaxed:highs'
+        >>> Track.parse("octagon:exact").name
+        'octagon-exact'
+        """
+        name, _, rest = spec.partition("=")
+        if not rest:
+            name, rest = "", name
+        parts = [p for p in rest.split(":") if p]
+        if not parts:
+            raise ValueError(f"empty track spec {spec!r}")
+        defaults = cls(name="defaults")
+        domain = parts[0]
+        method = parts[1] if len(parts) > 1 else defaults.method
+        solver = parts[2] if len(parts) > 2 else defaults.solver
+        return cls(
+            name=name or f"{domain}-{method}",
+            domain=domain,
+            method=method,
+            solver=solver,
+        )
+
+
+#: the default competition entries for the bundled suites: two complete
+#: configurations that must agree (the consistency check has teeth) and
+#: one incomplete screen-only entry that shows up in the PAR-2 column
+DEFAULT_TRACKS: tuple[Track, ...] = (
+    Track(name="interval-bnb", domain="interval", method="exact", solver="branch-and-bound"),
+    Track(name="zonotope-highs", domain="zonotope", method="exact", solver="highs"),
+    Track(name="relaxed-screen", domain="interval", method="relaxed", solver="highs"),
+)

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro refine    --out system_dir     # anytime CEGAR refinement
     python -m repro monitor   --out system_dir     # stream monitoring demo
     python -m repro range     --out system_dir     # output-range frontier
+    python -m repro bench     --suite smoke        # track-based competition
 
 The ``build`` step persists the perception model, the feature envelope
 and characterizers into a directory; the other commands reload from it
@@ -277,6 +278,56 @@ def _campaign(args: argparse.Namespace) -> int:
     return 1 if report.errors else 0
 
 
+def _bench(args: argparse.Namespace) -> int:
+    """Track-based competition over a benchmark instance directory."""
+    from repro.bench import (
+        DEFAULT_TRACKS,
+        Track,
+        ensure_suite,
+        run_competition,
+        write_reports,
+    )
+    from repro.interchange import load_instances
+
+    if args.instances:
+        directory = Path(args.instances)
+        instances = load_instances(directory)
+        suite = None
+    else:
+        directory, instances = ensure_suite(
+            args.suite, regenerate=args.regenerate
+        )
+        suite = args.suite
+    tracks = [Track.parse(spec) for spec in args.track] or list(DEFAULT_TRACKS)
+    print(
+        f"running {len(instances)} instances from {directory} over "
+        f"{len(tracks)} track(s)"
+    )
+    report = run_competition(
+        instances,
+        tracks,
+        instance_dir=str(directory),
+        suite=suite,
+        timeout=args.timeout,
+        progress=print if not args.quiet else None,
+    )
+    md_path, json_path = write_reports(report, args.out)
+    print(f"\nreports written to {md_path} and {json_path}")
+    for score in report.scores:
+        print(
+            f"  {score.track:<18} score {score.score:>3}  "
+            f"solved {score.solved}/{score.n_instances}  "
+            f"PAR-2 {score.par2:.3f}s"
+        )
+    if report.disagreements:
+        print("\nERROR: cross-track verdict disagreements (unsound configuration):")
+        for problem in report.disagreements:
+            print(f"  {problem}")
+    if report.unsound_answers:
+        print(f"\nERROR: {report.unsound_answers} answer(s) contradict ground truth")
+    return 0 if report.ok else 1
+
+
 def _monitor(args: argparse.Namespace) -> int:
     engine, _ = _load(Path(args.out))
     data = generate_dataset(args.frames, seed=args.seed + 1)
@@ -320,7 +371,14 @@ def _non_negative_int(value: str) -> int:
     return number
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser.
+
+    Exposed separately from :func:`main` so the documentation generator
+    (:mod:`repro.cli_reference`) can walk the real parser tree — the
+    CLI reference page is rendered from this object and a test asserts
+    the two never drift apart.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Safety verification of direct perception neural networks",
@@ -430,7 +488,59 @@ def main(argv: list[str] | None = None) -> int:
     rng.add_argument("--workers", type=int, default=1)
     rng.set_defaults(func=_range)
 
-    args = parser.parse_args(argv)
+    bench = sub.add_parser(
+        "bench",
+        help="track-based competition over ONNX/VNN-LIB benchmark instances",
+    )
+    bench.add_argument(
+        "--suite",
+        default="smoke",
+        choices=["smoke"],
+        help="bundled instance suite (generated on first use from the "
+        "in-repo E1/E6/scenario-grid workloads)",
+    )
+    bench.add_argument(
+        "--instances",
+        default=None,
+        metavar="DIR",
+        help="benchmark instance directory (instances.csv + .onnx/.vnnlib "
+        "files); overrides --suite",
+    )
+    bench.add_argument(
+        "--track",
+        action="append",
+        default=[],
+        metavar="NAME=DOMAIN:METHOD:SOLVER",
+        help="competition track (repeatable); defaults to the bundled "
+        "interval-bnb / zonotope-highs / relaxed-screen trio",
+    )
+    bench.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override every instance's wall/solver budget",
+    )
+    bench.add_argument(
+        "--out",
+        default="docs/benchmarks",
+        help="directory for report.md + report.json",
+    )
+    bench.add_argument(
+        "--regenerate",
+        action="store_true",
+        help="rewrite the bundled suite before running",
+    )
+    bench.add_argument(
+        "--quiet", action="store_true", help="suppress per-instance progress"
+    )
+    bench.set_defaults(func=_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     return args.func(args)
 
 

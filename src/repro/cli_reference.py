@@ -1,0 +1,121 @@
+"""Auto-generated CLI reference.
+
+:func:`render_cli_reference` walks the **real** argparse tree
+(:func:`repro.cli.build_parser`) and renders one Markdown page — usage
+line, description and an option table per subcommand.  ``docs/cli.md``
+is that rendering, committed; ``tests/core/test_cli_reference.py``
+asserts the committed page equals a fresh rendering, so the reference
+cannot rot when a flag is added or a default changes.  Regenerate
+with::
+
+    PYTHONPATH=src python -m repro.cli_reference
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.cli import build_parser
+
+_HEADER = """\
+# CLI reference
+
+<!-- Auto-generated from the argparse tree by `repro.cli_reference`.
+     Do not edit by hand: regenerate with
+     `PYTHONPATH=src python -m repro.cli_reference`. -->
+
+All commands run as `python -m repro <command>` (or `repro <command>`
+with the package installed).
+"""
+
+
+def _option_label(action: argparse.Action) -> str:
+    """``--flag METAVAR`` as the user would type it."""
+    if not action.option_strings:
+        return action.dest
+    label = ", ".join(action.option_strings)
+    if action.nargs != 0 and not isinstance(
+        action, (argparse._StoreTrueAction, argparse._StoreFalseAction)
+    ):
+        metavar = action.metavar or action.dest.upper().replace("-", "_")
+        label = f"{label} {metavar}"
+    return label
+
+
+def _default_cell(action: argparse.Action) -> str:
+    if isinstance(action, (argparse._StoreTrueAction, argparse._StoreFalseAction)):
+        return "off"
+    if action.default is None or action.default == []:
+        return "—"
+    return f"`{action.default}`"
+
+
+def _help_cell(action: argparse.Action) -> str:
+    text = " ".join((action.help or "").split())
+    if action.choices is not None:
+        rendered = ", ".join(f"`{choice}`" for choice in action.choices)
+        text = f"{text} (one of {rendered})" if text else f"one of {rendered}"
+    return text or "—"
+
+
+def _render_subcommand(name: str, parser: argparse.ArgumentParser, help_text: str) -> list[str]:
+    lines = [f"## `repro {name}`", ""]
+    if help_text:
+        lines += [help_text[0].upper() + help_text[1:].rstrip(".") + ".", ""]
+    usage = " ".join(parser.format_usage().split())
+    usage = usage.removeprefix("usage: ")
+    lines += ["```", usage, "```", ""]
+    options = [
+        action
+        for action in parser._actions
+        if action.option_strings and not isinstance(action, argparse._HelpAction)
+    ]
+    if options:
+        lines.append("| Option | Default | Description |")
+        lines.append("|---|---|---|")
+        for action in options:
+            lines.append(
+                f"| `{_option_label(action)}` | {_default_cell(action)} "
+                f"| {_help_cell(action)} |"
+            )
+        lines.append("")
+    return lines
+
+
+def render_cli_reference() -> str:
+    """Render the whole CLI as one Markdown page."""
+    parser = build_parser()
+    subparsers_action = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    help_by_name = {
+        item.dest: item.help or "" for item in subparsers_action._choices_actions
+    }
+    lines = [_HEADER]
+    lines.append("| Command | Purpose |")
+    lines.append("|---|---|")
+    for name in subparsers_action.choices:
+        lines.append(f"| [`repro {name}`](#repro-{name}) | {help_by_name.get(name, '')} |")
+    lines.append("")
+    for name, subparser in subparsers_action.choices.items():
+        lines += _render_subcommand(name, subparser, help_by_name.get(name, ""))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def reference_path() -> Path:
+    """Where the committed page lives: ``docs/cli.md`` at the repo root."""
+    return Path(__file__).resolve().parents[2] / "docs" / "cli.md"
+
+
+def main() -> int:
+    path = reference_path()
+    path.write_text(render_cli_reference())
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

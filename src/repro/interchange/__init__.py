@@ -1,0 +1,55 @@
+"""Portable model/property interchange.
+
+The ingestion layer of the stack: read and write networks as
+ONNX-subset files (:mod:`repro.interchange.onnx`), properties as
+VNN-LIB fragments (:mod:`repro.interchange.vnnlib`), and whole
+benchmark instance directories in the VNN-COMP ``instances.csv``
+convention (:mod:`repro.interchange.instances`).  The competition
+harness in :mod:`repro.bench` runs on top of these.
+"""
+
+from repro.interchange.instances import (
+    BenchmarkInstance,
+    combine_disjunct_verdicts,
+    export_instance,
+    instance_campaign,
+    instance_engine,
+    load_instances,
+    write_index,
+)
+from repro.interchange.onnx import (
+    OnnxError,
+    export_onnx,
+    import_onnx,
+    model_to_onnx_bytes,
+    onnx_bytes_to_model,
+)
+from repro.interchange.vnnlib import (
+    VnnLibError,
+    VnnLibProperty,
+    format_vnnlib,
+    parse_vnnlib,
+    read_vnnlib,
+    write_vnnlib,
+)
+
+__all__ = [
+    "BenchmarkInstance",
+    "OnnxError",
+    "VnnLibError",
+    "VnnLibProperty",
+    "combine_disjunct_verdicts",
+    "export_instance",
+    "export_onnx",
+    "format_vnnlib",
+    "import_onnx",
+    "instance_campaign",
+    "instance_engine",
+    "load_instances",
+    "model_to_onnx_bytes",
+    "onnx_bytes_to_model",
+    "parse_vnnlib",
+    "read_vnnlib",
+    "write_index",
+    "write_vnnlib",
+]

@@ -1,0 +1,556 @@
+"""ONNX-subset model interchange for :class:`repro.nn.Sequential`.
+
+Real benchmark suites (VNN-COMP, the ERAN/Marabou model zoos) ship
+networks as ``.onnx`` files.  This module reads and writes the subset of
+ONNX that maps exactly onto the layer algebra the verification stack
+supports — single-chain feed-forward graphs of
+
+========================  =======================================
+ONNX op                   ``repro.nn`` layer
+========================  =======================================
+``Gemm``                  :class:`~repro.nn.layers.dense.Dense`
+``Conv``                  :class:`~repro.nn.layers.conv.Conv2D`
+``BatchNormalization``    :class:`~repro.nn.layers.batchnorm.BatchNorm`
+``Relu`` / ``LeakyRelu``  :class:`ReLU` / :class:`LeakyReLU`
+``Sigmoid`` / ``Tanh``    :class:`Sigmoid` / :class:`Tanh`
+``MaxPool``               :class:`~repro.nn.layers.pool.MaxPool2D`
+``AveragePool``           :class:`~repro.nn.layers.pool.AvgPool2D`
+``Flatten`` / ``Reshape`` :class:`~repro.nn.layers.reshape.Flatten`
+``Identity``              :class:`Identity`
+========================  =======================================
+
+so an imported model round-trips through the PR 4 lowering
+(:func:`repro.verification.ir.lower_network`) into exactly the same
+:class:`~repro.verification.ir.LoweredProgram` as its native in-repo
+construction.  Serialization goes through the schema-less wire codec in
+:mod:`repro.interchange.protowire` — no ``onnx``/``protobuf``
+dependency.  Exported weights are stored as ONNX ``DOUBLE`` tensors
+(the stack's native float64), so export → import is bit-exact; imported
+files may use ``FLOAT`` or ``DOUBLE``.  The one spec-imposed precision
+loss: ONNX *attributes* are float32, so ``BatchNorm.eps`` /
+``LeakyReLU.alpha`` round-trip exactly only when float32-representable
+(e.g. ``2**-16``, ``0.0625``) and otherwise to within float32 — every
+weight, statistic and integer attribute is always bit-exact.
+
+``Dropout`` layers are eval-mode no-ops and lower to nothing, so
+:func:`model_to_onnx_bytes` simply skips them — the exported graph has
+the identical lowered semantics.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.interchange import protowire as wire
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Identity,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.sequential import Sequential
+from repro.nn.tensor import FLOAT, flat_size
+
+#: ONNX TensorProto.DataType values this importer understands
+_DTYPE_FLOAT = 1
+_DTYPE_INT64 = 7
+_DTYPE_DOUBLE = 11
+
+#: AttributeProto.AttributeType values
+_ATTR_FLOAT = 1
+_ATTR_INT = 2
+_ATTR_STRING = 3
+_ATTR_TENSOR = 4
+_ATTR_FLOATS = 6
+_ATTR_INTS = 7
+
+_OPSET_VERSION = 13
+_IR_VERSION = 8
+
+
+class OnnxError(ValueError):
+    """Raised when a file is outside the supported ONNX subset."""
+
+
+# ---------------------------------------------------------------------------
+# writing
+# ---------------------------------------------------------------------------
+
+
+def _tensor_bytes(name: str, array: np.ndarray) -> bytes:
+    """Serialize one initializer as a DOUBLE/INT64 TensorProto."""
+    array = np.ascontiguousarray(array)
+    parts = [wire.encode_packed_varints(1, array.shape)] if array.ndim else []
+    if array.dtype.kind == "i":
+        parts.append(wire.encode_varint_field(2, _DTYPE_INT64))
+        parts.append(
+            wire.encode_bytes_field(9, array.astype("<i8").tobytes())
+        )
+    else:
+        parts.append(wire.encode_varint_field(2, _DTYPE_DOUBLE))
+        parts.append(
+            wire.encode_bytes_field(9, array.astype("<f8").tobytes())
+        )
+    parts.append(wire.encode_string_field(8, name))
+    return b"".join(parts)
+
+
+def _attr_bytes(name: str, value) -> bytes:
+    parts = [wire.encode_string_field(1, name)]
+    if isinstance(value, float):
+        parts.append(wire.encode_float_field(2, value))
+        parts.append(wire.encode_varint_field(20, _ATTR_FLOAT))
+    elif isinstance(value, int):
+        parts.append(wire.encode_varint_field(3, value))
+        parts.append(wire.encode_varint_field(20, _ATTR_INT))
+    elif isinstance(value, (list, tuple)):
+        parts.append(wire.encode_packed_varints(8, value))
+        parts.append(wire.encode_varint_field(20, _ATTR_INTS))
+    else:
+        raise OnnxError(f"unsupported attribute value {value!r}")
+    return b"".join(parts)
+
+
+def _node_bytes(
+    op_type: str, inputs: list[str], outputs: list[str], name: str, attrs: dict
+) -> bytes:
+    parts = [wire.encode_string_field(1, i) for i in inputs]
+    parts += [wire.encode_string_field(2, o) for o in outputs]
+    parts.append(wire.encode_string_field(3, name))
+    parts.append(wire.encode_string_field(4, op_type))
+    parts += [
+        wire.encode_bytes_field(5, _attr_bytes(key, value))
+        for key, value in attrs.items()
+    ]
+    return b"".join(parts)
+
+
+def _value_info_bytes(name: str, shape: tuple[int, ...]) -> bytes:
+    """A ValueInfoProto with a symbolic batch dim ``N`` + fixed dims."""
+    dims = [wire.encode_bytes_field(1, wire.encode_string_field(2, "N"))]
+    dims += [
+        wire.encode_bytes_field(1, wire.encode_varint_field(1, d)) for d in shape
+    ]
+    shape_proto = b"".join(dims)
+    tensor_type = wire.encode_varint_field(1, _DTYPE_DOUBLE) + wire.encode_bytes_field(
+        2, shape_proto
+    )
+    type_proto = wire.encode_bytes_field(1, tensor_type)
+    return wire.encode_string_field(1, name) + wire.encode_bytes_field(2, type_proto)
+
+
+def _export_layer(layer, index: int, x: str, y: str):
+    """``(node bytes, initializers)`` for one layer.
+
+    ``Dropout`` never reaches here — :func:`model_to_onnx_bytes` filters
+    it out (the single place that skip lives).
+    """
+    tag = f"l{index}"
+    if isinstance(layer, Dense):
+        return (
+            _node_bytes(
+                "Gemm",
+                [x, f"{tag}_weight", f"{tag}_bias"],
+                [y],
+                tag,
+                {"alpha": 1.0, "beta": 1.0, "transB": 1},
+            ),
+            {
+                # Gemm with transB stores B as (out, in)
+                f"{tag}_weight": layer.weight.value.T,
+                f"{tag}_bias": layer.bias.value,
+            },
+        )
+    if isinstance(layer, Conv2D):
+        p = layer.padding
+        return (
+            _node_bytes(
+                "Conv",
+                [x, f"{tag}_weight", f"{tag}_bias"],
+                [y],
+                tag,
+                {
+                    "kernel_shape": [layer.kernel, layer.kernel],
+                    "strides": [layer.stride, layer.stride],
+                    "pads": [p, p, p, p],
+                },
+            ),
+            {f"{tag}_weight": layer.weight.value, f"{tag}_bias": layer.bias.value},
+        )
+    if isinstance(layer, BatchNorm):
+        return (
+            _node_bytes(
+                "BatchNormalization",
+                [x, f"{tag}_scale", f"{tag}_shift", f"{tag}_mean", f"{tag}_var"],
+                [y],
+                tag,
+                {"epsilon": layer.eps, "momentum": layer.momentum},
+            ),
+            {
+                f"{tag}_scale": layer.gamma.value,
+                f"{tag}_shift": layer.beta.value,
+                f"{tag}_mean": layer.running_mean,
+                f"{tag}_var": layer.running_var,
+            },
+        )
+    if isinstance(layer, MaxPool2D) or isinstance(layer, AvgPool2D):
+        op = "MaxPool" if isinstance(layer, MaxPool2D) else "AveragePool"
+        return (
+            _node_bytes(
+                op,
+                [x],
+                [y],
+                tag,
+                {
+                    "kernel_shape": [layer.size, layer.size],
+                    "strides": [layer.stride, layer.stride],
+                    "pads": [0, 0, 0, 0],
+                },
+            ),
+            {},
+        )
+    if isinstance(layer, LeakyReLU):
+        return _node_bytes("LeakyRelu", [x], [y], tag, {"alpha": layer.alpha}), {}
+    simple = {ReLU: "Relu", Sigmoid: "Sigmoid", Tanh: "Tanh", Identity: "Identity"}
+    for cls, op in simple.items():
+        if type(layer) is cls:
+            return _node_bytes(op, [x], [y], tag, {}), {}
+    if isinstance(layer, Flatten):
+        return _node_bytes("Flatten", [x], [y], tag, {"axis": 1}), {}
+    raise OnnxError(
+        f"layer {type(layer).__name__} has no ONNX-subset export; supported: "
+        f"Dense, Conv2D, BatchNorm, ReLU, LeakyReLU, Sigmoid, Tanh, "
+        f"MaxPool2D, AvgPool2D, Flatten, Identity (Dropout is skipped)"
+    )
+
+
+def model_to_onnx_bytes(model: Sequential, name: str = "repro-model") -> bytes:
+    """Serialize a built :class:`Sequential` to ONNX bytes."""
+    nodes: list[bytes] = []
+    initializers: list[bytes] = []
+    current = "input"
+    exported = [
+        (i, layer)
+        for i, layer in enumerate(model.layers)
+        if not isinstance(layer, Dropout)
+    ]
+    if not exported:
+        raise OnnxError("model has no exportable layers")
+    for position, (index, layer) in enumerate(exported):
+        out_name = "output" if position == len(exported) - 1 else f"act{index}"
+        node, weights = _export_layer(layer, index, current, out_name)
+        nodes.append(wire.encode_bytes_field(1, node))
+        for weight_name, array in weights.items():
+            initializers.append(
+                wire.encode_bytes_field(5, _tensor_bytes(weight_name, array))
+            )
+        current = out_name
+    graph = b"".join(
+        [
+            *nodes,
+            wire.encode_string_field(2, name),
+            *initializers,
+            wire.encode_bytes_field(11, _value_info_bytes("input", model.input_shape)),
+            wire.encode_bytes_field(
+                12, _value_info_bytes("output", model.output_shape)
+            ),
+        ]
+    )
+    opset = wire.encode_string_field(1, "") + wire.encode_varint_field(
+        2, _OPSET_VERSION
+    )
+    return b"".join(
+        [
+            wire.encode_varint_field(1, _IR_VERSION),
+            wire.encode_string_field(2, "repro.interchange"),
+            wire.encode_bytes_field(7, graph),
+            wire.encode_bytes_field(8, opset),
+        ]
+    )
+
+
+def export_onnx(model: Sequential, path: str | Path, name: str = "repro-model") -> Path:
+    """Write ``model`` to ``path`` as an ``.onnx`` file."""
+    path = Path(path)
+    path.write_bytes(model_to_onnx_bytes(model, name=name))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+def _parse_tensor(data: bytes) -> tuple[str, np.ndarray]:
+    fields = wire.decode_fields(data)
+    name = (wire.first_bytes(fields, 8, b"") or b"").decode("utf-8")
+    dims = [wire.signed64(d) for d in wire.repeated_varints(fields, 1)]
+    data_type = wire.first_varint(fields, 2, _DTYPE_FLOAT)
+    raw = wire.first_bytes(fields, 9)
+    if raw is not None:
+        if data_type == _DTYPE_FLOAT:
+            array = np.frombuffer(raw, dtype="<f4")
+        elif data_type == _DTYPE_DOUBLE:
+            array = np.frombuffer(raw, dtype="<f8")
+        elif data_type == _DTYPE_INT64:
+            array = np.frombuffer(raw, dtype="<i8")
+        else:
+            raise OnnxError(f"tensor {name!r}: unsupported data type {data_type}")
+    elif data_type == _DTYPE_FLOAT and 4 in fields:
+        values = [
+            struct.unpack("<f", chunk[i : i + 4])[0]
+            for _, chunk in fields[4]
+            if isinstance(chunk, bytes)
+            for i in range(0, len(chunk), 4)
+        ]
+        array = np.asarray(values, dtype="<f4")
+    elif data_type == _DTYPE_DOUBLE and 10 in fields:
+        values = [
+            struct.unpack("<d", chunk[i : i + 8])[0]
+            for _, chunk in fields[10]
+            if isinstance(chunk, bytes)
+            for i in range(0, len(chunk), 8)
+        ]
+        array = np.asarray(values, dtype="<f8")
+    elif data_type == _DTYPE_INT64:
+        array = np.asarray(
+            [wire.signed64(v) for v in wire.repeated_varints(fields, 7)], dtype=np.int64
+        )
+    else:
+        raise OnnxError(f"tensor {name!r}: no recognizable payload")
+    if array.dtype.kind == "f":
+        array = array.astype(FLOAT)
+    return name, array.reshape(dims) if dims else array
+
+
+def _parse_attribute(data: bytes):
+    fields = wire.decode_fields(data)
+    name = (wire.first_bytes(fields, 1, b"") or b"").decode("utf-8")
+    attr_type = wire.first_varint(fields, 20, 0)
+    if attr_type == _ATTR_FLOAT or (attr_type == 0 and 2 in fields):
+        (wire_type, raw) = fields[2][0]
+        return name, float(struct.unpack("<f", raw)[0])
+    if attr_type == _ATTR_INT or (attr_type == 0 and 3 in fields):
+        return name, wire.signed64(wire.first_varint(fields, 3, 0))
+    if attr_type == _ATTR_INTS or (attr_type == 0 and 8 in fields):
+        return name, [wire.signed64(v) for v in wire.repeated_varints(fields, 8)]
+    if attr_type == _ATTR_STRING:
+        return name, (wire.first_bytes(fields, 4, b"") or b"").decode("utf-8")
+    if attr_type == _ATTR_TENSOR:
+        return name, _parse_tensor(wire.first_bytes(fields, 5, b""))[1]
+    raise OnnxError(f"attribute {name!r}: unsupported attribute type {attr_type}")
+
+
+def _parse_node(data: bytes) -> tuple[str, list[str], list[str], dict]:
+    fields = wire.decode_fields(data)
+    op_type = (wire.first_bytes(fields, 4, b"") or b"").decode("utf-8")
+    inputs = [b.decode("utf-8") for b in wire.repeated_bytes(fields, 1)]
+    outputs = [b.decode("utf-8") for b in wire.repeated_bytes(fields, 2)]
+    attrs = dict(
+        _parse_attribute(chunk) for chunk in wire.repeated_bytes(fields, 5)
+    )
+    return op_type, inputs, outputs, attrs
+
+
+def _parse_value_info(data: bytes) -> tuple[str, list[int | None]]:
+    """``(name, dims)`` with ``None`` for symbolic dims."""
+    fields = wire.decode_fields(data)
+    name = (wire.first_bytes(fields, 1, b"") or b"").decode("utf-8")
+    type_proto = wire.first_bytes(fields, 2, b"") or b""
+    tensor_type = wire.first_bytes(wire.decode_fields(type_proto), 1, b"") or b""
+    shape_proto = wire.first_bytes(wire.decode_fields(tensor_type), 2, b"") or b""
+    dims: list[int | None] = []
+    for dim_bytes in wire.repeated_bytes(wire.decode_fields(shape_proto), 1):
+        dim_fields = wire.decode_fields(dim_bytes)
+        value = wire.first_varint(dim_fields, 1)
+        dims.append(wire.signed64(value) if value is not None else None)
+    return name, dims
+
+
+def _square(values, what: str) -> int:
+    values = list(values)
+    if len(values) != 2 or values[0] != values[1]:
+        raise OnnxError(f"only square {what} supported, got {values}")
+    return int(values[0])
+
+
+def _uniform_pads(attrs: dict, what: str) -> int:
+    pads = [int(p) for p in attrs.get("pads", [0, 0, 0, 0])]
+    if len(set(pads)) != 1:
+        raise OnnxError(f"only uniform {what} pads supported, got {pads}")
+    return pads[0]
+
+
+def _import_node(op_type, inputs, attrs, weights, feature_shape):
+    """``(layer, state dict)`` for one node, given the incoming shape."""
+
+    def weight(position: int) -> np.ndarray:
+        if position >= len(inputs) or inputs[position] not in weights:
+            raise OnnxError(
+                f"{op_type} node expects initializer input #{position}"
+            )
+        return weights[inputs[position]]
+
+    if op_type == "Gemm":
+        if attrs.get("alpha", 1.0) != 1.0 or attrs.get("beta", 1.0) != 1.0:
+            raise OnnxError("Gemm with alpha/beta != 1 is not supported")
+        if attrs.get("transA", 0):
+            raise OnnxError("Gemm with transA=1 is not supported")
+        b = weight(1)
+        w = b.T if attrs.get("transB", 0) else b
+        units = int(w.shape[1])
+        bias = weights.get(inputs[2]) if len(inputs) > 2 else None
+        if bias is None:
+            bias = np.zeros(units)
+        return Dense(units), {"weight": w, "bias": bias}
+    if op_type == "Conv":
+        if any(int(d) != 1 for d in attrs.get("dilations", [1, 1])):
+            raise OnnxError("Conv with dilations != 1 is not supported")
+        if int(attrs.get("group", 1)) != 1:
+            raise OnnxError("grouped Conv is not supported")
+        w = weight(1)
+        kernel = _square(attrs.get("kernel_shape", w.shape[2:]), "Conv kernels")
+        stride = _square(attrs.get("strides", [1, 1]), "Conv strides")
+        padding = _uniform_pads(attrs, "Conv")
+        bias = weights.get(inputs[2]) if len(inputs) > 2 else None
+        if bias is None:
+            bias = np.zeros(int(w.shape[0]))
+        layer = Conv2D(int(w.shape[0]), kernel, stride=stride, padding=padding)
+        return layer, {"weight": w, "bias": bias}
+    if op_type == "BatchNormalization":
+        layer = BatchNorm(
+            momentum=float(attrs.get("momentum", 0.9)),
+            eps=float(attrs.get("epsilon", 1e-5)),
+        )
+        return layer, {
+            "gamma": weight(1),
+            "beta": weight(2),
+            "running_mean": weight(3),
+            "running_var": weight(4),
+        }
+    if op_type in ("MaxPool", "AveragePool"):
+        kernel = _square(attrs["kernel_shape"], f"{op_type} kernels")
+        stride = _square(attrs.get("strides", [kernel, kernel]), f"{op_type} strides")
+        if _uniform_pads(attrs, op_type) != 0:
+            raise OnnxError(f"padded {op_type} is not supported")
+        cls = MaxPool2D if op_type == "MaxPool" else AvgPool2D
+        return cls(kernel, stride=stride), {}
+    if op_type == "Relu":
+        return ReLU(), {}
+    if op_type == "LeakyRelu":
+        return LeakyReLU(alpha=float(attrs.get("alpha", 0.01))), {}
+    if op_type == "Sigmoid":
+        return Sigmoid(), {}
+    if op_type == "Tanh":
+        return Tanh(), {}
+    if op_type == "Identity":
+        return Identity(), {}
+    if op_type == "Flatten":
+        if int(attrs.get("axis", 1)) != 1:
+            raise OnnxError("Flatten with axis != 1 is not supported")
+        return Flatten(), {}
+    if op_type == "Reshape":
+        target = [int(v) for v in weight(1).ravel()]
+        flat = flat_size(feature_shape)
+        feature_dims = target[1:] if len(target) > 1 else target
+        # accept any reshape that flattens the per-sample features:
+        # [N, -1], [0, -1], [N, d_flat], [-1, d_flat] ...
+        if len(feature_dims) == 1 and feature_dims[0] in (-1, flat):
+            return Flatten(), {}
+        raise OnnxError(
+            f"Reshape to {target} is not supported (only flattening "
+            f"reshapes of the per-sample features)"
+        )
+    raise OnnxError(
+        f"unsupported ONNX op {op_type!r}; the supported subset is Gemm, "
+        f"Conv, BatchNormalization, Relu, LeakyRelu, Sigmoid, Tanh, "
+        f"MaxPool, AveragePool, Flatten, Reshape, Identity"
+    )
+
+
+def onnx_bytes_to_model(data: bytes) -> Sequential:
+    """Deserialize ONNX bytes into a built :class:`Sequential`."""
+    try:
+        model_fields = wire.decode_fields(data)
+        graph_bytes = wire.first_bytes(model_fields, 7)
+    except wire.WireError as error:
+        raise OnnxError(f"not an ONNX model: {error}") from error
+    if graph_bytes is None:
+        raise OnnxError("not an ONNX model: no graph")
+    graph = wire.decode_fields(graph_bytes)
+
+    weights: dict[str, np.ndarray] = {}
+    for tensor_bytes in wire.repeated_bytes(graph, 5):
+        name, array = _parse_tensor(tensor_bytes)
+        weights[name] = array
+
+    graph_inputs = [
+        _parse_value_info(chunk) for chunk in wire.repeated_bytes(graph, 11)
+    ]
+    data_inputs = [
+        (name, dims) for name, dims in graph_inputs if name not in weights
+    ]
+    if len(data_inputs) != 1:
+        raise OnnxError(
+            f"expected exactly one non-initializer graph input, got "
+            f"{[name for name, _ in data_inputs]}"
+        )
+    input_name, dims = data_inputs[0]
+    if len(dims) < 2:
+        raise OnnxError(
+            f"graph input {input_name!r} needs a batch dim plus feature "
+            f"dims, got {dims}"
+        )
+    if any(d is None or d <= 0 for d in dims[1:]):
+        raise OnnxError(f"graph input {input_name!r} has symbolic feature dims")
+    input_shape = tuple(int(d) for d in dims[1:])
+
+    nodes = [_parse_node(chunk) for chunk in wire.repeated_bytes(graph, 1)]
+    if not nodes:
+        raise OnnxError("ONNX graph has no nodes")
+
+    layers = []
+    states = []
+    current = input_name
+    feature_shape = input_shape
+    for op_type, inputs, outputs, attrs in nodes:
+        if not inputs or inputs[0] != current:
+            raise OnnxError(
+                f"{op_type} node consumes {inputs[:1]}, expected the chain "
+                f"value {current!r} (only single-chain graphs are supported)"
+            )
+        if len(outputs) < 1:
+            raise OnnxError(f"{op_type} node has no outputs")
+        for extra in inputs[1:]:
+            if extra and extra not in weights:
+                raise OnnxError(
+                    f"{op_type} input {extra!r} is neither the chain value "
+                    f"nor an initializer"
+                )
+        layer, state = _import_node(op_type, inputs, attrs, weights, feature_shape)
+        layers.append(layer)
+        states.append(state)
+        feature_shape = layer.output_shape(feature_shape)
+        current = outputs[0]
+
+    model = Sequential(layers, input_shape=input_shape, seed=0)
+    for layer, state in zip(model.layers, states):
+        if state:
+            layer.load_state({k: np.asarray(v, dtype=FLOAT) for k, v in state.items()})
+    return model
+
+
+def import_onnx(path: str | Path) -> Sequential:
+    """Load an ``.onnx`` file into a built :class:`Sequential`."""
+    return onnx_bytes_to_model(Path(path).read_bytes())

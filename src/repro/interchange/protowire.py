@@ -1,0 +1,189 @@
+"""Minimal protobuf wire-format codec for the ONNX subset.
+
+The container deliberately carries no ``onnx``/``protobuf`` dependency,
+but ONNX files are plain protobuf messages and the wire format is tiny:
+a message is a sequence of ``(key, value)`` records where ``key =
+(field_number << 3) | wire_type`` and only four wire types matter here —
+
+- ``0`` varint (ints, enums, bools),
+- ``1`` 64-bit little-endian (``double``/``fixed64``),
+- ``2`` length-delimited (strings, bytes, sub-messages, packed arrays),
+- ``5`` 32-bit little-endian (``float``/``fixed32``).
+
+:func:`decode_fields` parses a serialized message into ``{field_number:
+[(wire_type, value), ...]}`` without any schema; the schema knowledge
+(which field number means what) lives in :mod:`repro.interchange.onnx`.
+The ``encode_*`` helpers are the writing half.  Unknown fields survive
+decoding untouched (they are simply ignored), which is exactly the
+forward-compatibility protobuf promises.
+"""
+
+from __future__ import annotations
+
+import struct
+
+VARINT = 0
+FIXED64 = 1
+LENGTH_DELIMITED = 2
+FIXED32 = 5
+
+_MASK64 = (1 << 64) - 1
+
+
+class WireError(ValueError):
+    """Raised on malformed protobuf wire data."""
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def encode_varint(value: int) -> bytes:
+    """Base-128 varint; negative ints use 64-bit two's complement."""
+    if value < 0:
+        value &= _MASK64
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_key(field_number: int, wire_type: int) -> bytes:
+    if field_number <= 0:
+        raise WireError(f"field numbers are positive, got {field_number}")
+    return encode_varint((field_number << 3) | wire_type)
+
+
+def encode_varint_field(field_number: int, value: int) -> bytes:
+    return encode_key(field_number, VARINT) + encode_varint(value)
+
+
+def encode_bytes_field(field_number: int, payload: bytes) -> bytes:
+    """A length-delimited field: string, bytes, sub-message or packed array."""
+    return (
+        encode_key(field_number, LENGTH_DELIMITED)
+        + encode_varint(len(payload))
+        + payload
+    )
+
+
+def encode_string_field(field_number: int, text: str) -> bytes:
+    return encode_bytes_field(field_number, text.encode("utf-8"))
+
+
+def encode_float_field(field_number: int, value: float) -> bytes:
+    return encode_key(field_number, FIXED32) + struct.pack("<f", value)
+
+
+def encode_packed_varints(field_number: int, values) -> bytes:
+    """Repeated ints in packed encoding (the proto3 default)."""
+    payload = b"".join(encode_varint(int(v)) for v in values)
+    return encode_bytes_field(field_number, payload)
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Return ``(value, next offset)``; values stay unsigned 64-bit."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise WireError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise WireError("varint longer than 64 bits")
+
+
+def signed64(value: int) -> int:
+    """Reinterpret an unsigned varint value as a two's-complement int64."""
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def decode_fields(data: bytes) -> dict[int, list[tuple[int, object]]]:
+    """Parse one message into ``{field: [(wire_type, value), ...]}``.
+
+    Varint values come back as unsigned ints (use :func:`signed64` where
+    the schema says int64); fixed32/fixed64 come back as raw 4/8-byte
+    ``bytes`` (caller unpacks by schema type); length-delimited values
+    come back as ``bytes``.
+    """
+    fields: dict[int, list[tuple[int, object]]] = {}
+    offset = 0
+    while offset < len(data):
+        key, offset = decode_varint(data, offset)
+        field_number, wire_type = key >> 3, key & 0x7
+        value: object
+        if wire_type == VARINT:
+            value, offset = decode_varint(data, offset)
+        elif wire_type == FIXED64:
+            value, offset = data[offset : offset + 8], offset + 8
+            if len(value) != 8:
+                raise WireError("truncated fixed64")
+        elif wire_type == LENGTH_DELIMITED:
+            length, offset = decode_varint(data, offset)
+            value, offset = data[offset : offset + length], offset + length
+            if len(value) != length:
+                raise WireError("truncated length-delimited field")
+        elif wire_type == FIXED32:
+            value, offset = data[offset : offset + 4], offset + 4
+            if len(value) != 4:
+                raise WireError("truncated fixed32")
+        else:
+            raise WireError(f"unsupported wire type {wire_type}")
+        fields.setdefault(field_number, []).append((wire_type, value))
+    return fields
+
+
+def first_varint(fields: dict, field_number: int, default: int | None = None) -> int | None:
+    """First varint value of a field, or ``default`` when absent."""
+    for wire_type, value in fields.get(field_number, ()):
+        if wire_type != VARINT:
+            raise WireError(f"field {field_number} is not a varint")
+        return value
+    return default
+
+
+def first_bytes(fields: dict, field_number: int, default: bytes | None = None) -> bytes | None:
+    """First length-delimited value of a field, or ``default``."""
+    for wire_type, value in fields.get(field_number, ()):
+        if wire_type != LENGTH_DELIMITED:
+            raise WireError(f"field {field_number} is not length-delimited")
+        return value
+    return default
+
+
+def repeated_bytes(fields: dict, field_number: int) -> list[bytes]:
+    """All length-delimited values of a repeated field, in order."""
+    out = []
+    for wire_type, value in fields.get(field_number, ()):
+        if wire_type != LENGTH_DELIMITED:
+            raise WireError(f"field {field_number} is not length-delimited")
+        out.append(value)
+    return out
+
+
+def repeated_varints(fields: dict, field_number: int) -> list[int]:
+    """All values of a repeated int field, packed or not."""
+    out: list[int] = []
+    for wire_type, value in fields.get(field_number, ()):
+        if wire_type == VARINT:
+            out.append(value)
+        elif wire_type == LENGTH_DELIMITED:
+            offset = 0
+            while offset < len(value):
+                item, offset = decode_varint(value, offset)
+                out.append(item)
+        else:
+            raise WireError(f"field {field_number} is not an int field")
+    return out

@@ -1,0 +1,356 @@
+"""VNN-LIB-style property interchange.
+
+VNN-COMP specifies verification queries as SMT-LIB2 fragments over
+input variables ``X_0 … X_{n-1}`` and output variables ``Y_0 …
+Y_{m-1}``: box constraints on the inputs plus a (disjunction of
+conjunctions of) linear assertions on the outputs describing the
+**counterexample** region — the query is SAT iff some input in the box
+reaches it.  That is exactly this stack's reachability question: each
+output conjunction compiles to one
+:class:`~repro.properties.risk.RiskCondition`, the input box becomes
+the verified region, and the whole property becomes one
+:class:`~repro.api.VerificationQuery` per disjunct (collected into a
+:class:`~repro.api.Campaign` by :mod:`repro.interchange.instances`).
+
+Supported grammar (a comment line starts with ``;``)::
+
+    (declare-const X_<i> Real)
+    (declare-const Y_<j> Real)
+    (assert (<= X_0 0.5))                      ; input box, one bound each
+    (assert (>= (+ Y_0 (* -1.0 Y_1)) 1.0))    ; linear output atom
+    (assert (or (and atom...) (and atom...))) ; disjunction of conjunctions
+
+Atoms compare two linear expressions built from ``+ - *``, numbers and
+variables; input atoms must bound a single ``X_i`` by a constant, and an
+assertion may not mix ``X`` and ``Y`` variables.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.properties.risk import LinearInequality, RiskCondition
+
+
+class VnnLibError(ValueError):
+    """Raised when a property file is outside the supported grammar."""
+
+
+@dataclass(frozen=True)
+class VnnLibProperty:
+    """One parsed property: an input box plus counterexample disjuncts.
+
+    The property is violated (the instance is ``sat``) iff some input in
+    ``[input_lower, input_upper]`` produces an output satisfying at
+    least one of ``disjuncts``; it holds (``unsat``) iff every disjunct
+    is unreachable.
+    """
+
+    input_lower: np.ndarray  #: flat (d_in,)
+    input_upper: np.ndarray
+    disjuncts: tuple[RiskCondition, ...]
+    name: str = "property"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "input_lower", np.asarray(self.input_lower, dtype=float)
+        )
+        object.__setattr__(
+            self, "input_upper", np.asarray(self.input_upper, dtype=float)
+        )
+        if self.input_lower.shape != self.input_upper.shape:
+            raise VnnLibError("input bound shapes differ")
+        if np.any(self.input_lower > self.input_upper):
+            raise VnnLibError("input box has lower > upper")
+        if not self.disjuncts:
+            raise VnnLibError("property needs at least one output disjunct")
+
+    @property
+    def in_dim(self) -> int:
+        return int(self.input_lower.size)
+
+    @property
+    def out_dim(self) -> int:
+        return self.disjuncts[0].dim
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+_TOKEN = re.compile(r"\(|\)|[^\s()]+")
+
+
+def _tokenize(text: str) -> list[str]:
+    lines = [line.split(";", 1)[0] for line in text.splitlines()]
+    return _TOKEN.findall("\n".join(lines))
+
+
+def _read_sexprs(tokens: list[str]):
+    """Parse a token stream into nested lists (atoms stay strings)."""
+    stack: list[list] = [[]]
+    for token in tokens:
+        if token == "(":
+            stack.append([])
+        elif token == ")":
+            if len(stack) == 1:
+                raise VnnLibError("unbalanced ')'")
+            done = stack.pop()
+            stack[-1].append(done)
+        else:
+            stack[-1].append(token)
+    if len(stack) != 1:
+        raise VnnLibError("unbalanced '('")
+    return stack[0]
+
+
+_VAR = re.compile(r"^([XY])_(\d+)$")
+
+
+def _linear(expr) -> tuple[dict[tuple[str, int], float], float]:
+    """Fold an s-expression into ``({variable: coeff}, constant)``."""
+    if isinstance(expr, str):
+        match = _VAR.match(expr)
+        if match:
+            return {(match.group(1), int(match.group(2))): 1.0}, 0.0
+        try:
+            return {}, float(expr)
+        except ValueError:
+            raise VnnLibError(f"unknown symbol {expr!r}") from None
+    if not expr:
+        raise VnnLibError("empty expression")
+    head, *args = expr
+    if head == "+":
+        coeffs: dict[tuple[str, int], float] = {}
+        const = 0.0
+        for arg in args:
+            c, k = _linear(arg)
+            for key, value in c.items():
+                coeffs[key] = coeffs.get(key, 0.0) + value
+            const += k
+        return coeffs, const
+    if head == "-":
+        if not args:
+            raise VnnLibError("'-' needs at least one argument")
+        coeffs, const = _linear(args[0])
+        coeffs = dict(coeffs)
+        if len(args) == 1:
+            return {k: -v for k, v in coeffs.items()}, -const
+        for arg in args[1:]:
+            c, k = _linear(arg)
+            for key, value in c.items():
+                coeffs[key] = coeffs.get(key, 0.0) - value
+            const -= k
+        return coeffs, const
+    if head == "*":
+        # products must be (constant * ... * at-most-one variable term)
+        factors = [_linear(arg) for arg in args]
+        var_factors = [f for f in factors if f[0]]
+        scale = 1.0
+        for coeffs, const in factors:
+            if not coeffs:
+                scale *= const
+        if not var_factors:
+            return {}, scale
+        if len(var_factors) > 1:
+            raise VnnLibError("nonlinear product of variables")
+        coeffs, const = var_factors[0]
+        return {k: v * scale for k, v in coeffs.items()}, const * scale
+    raise VnnLibError(f"unsupported operator {head!r} in linear expression")
+
+
+def _atom(expr, n_outputs: int):
+    """One comparison → ('X', index, op, bound) or a LinearInequality on Y."""
+    if not isinstance(expr, list) or len(expr) != 3 or expr[0] not in ("<=", ">="):
+        raise VnnLibError(f"expected (<=|>= lhs rhs), got {expr!r}")
+    op = expr[0]
+    left_c, left_k = _linear(expr[1])
+    right_c, right_k = _linear(expr[2])
+    coeffs = dict(left_c)
+    for key, value in right_c.items():
+        coeffs[key] = coeffs.get(key, 0.0) - value
+    coeffs = {key: value for key, value in coeffs.items() if value != 0.0}
+    rhs = right_k - left_k
+    kinds = {kind for kind, _ in coeffs}
+    if not coeffs:
+        raise VnnLibError(f"constant comparison {expr!r}")
+    if kinds == {"X"}:
+        if len(coeffs) != 1:
+            raise VnnLibError(
+                f"input constraints must bound a single X variable: {expr!r}"
+            )
+        (_, index), coeff = next(iter(coeffs.items()))
+        if coeff < 0:
+            coeff, rhs, op = -coeff, -rhs, "<=" if op == ">=" else ">="
+        if coeff != 1.0:
+            rhs /= coeff
+        return ("X", index, op, rhs)
+    if kinds == {"Y"}:
+        row = [0.0] * n_outputs
+        for (_, index), value in coeffs.items():
+            if index >= n_outputs:
+                raise VnnLibError(f"Y_{index} was never declared")
+            row[index] = value
+        return LinearInequality(tuple(row), op, rhs)
+    raise VnnLibError(f"assertion mixes X and Y variables: {expr!r}")
+
+
+def parse_vnnlib(text: str, name: str = "property") -> VnnLibProperty:
+    """Parse VNN-LIB text into a :class:`VnnLibProperty`."""
+    declared = {"X": set(), "Y": set()}
+    input_bounds: dict[int, list[float | None]] = {}
+    conjunction: list[LinearInequality] = []
+    disjuncts: list[tuple[LinearInequality, ...]] = []
+
+    def handle_atom(atom, into: list | None) -> None:
+        if isinstance(atom, LinearInequality):
+            (conjunction if into is None else into).append(atom)
+            return
+        _, index, op, bound = atom
+        if index not in declared["X"]:
+            raise VnnLibError(f"X_{index} was never declared")
+        if into is not None:
+            raise VnnLibError("input bounds inside (or ...) are not supported")
+        entry = input_bounds.setdefault(index, [None, None])
+        slot = 0 if op == ">=" else 1
+        best = max if op == ">=" else min
+        entry[slot] = bound if entry[slot] is None else best(entry[slot], bound)
+
+    for expr in _read_sexprs(_tokenize(text)):
+        if not isinstance(expr, list) or not expr:
+            raise VnnLibError(f"unexpected top-level token {expr!r}")
+        head = expr[0]
+        if head == "declare-const":
+            if len(expr) != 3 or expr[2] != "Real":
+                raise VnnLibError(f"unsupported declaration {expr!r}")
+            match = _VAR.match(expr[1])
+            if not match:
+                raise VnnLibError(f"unsupported variable name {expr[1]!r}")
+            declared[match.group(1)].add(int(match.group(2)))
+        elif head == "assert":
+            if len(expr) != 2:
+                raise VnnLibError(f"malformed assert {expr!r}")
+            body = expr[1]
+            n_outputs = (max(declared["Y"]) + 1) if declared["Y"] else 0
+            if isinstance(body, list) and body and body[0] == "or":
+                for branch in body[1:]:
+                    atoms: list[LinearInequality] = []
+                    if isinstance(branch, list) and branch and branch[0] == "and":
+                        for inner in branch[1:]:
+                            handle_atom(_atom(inner, n_outputs), atoms)
+                    else:
+                        handle_atom(_atom(branch, n_outputs), atoms)
+                    disjuncts.append(tuple(atoms))
+            elif isinstance(body, list) and body and body[0] == "and":
+                for inner in body[1:]:
+                    handle_atom(_atom(inner, n_outputs), None)
+            else:
+                handle_atom(_atom(body, n_outputs), None)
+        else:
+            raise VnnLibError(f"unsupported top-level form {head!r}")
+
+    if not declared["X"] or not declared["Y"]:
+        raise VnnLibError("property must declare X_* and Y_* variables")
+    if declared["X"] != set(range(max(declared["X"]) + 1)):
+        raise VnnLibError("X variables must be contiguous from X_0")
+    if declared["Y"] != set(range(max(declared["Y"]) + 1)):
+        raise VnnLibError("Y variables must be contiguous from Y_0")
+
+    n_inputs = max(declared["X"]) + 1
+    lower = np.empty(n_inputs)
+    upper = np.empty(n_inputs)
+    for index in range(n_inputs):
+        bounds = input_bounds.get(index)
+        if bounds is None or bounds[0] is None or bounds[1] is None:
+            raise VnnLibError(f"X_{index} is missing a lower or upper bound")
+        lower[index], upper[index] = bounds
+
+    if conjunction:
+        disjuncts.append(tuple(conjunction))
+    risk_disjuncts = tuple(
+        RiskCondition(
+            f"{name}-d{position}" if len(disjuncts) > 1 else name,
+            atoms,
+            description=" AND ".join(str(a) for a in atoms),
+        )
+        for position, atoms in enumerate(disjuncts)
+        if atoms
+    )
+    return VnnLibProperty(lower, upper, risk_disjuncts, name=name)
+
+
+def read_vnnlib(path: str | Path) -> VnnLibProperty:
+    """Parse a ``.vnnlib`` file."""
+    path = Path(path)
+    return parse_vnnlib(path.read_text(), name=path.stem)
+
+
+# ---------------------------------------------------------------------------
+# writing
+# ---------------------------------------------------------------------------
+
+
+def _format_inequality(ineq: LinearInequality) -> str:
+    terms = [
+        f"Y_{i}" if c == 1.0 else f"(* {c:.17g} Y_{i})"
+        for i, c in enumerate(ineq.coeffs)
+        if c != 0.0
+    ]
+    lhs = terms[0] if len(terms) == 1 else f"(+ {' '.join(terms)})"
+    return f"({ineq.op} {lhs} {ineq.rhs:.17g})"
+
+
+def format_vnnlib(
+    input_lower: np.ndarray,
+    input_upper: np.ndarray,
+    disjuncts: Sequence[RiskCondition],
+    comment: str = "",
+) -> str:
+    """Render a property in the grammar :func:`parse_vnnlib` accepts."""
+    lower = np.asarray(input_lower, dtype=float).ravel()
+    upper = np.asarray(input_upper, dtype=float).ravel()
+    if lower.shape != upper.shape:
+        raise VnnLibError("input bound shapes differ")
+    if not disjuncts:
+        raise VnnLibError("property needs at least one output disjunct")
+    out_dim = disjuncts[0].dim
+    lines = []
+    if comment:
+        lines += [f"; {line}" for line in comment.splitlines()]
+    lines += [f"(declare-const X_{i} Real)" for i in range(lower.size)]
+    lines += [f"(declare-const Y_{j} Real)" for j in range(out_dim)]
+    lines.append("")
+    lines.append("; input box")
+    for i in range(lower.size):
+        lines.append(f"(assert (>= X_{i} {lower[i]:.17g}))")
+        lines.append(f"(assert (<= X_{i} {upper[i]:.17g}))")
+    lines.append("")
+    lines.append("; counterexample region (sat = risk reachable)")
+    if len(disjuncts) == 1:
+        for ineq in disjuncts[0].inequalities:
+            lines.append(f"(assert {_format_inequality(ineq)})")
+    else:
+        branches = [
+            "(and " + " ".join(_format_inequality(i) for i in d.inequalities) + ")"
+            for d in disjuncts
+        ]
+        lines.append(f"(assert (or {' '.join(branches)}))")
+    return "\n".join(lines) + "\n"
+
+
+def write_vnnlib(
+    path: str | Path,
+    input_lower: np.ndarray,
+    input_upper: np.ndarray,
+    disjuncts: Sequence[RiskCondition],
+    comment: str = "",
+) -> Path:
+    """Write a ``.vnnlib`` file; the inverse of :func:`read_vnnlib`."""
+    path = Path(path)
+    path.write_text(format_vnnlib(input_lower, input_upper, disjuncts, comment))
+    return path

@@ -116,12 +116,13 @@ def region_boxes(
 # -- deprecated pre-IR entry points ------------------------------------------
 
 
-def _deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
+def _deprecation_message(name: str, replacement: str) -> str:
+    """Message only — every shim issues its own warning with
+    ``stacklevel=2`` so the report points at the *caller's* line, not at
+    a shared helper frame."""
+    return (
         f"{name} is deprecated; use {replacement} "
-        f"(the lowered-IR propagation path)",
-        DeprecationWarning,
-        stacklevel=3,
+        f"(the lowered-IR propagation path)"
     )
 
 
@@ -148,15 +149,21 @@ def layer_interval(
     layer_index: int | None = None,
     region_index: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Deprecated: lower the layer and use the interval domain instead.
+    """Deprecated: use :func:`propagate_regions` (or, for one layer, the
+    registry — ``get_domain('interval').transform`` over
+    ``layer.as_abstract_ops()``).
 
     Sound interval transformer for one layer (batch of one);
     ``lower``/``upper`` are feature-shaped arrays (no batch dimension).
     """
-    _deprecated(
-        "layer_interval",
-        "repro.verification.abstraction.get_domain('interval').transform "
-        "over layer.as_abstract_ops()",
+    warnings.warn(
+        _deprecation_message(
+            "layer_interval",
+            "propagate_regions (or get_domain('interval').transform over "
+            "layer.as_abstract_ops())",
+        ),
+        DeprecationWarning,
+        stacklevel=2,
     )
     _check_ordered(lower, upper, layer_index, region_index, batched=False)
     out_lower, out_upper = _single_layer_interval(layer, lower[None], upper[None])
@@ -170,11 +177,17 @@ def layer_interval_batch(
     *,
     layer_index: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Deprecated batched twin of :func:`layer_interval` (same registry)."""
-    _deprecated(
-        "layer_interval_batch",
-        "repro.verification.abstraction.get_domain('interval').transform "
-        "over layer.as_abstract_ops()",
+    """Deprecated batched twin of :func:`layer_interval`: use
+    :func:`propagate_regions` (or ``get_domain('interval').transform``
+    over ``layer.as_abstract_ops()`` for a single layer)."""
+    warnings.warn(
+        _deprecation_message(
+            "layer_interval_batch",
+            "propagate_regions (or get_domain('interval').transform over "
+            "layer.as_abstract_ops())",
+        ),
+        DeprecationWarning,
+        stacklevel=2,
     )
     _check_ordered(lower, upper, layer_index, None, batched=True)
     return _single_layer_interval(layer, lower, upper)
@@ -192,7 +205,11 @@ def propagate_input_box(
     ``propagate_input_box(model, 0.0, 1.0, l)`` is exactly the paper's
     "verification using an input domain of ``[0, 1]^{d_l0}``".
     """
-    _deprecated("propagate_input_box", "propagate_regions")
+    warnings.warn(
+        _deprecation_message("propagate_input_box", "propagate_regions"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
     model._check_index(to_layer, allow_zero=True)
     shape = model.input_shape
     lo = np.broadcast_to(np.asarray(lower, dtype=float), shape).copy()
@@ -207,12 +224,21 @@ def propagate_input_box_batch(
     to_layer: int,
 ) -> BoxBatch:
     """Deprecated: use :func:`propagate_regions` / :func:`region_boxes`."""
-    _deprecated("propagate_input_box_batch", "propagate_regions")
+    warnings.warn(
+        _deprecation_message("propagate_input_box_batch", "propagate_regions"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return region_boxes(model, batch, to_layer)
 
 
 #: deprecated alias of the deprecated batched entry point
 def propagate_batch(model: Sequential, batch: BoxBatch, to_layer: int) -> BoxBatch:
-    """Deprecated alias of :func:`propagate_input_box_batch`."""
-    _deprecated("propagate_batch", "propagate_regions")
+    """Deprecated alias of :func:`propagate_input_box_batch`; use
+    :func:`propagate_regions` / :func:`region_boxes`."""
+    warnings.warn(
+        _deprecation_message("propagate_batch", "propagate_regions"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return region_boxes(model, batch, to_layer)

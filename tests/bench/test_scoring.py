@@ -1,0 +1,119 @@
+"""Scoring semantics: solved / unsound-penalty / PAR-2 / consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    UNSOUND_PENALTY,
+    InstanceOutcome,
+    Track,
+    rank_scores,
+    score_track,
+    verdict_disagreements,
+)
+
+
+def outcome(track="t", instance="i", status="unsat", elapsed=1.0, timeout=10.0, expected=None):
+    return InstanceOutcome(
+        track=track,
+        instance=instance,
+        status=status,
+        elapsed=elapsed,
+        timeout=timeout,
+        expected=expected,
+    )
+
+
+class TestInstanceOutcome:
+    def test_solved_statuses(self):
+        assert outcome(status="sat").solved
+        assert outcome(status="unsat").solved
+        assert not outcome(status="unknown").solved
+        assert not outcome(status="timeout").solved
+        assert not outcome(status="error").solved
+
+    def test_unsound_needs_definite_ground_truth(self):
+        assert outcome(status="sat", expected="unsat").unsound
+        assert outcome(status="unsat", expected="sat").unsound
+        assert not outcome(status="sat", expected="sat").unsound
+        assert not outcome(status="sat", expected=None).unsound
+        assert not outcome(status="sat", expected="unknown").unsound
+        assert not outcome(status="unknown", expected="sat").unsound
+
+    def test_par2_contributions(self):
+        assert outcome(status="unsat", elapsed=2.5).par2 == 2.5
+        assert outcome(status="unknown", elapsed=2.5).par2 == 20.0
+        assert outcome(status="timeout", elapsed=11.0).par2 == 20.0
+        # an unsound answer never earns its wall time back
+        assert outcome(status="sat", expected="unsat", elapsed=0.1).par2 == 20.0
+
+
+class TestTrackScore:
+    def test_aggregation_and_penalty(self):
+        rows = [
+            outcome(instance="a", status="sat", elapsed=1.0, expected="sat"),
+            outcome(instance="b", status="unsat", elapsed=2.0, expected="unsat"),
+            outcome(instance="c", status="unknown", elapsed=3.0),
+            outcome(instance="d", status="sat", elapsed=0.5, expected="unsat"),
+        ]
+        score = score_track("t", rows)
+        assert score.solved == 3 and score.unsound == 1
+        assert score.score == 3 - UNSOUND_PENALTY
+        assert score.par2 == pytest.approx((1.0 + 2.0 + 20.0 + 20.0) / 4)
+
+    def test_empty_track_is_an_error(self):
+        with pytest.raises(ValueError, match="no outcomes"):
+            score_track("ghost", [outcome(track="other")])
+
+    def test_ranking_breaks_ties_by_par2(self):
+        fast = score_track("fast", [outcome(track="fast", elapsed=0.1)])
+        slow = score_track("slow", [outcome(track="slow", elapsed=5.0)])
+        none = score_track(
+            "none", [outcome(track="none", status="unknown", elapsed=0.1)]
+        )
+        ranked = rank_scores([none, slow, fast])
+        assert [s.track for s in ranked] == ["fast", "slow", "none"]
+
+
+class TestConsistency:
+    def test_disagreement_is_flagged(self):
+        rows = [
+            outcome(track="a", instance="x", status="sat"),
+            outcome(track="b", instance="x", status="unsat"),
+            outcome(track="a", instance="y", status="unsat"),
+            outcome(track="b", instance="y", status="unsat"),
+        ]
+        problems = verdict_disagreements(rows)
+        assert len(problems) == 1
+        assert "x" in problems[0] and "a" in problems[0] and "b" in problems[0]
+
+    def test_unknown_never_disagrees(self):
+        rows = [
+            outcome(track="a", instance="x", status="unknown"),
+            outcome(track="b", instance="x", status="unsat"),
+        ]
+        assert verdict_disagreements(rows) == []
+
+
+class TestTrackParsing:
+    def test_full_spec(self):
+        track = Track.parse("mine=octagon:relaxed:highs")
+        assert track.name == "mine"
+        assert (track.domain, track.method, track.solver) == (
+            "octagon",
+            "relaxed",
+            "highs",
+        )
+
+    def test_defaults_fill_in(self):
+        track = Track.parse("zonotope")
+        assert track.name == "zonotope-exact"
+        assert track.solver == "branch-and-bound"
+
+    @pytest.mark.parametrize(
+        "spec", ["x=not-a-domain", "interval:range", "interval:exact:no-such-solver", "="]
+    )
+    def test_invalid_specs_fail_fast(self, spec):
+        with pytest.raises((ValueError, KeyError)):
+            Track.parse(spec)

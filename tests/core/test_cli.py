@@ -91,3 +91,55 @@ class TestRange:
         assert code == 0
         output = capsys.readouterr().out
         assert "waypoint" in output and "orientation" in output
+
+
+class TestBench:
+    @pytest.fixture(scope="class")
+    def suite_dir(self, tmp_path_factory):
+        from repro.bench import generate_smoke_suite
+
+        directory = tmp_path_factory.mktemp("bench-suite")
+        generate_smoke_suite(directory)
+        return directory
+
+    def test_competition_over_instance_directory(self, suite_dir, tmp_path, capsys):
+        out = tmp_path / "reports"
+        code = main(
+            [
+                "bench",
+                "--instances",
+                str(suite_dir),
+                "--out",
+                str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "reports written" in output
+        assert "PAR-2" in output
+        markdown = (out / "report.md").read_text()
+        assert "## Scores" in markdown and "PAR-2" in markdown
+        payload = json.loads((out / "report.json").read_text())
+        assert payload["ok"] is True
+        assert len(payload["tracks"]) >= 2
+
+    def test_custom_tracks_and_timeout(self, suite_dir, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--instances",
+                str(suite_dir),
+                "--out",
+                str(tmp_path / "reports"),
+                "--track",
+                "only=interval:exact:highs",
+                "--timeout",
+                "15",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "reports" / "report.json").read_text())
+        assert [t["name"] for t in payload["tracks"]] == ["only"]
+        assert all(o["timeout"] == 15 for o in payload["outcomes"])

@@ -1,0 +1,54 @@
+"""The auto-generated CLI reference cannot rot.
+
+``docs/cli.md`` is committed output of
+:func:`repro.cli_reference.render_cli_reference`; the sync test fails
+the moment a subcommand, flag, default or help string changes without
+regenerating the page (``PYTHONPATH=src python -m repro.cli_reference``).
+"""
+
+from __future__ import annotations
+
+from repro.cli import build_parser
+from repro.cli_reference import reference_path, render_cli_reference
+
+
+class TestRendering:
+    def test_every_subcommand_is_documented(self):
+        page = render_cli_reference()
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        )
+        for name in subparsers.choices:
+            assert f"## `repro {name}`" in page
+
+    def test_bench_options_are_documented(self):
+        page = render_cli_reference()
+        for flag in ("--suite", "--track", "--timeout", "--regenerate"):
+            assert flag in page
+        assert "docs/benchmarks" in page
+
+    def test_defaults_and_choices_render(self):
+        page = render_cli_reference()
+        assert "`branch-and-bound`" in page  # a default value
+        assert "`octagon`" in page  # a choices enumeration
+
+    def test_page_is_deterministic(self):
+        assert render_cli_reference() == render_cli_reference()
+
+
+class TestCommittedPageIsInSync:
+    def test_docs_cli_md_matches_fresh_rendering(self):
+        """THE sync gate: regenerate docs/cli.md when this fails."""
+        path = reference_path()
+        assert path.is_file(), (
+            "docs/cli.md is missing; generate it with "
+            "`PYTHONPATH=src python -m repro.cli_reference`"
+        )
+        committed = path.read_text()
+        fresh = render_cli_reference()
+        assert committed == fresh, (
+            "docs/cli.md is stale: the argparse tree changed without "
+            "regenerating the CLI reference; run "
+            "`PYTHONPATH=src python -m repro.cli_reference`"
+        )

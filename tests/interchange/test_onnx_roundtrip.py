@@ -1,0 +1,216 @@
+"""ONNX round-trip fidelity: export → import is the identity.
+
+The acceptance bar is the PR 4 lowering: an imported model must lower
+to a :class:`~repro.verification.ir.LoweredProgram` with **identical**
+ops (same types, bit-exact arrays) as its native construction, so every
+verification path — prescreen, MILP, CEGAR — sees exactly the same
+network whether it was built in Python or read from disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interchange import (
+    OnnxError,
+    export_onnx,
+    import_onnx,
+    model_to_onnx_bytes,
+    onnx_bytes_to_model,
+)
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.nn.layers import AvgPool2D, Identity, LeakyReLU, Sigmoid, Tanh
+from repro.nn.graph import ConvOp
+from repro.perception.network import (
+    build_direct_perception_network,
+    build_mlp_perception_network,
+)
+from repro.verification.ir import lowered_full, lowered_suffix
+
+
+def _op_arrays(op) -> list[np.ndarray]:
+    arrays = []
+    for attr in ("weight", "bias", "scale", "shift"):
+        value = getattr(op, attr, None)
+        if isinstance(value, np.ndarray):
+            arrays.append(value)
+    return arrays
+
+
+def assert_identical_lowering(native, imported, lower=lowered_full, exact=True):
+    """Same op chain, bit-exact parameters, identical shapes.
+
+    ``exact=False`` tolerates the one spec-imposed precision loss: ONNX
+    attributes are float32, so lowerings that fold a non-float32-
+    representable ``BatchNorm.eps`` into adjacent weights agree only to
+    attribute precision.
+    """
+    p1, p2 = lower(native), lower(imported)
+    assert [type(op).__name__ for op in p1.ops] == [
+        type(op).__name__ for op in p2.ops
+    ]
+    assert p1.in_dim == p2.in_dim and p1.out_dim == p2.out_dim
+    for a, b in zip(p1.ops, p2.ops):
+        for left, right in zip(_op_arrays(a), _op_arrays(b)):
+            assert left.shape == right.shape
+            if exact:
+                assert np.array_equal(left, right)  # bit-exact, not allclose
+            else:
+                assert np.allclose(left, right, rtol=1e-6, atol=1e-12)
+
+
+class TestMlpRoundTrip:
+    def test_forward_is_bit_exact(self):
+        model = build_mlp_perception_network(
+            input_dim=4, hidden=(8,), feature_width=4, seed=1
+        )
+        back = onnx_bytes_to_model(model_to_onnx_bytes(model))
+        x = np.random.default_rng(0).random((16, 4))
+        assert np.array_equal(model(x), back(x))
+
+    def test_lowered_program_identical(self):
+        model = build_mlp_perception_network(
+            input_dim=6, hidden=(12, 8), feature_width=4, seed=3
+        )
+        back = onnx_bytes_to_model(model_to_onnx_bytes(model))
+        assert_identical_lowering(model, back)
+
+    def test_suffix_lowering_identical(self):
+        model = build_mlp_perception_network(
+            input_dim=4, hidden=(8,), feature_width=4, seed=1
+        )
+        back = onnx_bytes_to_model(model_to_onnx_bytes(model))
+        assert_identical_lowering(
+            model, back, lower=lambda m: lowered_suffix(m, 0)
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        model = build_mlp_perception_network(
+            input_dim=4, hidden=(8,), feature_width=4, seed=2
+        )
+        path = export_onnx(model, tmp_path / "model.onnx")
+        assert path.stat().st_size > 0
+        back = import_onnx(path)
+        assert back.input_shape == model.input_shape
+        assert back.output_shape == model.output_shape
+
+
+class TestConvRoundTrip:
+    def test_conv_network_round_trips(self):
+        model = build_direct_perception_network(
+            input_shape=(1, 8, 8), feature_width=4, seed=4
+        )
+        back = onnx_bytes_to_model(model_to_onnx_bytes(model))
+        x = np.random.default_rng(1).random((3, 1, 8, 8))
+        # the default BatchNorm eps (1e-5) is not float32-representable,
+        # so this network agrees to ONNX attribute precision only
+        assert np.allclose(model(x), back(x), rtol=1e-6, atol=1e-12)
+        assert_identical_lowering(model, back, exact=False)
+        # conv survives in kernel form, not materialized
+        assert any(
+            isinstance(op, ConvOp) for op in lowered_full(back).ops
+        )
+
+    def test_every_supported_layer_kind(self):
+        model = Sequential(
+            [
+                # float32-representable attributes -> bit-exact round trip
+                Conv2D(2, 3, stride=1, padding=1),
+                BatchNorm(eps=2**-16),
+                ReLU(),
+                MaxPool2D(2),
+                AvgPool2D(2),
+                Flatten(),
+                Dense(6),
+                LeakyReLU(alpha=0.0625),
+                Dense(5),
+                Sigmoid(),
+                Dense(4),
+                Tanh(),
+                Identity(),
+                Dense(2),
+            ],
+            input_shape=(1, 8, 8),
+            seed=5,
+        )
+        back = onnx_bytes_to_model(model_to_onnx_bytes(model))
+        assert [type(l).__name__ for l in back.layers] == [
+            type(l).__name__ for l in model.layers
+        ]
+        x = np.random.default_rng(2).random((2, 1, 8, 8))
+        assert np.array_equal(model(x), back(x))
+        assert_identical_lowering(model, back)
+
+    def test_batchnorm_statistics_survive(self):
+        model = Sequential(
+            [Dense(8), BatchNorm(eps=2**-16), ReLU(), Dense(2)],
+            input_shape=(4,),
+            seed=6,
+        )
+        # make the running statistics non-trivial
+        rng = np.random.default_rng(3)
+        layer = model.layers[1]
+        layer.running_mean = rng.normal(size=8)
+        layer.running_var = rng.uniform(0.5, 2.0, size=8)
+        model.invalidate_lowering()
+        back = onnx_bytes_to_model(model_to_onnx_bytes(model))
+        x = rng.random((4, 4))
+        assert np.array_equal(model(x), back(x))
+
+
+class TestDropoutAndErrors:
+    def test_dropout_is_skipped_with_identical_lowering(self):
+        with_dropout = Sequential(
+            [Dense(8), ReLU(), Dropout(0.5), Dense(2)], input_shape=(4,), seed=7
+        )
+        back = onnx_bytes_to_model(model_to_onnx_bytes(with_dropout))
+        # one layer fewer, identical eval semantics and lowering
+        assert len(back.layers) == len(with_dropout.layers) - 1
+        x = np.random.default_rng(4).random((5, 4))
+        assert np.array_equal(with_dropout(x), back(x))
+        assert_identical_lowering(with_dropout, back)
+
+    def test_not_onnx_at_all(self):
+        with pytest.raises(OnnxError, match="not an ONNX model"):
+            onnx_bytes_to_model(b"\x00\x01definitely not onnx")
+        with pytest.raises(OnnxError, match="no graph"):
+            onnx_bytes_to_model(b"")
+
+    def test_unsupported_op_is_reported(self):
+        data = model_to_onnx_bytes(
+            Sequential([Dense(2)], input_shape=(2,), seed=0)
+        )
+        broken = data.replace(b"Gemm", b"LSTM")
+        with pytest.raises(OnnxError, match="LSTM"):
+            onnx_bytes_to_model(broken)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    widths=st.lists(st.integers(min_value=1, max_value=6), min_size=0, max_size=3),
+    input_dim=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_random_mlps_round_trip(widths, input_dim, seed):
+    """Any Dense/ReLU stack survives export → import bit-exactly."""
+    layers = []
+    for width in widths:
+        layers += [Dense(width), ReLU()]
+    layers.append(Dense(2))
+    model = Sequential(layers, input_shape=(input_dim,), seed=seed)
+    back = onnx_bytes_to_model(model_to_onnx_bytes(model))
+    x = np.random.default_rng(seed).random((3, input_dim))
+    assert np.array_equal(model(x), back(x))
+    assert_identical_lowering(model, back)

@@ -1,0 +1,195 @@
+"""VNN-LIB parsing/formatting: grammar coverage and round-trip identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interchange import (
+    VnnLibError,
+    format_vnnlib,
+    parse_vnnlib,
+    read_vnnlib,
+    write_vnnlib,
+)
+from repro.properties.risk import (
+    LinearInequality,
+    RiskCondition,
+    output_geq,
+    output_in_band,
+    output_leq,
+)
+
+
+class TestParsing:
+    def test_box_and_single_atom(self):
+        prop = parse_vnnlib(
+            """
+            ; a comment
+            (declare-const X_0 Real)
+            (declare-const X_1 Real)
+            (declare-const Y_0 Real)
+            (assert (>= X_0 0.25))
+            (assert (<= X_0 0.75))
+            (assert (>= X_1 0))
+            (assert (<= X_1 1))
+            (assert (>= Y_0 1.5))
+            """
+        )
+        assert prop.in_dim == 2 and prop.out_dim == 1
+        assert np.array_equal(prop.input_lower, [0.25, 0.0])
+        assert np.array_equal(prop.input_upper, [0.75, 1.0])
+        assert len(prop.disjuncts) == 1
+        (ineq,) = prop.disjuncts[0].inequalities
+        assert ineq.coeffs == (1.0,) and ineq.op == ">=" and ineq.rhs == 1.5
+
+    def test_linear_combinations(self):
+        prop = parse_vnnlib(
+            """
+            (declare-const X_0 Real)
+            (declare-const Y_0 Real)
+            (declare-const Y_1 Real)
+            (assert (>= X_0 0)) (assert (<= X_0 1))
+            (assert (<= (+ Y_0 (* -2.0 Y_1) 0.5) 3.0))
+            """
+        )
+        (ineq,) = prop.disjuncts[0].inequalities
+        assert ineq.coeffs == (1.0, -2.0)
+        assert ineq.op == "<=" and ineq.rhs == 2.5  # constant moved to rhs
+
+    def test_subtraction_and_reversed_sides(self):
+        prop = parse_vnnlib(
+            """
+            (declare-const X_0 Real)
+            (declare-const Y_0 Real)
+            (declare-const Y_1 Real)
+            (assert (>= X_0 0)) (assert (<= X_0 1))
+            (assert (<= 1.0 (- Y_0 Y_1)))
+            """
+        )
+        (ineq,) = prop.disjuncts[0].inequalities
+        # 1 <= Y_0 - Y_1  ==  -(Y_0 - Y_1) <= -1
+        a, b = ineq.normalized()
+        assert np.array_equal(a, [-1.0, 1.0]) and b == -1.0
+
+    def test_scaled_input_bound_is_normalized(self):
+        prop = parse_vnnlib(
+            """
+            (declare-const X_0 Real)
+            (declare-const Y_0 Real)
+            (assert (>= (* 2.0 X_0) 0.5))
+            (assert (<= X_0 1))
+            (assert (>= Y_0 0))
+            """
+        )
+        assert prop.input_lower[0] == 0.25
+
+    def test_conjunction_and_disjunction(self):
+        prop = parse_vnnlib(
+            """
+            (declare-const X_0 Real)
+            (declare-const Y_0 Real)
+            (declare-const Y_1 Real)
+            (assert (>= X_0 0)) (assert (<= X_0 1))
+            (assert (or (and (>= Y_0 1.0) (<= Y_1 0.0)) (and (<= Y_0 -1.0))))
+            (assert (>= Y_1 -5.0))
+            """
+        )
+        # two or-branches plus the top-level conjunction
+        assert len(prop.disjuncts) == 3
+        assert len(prop.disjuncts[0].inequalities) == 2
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ("(assert (>= Y_0 0))", "declare"),
+            (
+                "(declare-const X_0 Real)(declare-const Y_0 Real)"
+                "(assert (>= X_0 0))(assert (>= Y_0 0))",
+                "missing a lower or upper bound",
+            ),
+            (
+                "(declare-const X_0 Real)(declare-const Y_0 Real)"
+                "(assert (>= X_0 0))(assert (<= X_0 1))"
+                "(assert (>= (* Y_0 Y_0) 0))",
+                "nonlinear",
+            ),
+            (
+                "(declare-const X_0 Real)(declare-const Y_0 Real)"
+                "(assert (>= X_0 0))(assert (<= X_0 1))"
+                "(assert (>= (+ X_0 Y_0) 0))",
+                "mixes X and Y",
+            ),
+            (
+                "(declare-const X_0 Real)(declare-const X_2 Real)"
+                "(declare-const Y_0 Real)",
+                "contiguous",
+            ),
+            ("(declare-const X_0 Real", "unbalanced"),
+        ],
+    )
+    def test_rejected_inputs(self, text, message):
+        with pytest.raises(VnnLibError, match=message):
+            parse_vnnlib(text)
+
+
+class TestFormatting:
+    def test_single_disjunct_round_trip(self):
+        risk = RiskCondition("band", tuple(output_in_band(2, 0, 0.25, 0.75)))
+        text = format_vnnlib(np.zeros(3), np.ones(3), [risk])
+        prop = parse_vnnlib(text)
+        assert len(prop.disjuncts) == 1
+        assert prop.disjuncts[0].as_matrix()[1].tolist() == risk.as_matrix()[1].tolist()
+
+    def test_multi_disjunct_round_trip(self):
+        risks = [
+            RiskCondition("hi", (output_geq(2, 0, 1.5),)),
+            RiskCondition("lo", (output_leq(2, 1, -0.5),)),
+        ]
+        prop = parse_vnnlib(format_vnnlib(np.zeros(2), np.ones(2), risks))
+        assert len(prop.disjuncts) == 2
+
+    def test_file_round_trip(self, tmp_path):
+        risk = RiskCondition("r", (output_geq(2, 0, 0.125),))
+        path = write_vnnlib(
+            tmp_path / "prop.vnnlib", np.zeros(2), np.ones(2), [risk], comment="hi"
+        )
+        prop = read_vnnlib(path)
+        assert prop.name == "prop"
+        assert prop.disjuncts[0].inequalities[0].rhs == 0.125
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_inputs=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_boxes_and_coefficients_round_trip_exactly(n_inputs, data):
+    """format → parse preserves bounds and coefficients bit-for-bit."""
+    finite = st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+    lower = np.array(data.draw(st.lists(finite, min_size=n_inputs, max_size=n_inputs)))
+    width = np.array(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=n_inputs,
+                max_size=n_inputs,
+            )
+        )
+    )
+    coeffs = [
+        c if c != 0.0 else 1.0
+        for c in data.draw(st.lists(finite, min_size=2, max_size=2))
+    ]
+    rhs = data.draw(finite)
+    risk = RiskCondition("r", (LinearInequality(tuple(coeffs), ">=", rhs),))
+    prop = parse_vnnlib(format_vnnlib(lower, lower + width, [risk]))
+    assert np.array_equal(prop.input_lower, lower)
+    assert np.array_equal(prop.input_upper, lower + width)
+    (ineq,) = prop.disjuncts[0].inequalities
+    assert ineq.coeffs == tuple(coeffs)
+    assert ineq.rhs == rhs
