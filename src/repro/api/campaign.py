@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.core.verdict import VerificationVerdict
 from repro.properties.risk import RiskCondition
@@ -23,6 +23,9 @@ from repro.verification.cegar import CegarResult
 from repro.verification.output_range import OutputRange
 from repro.verification.refinement import RefinementResult
 from repro.verification.robustness import RobustnessResult
+
+if TYPE_CHECKING:
+    from repro.scenario.regions import RegionGrid
 
 
 @dataclass
@@ -63,7 +66,7 @@ class Campaign:
     @classmethod
     def from_scenario_grid(
         cls,
-        grid,
+        grid: "RegionGrid",
         risks: Sequence[RiskCondition],
         properties: Sequence[str | None] = (None,),
         name: str = "scenario-grid",
@@ -210,8 +213,8 @@ class QueryResult:
         """Shortcut to the verdict's proved flag (``None`` if no verdict)."""
         return self.verdict.proved if self.verdict is not None else None
 
-    def to_dict(self) -> dict:
-        out: dict = {
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
             "query": self.query.to_dict(),
             "elapsed": self.elapsed,
             "ladder": list(self.ladder),
@@ -285,7 +288,7 @@ class CampaignReport:
     total_time: float
     workers: int
     executor: str  #: "sequential", "process-pool[N]", or a fallback note
-    cache_stats: dict = field(default_factory=dict)
+    cache_stats: dict[str, Any] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -344,7 +347,7 @@ class CampaignReport:
             lines.append(f"  cache hits: {hits}")
         return "\n".join(lines)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "campaign": self.campaign_name,
             "total_time": self.total_time,

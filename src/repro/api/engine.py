@@ -164,6 +164,12 @@ class VerificationEngine:
         cegar_budget: int = 64,
         **solver_options,
     ):
+        from repro.analysis.contracts import ensure_registry_contracts
+
+        # fail fast (once per process) if the transformer registry lost
+        # coverage — otherwise the gap surfaces as a TypeError inside a
+        # pool worker mid-propagation
+        ensure_registry_contracts()
         model._check_index(cut_layer, allow_zero=True)
         if cut_layer not in model.piecewise_linear_cut_points():
             raise ValueError(
@@ -216,6 +222,20 @@ class VerificationEngine:
         """Drop all cached lowerings/bounds/encodings (e.g. after
         re-registering a feature set with ``overwrite=True``)."""
         self._reset_caches()
+
+    def analyze(self, domain: str | None = None):
+        """Static :class:`~repro.analysis.ir_analysis.AnalysisReport`
+        over this engine's model.
+
+        Runs the IR analyzer on the full lowered program (the suffix
+        view was already validated when the engine lowered it at
+        construction).  Passing ``domain`` additionally requires that
+        domain to cover every op, turning coverage gaps into errors —
+        useful before committing a campaign to an expensive domain.
+        """
+        from repro.analysis.ir_analysis import analyze_model
+
+        return analyze_model(self.model, domain=domain)
 
     def __getstate__(self) -> dict:
         # most caches hold per-process mutable MILP models; workers

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.properties.risk import RiskCondition
 
@@ -199,9 +200,9 @@ class VerificationQuery:
         """The cache identity of this query's encoding-relevant part."""
         return (self.set_name, self.property_name)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable description (for campaign provenance)."""
-        out: dict = {
+        out: dict[str, Any] = {
             "method": self.method.value,
             "property": self.property_name,
             "set": self.set_name,

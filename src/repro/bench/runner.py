@@ -226,6 +226,15 @@ def run_competition(
             prop = instance.load_property()
         except Exception as exc:
             load_error = f"{type(exc).__name__}: {exc}"
+        if load_error is None and model is not None:
+            # static IR check up front: an invalid model scores as an
+            # error outcome with op-indexed diagnostics instead of a
+            # numpy traceback from inside some track's propagation
+            from repro.analysis.ir_analysis import model_error_summary
+
+            diagnostics = model_error_summary(model)
+            if diagnostics is not None:
+                load_error = f"static analysis rejected model: {diagnostics}"
         for track in tracks:
             if load_error is not None:
                 outcome = InstanceOutcome(

@@ -10,6 +10,8 @@ Subcommands::
     python -m repro monitor   --out system_dir     # stream monitoring demo
     python -m repro range     --out system_dir     # output-range frontier
     python -m repro bench     --suite smoke        # track-based competition
+    python -m repro analyze   --instances DIR      # static IR + registry audit
+    python -m repro lint      src                  # repo-specific lint gate
 
 The ``build`` step persists the perception model, the feature envelope
 and characterizers into a directory; the other commands reload from it
@@ -357,6 +359,72 @@ def _range(args: argparse.Namespace) -> int:
     return 1 if report.errors else 0
 
 
+def _analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_model, audit_registry
+
+    exit_code = 0
+    payload: dict = {}
+    if not args.no_audit:
+        audit = audit_registry(smoke=args.smoke)
+        print(audit.summary())
+        payload["audit"] = {
+            "ok": audit.ok,
+            "smoke_checks": audit.smoke_checks,
+            "coverage": {k: list(v) for k, v in audit.coverage.items()},
+            "diagnostics": [d.to_dict() for d in audit.diagnostics],
+        }
+        if not audit.ok:
+            exit_code = 1
+
+    targets: list[tuple[str, object]] = []
+    if args.out is not None:
+        targets.append(
+            (f"{args.out}/perception.npz",
+             load_model(Path(args.out) / "perception.npz"))
+        )
+    for onnx_path in args.onnx:
+        from repro.interchange import import_onnx
+
+        targets.append((onnx_path, import_onnx(onnx_path)))
+    if args.instances is not None:
+        from repro.interchange.instances import load_instances
+
+        seen: set = set()
+        for instance in load_instances(args.instances):
+            if instance.model_path in seen:
+                continue
+            seen.add(instance.model_path)
+            targets.append((str(instance.model_path), instance.load_model()))
+
+    payload["reports"] = []
+    for label, model in targets:
+        report = analyze_model(model, domain=args.domain)
+        print(f"\n{label}")
+        print(report.summary())
+        payload["reports"].append({"target": label, **report.to_dict()})
+        if not report.ok:
+            exit_code = 1
+
+    if args.json is not None:
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"\nJSON report written to {args.json}")
+    return exit_code
+
+
+def _lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import RULES, lint_paths, render_findings
+
+    if args.list_rules:
+        for code, (rule, description) in sorted(RULES.items()):
+            print(f"{code}  {rule:16s} {description}")
+        return 0
+    findings = lint_paths(
+        args.paths, select=args.select or None, ignore=args.ignore or None
+    )
+    print(render_findings(findings))
+    return 1 if findings else 0
+
+
 def _positive_int(value: str) -> int:
     number = int(value)
     if number <= 0:
@@ -535,6 +603,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-instance progress"
     )
     bench.set_defaults(func=_bench)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static soundness analysis: IR validation + transformer-"
+        "registry audit",
+    )
+    analyze.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="analyze the perception model of a persisted system directory",
+    )
+    analyze.add_argument(
+        "--onnx",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="analyze an ONNX model (repeatable)",
+    )
+    analyze.add_argument(
+        "--instances",
+        default=None,
+        metavar="DIR",
+        help="analyze every distinct model of a benchmark instance "
+        "directory (instances.csv)",
+    )
+    analyze.add_argument(
+        "--domain",
+        default=None,
+        choices=["interval", "octagon", "zonotope", "symbolic"],
+        help="require this abstract domain to cover every op (coverage "
+        "gaps become errors instead of infos)",
+    )
+    analyze.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the differential soundness smoke checks on every "
+        "registered (domain, op) transformer pair",
+    )
+    analyze.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the transformer-registry audit",
+    )
+    analyze.add_argument("--json", default=None, help="write the JSON report here")
+    analyze.set_defaults(func=_analyze)
+
+    lint = sub.add_parser(
+        "lint", help="repo-specific static lint (AST rules) over Python sources"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="only run these rules (code or name, repeatable)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="skip these rules (code or name, repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    lint.set_defaults(func=_lint)
 
     return parser
 

@@ -35,6 +35,8 @@ on the model itself; training invalidates the cache (see
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.nn.graph import (
@@ -52,8 +54,11 @@ from repro.nn.graph import (
 )
 from repro.nn.tensor import FLOAT, flat_size
 
+if TYPE_CHECKING:
+    from repro.nn.sequential import Sequential
+
 #: module-level lowering-cache accounting (hit-rate asserted in CI)
-_STATS = {"hits": 0, "misses": 0}
+_STATS: dict[str, int] = {"hits": 0, "misses": 0}
 
 
 def lowering_stats() -> dict[str, int]:
@@ -88,7 +93,7 @@ class LoweredProgram(PiecewiseLinearNetwork):
         *,
         op_layers: tuple[int, ...] | None = None,
         source: str = "",
-    ):
+    ) -> None:
         super().__init__(ops, in_dim)
         self.op_layers = tuple(op_layers) if op_layers is not None else tuple(
             [None] * len(self.ops)
@@ -199,7 +204,9 @@ def _fold_elementwise(previous: IROp, ew: ElementwiseAffineOp) -> IROp | None:
     return None
 
 
-def _build_program(model, start: int, end: int, source: str) -> LoweredProgram:
+def _build_program(
+    model: "Sequential", start: int, end: int, source: str
+) -> LoweredProgram:
     ops: list[IROp] = []
     op_layers: list[int] = []
     for index in range(start, end):
@@ -245,7 +252,7 @@ def _piecewise_linear_view(program: LoweredProgram) -> LoweredProgram:
 
 
 def lower_network(
-    model,
+    model: "Sequential",
     start: int = 0,
     end: int | None = None,
     *,
@@ -263,6 +270,12 @@ def lower_network(
     The program is cached on the model keyed by ``(start, end, view)``
     and reused across prescreen, CEGAR, MILP encoding and PGD
     concretization; :func:`lowering_stats` counts hits and misses.
+
+    Every cache miss runs the static IR validator
+    (:func:`repro.analysis.ir_analysis.validate_program`), so a
+    malformed program raises an op-indexed
+    :class:`~repro.analysis.ir_analysis.IRValidationError` here instead
+    of a numpy shape error deep inside propagation or MILP encoding.
     """
     end = model.num_layers if end is None else end
     model._check_index(start, allow_zero=True)
@@ -280,20 +293,23 @@ def lower_network(
         program = _piecewise_linear_view(lower_network(model, start, end))
     else:
         program = _build_program(model, start, end, source=f"layers[{start}:{end}]")
+    from repro.analysis.ir_analysis import validate_program
+
+    validate_program(program)
     cache[key] = program
     return program
 
 
-def lowered_prefix(model, cut_layer: int) -> LoweredProgram:
+def lowered_prefix(model: "Sequential", cut_layer: int) -> LoweredProgram:
     """The abstract-propagation view of layers ``1 .. cut_layer``."""
     return lower_network(model, 0, cut_layer)
 
 
-def lowered_suffix(model, cut_layer: int) -> LoweredProgram:
+def lowered_suffix(model: "Sequential", cut_layer: int) -> LoweredProgram:
     """The MILP-encodable view of layers ``cut_layer+1 .. L``."""
     return lower_network(model, cut_layer, None, piecewise_linear=True)
 
 
-def lowered_full(model) -> LoweredProgram:
+def lowered_full(model: "Sequential") -> LoweredProgram:
     """The abstract-propagation view of the whole model."""
     return lower_network(model, 0, None)

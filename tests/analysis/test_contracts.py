@@ -1,0 +1,100 @@
+"""Registry contract audit: coverage floor, smoke checks, fail-fast."""
+
+import numpy as np
+import pytest
+
+import repro.analysis.contracts as contracts
+from repro.analysis import (
+    RegistryContractError,
+    audit_registry,
+    ensure_registry_contracts,
+)
+from repro.analysis.contracts import ALL_OPS, COVERAGE_FLOOR, _sample_op
+from repro.nn.graph import ConvOp, MaxGroupOp, ReLUOp
+from repro.verification.abstraction.domain import _TRANSFORMERS
+
+
+@pytest.fixture(autouse=True)
+def _reset_contract_flag(monkeypatch):
+    """Each test re-audits from scratch (the flag is once-per-process)."""
+    monkeypatch.setattr(contracts, "_CONTRACTS_OK", False)
+
+
+class TestAudit:
+    def test_current_registry_passes(self):
+        audit = audit_registry()
+        assert audit.ok, audit.summary()
+        assert set(audit.coverage) == {
+            "interval", "octagon", "zonotope", "symbolic",
+        }
+
+    def test_coverage_matches_the_frozen_floor(self):
+        audit = audit_registry()
+        for name, op_types in COVERAGE_FLOOR.items():
+            floor = {t.__name__ for t in op_types}
+            assert floor <= set(audit.coverage[name])
+
+    def test_smoke_checks_cover_every_registered_pair(self):
+        audit = audit_registry(smoke=True)
+        assert audit.ok, audit.summary()
+        assert audit.smoke_checks == sum(
+            len(kinds) for kinds in audit.coverage.values()
+        )
+        assert audit.smoke_checks == len(_TRANSFORMERS)
+
+    def test_smoke_audit_is_deterministic(self):
+        first = audit_registry(smoke=True, seed=7).summary()
+        second = audit_registry(smoke=True, seed=7).summary()
+        assert first == second
+
+    @pytest.mark.parametrize(
+        "pair",
+        [("interval", ReLUOp), ("zonotope", MaxGroupOp), ("octagon", ConvOp)],
+        ids=lambda p: f"{p[0]}-{p[1].__name__}",
+    )
+    def test_deleting_any_transformer_fails_the_audit(self, monkeypatch, pair):
+        monkeypatch.delitem(_TRANSFORMERS, pair)
+        audit = audit_registry()
+        assert not audit.ok
+        diag = next(d for d in audit.errors if d.code in ("RC001", "RC003"))
+        assert pair[1].__name__ in diag.message
+
+    def test_unsound_transformer_fails_the_smoke_check(self, monkeypatch):
+        sound = _TRANSFORMERS[("interval", ReLUOp)]
+
+        def shrunk(dom, op, value):
+            out = sound(dom, op, value)
+            from repro.verification.sets import BoxBatch
+
+            return BoxBatch(out.lower + 0.5, np.maximum(out.lower + 0.5, out.upper))
+
+        monkeypatch.setitem(_TRANSFORMERS, ("interval", ReLUOp), shrunk)
+        audit = audit_registry(smoke=True)
+        assert any(d.code in ("RC006", "RC007") for d in audit.errors)
+
+    def test_sample_ops_exist_for_every_primitive(self):
+        rng = np.random.default_rng(0)
+        for op_type in ALL_OPS:
+            op = _sample_op(op_type, rng)
+            assert isinstance(op, op_type)
+            out = op.apply(np.zeros((2, op.in_dim)))
+            assert out.shape == (2, op.out_dim)
+
+
+class TestEnsureContracts:
+    def test_passes_and_caches(self):
+        ensure_registry_contracts()
+        assert contracts._CONTRACTS_OK
+
+    def test_violation_raises(self, monkeypatch):
+        monkeypatch.delitem(_TRANSFORMERS, ("symbolic", ReLUOp))
+        with pytest.raises(RegistryContractError, match="ReLUOp"):
+            ensure_registry_contracts()
+        assert not contracts._CONTRACTS_OK
+
+    def test_engine_construction_fails_fast(self, monkeypatch, tiny_mlp):
+        from repro.api import VerificationEngine
+
+        monkeypatch.delitem(_TRANSFORMERS, ("octagon", ReLUOp))
+        with pytest.raises(RegistryContractError):
+            VerificationEngine(tiny_mlp, 2, solver="highs")

@@ -1,0 +1,280 @@
+"""IR analyzer: clean programs pass, malformed programs get op-indexed
+diagnostics, and the validator guards the lowering cache."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    IRValidationError,
+    analyze_model,
+    analyze_program,
+    validate_program,
+)
+from repro.analysis.ir_analysis import model_error_summary
+from repro.nn.graph import (
+    AffineOp,
+    ElementwiseAffineOp,
+    MonotoneOp,
+    ReLUOp,
+    ReshapeOp,
+)
+from repro.perception.network import (
+    build_direct_perception_network,
+    build_mlp_perception_network,
+)
+from repro.verification.ir import LoweredProgram, lowered_full, lower_network
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SMOKE_DIR = REPO_ROOT / "benchmarks" / "instances" / "smoke"
+
+
+def _program(*ops, in_dim):
+    return LoweredProgram(list(ops), in_dim, source="test")
+
+
+def _affine(rows, cols, seed=0):
+    rng = np.random.default_rng(seed)
+    return AffineOp(rng.normal(size=(rows, cols)), rng.normal(size=rows))
+
+
+class TestCleanModels:
+    def test_tiny_mlp_is_clean(self, tiny_mlp):
+        report = analyze_model(tiny_mlp)
+        assert report.ok
+        assert report.in_dim == 4 and report.out_dim == 2
+        assert [f.kind for f in report.facts] == [
+            "AffineOp", "ReLUOp", "AffineOp", "ReLUOp", "AffineOp",
+        ]
+
+    def test_tiny_convnet_is_clean(self, tiny_convnet):
+        report = analyze_model(tiny_convnet)
+        assert report.ok
+        # BatchNorm must have been folded away: no elementwise op survives
+        assert "ElementwiseAffineOp" not in {f.kind for f in report.facts}
+
+    @pytest.mark.parametrize("builder", [
+        lambda: build_direct_perception_network((1, 16, 16), feature_width=4),
+        lambda: build_mlp_perception_network(),
+    ])
+    def test_native_example_models_are_clean(self, builder):
+        report = analyze_model(builder())
+        assert report.ok, report.summary()
+
+    def test_smoke_suite_instances_are_clean(self):
+        from repro.interchange.instances import load_instances
+
+        instances = load_instances(SMOKE_DIR)
+        assert instances
+        seen = set()
+        for instance in instances:
+            if instance.model_path in seen:
+                continue
+            seen.add(instance.model_path)
+            report = analyze_model(instance.load_model())
+            assert report.ok, f"{instance.name}: {report.summary()}"
+            assert model_error_summary(instance.load_model()) is None
+
+    def test_pl_view_is_clean(self, tiny_convnet):
+        program = lower_network(tiny_convnet, 3, None, piecewise_linear=True)
+        report = analyze_program(program)
+        assert report.ok
+        assert report.source.endswith("/pl")
+
+
+class TestStructuralErrors:
+    def test_dim_mismatch_is_op_indexed(self):
+        program = _program(_affine(3, 4), ReLUOp(3), _affine(2, 3), in_dim=4)
+        program.ops[1] = ReLUOp(7)  # break the dataflow chain
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(program)
+        diags = excinfo.value.diagnostics
+        assert any(
+            d.code == "IR001" and d.op_index == 1 and d.op_kind == "ReLUOp"
+            for d in diags
+        )
+
+    def test_reshape_count_mismatch(self):
+        program = _program(ReshapeOp((4,), (2, 2)), in_dim=4)
+        program.ops[0].out_shape = (5,)  # corrupt after construction
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(program)
+        codes = {d.code for d in excinfo.value.diagnostics}
+        assert "IR002" in codes
+        assert "IR011" in codes  # metadata out_dim now also disagrees
+
+    def test_non_finite_parameters(self):
+        op = _affine(3, 4)
+        op.weight[0, 0] = np.nan
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(_program(op, in_dim=4))
+        assert any(d.code == "IR003" for d in excinfo.value.diagnostics)
+
+    def test_dtype_drift(self):
+        op = _affine(3, 4)
+        op.weight = op.weight.astype(np.float32)
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(_program(op, in_dim=4))
+        assert any(d.code == "IR010" for d in excinfo.value.diagnostics)
+
+    def test_unfused_batchnorm(self):
+        rng = np.random.default_rng(1)
+        program = _program(
+            _affine(3, 4),
+            ElementwiseAffineOp(rng.normal(size=3) + 2.0, rng.normal(size=3)),
+            in_dim=4,
+        )
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(program)
+        diag = next(
+            d for d in excinfo.value.diagnostics if d.code == "IR005"
+        )
+        assert diag.op_index == 1
+        assert "AffineOp" in diag.message
+
+    def test_unfused_check_skipped_in_pl_view(self):
+        rng = np.random.default_rng(1)
+        program = LoweredProgram(
+            [
+                _affine(3, 4),
+                ElementwiseAffineOp(
+                    rng.normal(size=3) + 2.0, rng.normal(size=3)
+                ),
+            ],
+            4,
+            source="layers[0:2]/pl",
+        )
+        validate_program(program)  # the /pl view may carry such pairs
+
+    def test_metadata_out_dim_drift(self):
+        program = _program(_affine(3, 4), in_dim=4)
+        program.out_dim = 5
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(program)
+        assert any(d.code == "IR011" for d in excinfo.value.diagnostics)
+
+    def test_valid_program_passes(self, tiny_mlp):
+        validate_program(lowered_full(tiny_mlp))
+
+
+class TestFullAnalysis:
+    def test_missing_domain_is_an_error(self, tiny_convnet):
+        report = analyze_model(tiny_convnet, domain="symbolic")
+        assert not report.ok
+        diag = next(d for d in report.errors if d.code == "IR006")
+        assert diag.op_kind == "ConvOp"
+        assert diag.op_index is not None
+        assert "symbolic" in diag.message
+
+    def test_unknown_domain_raises(self, tiny_mlp):
+        with pytest.raises(ValueError):
+            analyze_model(tiny_mlp, domain="polyhedra")
+
+    def test_coverage_gaps_are_info_without_domain(self, tiny_convnet):
+        report = analyze_model(tiny_convnet)
+        assert report.ok  # infos never fail a report
+        infos = [d for d in report.diagnostics if d.code == "IR106"]
+        assert any("symbolic" in d.message for d in infos)
+
+    def test_monotone_in_pl_view(self):
+        program = _program(MonotoneOp("tanh", 4), in_dim=4)
+        report = analyze_program(program, expect_piecewise_linear=True)
+        assert any(d.code == "IR004" for d in report.errors)
+        assert analyze_program(program).ok  # fine in the prefix view
+
+    def test_degenerate_rows_warn(self):
+        op = _affine(3, 4)
+        op.weight[1, :] = 0.0
+        report = analyze_program(_program(op, in_dim=4))
+        assert report.ok  # warnings don't fail the report
+        assert any(d.code == "IR007" for d in report.warnings)
+
+    def test_dead_ops_warn(self):
+        report = analyze_program(
+            _program(ReLUOp(4), ReLUOp(4), in_dim=4)
+        )
+        assert any(d.code == "IR008" for d in report.warnings)
+        identity = _program(
+            ElementwiseAffineOp(np.ones(4), np.zeros(4)), in_dim=4
+        )
+        assert any(
+            d.code == "IR008"
+            for d in analyze_program(identity).warnings
+        )
+
+    def test_lipschitz_growth_warns_once(self):
+        big = AffineOp(np.full((4, 4), 1e5), np.zeros(4))
+        report = analyze_program(_program(big, big, big, in_dim=4))
+        growth = [d for d in report.warnings if d.code == "IR009"]
+        assert len(growth) == 1
+
+    def test_facts_carry_dataflow(self, tiny_mlp):
+        report = analyze_model(tiny_mlp)
+        facts = report.facts
+        assert facts[0].in_dim == 4 and facts[-1].out_dim == 2
+        for before, after in zip(facts, facts[1:]):
+            assert before.out_dim == after.in_dim
+        assert all("interval" in f.domains for f in facts)
+        assert facts[-1].cumulative_gain > 0.0
+
+    def test_report_serializes(self, tiny_mlp):
+        payload = analyze_model(tiny_mlp).to_dict()
+        assert payload["ok"] is True
+        assert len(payload["facts"]) == 5
+        import json
+
+        json.dumps(payload)  # JSON-safe end to end
+
+
+class TestLoweringIntegration:
+    def test_corrupted_model_fails_at_lowering_time(self, tiny_mlp):
+        tiny_mlp.layers[0].weight.value[0, 0] = np.nan
+        with pytest.raises(IRValidationError, match="IR003"):
+            lowered_full(tiny_mlp)
+
+    def test_analyze_model_captures_lowering_failure(self, tiny_mlp):
+        tiny_mlp.layers[2].weight.value[:] = np.inf
+        report = analyze_model(tiny_mlp)
+        assert isinstance(report, AnalysisReport)
+        assert not report.ok
+        assert any(d.code == "IR003" for d in report.errors)
+
+    def test_engine_analyze(self, tiny_mlp):
+        from repro.api import VerificationEngine
+
+        engine = VerificationEngine(tiny_mlp, 2, solver="highs")
+        report = engine.analyze()
+        assert report.ok
+        assert not engine.analyze(domain="interval").errors
+
+    def test_model_error_summary_is_compact(self, tiny_mlp):
+        tiny_mlp.layers[0].weight.value[:] = np.nan
+        summary = model_error_summary(tiny_mlp)
+        assert summary is not None and "IR003" in summary
+        assert summary.count("\n") == 0
+
+
+class TestBenchRunnerIntegration:
+    def test_invalid_instance_gets_analyzer_diagnostics(self, tiny_mlp, tmp_path):
+        from repro.bench.runner import run_competition
+        from repro.bench.tracks import DEFAULT_TRACKS
+        from repro.interchange.instances import export_instance
+        from repro.properties.risk import RiskCondition, output_geq
+
+        risk = RiskCondition("r", (output_geq(2, 0, 100.0),))
+        instance = export_instance(
+            tmp_path, "bad", tiny_mlp, 0.0, 1.0, [risk], timeout=5.0
+        )
+        # corrupting the file on disk is awkward; corrupt after load instead
+        broken = instance.load_model()
+        broken.layers[0].weight.value[0, 0] = np.nan
+        object.__setattr__(instance, "load_model", lambda: broken)
+        report = run_competition(
+            [instance], [DEFAULT_TRACKS[0]], instance_dir=str(tmp_path)
+        )
+        outcome = report.outcomes[0]
+        assert outcome.status == "error"
+        assert "static analysis rejected model" in outcome.detail
+        assert "IR003" in outcome.detail

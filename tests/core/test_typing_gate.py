@@ -1,0 +1,23 @@
+"""The mypy gate, runnable wherever mypy is installed.
+
+CI runs ``mypy --config-file mypy.ini`` directly; this test mirrors the
+gate for local runs so a typing regression in the strict-checked
+modules (``repro.verification.ir``, ``repro.api.query``,
+``repro.api.campaign`` — see ``mypy.ini``) fails the suite instead of
+surfacing only on the runner.  Skipped when mypy is absent.
+"""
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_strict_modules_typecheck() -> None:
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO_ROOT / "mypy.ini")]
+    )
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"

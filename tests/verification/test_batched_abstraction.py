@@ -25,27 +25,39 @@ from repro.nn import (
     Sequential,
 )
 from repro.nn.graph import AffineOp, LeakyReLUOp, MaxGroupOp, ReLUOp, PiecewiseLinearNetwork
-from repro.verification.abstraction.interval import (
-    propagate_box,
-    propagate_box_batch,
-    transform,
-    transform_batch,
-)
+from repro.verification.abstraction.domain import get_domain
+from repro.verification.abstraction.interval import propagate_box, transform
 from repro.verification.abstraction.propagate import (
     IntervalBoundError,
     layer_interval,
     layer_interval_batch,
     propagate_input_box,
-    propagate_input_box_batch,
+    region_boxes,
 )
-from repro.verification.abstraction.zonotope import (
-    ZonotopeBatch,
-    propagate_zonotope,
-    propagate_zonotope_batch,
-)
+from repro.verification.abstraction.zonotope import ZonotopeBatch, propagate_zonotope
 from repro.verification.sets import Box, BoxBatch
 
 ATOL = 1e-9
+
+INTERVAL = get_domain("interval")
+ZONOTOPE = get_domain("zonotope")
+
+
+def _interval_batch(net, batch):
+    """Batched interval image of a whole network via the registry."""
+    return INTERVAL.propagate(net, INTERVAL.lift(batch))
+
+
+def _zonotope_batch(net, batch):
+    """Batched zonotope image of a whole network via the registry."""
+    return ZONOTOPE.propagate(net, ZONOTOPE.lift(batch))
+
+
+def _region_box(model, lower, upper, to_layer):
+    """Canonical batch-of-one replacement for propagate_input_box."""
+    return region_boxes(
+        model, BoxBatch(lower[None], upper[None]), to_layer
+    ).box(0)
 
 
 def _random_box_batch(rng, n, dim, degenerate_every=3):
@@ -115,7 +127,7 @@ class TestOpLevelDifferential:
         rng = np.random.default_rng(seed)
         net = _random_pl_network(rng, in_dim=5)
         batch = _random_box_batch(rng, n=9, dim=5)
-        out = propagate_box_batch(net, batch)
+        out = _interval_batch(net, batch)
         for i in range(len(batch)):
             ref = propagate_box(net, batch.box(i))
             np.testing.assert_allclose(out.box(i).lower, ref.lower, atol=ATOL)
@@ -126,7 +138,7 @@ class TestOpLevelDifferential:
         rng = np.random.default_rng(seed)
         net = _random_pl_network(rng, in_dim=4)
         batch = _random_box_batch(rng, n=7, dim=4)
-        out = propagate_zonotope_batch(net, batch)
+        out = _zonotope_batch(net, batch)
         for i in range(len(batch)):
             ref = propagate_zonotope(net, batch.box(i)).to_box()
             got = out.zonotope(i).to_box()
@@ -143,7 +155,7 @@ class TestOpLevelDifferential:
             MaxGroupOp(4, [np.array([0, 1]), np.array([2, 3]), np.array([0, 3])]),
         ]
         for op in ops:
-            out = transform_batch(op, batch)
+            out = INTERVAL.transform(op, batch)
             for i in range(len(batch)):
                 ref = transform(op, batch.box(i))
                 np.testing.assert_allclose(out.box(i).lower, ref.lower, atol=ATOL)
@@ -155,7 +167,7 @@ class TestOpLevelDifferential:
         net = _random_pl_network(rng, in_dim=5)
         point = rng.normal(size=(4, 5))
         batch = BoxBatch(point, point.copy())
-        out = propagate_box_batch(net, batch)
+        out = _interval_batch(net, batch)
         values = net.apply(point)
         np.testing.assert_allclose(out.lower, values, atol=1e-9)
         np.testing.assert_allclose(out.upper, values, atol=1e-9)
@@ -172,9 +184,9 @@ class TestLayerLevelDifferential:
         width = rng.uniform(0.0, 0.3, size=(n, 1, 12, 12))
         width[2] = 0.0  # degenerate member
         batch = BoxBatch(lower, lower + width)
-        out = propagate_input_box_batch(model, batch, model.num_layers)
+        out = region_boxes(model, batch, model.num_layers)
         for i in range(n):
-            ref = propagate_input_box(
+            ref = _region_box(
                 model, batch.lower[i], batch.upper[i], model.num_layers
             )
             np.testing.assert_allclose(out.box(i).lower, ref.lower, atol=ATOL)
@@ -187,9 +199,9 @@ class TestLayerLevelDifferential:
         rng = np.random.default_rng(to_layer)
         lower = rng.uniform(0.0, 0.5, size=(4, 1, 12, 12))
         batch = BoxBatch(lower, lower + rng.uniform(0.0, 0.4, size=lower.shape))
-        out = propagate_input_box_batch(model, batch, to_layer)
+        out = region_boxes(model, batch, to_layer)
         for i in range(4):
-            ref = propagate_input_box(model, batch.lower[i], batch.upper[i], to_layer)
+            ref = _region_box(model, batch.lower[i], batch.upper[i], to_layer)
             np.testing.assert_allclose(out.box(i).lower, ref.lower, atol=ATOL)
             np.testing.assert_allclose(out.box(i).upper, ref.upper, atol=ATOL)
 
@@ -198,11 +210,15 @@ class TestLayerLevelDifferential:
         layer = batched_convnet.layers[0]
         lower = rng.uniform(0.0, 0.5, size=(5, 1, 12, 12))
         upper = lower + rng.uniform(0.0, 0.5, size=lower.shape)
-        blo, bhi = layer_interval_batch(layer, lower, upper)
+        batched = BoxBatch(lower.reshape(5, -1), upper.reshape(5, -1))
+        for op in layer.as_abstract_ops():
+            batched = INTERVAL.transform(op, batched)
         for i in range(5):
-            slo, shi = layer_interval(layer, lower[i], upper[i])
-            np.testing.assert_allclose(blo[i], slo, atol=ATOL)
-            np.testing.assert_allclose(bhi[i], shi, atol=ATOL)
+            single = BoxBatch(lower[i].reshape(1, -1), upper[i].reshape(1, -1))
+            for op in layer.as_abstract_ops():
+                single = INTERVAL.transform(op, single)
+            np.testing.assert_allclose(batched.lower[i], single.lower[0], atol=ATOL)
+            np.testing.assert_allclose(batched.upper[i], single.upper[0], atol=ATOL)
 
 
 class TestSoundnessProperties:
@@ -214,7 +230,7 @@ class TestSoundnessProperties:
         rng = np.random.default_rng(seed)
         net = _random_pl_network(rng, in_dim=4)
         batch = _random_box_batch(rng, n=5, dim=4)
-        out = propagate_box_batch(net, batch)
+        out = _interval_batch(net, batch)
         for i in range(len(batch)):
             box = batch.box(i)
             points = box.sample(rng, 8)
@@ -228,7 +244,7 @@ class TestSoundnessProperties:
         rng = np.random.default_rng(seed)
         net = _random_pl_network(rng, in_dim=4)
         batch = _random_box_batch(rng, n=4, dim=4)
-        out = propagate_zonotope_batch(net, batch)
+        out = _zonotope_batch(net, batch)
         hull = out.to_box_batch()
         for i in range(len(batch)):
             points = batch.box(i).sample(rng, 8)
@@ -248,7 +264,7 @@ class TestSoundnessProperties:
         )
         lower = rng.uniform(0.0, 0.7, size=(3, 1, 6, 6))
         batch = BoxBatch(lower, lower + rng.uniform(0.0, 0.3, size=lower.shape))
-        out = propagate_input_box_batch(model, batch, model.num_layers)
+        out = region_boxes(model, batch, model.num_layers)
         for i in range(3):
             span = batch.upper[i] - batch.lower[i]
             points = batch.lower[i][None] + rng.uniform(
@@ -268,20 +284,26 @@ class TestSoundnessProperties:
         net = PiecewiseLinearNetwork(ops, 5)
         point = rng.normal(size=(6, 5))
         batch = BoxBatch(point, point.copy())
-        zb = propagate_zonotope_batch(net, batch).to_box_batch()
+        zb = _zonotope_batch(net, batch).to_box_batch()
         values = net.apply(point)
         np.testing.assert_allclose(zb.lower, values, atol=1e-9)
         np.testing.assert_allclose(zb.upper, values, atol=1e-9)
 
 
 class TestIntervalBoundErrorContext:
-    """Inverted bounds must name the failing layer and region."""
+    """Inverted bounds must name the failing layer and region.
+
+    The first three tests exercise the *deprecated* shims' context
+    plumbing on purpose (the shims stay importable until removal), so
+    they opt in to the DeprecationWarning explicitly.
+    """
 
     def test_scalar_layer_context(self, batched_convnet):
         layer = batched_convnet.layers[0]
         bad = np.ones((1, 12, 12))
-        with pytest.raises(IntervalBoundError, match="layer 3.*region 5") as exc:
-            layer_interval(layer, bad, -bad, layer_index=3, region_index=5)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(IntervalBoundError, match="layer 3.*region 5") as exc:
+                layer_interval(layer, bad, -bad, layer_index=3, region_index=5)
         assert exc.value.layer_index == 3
         assert exc.value.region_index == 5
 
@@ -290,14 +312,16 @@ class TestIntervalBoundErrorContext:
         lower = np.zeros((4, 1, 12, 12))
         upper = np.ones((4, 1, 12, 12))
         upper[2] = -1.0  # only region 2 is inverted
-        with pytest.raises(IntervalBoundError, match="region 2") as exc:
-            layer_interval_batch(layer, lower, upper, layer_index=0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(IntervalBoundError, match="region 2") as exc:
+                layer_interval_batch(layer, lower, upper, layer_index=0)
         assert exc.value.layer_index == 0
         assert exc.value.region_index == 2
 
     def test_propagate_names_entry_layer(self, batched_convnet):
-        with pytest.raises(IntervalBoundError) as exc:
-            propagate_input_box(batched_convnet, 1.0, 0.0, 2)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(IntervalBoundError) as exc:
+                propagate_input_box(batched_convnet, 1.0, 0.0, 2)
         assert exc.value.layer_index is None  # rejected before any layer ran
         assert "lower > upper" in str(exc.value)
 
@@ -330,7 +354,7 @@ class TestZonotopeBatchContainer:
         rng = np.random.default_rng(8)
         net = _random_pl_network(rng, in_dim=4)
         batch = _random_box_batch(rng, n=5, dim=4)
-        zb = propagate_zonotope_batch(net, batch)
+        zb = _zonotope_batch(net, batch)
         direction = rng.normal(size=net.out_dim)
         lo, hi = zb.linear_value_bounds(direction)
         for i in range(5):

@@ -218,10 +218,13 @@ class TestWorkers:
     def test_pool_worker_functions_round_trip(self, model, reachable):
         # the initializer/worker pair must also behave in-process
         from repro.verification.cegar import _pool_leaf_init, _pool_leaf_solve
-        from repro.verification.abstraction.propagate import propagate_input_box
+        from repro.verification.abstraction.propagate import region_boxes
+        from repro.verification.sets import BoxBatch
 
         suffix = model.suffix_network(2)
-        root = propagate_input_box(model, np.zeros(4), np.ones(4), 2)
+        root = region_boxes(
+            model, BoxBatch(np.zeros((1, 4)), np.ones((1, 4))), 2
+        ).box(0)
         _pool_leaf_init(
             suffix, root.lower, root.upper, _risk(reachable[1] + 50.0), "highs", {}
         )

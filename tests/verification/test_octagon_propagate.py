@@ -21,9 +21,18 @@ from repro.verification.abstraction.octagon import (
     box_with_diffs_from_box,
     box_with_diffs_from_zonotope,
 )
-from repro.verification.abstraction.propagate import propagate_input_box
+from repro.verification.abstraction.propagate import region_boxes
 from repro.verification.abstraction.zonotope import Zonotope, propagate_zonotope
-from repro.verification.sets import Box
+from repro.verification.sets import Box, BoxBatch
+
+
+def _input_box(model, lower, upper, to_layer):
+    """Whole-input-box prefix propagation via the canonical registry
+    path (batch of one); scalars broadcast to the input shape."""
+    shape = model.input_shape
+    lo = np.broadcast_to(np.asarray(lower, dtype=float), shape).copy()
+    hi = np.broadcast_to(np.asarray(upper, dtype=float), shape).copy()
+    return region_boxes(model, BoxBatch(lo[None], hi[None]), to_layer).box(0)
 
 
 class TestAdjacentDifferenceBounds:
@@ -90,7 +99,7 @@ class TestPropagateInputBox:
         rng = np.random.default_rng(1)
         model.forward(rng.uniform(0, 1, size=(32, 1, 8, 8)), training=True)
         cut = 7
-        box = propagate_input_box(model, 0.0, 1.0, cut)
+        box = _input_box(model, 0.0, 1.0, cut)
         images = rng.uniform(0, 1, size=(300, 1, 8, 8))
         features = model.prefix_apply(images, cut)
         assert np.all(features >= box.lower[None, :] - 1e-9)
@@ -101,7 +110,7 @@ class TestPropagateInputBox:
         rng = np.random.default_rng(2)
         model.forward(rng.uniform(0, 1, size=(32, 1, 8, 8)), training=True)
         x = rng.uniform(0, 1, size=(1, 8, 8))
-        box = propagate_input_box(model, x, x, model.num_layers)
+        box = _input_box(model, x, x, model.num_layers)
         expected = model.forward(x[None])[0]
         np.testing.assert_allclose(box.lower, expected, atol=1e-10)
         np.testing.assert_allclose(box.upper, expected, atol=1e-10)
@@ -110,7 +119,7 @@ class TestPropagateInputBox:
         model = Sequential(
             [Dense(5), Sigmoid(), Dropout(0.5), Dense(2)], input_shape=(3,), seed=3
         )
-        box = propagate_input_box(model, -1.0, 1.0, model.num_layers)
+        box = _input_box(model, -1.0, 1.0, model.num_layers)
         rng = np.random.default_rng(4)
         x = rng.uniform(-1, 1, size=(200, 3))
         out = model.forward(x)
@@ -121,15 +130,15 @@ class TestPropagateInputBox:
         model = self._convnet()
         rng = np.random.default_rng(5)
         model.forward(rng.uniform(0, 1, size=(32, 1, 8, 8)), training=True)
-        narrow = propagate_input_box(model, 0.4, 0.6, 5)
-        wide = propagate_input_box(model, 0.0, 1.0, 5)
+        narrow = _input_box(model, 0.4, 0.6, 5)
+        wide = _input_box(model, 0.0, 1.0, 5)
         assert np.all(wide.lower <= narrow.lower + 1e-12)
         assert np.all(wide.upper >= narrow.upper - 1e-12)
 
     def test_invalid_input_box(self):
         model = self._convnet()
         with pytest.raises(ValueError, match="lower > upper"):
-            propagate_input_box(model, 1.0, 0.0, 2)
+            _input_box(model, 1.0, 0.0, 2)
 
     @given(st.integers(0, 5000))
     @settings(max_examples=10, deadline=None)
