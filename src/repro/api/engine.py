@@ -62,7 +62,11 @@ from repro.perception.features import extract_features
 from repro.properties.risk import RiskCondition
 from repro.scenario.regions import RegionGrid
 from repro.verification.abstraction.domain import get_domain, precision_ladder
-from repro.verification.abstraction.propagate import propagate_regions, region_boxes
+from repro.verification.abstraction.propagate import (
+    _check_precision,
+    propagate_regions,
+    region_boxes,
+)
 from repro.verification.assume_guarantee import feature_set_from_data
 from repro.verification.cegar import (
     CegarConfig,
@@ -84,7 +88,8 @@ from repro.verification.prescreen import (
 )
 from repro.verification.refinement import verify_with_refinement
 from repro.verification.robustness import verify_local_robustness
-from repro.verification.sets import BoxBatch, FeatureSet
+from repro.verification import shm
+from repro.verification.sets import Box, BoxBatch, FeatureSet
 from repro.verification.solver import solver_spec
 from repro.verification.solver.lp import solve_lp_relaxation
 from repro.verification.solver.result import SolveResult, SolveStatus
@@ -162,6 +167,7 @@ class VerificationEngine:
         batch_prescreen: bool = True,
         cegar_workers: int = 1,
         cegar_budget: int = 64,
+        precision: str = "exact64",
         **solver_options,
     ):
         from repro.analysis.contracts import ensure_registry_contracts
@@ -194,12 +200,20 @@ class VerificationEngine:
         self.batch_prescreen = batch_prescreen
         if cegar_workers < 1 or cegar_budget < 1:
             raise ValueError("cegar_workers and cegar_budget must be >= 1")
+        _check_precision(precision)
         self.cegar_workers = cegar_workers
         self.cegar_budget = cegar_budget
+        #: "fast32" routes batched abstraction passes (region lifting,
+        #: prescreen enclosures) through the float32 raw-speed backend;
+        #: results provably contain the exact64 ones, so verdicts stay
+        #: sound.  MILP solves always run at exact64.
+        self.precision = precision
         self.characterizers: dict[str, Characterizer] = {}
         self.confusions: dict[str, ConfusionEstimate] = {}
         self._sets: dict[str, RegisteredFeatureSet] = {}
         self._refinement_images: np.ndarray | None = None
+        #: (ShmHandle, staged cache keys) while a parallel run is live
+        self._enclosure_shm: tuple[shm.ShmHandle, tuple] | None = None
         self._reset_caches()
 
     # -- cache plumbing ----------------------------------------------------
@@ -255,6 +269,11 @@ class VerificationEngine:
         state["_enclosure_cache"] = (
             dict(self._enclosure_cache) if self.cache_enabled else {}
         )
+        if self._enclosure_shm is not None:
+            # box enclosures staged in shared memory ride the ShmHandle
+            # instead of the pickle stream; workers re-attach them lazily
+            for key in self._enclosure_shm[1]:
+                state["_enclosure_cache"].pop(key, None)
         state["cache_stats"] = {}
         return state
 
@@ -401,6 +420,7 @@ class VerificationEngine:
             BoxBatch(input_box[0][None], input_box[1][None]),
             self.cut_layer,
             domain,
+            precision=self.precision,
         )
         feature_set = dom.feature_set(dom.extract(element, 0))
         self._register_set(
@@ -469,7 +489,9 @@ class VerificationEngine:
                 )
         dom = get_domain(domain)
         if batch:
-            element = propagate_regions(self.model, boxes, self.cut_layer, domain)
+            element = propagate_regions(
+                self.model, boxes, self.cut_layer, domain, precision=self.precision
+            )
             feature_sets = [
                 dom.feature_set(enclosure) for enclosure in dom.enclosures(element)
             ]
@@ -481,6 +503,7 @@ class VerificationEngine:
                     BoxBatch(boxes.lower[i][None], boxes.upper[i][None]),
                     self.cut_layer,
                     domain,
+                    precision=self.precision,
                 )
                 feature_sets.append(dom.feature_set(dom.extract(element, 0)))
         for index, (name, feature_set) in enumerate(zip(names, feature_sets)):
@@ -539,7 +562,10 @@ class VerificationEngine:
         registered = {name: self._registered(name) for name in set_names}
         if not self.cache_enabled:
             return output_enclosure_batch(
-                self.suffix, [registered[n].feature_set for n in set_names], domain
+                self.suffix,
+                [registered[n].feature_set for n in set_names],
+                domain,
+                precision=self.precision,
             )
         missing = [
             name
@@ -548,7 +574,9 @@ class VerificationEngine:
         ]
         if missing:
             sets = [registered[name].feature_set for name in missing]
-            enclosures = output_enclosure_batch(self.suffix, sets, domain)
+            enclosures = output_enclosure_batch(
+                self.suffix, sets, domain, precision=self.precision
+            )
             for name, enclosure in zip(missing, enclosures):
                 self._enclosure_cache[(name, domain)] = enclosure
             label = f"batch:prescreen-enclosure:{domain}"
@@ -561,7 +589,12 @@ class VerificationEngine:
             self._enclosure_cache,
             (set_name, domain),
             "prescreen-enclosure",
-            lambda: output_enclosure(self.suffix, registered.feature_set, domain),
+            lambda: output_enclosure(
+                self.suffix,
+                registered.feature_set,
+                domain,
+                precision=self.precision,
+            ),
         )
         if hit:
             hits.append("prescreen-enclosure")
@@ -1237,7 +1270,9 @@ class VerificationEngine:
             if len(names) < 2:
                 continue
             sets = [self._sets[name].feature_set for name in names]
-            enclosures = output_enclosure_batch(self.suffix, sets, domain)
+            enclosures = output_enclosure_batch(
+                self.suffix, sets, domain, precision=self.precision
+            )
             for name, enclosure in zip(names, enclosures):
                 self._enclosure_cache[(name, domain)] = enclosure
             label = f"batch:prescreen-enclosure:{domain}"
@@ -1305,13 +1340,65 @@ class VerificationEngine:
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else methods[0]
         )
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=context,
-            initializer=_worker_init,
-            initargs=(self,),
-        ) as pool:
-            return list(pool.map(_worker_run, queries))
+        block = self._pack_enclosure_shm()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(self,),
+            ) as pool:
+                return list(pool.map(_worker_run, queries))
+        finally:
+            self._enclosure_shm = None
+            if block is not None:
+                block.release()
+
+    def _pack_enclosure_shm(self) -> "shm.ShmBlock | None":
+        """Stage box-valued enclosure-cache entries in shared memory.
+
+        The batched prescreen plan can seed hundreds of output
+        enclosures before a parallel campaign; shipping them inside the
+        pickled engine copies every array into every worker's pipe.
+        Packing the :class:`~repro.verification.sets.Box` entries into
+        one shared segment sends only a tiny handle — workers attach the
+        segment once and rebuild the boxes as zero-copy read-only views.
+        Non-box enclosures (zonotopes, boxes-with-diffs) still pickle
+        through normally.  Returns the parent-side block to release once
+        the pool is done, or None when there is nothing to stage.
+        """
+        self._enclosure_shm = None
+        if not (self.cache_enabled and self._enclosure_cache and shm.available()):
+            return None
+        staged = [
+            (key, value)
+            for key, value in self._enclosure_cache.items()
+            if type(value) is Box
+        ]
+        if not staged:
+            return None
+        arrays: list[np.ndarray] = []
+        for _, box in staged:
+            arrays.append(box.lower)
+            arrays.append(box.upper)
+        block = shm.pack_arrays(arrays)
+        self._enclosure_shm = (block.handle, tuple(key for key, _ in staged))
+        return block
+
+    def _attach_enclosure_shm(self) -> None:
+        """Rebuild shm-staged box enclosures (worker side, post-unpickle)."""
+        if self._enclosure_shm is None:
+            return
+        handle, keys = self._enclosure_shm
+        self._enclosure_shm = None
+        try:
+            views = shm.attach(handle)
+        except (FileNotFoundError, OSError):  # parent released early
+            return
+        for index, key in enumerate(keys):
+            self._enclosure_cache[key] = Box(
+                views[2 * index], views[2 * index + 1]
+            )
 
     # -- deployment --------------------------------------------------------
 
@@ -1358,6 +1445,7 @@ _WORKER_ENGINE: VerificationEngine | None = None
 def _worker_init(engine: VerificationEngine) -> None:
     global _WORKER_ENGINE
     _WORKER_ENGINE = engine
+    engine._attach_enclosure_shm()
 
 
 def _worker_run(query: VerificationQuery) -> QueryResult:

@@ -86,13 +86,19 @@ def _build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load(out: Path, solver: str = "branch-and-bound") -> tuple[VerificationEngine, dict]:
+def _load(
+    out: Path,
+    solver: str = "branch-and-bound",
+    precision: str = "exact64",
+) -> tuple[VerificationEngine, dict]:
     """Rebuild a :class:`VerificationEngine` from a persisted system."""
     meta = json.loads((out / "meta.json").read_text())
     model = load_model(out / "perception.npz")
     with np.load(out / "features.npz") as arrays:
         train_features = arrays["train_features"]
-    engine = VerificationEngine(model, meta["cut_layer"], solver=solver)
+    engine = VerificationEngine(
+        model, meta["cut_layer"], solver=solver, precision=precision
+    )
     engine.add_feature_set_from_features(train_features, kind="box+diff")
     for name in meta["properties"]:
         network = load_model(out / f"characterizer_{name}.npz")
@@ -183,7 +189,9 @@ def _refine(args: argparse.Namespace) -> int:
     """Anytime CEGAR refinement of one scenario region (`repro refine`)."""
     from repro.scenario.regions import scenario_region_grid
 
-    engine, _ = _load(Path(args.out), solver=args.solver)
+    engine, _ = _load(
+        Path(args.out), solver=args.solver, precision=args.precision
+    )
     engine.cegar_workers = args.workers
     grid = scenario_region_grid(
         n_scenes=1,
@@ -235,7 +243,9 @@ def _refine(args: argparse.Namespace) -> int:
 
 
 def _campaign(args: argparse.Namespace) -> int:
-    engine, meta = _load(Path(args.out), solver=args.solver)
+    engine, meta = _load(
+        Path(args.out), solver=args.solver, precision=args.precision
+    )
     if args.refine_budget:
         engine.refine_fallback = True
         engine.cegar_budget = args.refine_budget
@@ -501,6 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="abstract domain for prescreen enclosures and region sets "
         "(the engine escalates its precision ladder up to this domain)",
     )
+    campaign.add_argument(
+        "--precision",
+        default="exact64",
+        choices=["exact64", "fast32"],
+        help="abstraction arithmetic: fast32 runs region lifting and "
+        "prescreen enclosures on the float32 raw-speed backend with "
+        "outward rounding (sound; MILP solves stay exact64)",
+    )
     campaign.add_argument("--json", default=None, help="write the JSON report here")
     campaign.add_argument(
         "--refine-budget",
@@ -540,6 +558,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="interval",
         choices=["interval", "octagon", "zonotope", "symbolic"],
         help="abstract domain of the per-round CEGAR frontier prescreen",
+    )
+    refine.add_argument(
+        "--precision",
+        default="exact64",
+        choices=["exact64", "fast32"],
+        help="abstraction arithmetic: fast32 runs region lifting and "
+        "prescreen enclosures on the float32 raw-speed backend with "
+        "outward rounding (sound; MILP solves stay exact64)",
     )
     refine.add_argument("--seed", type=int, default=0)
     refine.add_argument("--json", default=None, help="write the JSON result here")

@@ -1,0 +1,1108 @@
+"""Opt-in float32 fast path over the fused lowered IR.
+
+The exact transformers in :mod:`interval` / :mod:`zonotope` run float64
+numpy over the unfused program.  This module provides a *raw-speed*
+backend for the same propagations: single-precision arithmetic with
+**outward rounding budgets** at every step, so the float32 output box
+provably contains the float64 output box (and hence the true image).
+The containment direction is what makes the path usable for
+verification — a fast32 "unreachable" verdict is still sound, it is
+only allowed to be *wider* than exact64, never tighter.
+
+Soundness algebra (midpoint/radius form)
+----------------------------------------
+
+State is a pair of ``(d, nv)`` float32 buffers ``C`` (centers) and
+``R`` (radii), region-major in the contiguous axis so every kernel
+vectorizes over regions.  Each step inflates radii by a budget that
+dominates every rounding error the step can commit:
+
+- **lift** (float64 box -> float32 c/r): ``r' = r*C1 + |c|*C2 + TINY``
+  with ``C1 = 1 + 2^-21``, ``C2 = 2^-21`` — the relative slop covers
+  the downcast and the midpoint computation, ``TINY`` covers
+  underflow at zero.
+- **dot products** (conv taps / dense rows, K terms): float32
+  accumulation of K products has error ``<= gamma * sum|w||x|`` for
+  any association order, ``gamma ~ K*u`` with ``u = 2^-24``.  With
+  ``m = max|c| + max r`` an upper bound on ``max|x|`` over the input
+  state, the per-output-row pad ``gamma_K*(rowsum|w|*m + |b|) + TINY``
+  (``gamma_K = 2*(K+4)*u``) dominates the center error, the radius
+  under-accumulation, and the bias add.  Dense GEMMs additionally
+  inflate ``|W|`` multiplicatively by ``1 + 2*(K+5)*u`` because BLAS
+  may reassociate.
+- **interval re-centering** (after relu / group max): same ``C1/C2``
+  relative slop as the lift.
+
+The final extraction converts back to float64 and widens by a relative
+``2^-50`` to absorb the (exact-to-half-ulp) float64 subtraction.
+
+Backends
+--------
+
+Two interchangeable backends implement the step set:
+
+- a **C kernel backend** compiled at first use with the system ``gcc``
+  (``-O3 -march=native``): a fused conv+relu(+group-max) center/radius
+  kernel with in-register ``|w|`` and running output maxima, plus a
+  cast-transpose lift using an in-register 8x8 shuffle transpose.  The
+  compiled object is cached on disk keyed by a source hash, so pool
+  workers reuse one build.
+- a **numpy fallback** (no compiler needed) using directed lo/hi
+  gather-GEMMs; same budgets, ~2-4x instead of ~10x.
+
+Plans are built once per ``(program, padded batch width)`` and cached
+on the program, so steady-state calls are pure kernel dispatch over
+preallocated ping-pong buffers — no per-call allocation on the hot
+path.
+
+The zonotope fast path keeps the heavy ``(n, k, d)`` generator tensor
+in float32 and tracks every rounding budget in a per-coordinate
+**slack vector**, materialized as extra diagonal generators at
+extraction time.
+
+Anything the fast path cannot express (:class:`MonotoneOp`, exotic
+group structure) raises :class:`Fast32Unsupported`; callers fall back
+to the exact64 path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+import numpy as np
+
+from repro.nn.graph import (
+    AffineOp,
+    ConvOp,
+    ElementwiseAffineOp,
+    FusedAffineReLU,
+    FusedConvReLU,
+    LeakyReLUOp,
+    MaxGroupOp,
+    MonotoneOp,
+    PiecewiseLinearNetwork,
+    ReLUOp,
+    ReshapeOp,
+)
+from repro.verification.sets import BoxBatch
+
+__all__ = [
+    "Fast32Unsupported",
+    "kernel_available",
+    "plan_for",
+    "propagate_interval_fast32",
+    "propagate_zonotope_fast32",
+]
+
+_F32 = np.float32
+_U = 2.0 ** -24  # float32 unit roundoff
+_C1 = _F32(1.0 + 2.0 ** -21)  # relative slop: midpoint/downcast steps
+_C2 = _F32(2.0 ** -21)
+_TINY = _F32(1e-30)  # absolute slop: underflow floor
+_LANES = 16  # kernel vector width (floats per zmm)
+
+
+class Fast32Unsupported(Exception):
+    """The program (or an op in it) has no float32 fast-path lowering."""
+
+
+# -- C kernel: compile at first use, cache the object on disk ----------------
+
+_KERNEL_SOURCE = r"""
+#include <stdint.h>
+#include <stddef.h>
+
+#define RESTRICT __restrict__
+
+typedef float vf __attribute__((vector_size(64), aligned(4)));
+typedef int32_t vi __attribute__((vector_size(64), aligned(4)));
+typedef double vd8 __attribute__((vector_size(64), aligned(8)));
+typedef float vf8 __attribute__((vector_size(32), aligned(4)));
+typedef int32_t vi8 __attribute__((vector_size(32), aligned(4)));
+#define VL 16
+
+static inline vf vmax(vf x, vf y)
+{
+    vi m = x > y;
+    return (vf)(((vi)x & m) | ((vi)y & ~m));
+}
+
+static inline vf vabsf(vf x)
+{
+    return (vf)((vi)x & 0x7fffffff);
+}
+
+static inline vf8 vmax8(vf8 x, vf8 y)
+{
+    vi8 m = x > y;
+    return (vf8)(((vi8)x & m) | ((vi8)y & ~m));
+}
+
+static inline vf8 vabsf8(vf8 x)
+{
+    return (vf8)((vi8)x & 0x7fffffff);
+}
+
+/* Center/radius interval conv transformer with fused group-max + relu.
+ *
+ * Position-outer / filter-pair-inner loop order: each position's tap
+ * rows stay hot in L1 and are amortized across two filters per pass.
+ * idx (G*Q, K) gathers input rows (sentinel row = zero padding);
+ * w / aw are scalar (F, K) tables of the weights and their absolute
+ * values, broadcast in the inner loop — broadcasts ride the load
+ * ports, so the two vector-ALU ports carry nothing but the four FMA
+ * chains, and two lane vectors per pass amortize each broadcast.
+ * bc/br: per-filter center bias / radius pad (the caller folds every
+ * directed-rounding budget into br).  omax (2, VL): running max |c| /
+ * max r over outputs (caller zeroes first). */
+void iconv_cr(const float *RESTRICT in_c, const float *RESTRICT in_r,
+              const int32_t *RESTRICT idx,
+              const float *RESTRICT w, const float *RESTRICT aw,
+              const float *RESTRICT bc, const float *RESTRICT br,
+              float *RESTRICT out_c, float *RESTRICT out_r,
+              float *RESTRICT omax,
+              int K, int Q, int G, int nv, int F, int relu)
+{
+    const vf vzero = {0};
+    const float C1 = 1.0f + 0x1p-21f;
+    const float C2 = 0x1p-21f;
+    const float TINY = 1e-30f;
+    vf mc = *(const vf *)(omax);
+    vf mr = *(const vf *)(omax + VL);
+    int jb = 0;
+    for (; jb + 2 * VL <= nv; jb += 2 * VL) {
+        for (int q = 0; q < Q; q++) {
+            for (int f = 0; f < F; f += 2) {
+                int fpair = (f + 1 < F);
+                const float *wf0 = w + (size_t)f * K;
+                const float *af0 = aw + (size_t)f * K;
+                const float *wf1 = wf0 + (fpair ? K : 0);
+                const float *af1 = af0 + (fpair ? K : 0);
+                vf bl0A = vzero, bh0A = vzero, bl0B = vzero, bh0B = vzero;
+                vf bl1A = vzero, bh1A = vzero, bl1B = vzero, bh1B = vzero;
+                for (int g = 0; g < G; g++) {
+                    const int32_t *ix = idx + (size_t)(q * G + g) * K;
+                    vf c0A = vzero, c0B = vzero, r0A = vzero, r0B = vzero;
+                    vf c1A = vzero, c1B = vzero, r1A = vzero, r1B = vzero;
+                    for (int k = 0; k < K; k++) {
+                        size_t p = (size_t)ix[k] * nv + jb;
+                        vf rcA = *(const vf *)(in_c + p);
+                        vf rcB = *(const vf *)(in_c + p + VL);
+                        vf rrA = *(const vf *)(in_r + p);
+                        vf rrB = *(const vf *)(in_r + p + VL);
+                        vf w0 = vzero + wf0[k], a0 = vzero + af0[k];
+                        c0A += w0 * rcA; c0B += w0 * rcB;
+                        r0A += a0 * rrA; r0B += a0 * rrB;
+                        if (fpair) {
+                            vf w1 = vzero + wf1[k], a1 = vzero + af1[k];
+                            c1A += w1 * rcA; c1B += w1 * rcB;
+                            r1A += a1 * rrA; r1B += a1 * rrB;
+                        }
+                    }
+                    vf vb0 = vzero + bc[f], vp0 = vzero + br[f];
+                    vf loA = c0A + vb0 - (r0A + vp0);
+                    vf hiA = c0A + vb0 + (r0A + vp0);
+                    vf loB = c0B + vb0 - (r0B + vp0);
+                    vf hiB = c0B + vb0 + (r0B + vp0);
+                    if (g == 0) { bl0A = loA; bh0A = hiA; bl0B = loB; bh0B = hiB; }
+                    else {
+                        bl0A = vmax(bl0A, loA); bh0A = vmax(bh0A, hiA);
+                        bl0B = vmax(bl0B, loB); bh0B = vmax(bh0B, hiB);
+                    }
+                    if (fpair) {
+                        vf vb1 = vzero + bc[f+1], vp1 = vzero + br[f+1];
+                        vf lo1A = c1A + vb1 - (r1A + vp1);
+                        vf hi1A = c1A + vb1 + (r1A + vp1);
+                        vf lo1B = c1B + vb1 - (r1B + vp1);
+                        vf hi1B = c1B + vb1 + (r1B + vp1);
+                        if (g == 0) { bl1A = lo1A; bh1A = hi1A; bl1B = lo1B; bh1B = hi1B; }
+                        else {
+                            bl1A = vmax(bl1A, lo1A); bh1A = vmax(bh1A, hi1A);
+                            bl1B = vmax(bl1B, lo1B); bh1B = vmax(bh1B, hi1B);
+                        }
+                    }
+                }
+                if (relu) {
+                    bl0A = vmax(bl0A, vzero); bh0A = vmax(bh0A, vzero);
+                    bl0B = vmax(bl0B, vzero); bh0B = vmax(bh0B, vzero);
+                    bl1A = vmax(bl1A, vzero); bh1A = vmax(bh1A, vzero);
+                    bl1B = vmax(bl1B, vzero); bh1B = vmax(bh1B, vzero);
+                }
+                size_t o0 = ((size_t)f * Q + q) * nv + jb;
+                vf ocA = (bl0A + bh0A) * 0.5f;
+                vf acA = vabsf(ocA);
+                vf orA = (bh0A - bl0A) * 0.5f * C1 + acA * C2 + TINY;
+                vf ocB = (bl0B + bh0B) * 0.5f;
+                vf acB = vabsf(ocB);
+                vf orB = (bh0B - bl0B) * 0.5f * C1 + acB * C2 + TINY;
+                mc = vmax(mc, vmax(acA, acB));
+                mr = vmax(mr, vmax(orA, orB));
+                *(vf *)(out_c + o0) = ocA;
+                *(vf *)(out_c + o0 + VL) = ocB;
+                *(vf *)(out_r + o0) = orA;
+                *(vf *)(out_r + o0 + VL) = orB;
+                if (fpair) {
+                    size_t o1 = ((size_t)(f + 1) * Q + q) * nv + jb;
+                    vf oc1A = (bl1A + bh1A) * 0.5f;
+                    vf ac1A = vabsf(oc1A);
+                    vf or1A = (bh1A - bl1A) * 0.5f * C1 + ac1A * C2 + TINY;
+                    vf oc1B = (bl1B + bh1B) * 0.5f;
+                    vf ac1B = vabsf(oc1B);
+                    vf or1B = (bh1B - bl1B) * 0.5f * C1 + ac1B * C2 + TINY;
+                    mc = vmax(mc, vmax(ac1A, ac1B));
+                    mr = vmax(mr, vmax(or1A, or1B));
+                    *(vf *)(out_c + o1) = oc1A;
+                    *(vf *)(out_c + o1 + VL) = oc1B;
+                    *(vf *)(out_r + o1) = or1A;
+                    *(vf *)(out_r + o1 + VL) = or1B;
+                }
+            }
+        }
+    }
+    /* single-vector tail: nv is a multiple of VL, not always of 2*VL */
+    for (; jb < nv; jb += VL) {
+        for (int q = 0; q < Q; q++) {
+            for (int f = 0; f < F; f += 2) {
+                int fpair = (f + 1 < F);
+                const float *wf0 = w + (size_t)f * K;
+                const float *af0 = aw + (size_t)f * K;
+                const float *wf1 = wf0 + (fpair ? K : 0);
+                const float *af1 = af0 + (fpair ? K : 0);
+                vf best_lo0 = vzero, best_hi0 = vzero;
+                vf best_lo1 = vzero, best_hi1 = vzero;
+                for (int g = 0; g < G; g++) {
+                    const int32_t *ix = idx + (size_t)(q * G + g) * K;
+                    vf c0 = vzero, r0 = vzero, c1 = vzero, r1 = vzero;
+                    for (int k = 0; k < K; k++) {
+                        size_t p = (size_t)ix[k] * nv + jb;
+                        vf rc = *(const vf *)(in_c + p);
+                        vf rr = *(const vf *)(in_r + p);
+                        vf w0 = vzero + wf0[k], a0 = vzero + af0[k];
+                        c0 += w0 * rc; r0 += a0 * rr;
+                        if (fpair) {
+                            vf w1 = vzero + wf1[k], a1 = vzero + af1[k];
+                            c1 += w1 * rc; r1 += a1 * rr;
+                        }
+                    }
+                    vf cc0 = c0 + (vzero + bc[f]);
+                    vf rr0 = r0 + (vzero + br[f]);
+                    vf lo0 = cc0 - rr0, hi0 = cc0 + rr0;
+                    if (g == 0) { best_lo0 = lo0; best_hi0 = hi0; }
+                    else { best_lo0 = vmax(best_lo0, lo0); best_hi0 = vmax(best_hi0, hi0); }
+                    if (fpair) {
+                        vf cc1 = c1 + (vzero + bc[f+1]);
+                        vf rr1 = r1 + (vzero + br[f+1]);
+                        vf lo1 = cc1 - rr1, hi1 = cc1 + rr1;
+                        if (g == 0) { best_lo1 = lo1; best_hi1 = hi1; }
+                        else { best_lo1 = vmax(best_lo1, lo1); best_hi1 = vmax(best_hi1, hi1); }
+                    }
+                }
+                if (relu) {
+                    best_lo0 = vmax(best_lo0, vzero);
+                    best_hi0 = vmax(best_hi0, vzero);
+                    best_lo1 = vmax(best_lo1, vzero);
+                    best_hi1 = vmax(best_hi1, vzero);
+                }
+                vf oc0 = (best_lo0 + best_hi0) * 0.5f;
+                vf ac0 = vabsf(oc0);
+                vf or0 = (best_hi0 - best_lo0) * 0.5f * C1 + ac0 * C2 + TINY;
+                mc = vmax(mc, ac0); mr = vmax(mr, or0);
+                *(vf *)(out_c + ((size_t)f * Q + q) * nv + jb) = oc0;
+                *(vf *)(out_r + ((size_t)f * Q + q) * nv + jb) = or0;
+                if (fpair) {
+                    vf oc1 = (best_lo1 + best_hi1) * 0.5f;
+                    vf ac1 = vabsf(oc1);
+                    vf or1 = (best_hi1 - best_lo1) * 0.5f * C1 + ac1 * C2 + TINY;
+                    mc = vmax(mc, ac1); mr = vmax(mr, or1);
+                    *(vf *)(out_c + ((size_t)(f+1) * Q + q) * nv + jb) = oc1;
+                    *(vf *)(out_r + ((size_t)(f+1) * Q + q) * nv + jb) = or1;
+                }
+            }
+        }
+    }
+    *(vf *)(omax) = mc;
+    *(vf *)(omax + VL) = mr;
+}
+
+#define SV __builtin_shufflevector
+/* 8x8 in-register f32 transpose (3 shuffle stages). */
+#define TRANSPOSE8(r0,r1,r2,r3,r4,r5,r6,r7) do { \
+    vf8 t0 = SV(r0, r1, 0, 8, 1, 9, 4, 12, 5, 13); \
+    vf8 t1 = SV(r0, r1, 2, 10, 3, 11, 6, 14, 7, 15); \
+    vf8 t2 = SV(r2, r3, 0, 8, 1, 9, 4, 12, 5, 13); \
+    vf8 t3 = SV(r2, r3, 2, 10, 3, 11, 6, 14, 7, 15); \
+    vf8 t4 = SV(r4, r5, 0, 8, 1, 9, 4, 12, 5, 13); \
+    vf8 t5 = SV(r4, r5, 2, 10, 3, 11, 6, 14, 7, 15); \
+    vf8 t6 = SV(r6, r7, 0, 8, 1, 9, 4, 12, 5, 13); \
+    vf8 t7 = SV(r6, r7, 2, 10, 3, 11, 6, 14, 7, 15); \
+    vf8 u0 = SV(t0, t2, 0, 1, 8, 9, 4, 5, 12, 13); \
+    vf8 u1 = SV(t0, t2, 2, 3, 10, 11, 6, 7, 14, 15); \
+    vf8 u2 = SV(t1, t3, 0, 1, 8, 9, 4, 5, 12, 13); \
+    vf8 u3 = SV(t1, t3, 2, 3, 10, 11, 6, 7, 14, 15); \
+    vf8 u4 = SV(t4, t6, 0, 1, 8, 9, 4, 5, 12, 13); \
+    vf8 u5 = SV(t4, t6, 2, 3, 10, 11, 6, 7, 14, 15); \
+    vf8 u6 = SV(t5, t7, 0, 1, 8, 9, 4, 5, 12, 13); \
+    vf8 u7 = SV(t5, t7, 2, 3, 10, 11, 6, 7, 14, 15); \
+    r0 = SV(u0, u4, 0, 1, 2, 3, 8, 9, 10, 11); \
+    r1 = SV(u1, u5, 0, 1, 2, 3, 8, 9, 10, 11); \
+    r2 = SV(u2, u6, 0, 1, 2, 3, 8, 9, 10, 11); \
+    r3 = SV(u3, u7, 0, 1, 2, 3, 8, 9, 10, 11); \
+    r4 = SV(u0, u4, 4, 5, 6, 7, 12, 13, 14, 15); \
+    r5 = SV(u1, u5, 4, 5, 6, 7, 12, 13, 14, 15); \
+    r6 = SV(u2, u6, 4, 5, 6, 7, 12, 13, 14, 15); \
+    r7 = SV(u3, u7, 4, 5, 6, 7, 12, 13, 14, 15); \
+} while (0)
+
+/* Cast-transpose float64 bounds (n, d) into float32 (c, r) states
+ * (d, nv) with outward slop, via 8x8 in-register transpose tiles.
+ * omax (2, VL): running max |c| at omax[0], max r at omax[VL]
+ * (caller zeroes first; only lane 0 of each half is written). */
+void lift_t8(const double *RESTRICT in_lo, const double *RESTRICT in_hi,
+             float *RESTRICT out_c, float *RESTRICT out_r,
+             float *RESTRICT omax, int n, int d, int nv)
+{
+    const float C1 = 1.0f + 0x1p-21f, C2 = 0x1p-21f, TINY = 1e-30f;
+    vf8 mc8 = {0}, mr8 = {0};
+    int i0 = 0;
+    for (; i0 + 8 <= n; i0 += 8) {
+        for (int j = 0; j + 8 <= d; j += 8) {
+            vf8 c[8], r[8];
+            for (int t = 0; t < 8; t++) {
+                vd8 lo, hi;
+                __builtin_memcpy(&lo, in_lo + (size_t)(i0 + t) * d + j, sizeof lo);
+                __builtin_memcpy(&hi, in_hi + (size_t)(i0 + t) * d + j, sizeof hi);
+                vf8 cc = __builtin_convertvector(0.5 * (lo + hi), vf8);
+                vf8 r0 = __builtin_convertvector(0.5 * (hi - lo), vf8);
+                vf8 ac = vabsf8(cc);
+                vf8 rr = r0 * C1 + ac * C2 + TINY;
+                mc8 = vmax8(mc8, ac);
+                mr8 = vmax8(mr8, rr);
+                c[t] = cc; r[t] = rr;
+            }
+            TRANSPOSE8(c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]);
+            TRANSPOSE8(r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7]);
+            for (int t = 0; t < 8; t++) {
+                __builtin_memcpy(out_c + (size_t)(j + t) * nv + i0, &c[t], sizeof c[t]);
+                __builtin_memcpy(out_r + (size_t)(j + t) * nv + i0, &r[t], sizeof r[t]);
+            }
+        }
+        for (int j = d & ~7; j < d; j++)
+            for (int t = 0; t < 8; t++) {
+                double lo = in_lo[(size_t)(i0 + t) * d + j];
+                double hi = in_hi[(size_t)(i0 + t) * d + j];
+                float cs = (float)(0.5 * (lo + hi));
+                float rs = (float)(0.5 * (hi - lo)) * C1;
+                float acs = cs < 0.0f ? -cs : cs;
+                rs += acs * C2 + TINY;
+                out_c[(size_t)j * nv + i0 + t] = cs;
+                out_r[(size_t)j * nv + i0 + t] = rs;
+                if (acs > mc8[0]) mc8[0] = acs;
+                if (rs > mr8[0]) mr8[0] = rs;
+            }
+    }
+    for (; i0 < n; i0++) {
+        for (int j = 0; j < d; j++) {
+            double lo = in_lo[(size_t)i0 * d + j];
+            double hi = in_hi[(size_t)i0 * d + j];
+            float cs = (float)(0.5 * (lo + hi));
+            float rs = (float)(0.5 * (hi - lo)) * C1;
+            float acs = cs < 0.0f ? -cs : cs;
+            rs += acs * C2 + TINY;
+            out_c[(size_t)j * nv + i0] = cs;
+            out_r[(size_t)j * nv + i0] = rs;
+            if (acs > mc8[0]) mc8[0] = acs;
+            if (rs > mr8[0]) mr8[0] = rs;
+        }
+    }
+    for (int t = 0; t < 8; t++) {
+        if (mc8[t] > omax[0]) omax[0] = mc8[t];
+        if (mr8[t] > omax[VL]) omax[VL] = mr8[t];
+    }
+}
+"""
+
+_LIB: ctypes.CDLL | None | bool = None  # None = untried, False = unavailable
+
+
+def _compile_kernel() -> ctypes.CDLL | None:
+    """Build (or reuse) the kernel shared object; None when impossible."""
+    if os.environ.get("REPRO_FAST32_DISABLE_KERNEL"):
+        return None
+    digest = hashlib.sha256(_KERNEL_SOURCE.encode()).hexdigest()[:16]
+    so_path = os.path.join(
+        tempfile.gettempdir(), f"repro_fast32_{digest}.so"
+    )
+    if not os.path.exists(so_path):
+        src = so_path + ".c"
+        try:
+            with open(src, "w") as fh:
+                fh.write(_KERNEL_SOURCE)
+            for extra in (["-march=native"], []):
+                cmd = [
+                    "gcc", "-O3", "-fno-math-errno", "-shared", "-fPIC",
+                    *extra, "-o", so_path + ".tmp", src,
+                ]
+                proc = subprocess.run(cmd, capture_output=True)
+                if proc.returncode == 0:
+                    os.replace(so_path + ".tmp", so_path)
+                    break
+            else:
+                return None
+        except OSError:
+            return None
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError:
+        return None
+    fp = ctypes.POINTER(ctypes.c_float)
+    ip = ctypes.POINTER(ctypes.c_int32)
+    dp = ctypes.POINTER(ctypes.c_double)
+    lib.iconv_cr.argtypes = [fp, fp, ip, fp, fp, fp, fp, fp, fp, fp] + [
+        ctypes.c_int
+    ] * 6
+    lib.iconv_cr.restype = None
+    lib.lift_t8.argtypes = [dp, dp, fp, fp, fp] + [ctypes.c_int] * 3
+    lib.lift_t8.restype = None
+    return lib
+
+
+def _kernel() -> ctypes.CDLL | None:
+    global _LIB
+    if _LIB is None:
+        _LIB = _compile_kernel() or False
+    return _LIB or None
+
+
+def kernel_available() -> bool:
+    """True when the compiled C kernel backend is usable."""
+    return _kernel() is not None
+
+
+def _fptr(a: np.ndarray):
+    return a.ctypes.data_as(ctypes.POINTER(ctypes.c_float))
+
+
+def _iptr(a: np.ndarray):
+    return a.ctypes.data_as(ctypes.POINTER(ctypes.c_int32))
+
+
+def _dptr(a: np.ndarray):
+    return a.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+# -- plan construction --------------------------------------------------------
+
+
+def _conv_gather_idx(op: ConvOp) -> tuple[np.ndarray, int]:
+    """Gather index ``(K, P)`` mapping taps to input rows (sentinel = pad).
+
+    ``K = C*kh*kw`` taps in weight order; the sentinel row index
+    ``op.in_dim`` points at the zero row appended to every state
+    buffer, so padded taps contribute exactly zero.
+    """
+    _, channels, kh, kw = op.weight.shape
+    _, height, width = op.in_shape
+    stride = op.stride if isinstance(op.stride, int) else op.stride[0]
+    pad = op.padding
+    out_h = (height + 2 * pad - kh) // stride + 1
+    out_w = (width + 2 * pad - kw) // stride + 1
+    sentinel = op.in_dim
+    idx = np.empty((channels * kh * kw, out_h * out_w), dtype=np.int64)
+    t = 0
+    for c in range(channels):
+        for ki in range(kh):
+            for kj in range(kw):
+                p = 0
+                for oi in range(out_h):
+                    ii = oi * stride + ki - pad
+                    for oj in range(out_w):
+                        jj = oj * stride + kj - pad
+                        inside = 0 <= ii < height and 0 <= jj < width
+                        idx[t, p] = (c * height + ii) * width + jj if inside else sentinel
+                        p += 1
+                t += 1
+    return idx, out_h * out_w
+
+
+def _pool_pattern(
+    conv: ConvOp, pool: MaxGroupOp
+) -> np.ndarray | None:
+    """Spatial permutation when ``pool`` is filter-uniform over ``conv``.
+
+    The fused kernel computes ``max`` over ``G`` conv positions per
+    pooled output; that requires every group to live inside a single
+    filter's spatial block and the within-filter position pattern to
+    be identical across filters.  Returns the flattened position
+    permutation ``(Q * G,)`` (pooled-output-major) or None.
+    """
+    filters = conv.weight.shape[0]
+    per_filter = conv.out_dim // filters
+    groups = pool.groups
+    if pool.in_dim != conv.out_dim or not groups:
+        return None
+    sizes = {len(g) for g in groups}
+    if len(sizes) != 1:
+        return None
+    group_size = sizes.pop()
+    if len(groups) * group_size != conv.out_dim:
+        return None
+    pooled_per_filter = len(groups) // filters
+    if pooled_per_filter * filters != len(groups):
+        return None
+    patterns: list[list[int]] = []
+    for j, members in enumerate(groups):
+        f = j // pooled_per_filter
+        spatial = [m - f * per_filter for m in members]
+        if any(s < 0 or s >= per_filter for s in spatial):
+            return None
+        if f == 0:
+            patterns.append(spatial)
+        elif spatial != patterns[j % pooled_per_filter]:
+            return None
+    return np.asarray([p for pat in patterns for p in pat], dtype=np.int64)
+
+
+def _relu_cr(
+    yc: np.ndarray, yr: np.ndarray, out_c: np.ndarray, out_r: np.ndarray
+) -> np.ndarray:
+    """ReLU on a c/r state with outward re-centering slop; returns |c|."""
+    lo = yc - yr
+    hi = yc + yr
+    np.maximum(lo, 0.0, out=lo)
+    np.maximum(hi, 0.0, out=hi)
+    np.add(lo, hi, out=out_c)
+    out_c *= _F32(0.5)
+    np.subtract(hi, lo, out=out_r)
+    out_r *= _F32(0.5)
+    ac = np.abs(out_c)
+    out_r *= _C1
+    out_r += ac * _C2 + _TINY
+    return ac
+
+
+def _recenter(
+    lo: np.ndarray, hi: np.ndarray, out_c: np.ndarray, out_r: np.ndarray
+) -> None:
+    """lo/hi -> c/r with the outward conversion slop."""
+    np.add(lo, hi, out=out_c)
+    out_c *= _F32(0.5)
+    np.subtract(hi, lo, out=out_r)
+    out_r *= _F32(0.5)
+    out_r *= _C1
+    out_r += np.abs(out_c) * _C2 + _TINY
+
+
+def _state_scalars(c: np.ndarray, r: np.ndarray) -> float:
+    """``max|c| + max r`` — the magnitude bound feeding the next pad."""
+    return float(np.abs(c).max(initial=0.0) + r.max(initial=0.0))
+
+
+class _Buffers:
+    """One c/r state: ``(dim + 1, nv)`` with a configurable extra row.
+
+    The extra row is 0.0 when the state is gathered by a conv step
+    (sentinel = padding) and 1.0 when it feeds a dense GEMM (the
+    homogeneous-coordinate row that carries bias and pad terms).
+    """
+
+    def __init__(self, dim: int, nv: int, extra: float):
+        self.dim = dim
+        self.c = np.zeros((dim + 1, nv), dtype=_F32)
+        self.r = np.zeros((dim + 1, nv), dtype=_F32)
+        self.c[dim] = extra
+        self.r[dim] = extra
+
+    @property
+    def cv(self) -> np.ndarray:
+        return self.c[: self.dim]
+
+    @property
+    def rv(self) -> np.ndarray:
+        return self.r[: self.dim]
+
+
+class Fast32Plan:
+    """A compiled float32 propagation plan for one fused program.
+
+    Built once per ``(program, nv)``; :meth:`run` then reuses the
+    preallocated buffers and dispatches straight into the kernels.
+    ``nv`` is the batch width rounded up to the kernel lane count, so
+    one plan serves every batch of at most ``nv`` regions.
+    """
+
+    def __init__(self, program: PiecewiseLinearNetwork, nv: int):
+        if nv % _LANES:
+            raise ValueError(f"nv must be a multiple of {_LANES}, got {nv}")
+        self.nv = nv
+        self.in_dim = program.in_dim
+        self.out_dim = program.ops[-1].out_dim if program.ops else program.in_dim
+        self._lib = _kernel()
+        self._steps: list = []
+        self._build(program)
+
+    # -- build ---------------------------------------------------------------
+
+    def _build(self, program: PiecewiseLinearNetwork) -> None:
+        ops = list(program.ops)
+        # pre-scan: which state indices feed a conv gather (extra row 0)
+        # versus a dense GEMM (extra row 1)?
+        consumers: list[type | None] = []
+        pending = ops + [None]
+        steps: list[tuple] = []
+        i = 0
+        while i < len(ops):
+            op = ops[i]
+            if isinstance(op, ReshapeOp):
+                i += 1
+                continue
+            if isinstance(op, (FusedConvReLU, ConvOp)):
+                conv = op.conv if isinstance(op, FusedConvReLU) else op
+                relu = isinstance(op, FusedConvReLU)
+                pool = None
+                if i + 1 < len(ops) and isinstance(ops[i + 1], MaxGroupOp):
+                    perm = _pool_pattern(conv, ops[i + 1])
+                    if perm is not None:
+                        pool = (ops[i + 1], perm)
+                        i += 1
+                steps.append(("conv", conv, relu, pool))
+            elif isinstance(op, (FusedAffineReLU, AffineOp)):
+                affine = op.affine if isinstance(op, FusedAffineReLU) else op
+                steps.append(("dense", affine, isinstance(op, FusedAffineReLU)))
+            elif isinstance(op, ReLUOp):
+                steps.append(("relu", op))
+            elif isinstance(op, LeakyReLUOp):
+                steps.append(("leaky", op))
+            elif isinstance(op, ElementwiseAffineOp):
+                steps.append(("ew", op))
+            elif isinstance(op, MaxGroupOp):
+                steps.append(("maxgroup", op))
+            else:
+                raise Fast32Unsupported(
+                    f"no float32 fast path for {type(op).__name__}"
+                )
+            i += 1
+        del pending, consumers
+
+        # allocate the state chain: extra row value depends on consumer
+        dims = [self.in_dim]
+        for step in steps:
+            if step[0] == "conv":
+                out_dim = step[3][0].out_dim if step[3] else step[1].out_dim
+                dims.append(out_dim)
+            elif step[0] == "dense":
+                dims.append(step[1].out_dim)
+            elif step[0] == "maxgroup":
+                dims.append(step[1].out_dim)
+            else:
+                dims.append(dims[-1])
+        extras = []
+        for k in range(len(dims)):
+            consumer = steps[k][0] if k < len(steps) else None
+            extras.append(1.0 if consumer == "dense" else 0.0)
+        self._states = [
+            _Buffers(d, self.nv, extras[k]) for k, d in enumerate(dims)
+        ]
+
+        for k, step in enumerate(steps):
+            src, dst = self._states[k], self._states[k + 1]
+            kind = step[0]
+            if kind == "conv":
+                self._steps.append(self._build_conv(step, src, dst))
+            elif kind == "dense":
+                self._steps.append(self._build_dense(step, src, dst))
+            elif kind == "relu":
+                self._steps.append(self._build_relu(src, dst))
+            elif kind == "leaky":
+                self._steps.append(self._build_leaky(step[1], src, dst))
+            elif kind == "ew":
+                self._steps.append(self._build_ew(step[1], src, dst))
+            elif kind == "maxgroup":
+                self._steps.append(self._build_maxgroup(step[1], src, dst))
+
+    def _build_conv(self, step, src: _Buffers, dst: _Buffers):
+        _, conv, relu, pool = step
+        filters = conv.weight.shape[0]
+        w2d = np.ascontiguousarray(
+            conv.weight.reshape(filters, -1), dtype=_F32
+        )
+        taps = w2d.shape[1]
+        idx, positions = _conv_gather_idx(conv)
+        if pool is not None:
+            pool_op, perm = pool
+            group = len(pool_op.groups[0])
+            pooled = len(pool_op.groups) // filters
+            gather = np.ascontiguousarray(
+                idx[:, perm].T.astype(np.int32)
+            )  # (pooled * group, taps)
+        else:
+            group, pooled = 1, positions
+            gather = np.ascontiguousarray(idx.T.astype(np.int32))
+        gamma = _F32(2.0 * (taps + 4) * _U)
+        bias = np.ascontiguousarray(conv.bias, dtype=_F32)
+        rowsum_pad = gamma * np.abs(w2d).sum(axis=1)
+        bias_pad = gamma * np.abs(bias) + _TINY
+        br = np.empty(filters, dtype=_F32)
+        aw2d = np.ascontiguousarray(np.abs(w2d))
+        if self._lib is not None:
+            omax = np.zeros((2, _LANES), dtype=_F32)
+            fn = self._lib.iconv_cr
+            # every buffer is preallocated and owned by the plan, so the
+            # ctypes casts can happen once here instead of on every call
+            ptr_args = (
+                _fptr(src.c), _fptr(src.r), _iptr(gather), _fptr(w2d),
+                _fptr(aw2d), _fptr(bias), _fptr(br), _fptr(dst.c),
+                _fptr(dst.r), _fptr(omax),
+            )
+            int_args = (taps, pooled, group, self.nv, filters,
+                        1 if relu else 0)
+
+            def run(scale: float) -> float:
+                np.multiply(rowsum_pad, _F32(scale), out=br)
+                np.add(br, bias_pad, out=br)
+                omax[:] = 0.0
+                fn(*ptr_args, *int_args)
+                return float(omax[0].max() + omax[1].max())
+
+            return run
+
+        # numpy fallback: gather + einsum in the same c/r algebra
+        gather_np = gather.astype(np.int64)
+
+        def run_np(scale: float) -> float:
+            np.multiply(rowsum_pad, _F32(scale), out=br)
+            np.add(br, bias_pad, out=br)
+            cols_c = src.c[gather_np]  # (pooled*group, taps, nv)
+            cols_r = src.r[gather_np]
+            out_c = np.einsum("fk,pkv->fpv", w2d, cols_c)
+            out_r = np.einsum("fk,pkv->fpv", aw2d, cols_r)
+            out_c += bias[:, None, None]
+            out_r += br[:, None, None]
+            lo = out_c - out_r
+            hi = out_c + out_r
+            if group > 1:
+                lo = lo.reshape(filters, pooled, group, self.nv).max(axis=2)
+                hi = hi.reshape(filters, pooled, group, self.nv).max(axis=2)
+            if relu:
+                np.maximum(lo, 0.0, out=lo)
+                np.maximum(hi, 0.0, out=hi)
+            _recenter(
+                lo.reshape(-1, self.nv), hi.reshape(-1, self.nv),
+                dst.cv, dst.rv,
+            )
+            return _state_scalars(dst.cv, dst.rv)
+
+        return run_np
+
+    def _build_dense(self, step, src: _Buffers, dst: _Buffers):
+        _, affine, relu = step
+        weight = np.ascontiguousarray(affine.weight, dtype=_F32)
+        bias = np.ascontiguousarray(affine.bias, dtype=_F32)
+        out_dim, in_dim = weight.shape
+        infl = _F32(1.0 + 2.0 * (in_dim + 5) * _U)
+        gamma = _F32((in_dim + 5) * _U)
+        wc = np.zeros((out_dim, in_dim + 1), dtype=_F32)
+        wc[:, :in_dim] = weight
+        wc[:, in_dim] = bias
+        wr = np.zeros((out_dim, in_dim + 1), dtype=_F32)
+        wr[:, :in_dim] = np.abs(weight) * infl
+        rowsum_pad = gamma * np.abs(weight).sum(axis=1)
+        bias_pad = gamma * np.abs(bias) + _TINY
+        yc = np.empty((out_dim, self.nv), dtype=_F32)
+        yr = np.empty((out_dim, self.nv), dtype=_F32)
+
+        def run(scale: float) -> float:
+            np.multiply(rowsum_pad, _F32(scale), out=wr[:, in_dim])
+            wr[:, in_dim] += bias_pad
+            np.matmul(wc, src.c, out=yc)
+            np.matmul(wr, src.r, out=yr)
+            if relu:
+                ac = _relu_cr(yc, yr, dst.cv, dst.rv)
+                return float(ac.max() + dst.rv.max())
+            np.copyto(dst.cv, yc)
+            np.copyto(dst.rv, yr)
+            return _state_scalars(yc, yr)
+
+        return run
+
+    def _build_relu(self, src: _Buffers, dst: _Buffers):
+        def run(scale: float) -> float:
+            ac = _relu_cr(src.cv, src.rv, dst.cv, dst.rv)
+            return float(ac.max() + dst.rv.max())
+
+        return run
+
+    def _build_leaky(self, op: LeakyReLUOp, src: _Buffers, dst: _Buffers):
+        alpha = _F32(op.alpha)
+
+        def run(scale: float) -> float:
+            lo = src.cv - src.rv
+            hi = src.cv + src.rv
+            lo = np.where(lo >= 0.0, lo, lo * alpha)
+            hi = np.where(hi >= 0.0, hi, hi * alpha)
+            _recenter(lo, hi, dst.cv, dst.rv)
+            return _state_scalars(dst.cv, dst.rv)
+
+        return run
+
+    def _build_ew(self, op: ElementwiseAffineOp, src: _Buffers, dst: _Buffers):
+        scale32 = np.ascontiguousarray(op.scale, dtype=_F32)[:, None]
+        shift32 = np.ascontiguousarray(op.shift, dtype=_F32)[:, None]
+        ascale = np.abs(scale32)
+        ashift = np.abs(shift32)
+        # mult + add commit <= u*(|s*c| + |s*c + t|) <= 2u*(|s||c| + |t|);
+        # the scale/shift downcasts commit the same form again — 4u covers
+        slop = _F32(4.0 * _U)
+
+        def run(scale: float) -> float:
+            cv, rv = dst.cv, dst.rv
+            np.multiply(src.cv, scale32, out=cv)
+            np.add(cv, shift32, out=cv)
+            np.multiply(src.rv, ascale, out=rv)
+            rv *= _C1
+            rv += (ascale * np.abs(src.cv) + ashift) * slop + _TINY
+            return _state_scalars(cv, rv)
+
+        return run
+
+    def _build_maxgroup(self, op: MaxGroupOp, src: _Buffers, dst: _Buffers):
+        sizes = {len(g) for g in op.groups}
+        if len(sizes) == 1:
+            members = np.asarray(op.groups, dtype=np.int64)
+
+            def run(scale: float) -> float:
+                lo = src.cv - src.rv
+                hi = src.cv + src.rv
+                _recenter(
+                    lo[members].max(axis=1), hi[members].max(axis=1),
+                    dst.cv, dst.rv,
+                )
+                return _state_scalars(dst.cv, dst.rv)
+
+            return run
+
+        groups = [np.asarray(g, dtype=np.int64) for g in op.groups]
+
+        def run_ragged(scale: float) -> float:
+            lo = src.cv - src.rv
+            hi = src.cv + src.rv
+            glo = np.empty((len(groups), self.nv), dtype=_F32)
+            ghi = np.empty((len(groups), self.nv), dtype=_F32)
+            for j, g in enumerate(groups):
+                glo[j] = lo[g].max(axis=0)
+                ghi[j] = hi[g].max(axis=0)
+            _recenter(glo, ghi, dst.cv, dst.rv)
+            return _state_scalars(dst.cv, dst.rv)
+
+        return run_ragged
+
+    # -- run -----------------------------------------------------------------
+
+    def _lift(self, batch: BoxBatch) -> float:
+        n = batch.n_regions
+        state = self._states[0]
+        lo = np.ascontiguousarray(
+            batch.lower.reshape(n, -1), dtype=np.float64
+        )
+        hi = np.ascontiguousarray(
+            batch.upper.reshape(n, -1), dtype=np.float64
+        )
+        # stale lanes from a previous, larger batch would only inflate
+        # the magnitude scalars; zero them for reproducible widths
+        if n < self.nv:
+            state.cv[:, n:] = 0.0
+            state.rv[:, n:] = 0.0
+        if self._lib is not None:
+            cached = getattr(self, "_lift_ptrs", None)
+            if cached is None:
+                omax = np.zeros((2, _LANES), dtype=_F32)
+                cached = (omax, _fptr(state.c), _fptr(state.r), _fptr(omax))
+                self._lift_ptrs = cached
+            omax, cptr, rptr, optr = cached
+            omax[:] = 0.0
+            self._lib.lift_t8(
+                _dptr(lo), _dptr(hi), cptr, rptr, optr,
+                n, self.in_dim, self.nv,
+            )
+            return float(omax[0, 0] + omax[1, 0])
+        c64 = 0.5 * (lo + hi)
+        r64 = 0.5 * (hi - lo)
+        c32 = c64.T.astype(_F32)
+        r32 = r64.T.astype(_F32)
+        r32 *= _C1
+        r32 += np.abs(c32) * _C2 + _TINY
+        state.cv[:, :n] = c32
+        state.rv[:, :n] = r32
+        return _state_scalars(state.cv[:, :n], state.rv[:, :n])
+
+    def run(self, batch: BoxBatch) -> BoxBatch:
+        """Propagate a float64 box batch; returns the widened f64 hull."""
+        n = batch.n_regions
+        if n > self.nv:
+            raise ValueError(f"plan capacity {self.nv} < batch size {n}")
+        dim = int(np.prod(batch.lower.shape[1:]))
+        if dim != self.in_dim:
+            raise ValueError(
+                f"batch dim {dim} does not match program input "
+                f"{self.in_dim}"
+            )
+        scale = self._lift(batch)
+        for step in self._steps:
+            scale = step(scale)
+        out = self._states[-1]
+        center = out.cv[:, :n].astype(np.float64).T
+        radius = out.rv[:, :n].astype(np.float64).T
+        lo = center - radius
+        hi = center + radius
+        # absorb the float64 half-ulp of the subtraction itself
+        widen = 2.0 ** -50
+        lo -= np.abs(lo) * widen + 1e-300
+        hi += np.abs(hi) * widen + 1e-300
+        return BoxBatch(lo, hi)
+
+
+def plan_for(program: PiecewiseLinearNetwork, n_regions: int) -> Fast32Plan:
+    """The cached plan covering ``n_regions`` for this program."""
+    nv = max(((n_regions + _LANES - 1) // _LANES) * _LANES, _LANES)
+    cache = program.__dict__.setdefault("_fast32_plans", {})
+    plan = cache.get(nv)
+    if plan is None:
+        plan = Fast32Plan(program, nv)
+        cache[nv] = plan
+    return plan
+
+
+def propagate_interval_fast32(
+    program: PiecewiseLinearNetwork, batch: BoxBatch
+) -> BoxBatch:
+    """Interval propagation of ``batch`` through ``program`` in float32.
+
+    The result provably contains the exact64 interval image.  Raises
+    :class:`Fast32Unsupported` when the program holds an op with no
+    float32 lowering (callers fall back to the exact path).
+    """
+    return plan_for(program, batch.n_regions).run(batch)
+
+
+# -- zonotope fast path -------------------------------------------------------
+
+
+def propagate_zonotope_fast32(program: PiecewiseLinearNetwork, element):
+    """Zonotope propagation with float32 generators and slack tracking.
+
+    The ``(n, k, d)`` generator tensor — the cost center — runs in
+    float32; every rounding budget accumulates into a per-coordinate
+    ``slack`` vector that is materialized as extra *diagonal*
+    generators on extraction, so the returned float64
+    :class:`~repro.verification.abstraction.zonotope.ZonotopeBatch`
+    encloses the exact64 one.  Supports the piecewise-linear suffix op
+    set (affine / fused affine-relu / elementwise affine / relu /
+    reshape); anything else raises :class:`Fast32Unsupported`.
+    """
+    from repro.verification.abstraction.zonotope import ZonotopeBatch
+
+    for op in program.ops:
+        if not isinstance(
+            op,
+            (AffineOp, FusedAffineReLU, ElementwiseAffineOp, ReLUOp, ReshapeOp),
+        ):
+            raise Fast32Unsupported(
+                f"no float32 zonotope path for {type(op).__name__}"
+            )
+
+    cast_slop = _F32(2.0 ** -23)
+    center = np.asarray(element.center, dtype=_F32)
+    gens = np.asarray(element.generators, dtype=_F32)
+    # downcast commit: u-relative on the center and on every generator
+    slack = (np.abs(center) + np.abs(gens).sum(axis=1)) * cast_slop + _TINY
+
+    def _gen_radius() -> np.ndarray:
+        if gens.shape[1] == 0:
+            return np.zeros_like(center)
+        rad = np.abs(gens).sum(axis=1)
+        infl = _F32(1.0 + (gens.shape[1] + 2) * _U)
+        return rad * infl
+
+    for op in program.ops:
+        if isinstance(op, ReshapeOp):
+            continue
+        relu_after = isinstance(op, (FusedAffineReLU, ReLUOp))
+        affine = op.affine if isinstance(op, FusedAffineReLU) else op
+        if isinstance(affine, AffineOp):
+            weight = np.asarray(affine.weight, dtype=_F32)
+            bias = np.asarray(affine.bias, dtype=_F32)
+            aweight = np.abs(weight)
+            gamma = _F32((affine.in_dim + 6) * _U)
+            mag = float(
+                np.abs(center).max(initial=0.0)
+                + (np.abs(gens).sum(axis=1).max(initial=0.0) if gens.size else 0.0)
+                + slack.max(initial=0.0)
+            )
+            pad = gamma * (aweight.sum(axis=1) * _F32(mag) + np.abs(bias))
+            center = center @ weight.T + bias
+            gens = gens @ weight.T if gens.size else np.zeros(
+                (center.shape[0], 0, affine.out_dim), dtype=_F32
+            )
+            slack = slack @ aweight.T
+            slack *= _C1
+            slack += pad[None, :] + _TINY
+        elif isinstance(op, ElementwiseAffineOp):
+            scale = np.asarray(op.scale, dtype=_F32)
+            shift = np.asarray(op.shift, dtype=_F32)
+            slop = _F32(4.0 * _U)
+            pad = (np.abs(scale) * np.abs(center) + np.abs(shift)) * slop
+            center = center * scale + shift
+            if gens.size:
+                gens = gens * scale[None, None, :]
+            slack = slack * np.abs(scale)
+            slack *= _C1
+            slack += pad + _TINY
+        if relu_after:
+            rad = _gen_radius() + slack
+            lo64 = center.astype(np.float64) - rad.astype(np.float64)
+            hi64 = center.astype(np.float64) + rad.astype(np.float64)
+            hi64 = np.maximum(hi64, 0.0)
+            crossing = (lo64 < 0.0) & (hi64 > 0.0)
+            denom = np.where(crossing, hi64 - lo64, 1.0)
+            lam64 = np.where(crossing, hi64 / denom, (lo64 >= 0.0) * 1.0)
+            mu64 = np.where(crossing, -0.5 * lam64 * lo64, 0.0)
+            # outward float64->float32 commits: one u-relative each
+            lam32 = lam64.astype(_F32)
+            new_center64 = lam64 * center.astype(np.float64) + mu64
+            center = new_center64.astype(_F32)
+            if gens.size:
+                gens = gens * lam32[:, None, :]
+            gen_mag = (
+                np.abs(gens).sum(axis=1) if gens.size else np.zeros_like(slack)
+            )
+            slack = (
+                slack * lam32 * _C1
+                + (np.abs(center) + gen_mag) * cast_slop
+                + np.abs(mu64).astype(_F32) * cast_slop
+                + _TINY
+            )
+            mu32 = mu64.astype(_F32)
+            mu32 += np.abs(mu32) * cast_slop + _TINY
+            fresh = np.zeros(
+                (center.shape[0], center.shape[1], center.shape[1]),
+                dtype=_F32,
+            )
+            idx = np.arange(center.shape[1])
+            fresh[:, idx, idx] = mu32
+            gens = (
+                np.concatenate([gens, fresh], axis=1) if gens.size else fresh
+            )
+
+    n, d = center.shape
+    diag = np.zeros((n, d, d), dtype=np.float64)
+    idx = np.arange(d)
+    diag[:, idx, idx] = slack.astype(np.float64)
+    out_gens = (
+        np.concatenate([gens.astype(np.float64), diag], axis=1)
+        if gens.size
+        else diag
+    )
+    return ZonotopeBatch(center.astype(np.float64), out_gens)

@@ -34,6 +34,7 @@ from repro.nn.graph import (
 from repro.verification.abstraction.domain import (
     AbstractDomain,
     register_domain,
+    register_fused_transformers,
     register_transformer,
 )
 from repro.verification.sets import Box, BoxBatch
@@ -115,6 +116,9 @@ def _reshape(domain, op: ReshapeOp, batch: BoxBatch) -> BoxBatch:
 def _monotone(domain, op: MonotoneOp, batch: BoxBatch) -> BoxBatch:
     """Exact interval image of an elementwise monotone activation."""
     return BoxBatch(op.apply(batch.lower), op.apply(batch.upper))
+
+
+register_fused_transformers("interval")
 
 
 class IntervalDomain(AbstractDomain):

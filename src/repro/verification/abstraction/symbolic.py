@@ -39,6 +39,7 @@ from repro.nn.graph import (
 from repro.verification.abstraction.domain import (
     AbstractDomain,
     register_domain,
+    register_fused_transformers,
     register_transformer,
 )
 from repro.verification.abstraction.interval import INTERVAL
@@ -332,6 +333,9 @@ def _max_group(domain, op: MaxGroupOp, element: SymbolicBatch) -> SymbolicBatch:
 @register_transformer("symbolic", ReshapeOp)
 def _reshape(domain, op: ReshapeOp, element: SymbolicBatch) -> SymbolicBatch:
     return element
+
+
+register_fused_transformers("symbolic", conv=False)
 
 
 class SymbolicDomain(AbstractDomain):

@@ -65,6 +65,7 @@ from repro.verification.abstraction.propagate import region_boxes
 from repro.verification.ir import lowered_full
 from repro.verification.output_range import trivial_reachability_risk
 from repro.verification.prescreen import prescreen_batch, screen_enclosure, output_enclosure
+from repro.verification import shm
 from repro.verification.sets import Box, BoxBatch, bisect_bounds
 from repro.verification.solver import solver_spec
 from repro.verification.solver.result import SolveResult, SolveStatus
@@ -410,6 +411,24 @@ def _pool_leaf_solve(bounds: tuple[np.ndarray, np.ndarray]) -> SolveResult:
     return _POOL_SOLVER.solve(Box(bounds[0], bounds[1]))
 
 
+def _pool_leaf_solve_shm(task: tuple["shm.ShmHandle", int]) -> SolveResult:
+    """Solve leaf ``index`` of a shared-memory round batch.
+
+    The round's stacked leaf bounds live in one shared segment packed
+    by the parent (:meth:`CegarLoop._solve_leaves`); the task payload
+    is just the segment handle plus an index, so nothing box-sized is
+    pickled per leaf.
+    """
+    assert _POOL_SOLVER is not None, "pool worker used before initialization"
+    handle, index = task
+    lower, upper = shm.attach(handle)
+    # copy out of the segment: the parent unlinks it after the round,
+    # and the solver may hold bounds past this call
+    return _POOL_SOLVER.solve(
+        Box(lower[index].copy(), upper[index].copy())
+    )
+
+
 class CegarLoop:
     """Anytime CEGAR refinement of one input region against one risk.
 
@@ -504,6 +523,8 @@ class CegarLoop:
         self.decided_volume = 0.0
         self.subproblems_processed = 0
         self._pool_workers = 1
+        self._pool_size = 1
+        self._pool: ProcessPoolExecutor | None = None
         self._poisoned = False
         self.counterexample: InputCounterexample | None = None
         self.trace = RefinementTrace()
@@ -719,30 +740,67 @@ class CegarLoop:
         return self._root_cut_box
 
     def _solve_leaves(
-        self, leaves: list[tuple[Subproblem, Box]], pool: ProcessPoolExecutor | None
+        self, leaves: list[tuple[Subproblem, Box]]
     ) -> list[SolveResult]:
         if not leaves:
             return []
-        if pool is not None and len(leaves) > 1:
+        if self._pool is not None and len(leaves) > 1:
+            # chunk so per-task IPC amortizes over several tiny solves;
+            # sized from the worker count captured at pool creation, not
+            # from self._pool_workers (a degrade resets that to 1, which
+            # would silently collapse later rounds into one giant chunk)
+            chunk = max(1, len(leaves) // (4 * self._pool_size))
+            block: shm.ShmBlock | None = None
             try:
-                # chunk so per-task IPC amortizes over several tiny solves
-                chunk = max(1, len(leaves) // (4 * self._pool_workers))
+                if shm.available():
+                    # one segment per round: tasks carry (handle, index)
+                    # instead of a pickled box each
+                    block = shm.pack_arrays(
+                        [
+                            np.stack([b.lower for _, b in leaves]),
+                            np.stack([b.upper for _, b in leaves]),
+                        ]
+                    )
+                    tasks = [
+                        (block.handle, i) for i in range(len(leaves))
+                    ]
+                    return list(
+                        self._pool.map(
+                            _pool_leaf_solve_shm, tasks, chunksize=chunk
+                        )
+                    )
                 return list(
-                    pool.map(
+                    self._pool.map(
                         _pool_leaf_solve,
                         [(b.lower, b.upper) for _, b in leaves],
                         chunksize=chunk,
                     )
                 )
             except BrokenProcessPool:
-                # pool died mid-run: degrade to sequential, visibly
+                # pool died mid-run: degrade to sequential, visibly —
+                # and drop the dead executor so later rounds don't
+                # re-submit to it (each submit would raise and leak the
+                # broken worker bookkeeping until run() exits)
+                self._discard_pool()
                 self._pool_workers = 1
+            finally:
+                if block is not None:
+                    block.release()
             # genuine solve errors (not pool infrastructure) propagate
         results = []
         for _, box in leaves:
             self._ensure_leaf_solver()  # per-solve re-encode if not reusing
             results.append(self._leaf_solver.solve(box))
         return results
+
+    def _discard_pool(self) -> None:
+        """Drop the round pool (idempotent; tolerates broken executors)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken-pool teardown
+                pass
 
     def _make_pool(self, workers: int) -> ProcessPoolExecutor | None:
         """One pool per :meth:`run` call, shared by every round's leaves.
@@ -755,6 +813,7 @@ class CegarLoop:
         """
         workers = min(workers, os.cpu_count() or 1)
         self._pool_workers = workers
+        self._pool_size = max(workers, 1)
         if workers <= 1 or self.config.solver is None:
             self._pool_workers = 1
             return None
@@ -814,9 +873,9 @@ class CegarLoop:
             )
         start = time.perf_counter()
         processed_before = self.subproblems_processed
-        pool = self._make_pool(workers)
+        self._pool = self._make_pool(workers)
         try:
-            return self._run_rounds(budget, processed_before, pool, start)
+            return self._run_rounds(budget, processed_before, start)
         except Exception:
             # popped-but-undecided subproblems are lost with the round;
             # refusing further runs keeps an eventual empty frontier
@@ -824,6 +883,7 @@ class CegarLoop:
             self._poisoned = True
             raise
         finally:
+            pool, self._pool = self._pool, None
             if pool is not None:
                 pool.shutdown()
 
@@ -831,7 +891,6 @@ class CegarLoop:
         self,
         budget: int,
         processed_before: int,
-        pool: ProcessPoolExecutor | None,
         start: float,
     ) -> CegarResult:
         config = self.config
@@ -880,7 +939,7 @@ class CegarLoop:
                     if sub.depth >= config.solve_depth
                 ]
                 if leaves:
-                    results = self._solve_leaves(leaves, pool)
+                    results = self._solve_leaves(leaves)
                     solved = set()
                     for (sub, _), result in zip(leaves, results):
                         if result.status is SolveStatus.UNSAT:

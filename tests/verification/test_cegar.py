@@ -330,3 +330,109 @@ class TestValidation:
         clone = pickle.loads(pickle.dumps(loop))
         assert clone.frontier_size == loop.frontier_size
         assert clone.decided_volume == loop.decided_volume
+
+
+class TestPoolLifecycle:
+    """Round-pool failure handling and chunk sizing (regression tests).
+
+    Two bugs flushed out by the shared-memory handoff work: a pool that
+    died mid-round used to stay referenced (every later round re-raised
+    ``BrokenProcessPool`` against the dead executor), and the map chunk
+    size was derived from ``_pool_workers`` — which the degrade path
+    resets to 1, silently collapsing later rounds into one giant chunk.
+    """
+
+    @staticmethod
+    def _loop_with_fake_solver(model, solved):
+        class FakeLeafSolver:
+            def solve(self, box):
+                solved.append(box)
+                from repro.verification.solver.result import SolveResult
+
+                return SolveResult(status=SolveStatus.UNSAT)
+
+        return CegarLoop(
+            model, _risk(100.0), 0.0, 1.0, cut_layer=2,
+            config=CegarConfig(solve_depth=1),
+            leaf_solver=FakeLeafSolver(),
+        )
+
+    @staticmethod
+    def _leaves(n):
+        return [
+            (
+                Subproblem(
+                    np.zeros(4), np.ones(4), depth=1, volume=0.5, path=f"/{i}"
+                ),
+                Box(np.full(4, float(i)), np.full(4, float(i) + 1.0)),
+            )
+            for i in range(n)
+        ]
+
+    def test_broken_pool_is_dropped_and_round_degrades(self, model):
+        from concurrent.futures.process import BrokenProcessPool
+
+        solved: list = []
+        loop = self._loop_with_fake_solver(model, solved)
+
+        class DeadPool:
+            shutdowns = 0
+
+            def map(self, *args, **kwargs):
+                raise BrokenProcessPool("worker died")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                DeadPool.shutdowns += 1
+
+        loop._pool = DeadPool()
+        loop._pool_size = 2
+        loop._pool_workers = 2
+
+        results = loop._solve_leaves(self._leaves(3))
+        assert len(results) == 3  # degraded to sequential, same round
+        assert len(solved) == 3
+        # the dead executor must not be re-submitted to next round
+        assert loop._pool is None
+        assert loop._pool_workers == 1
+        assert DeadPool.shutdowns == 1
+
+        solved.clear()
+        assert len(loop._solve_leaves(self._leaves(2))) == 2
+        assert len(solved) == 2  # sequential from here on, no pool error
+
+    def test_chunk_size_uses_pool_size_captured_at_creation(self, model):
+        captured = {}
+
+        class RecordingPool:
+            def map(self, fn, tasks, chunksize=None):
+                tasks = list(tasks)
+                captured["chunksize"] = chunksize
+                captured["n_tasks"] = len(tasks)
+                from repro.verification.solver.result import SolveResult
+
+                return [SolveResult(status=SolveStatus.UNSAT) for _ in tasks]
+
+        loop = self._loop_with_fake_solver(model, [])
+        loop._pool = RecordingPool()
+        loop._pool_size = 4  # captured at _make_pool time
+        loop._pool_workers = 1  # the degrade-reset value that broke sizing
+
+        results = loop._solve_leaves(self._leaves(40))
+        assert len(results) == 40
+        assert captured["n_tasks"] == 40
+        # 40 leaves / (4 * pool_size) — not 40 / (4 * _pool_workers) = 10
+        assert captured["chunksize"] == 2
+
+    def test_discard_pool_is_idempotent_and_swallows_teardown_errors(
+        self, model
+    ):
+        loop = self._loop_with_fake_solver(model, [])
+
+        class ExplodingPool:
+            def shutdown(self, wait=True, cancel_futures=False):
+                raise RuntimeError("already broken")
+
+        loop._pool = ExplodingPool()
+        loop._discard_pool()  # must swallow the teardown error
+        assert loop._pool is None
+        loop._discard_pool()  # and be a no-op afterwards

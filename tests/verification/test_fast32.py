@@ -1,0 +1,276 @@
+"""The float32 raw-speed backend: containment, fusion, plan mechanics.
+
+The backend's one contract is *containment*: every hull it returns must
+enclose the exact64 hull of the same propagation (outward rounding makes
+float32 arithmetic sound instead of merely fast).  The hypothesis tests
+here drive that differentially per op kind — random weights, random
+boxes, magnitudes spanning several decades — for both the interval and
+the zonotope fast paths, including the fused ops the lowering pass
+produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.graph import (
+    AffineOp,
+    ConvOp,
+    ElementwiseAffineOp,
+    FusedAffineReLU,
+    FusedConvReLU,
+    LeakyReLUOp,
+    MaxGroupOp,
+    MonotoneOp,
+    PiecewiseLinearNetwork,
+    ReLUOp,
+    ReshapeOp,
+)
+from repro.verification.abstraction import fast32
+from repro.verification.abstraction.domain import get_domain
+from repro.verification.ir import fused_view
+from repro.verification.sets import BoxBatch
+
+
+def _op(kind: str, rng: np.random.Generator, scale: float):
+    if kind == "affine":
+        return AffineOp(rng.normal(size=(3, 4)) * scale, rng.normal(size=3))
+    if kind == "ew":
+        return ElementwiseAffineOp(
+            rng.normal(size=4) * scale, rng.normal(size=4)
+        )
+    if kind == "relu":
+        return ReLUOp(4)
+    if kind == "leaky":
+        return LeakyReLUOp(4, alpha=0.1)
+    if kind == "maxgroup":
+        return MaxGroupOp(4, [[0, 1], [2, 3], [1, 2]])
+    if kind == "reshape":
+        return ReshapeOp((4,), (2, 2))
+    if kind == "monotone":
+        return MonotoneOp("tanh", 4)
+    if kind == "conv":
+        return ConvOp(
+            rng.normal(size=(2, 1, 2, 2)) * scale,
+            rng.normal(size=2),
+            stride=1,
+            padding=1,
+            in_shape=(1, 3, 3),
+        )
+    if kind == "fused_affine_relu":
+        return FusedAffineReLU(
+            AffineOp(rng.normal(size=(3, 4)) * scale, rng.normal(size=3))
+        )
+    if kind == "fused_conv_relu":
+        return FusedConvReLU(
+            ConvOp(
+                rng.normal(size=(2, 1, 2, 2)) * scale,
+                rng.normal(size=2),
+                stride=1,
+                padding=0,
+                in_shape=(1, 3, 3),
+            )
+        )
+    raise AssertionError(kind)
+
+
+def _batch(rng: np.random.Generator, dim: int, scale: float) -> BoxBatch:
+    center = rng.normal(size=(5, dim)) * scale
+    radius = rng.uniform(0.0, 0.7, size=(5, dim)) * scale
+    return BoxBatch(center - radius, center + radius)
+
+
+_OP_KINDS = (
+    "affine",
+    "ew",
+    "relu",
+    "leaky",
+    "maxgroup",
+    "reshape",
+    "monotone",
+    "conv",
+    "fused_affine_relu",
+    "fused_conv_relu",
+)
+
+
+class TestIntervalContainment:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kind=st.sampled_from(_OP_KINDS),
+        seed=st.integers(0, 2**31 - 1),
+        mag=st.integers(-4, 4),
+    )
+    def test_fast32_hull_contains_exact64_hull(self, kind, seed, mag):
+        rng = np.random.default_rng(seed)
+        scale = 10.0**mag
+        op = _op(kind, rng, scale)
+        program = PiecewiseLinearNetwork([op], op.in_dim)
+        batch = _batch(rng, op.in_dim, scale)
+        try:
+            fast = fast32.propagate_interval_fast32(program, batch)
+        except fast32.Fast32Unsupported:
+            return
+        dom = get_domain("interval")
+        exact = dom.concretize(dom.transform(op, dom.lift(batch))).flat()
+        assert np.all(fast.lower <= exact.lower)
+        assert np.all(fast.upper >= exact.upper)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_multi_op_program_contains_exact64(self, seed):
+        # a conv -> relu -> dense -> relu pipeline, the shape the fused
+        # lowering produces for real prefixes
+        rng = np.random.default_rng(seed)
+        conv = ConvOp(
+            rng.normal(size=(2, 1, 2, 2)),
+            rng.normal(size=2),
+            stride=1,
+            padding=0,
+            in_shape=(1, 3, 3),
+        )
+        dense = AffineOp(rng.normal(size=(3, 8)), rng.normal(size=3))
+        program = PiecewiseLinearNetwork(
+            [FusedConvReLU(conv), FusedAffineReLU(dense)], conv.in_dim
+        )
+        batch = _batch(rng, conv.in_dim, 1.0)
+        fast = fast32.propagate_interval_fast32(program, batch)
+        dom = get_domain("interval")
+        element = dom.lift(batch)
+        for op in program.ops:
+            element = dom.transform(op, element)
+        exact = dom.concretize(element).flat()
+        assert np.all(fast.lower <= exact.lower)
+        assert np.all(fast.upper >= exact.upper)
+
+
+class TestZonotopeContainment:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), mag=st.integers(-3, 3))
+    def test_fast32_box_contains_exact64_box(self, seed, mag):
+        rng = np.random.default_rng(seed)
+        scale = 10.0**mag
+        dense = AffineOp(rng.normal(size=(3, 4)) * scale, rng.normal(size=3))
+        program = PiecewiseLinearNetwork(
+            [FusedAffineReLU(dense), AffineOp(rng.normal(size=(2, 3)), rng.normal(size=2))],
+            4,
+        )
+        batch = _batch(rng, 4, scale)
+        dom = get_domain("zonotope")
+        fast = dom.concretize(
+            fast32.propagate_zonotope_fast32(program, dom.lift(batch))
+        ).flat()
+        element = dom.lift(batch)
+        for op in program.ops:
+            element = dom.transform(op, element)
+        exact = dom.concretize(element).flat()
+        assert np.all(fast.lower <= exact.lower + 1e-12)
+        assert np.all(fast.upper >= exact.upper - 1e-12)
+
+    def test_unsupported_op_raises(self):
+        program = PiecewiseLinearNetwork([MaxGroupOp(4, [[0, 1], [2, 3]])], 4)
+        dom = get_domain("zonotope")
+        batch = _batch(np.random.default_rng(0), 4, 1.0)
+        with pytest.raises(fast32.Fast32Unsupported):
+            fast32.propagate_zonotope_fast32(program, dom.lift(batch))
+
+
+class TestFusedView:
+    def test_affine_relu_fuses_and_propagates_identically(self):
+        rng = np.random.default_rng(3)
+        ops = [
+            AffineOp(rng.normal(size=(3, 4)), rng.normal(size=3)),
+            ReLUOp(3),
+            AffineOp(rng.normal(size=(2, 3)), rng.normal(size=2)),
+        ]
+        program = PiecewiseLinearNetwork(ops, 4)
+        fused = fused_view(program)
+        kinds = [type(op).__name__ for op in fused.ops]
+        assert kinds == ["FusedAffineReLU", "AffineOp"]
+        dom = get_domain("interval")
+        batch = _batch(rng, 4, 1.0)
+
+        def hull(prog):
+            element = dom.lift(batch)
+            for op in prog.ops:
+                element = dom.transform(op, element)
+            return dom.concretize(element).flat()
+
+        plain, via_fused = hull(program), hull(fused)
+        np.testing.assert_allclose(via_fused.lower, plain.lower, atol=1e-12)
+        np.testing.assert_allclose(via_fused.upper, plain.upper, atol=1e-12)
+
+    def test_fused_view_is_cached(self):
+        rng = np.random.default_rng(4)
+        program = PiecewiseLinearNetwork(
+            [AffineOp(rng.normal(size=(3, 4)), rng.normal(size=3)), ReLUOp(3)],
+            4,
+        )
+        assert fused_view(program) is fused_view(program)
+
+
+class TestPlanMechanics:
+    def test_plan_reuse_across_batch_sizes(self):
+        rng = np.random.default_rng(5)
+        op = AffineOp(rng.normal(size=(3, 4)), rng.normal(size=3))
+        program = PiecewiseLinearNetwork([op], 4)
+        small = fast32.plan_for(program, 3)
+        again = fast32.plan_for(program, small.nv)
+        assert small is again  # same lane-rounded capacity, same plan
+
+    def test_oversized_batch_rejected(self):
+        rng = np.random.default_rng(6)
+        op = AffineOp(rng.normal(size=(3, 4)), rng.normal(size=3))
+        program = PiecewiseLinearNetwork([op], 4)
+        plan = fast32.plan_for(program, 2)
+        big = _batch(rng, 4, 1.0)
+        big = BoxBatch(
+            np.repeat(big.lower, 20, axis=0), np.repeat(big.upper, 20, axis=0)
+        )
+        if big.n_regions > plan.nv:
+            with pytest.raises(ValueError, match="capacity"):
+                plan.run(big)
+
+    def test_dim_mismatch_rejected(self):
+        rng = np.random.default_rng(7)
+        op = AffineOp(rng.normal(size=(3, 4)), rng.normal(size=3))
+        program = PiecewiseLinearNetwork([op], 4)
+        plan = fast32.plan_for(program, 3)
+        with pytest.raises(ValueError, match="dim"):
+            plan.run(_batch(rng, 5, 1.0))
+
+    def test_image_shaped_batch_accepted(self):
+        # propagate_regions hands the plan the raw (n, C, H, W) batch;
+        # the plan flattens internally
+        rng = np.random.default_rng(8)
+        conv = ConvOp(
+            rng.normal(size=(2, 1, 2, 2)),
+            rng.normal(size=2),
+            stride=1,
+            padding=0,
+            in_shape=(1, 3, 3),
+        )
+        program = PiecewiseLinearNetwork([FusedConvReLU(conv)], 9)
+        flat = _batch(rng, 9, 1.0)
+        shaped = BoxBatch(
+            flat.lower.reshape(-1, 1, 3, 3), flat.upper.reshape(-1, 1, 3, 3)
+        )
+        a = fast32.propagate_interval_fast32(program, flat)
+        b = fast32.propagate_interval_fast32(program, shaped)
+        np.testing.assert_array_equal(a.lower, b.lower)
+        np.testing.assert_array_equal(a.upper, b.upper)
+
+    def test_plans_do_not_ride_program_pickles(self):
+        import pickle
+
+        rng = np.random.default_rng(9)
+        op = AffineOp(rng.normal(size=(3, 4)), rng.normal(size=3))
+        program = PiecewiseLinearNetwork([op], 4)
+        fast32.plan_for(program, 3)
+        fused_view(program)
+        clone = pickle.loads(pickle.dumps(program))
+        assert "_fast32_plans" not in clone.__dict__
+        assert "_fused_view_cache" not in clone.__dict__

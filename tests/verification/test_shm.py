@@ -1,0 +1,132 @@
+"""Shared-memory batch handoff: pack/attach round trip and lifecycle."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.verification import shm
+
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(), reason="shared memory unavailable on this host"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_attach_cache():
+    """Each test sees an empty worker-side cache and leaves none behind."""
+    saved = dict(shm._ATTACHED)
+    shm._ATTACHED.clear()
+    yield
+    for name, (seg, _arrays) in shm._ATTACHED.items():
+        if name not in saved:
+            try:
+                seg.close()
+            except BufferError:
+                pass
+    shm._ATTACHED.clear()
+    shm._ATTACHED.update(saved)
+
+
+def test_pack_attach_round_trip():
+    arrays = [
+        np.arange(12, dtype=np.float64).reshape(3, 4),
+        np.ones((2, 2), dtype=np.float32),
+        np.array([7], dtype=np.int64),
+    ]
+    block = shm.pack_arrays(arrays)
+    try:
+        views = shm.attach(block.handle)
+        assert len(views) == len(arrays)
+        for view, original in zip(views, arrays):
+            np.testing.assert_array_equal(view, original)
+            assert view.dtype == original.dtype
+            assert not view.flags.writeable
+    finally:
+        block.release()
+
+
+def test_handle_is_small_and_picklable():
+    block = shm.pack_arrays([np.zeros((64, 64))])
+    try:
+        payload = pickle.dumps(block.handle)
+        # the point of the handle: tasks ship a name + specs, not 32 KiB
+        assert len(payload) < 512
+        clone = pickle.loads(payload)
+        assert clone == block.handle
+        views = shm.attach(clone)
+        assert views[0].shape == (64, 64)
+    finally:
+        block.release()
+
+
+def test_views_are_64_byte_aligned():
+    block = shm.pack_arrays(
+        [np.zeros(3, dtype=np.float32), np.zeros(5, dtype=np.float64)]
+    )
+    try:
+        for _shape, _dtype, offset in block.handle.specs:
+            assert offset % 64 == 0
+        views = shm.attach(block.handle)
+        for view in views:
+            assert view.ctypes.data % 64 == 0
+    finally:
+        block.release()
+
+
+def test_release_is_idempotent():
+    block = shm.pack_arrays([np.zeros(4)])
+    block.release()
+    block.release()  # second release must be a no-op, not a crash
+
+
+def test_attach_caches_by_name():
+    block = shm.pack_arrays([np.arange(4.0)])
+    try:
+        first = shm.attach(block.handle)
+        second = shm.attach(block.handle)
+        assert first[0] is second[0]
+    finally:
+        block.release()
+
+
+def test_attach_cache_evicts_oldest():
+    blocks = [
+        shm.pack_arrays([np.full(4, i, dtype=np.float64)])
+        for i in range(shm._CACHE_LIMIT + 2)
+    ]
+    try:
+        views = [shm.attach(b.handle)[0] for b in blocks]
+        assert len(shm._ATTACHED) == shm._CACHE_LIMIT
+        # oldest names evicted, newest retained
+        names = [b.handle.name for b in blocks]
+        for name in names[:2]:
+            assert name not in shm._ATTACHED
+        for name in names[2:]:
+            assert name in shm._ATTACHED
+        # evicted views stay readable while referenced: the unmap is
+        # deferred by per-view finalizers (an eager close here would be
+        # a use-after-unmap — SharedMemory.close does not refuse to
+        # unmap under live numpy views)
+        np.testing.assert_array_equal(views[0], np.zeros(4))
+    finally:
+        for b in blocks:
+            b.release()
+
+
+def test_attach_after_parent_release_still_reads():
+    # Linux semantics the round protocol relies on: a worker that
+    # attached before the parent unlinked keeps a valid mapping
+    block = shm.pack_arrays([np.arange(8.0)])
+    views = shm.attach(block.handle)
+    block.release()
+    np.testing.assert_array_equal(views[0], np.arange(8.0))
+
+
+def test_attach_unknown_name_raises():
+    handle = shm.ShmHandle("nonexistent_segment_name", (((4,), "<f8", 0),))
+    with pytest.raises(FileNotFoundError):
+        shm.attach(handle)
