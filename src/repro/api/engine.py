@@ -168,6 +168,7 @@ class VerificationEngine:
         cegar_workers: int = 1,
         cegar_budget: int = 64,
         precision: str = "exact64",
+        store=None,
         **solver_options,
     ):
         from repro.analysis.contracts import ensure_registry_contracts
@@ -208,6 +209,10 @@ class VerificationEngine:
         #: results provably contain the exact64 ones, so verdicts stay
         #: sound.  MILP solves always run at exact64.
         self.precision = precision
+        #: optional :class:`repro.service.store.ResultStore` consulted
+        #: before computing verdict queries and fed after (None = off,
+        #: the default — one-shot runs pay no digesting overhead)
+        self.store = store
         self.characterizers: dict[str, Characterizer] = {}
         self.confusions: dict[str, ConfusionEstimate] = {}
         self._sets: dict[str, RegisteredFeatureSet] = {}
@@ -275,6 +280,9 @@ class VerificationEngine:
             for key in self._enclosure_shm[1]:
                 state["_enclosure_cache"].pop(key, None)
         state["cache_stats"] = {}
+        # the store holds a thread lock and an open-by-path log; workers
+        # compute without it and the parent's copy keeps collecting
+        state["store"] = None
         return state
 
     def _cached(self, cache: dict, key, label: str, build):
@@ -746,8 +754,25 @@ class VerificationEngine:
     # -- query execution ---------------------------------------------------
 
     def run_query(self, query: VerificationQuery) -> QueryResult:
-        """Answer one query (raises on invalid queries; see :meth:`run`)."""
+        """Answer one query (raises on invalid queries; see :meth:`run`).
+
+        With a :attr:`store` attached, verdict queries first look up the
+        persistent result store under the query's content digest; a hit
+        returns a restored result (``decided_by="store"``) without
+        touching a solver, and a computed *decided* answer is written
+        back for future runs.
+        """
         start = time.perf_counter()
+        key = self._store_key(query)
+        if key is not None:
+            stored = self.store.get(key)
+            label = "hit:result-store" if stored is not None else "miss:result-store"
+            self.cache_stats[label] = self.cache_stats.get(label, 0) + 1
+            if stored is not None:
+                payload = stored.to_query_result(query)
+                payload.elapsed = time.perf_counter() - start
+                return payload
+
         hits: list[str] = []
         ladder: list[str] = []
 
@@ -765,7 +790,87 @@ class VerificationEngine:
         payload.elapsed = time.perf_counter() - start
         payload.ladder = tuple(ladder)
         payload.cache_hits = tuple(hits)
+        if key is not None:
+            self._store_put(key, payload)
         return payload
+
+    # -- persistent result store -------------------------------------------
+
+    def model_digest(self) -> str:
+        """Content digest of this engine's model (lowered-IR hash)."""
+        from repro.service.digest import model_digest
+
+        return model_digest(self.model)
+
+    def _store_key(self, query: VerificationQuery):
+        """The query's persistent-store key, or None when not storable.
+
+        Only verdict methods whose answer is a pure function of (model,
+        risk, set content, characterizer) are keyed: ``refine`` depends
+        on the engine's refinement images, which have no digest, so it
+        always computes.  Unknown sets/characterizers fall through to
+        the regular path, which raises the proper error.
+        """
+        if self.store is None or query.method not in (
+            Method.EXACT,
+            Method.RELAXED,
+            Method.CEGAR,
+        ):
+            return None
+        if query.risk is None or query.set_name not in self._sets:
+            return None
+        registered = self._sets[query.set_name]
+        characterizer_digest = None
+        if query.property_name is not None:
+            characterizer = self.characterizers.get(query.property_name)
+            if characterizer is None:
+                return None
+            from repro.service.digest import model_digest
+
+            characterizer_digest = (
+                f"{model_digest(characterizer.network)}"
+                f":{characterizer.threshold!r}"
+            )
+        from repro.service.digest import query_digest
+        from repro.service.store import StoreKey
+
+        return StoreKey(
+            model=self.model_digest(),
+            query=query_digest(
+                query.risk,
+                registered.input_box,
+                registered.feature_set,
+                sound=registered.sound,
+                property_name=query.property_name,
+                characterizer_digest=characterizer_digest,
+            ),
+            domain=query.domain or "none",
+            method=query.method.value,
+            precision=self.precision,
+        )
+
+    def _store_put(self, key, payload: QueryResult) -> None:
+        """Write a decided verdict back; undecided results never persist."""
+        if (
+            payload.error is not None
+            or payload.verdict is None
+            or payload.verdict.verdict is Verdict.UNKNOWN
+        ):
+            return
+        from repro.service.store import StoredResult
+
+        self.store.put(key, StoredResult.from_query_result(payload))
+
+    def interrupt_cegar(self) -> None:
+        """Ask every cached CEGAR loop to checkpoint at the next round.
+
+        The interrupt is cooperative: each loop finishes its in-flight
+        round (keeping the frontier complete and resumable) and returns
+        early with status UNKNOWN.  Used by the service's graceful
+        shutdown and job cancellation.
+        """
+        for loop in self._cegar_loops.values():
+            loop.request_interrupt()
 
     def run_query_safe(self, query: VerificationQuery) -> QueryResult:
         """Like :meth:`run_query` but captures exceptions in the result."""

@@ -192,6 +192,71 @@ def run_instance(
     )
 
 
+def run_instance_daemon(
+    client,
+    track: Track,
+    instance: BenchmarkInstance,
+    timeout: float | None = None,
+) -> InstanceOutcome:
+    """Answer one instance by submitting it to a running daemon.
+
+    ``client`` is a :class:`~repro.service.ServiceClient`.  The daemon
+    applies the same per-instance wall-budget semantics as
+    :func:`run_instance` (late answers score ``timeout``), but against
+    long-lived engines and the persistent result store — so unlike the
+    in-process runner, repeated instances may be answered from the
+    store, and times are not attributable to the track configuration
+    alone.
+    """
+    budget = float(timeout if timeout is not None else instance.timeout)
+    payload: dict = {
+        "model": str(instance.model_path),
+        "property": str(instance.property_path),
+        "method": track.method,
+        "domain": track.domain,
+        "solver": track.solver,
+        "timeout": budget,
+        "label": f"{track.name}/{instance.name}",
+    }
+    if track.method == "cegar":
+        payload["refine_budget"] = track.refine_budget or _CEGAR_BUDGET
+    try:
+        job = client.submit(payload)
+        # generous client-side deadline: the job may sit in the queue
+        # behind others before its own wall budget even starts
+        job = client.wait_for(job["id"], timeout=max(4.0 * budget, 60.0))
+    except Exception as exc:
+        return InstanceOutcome(
+            track=track.name,
+            instance=instance.name,
+            status="error",
+            elapsed=0.0,
+            timeout=budget,
+            expected=instance.expected,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    result = job.get("result") or {}
+    state = job["state"]
+    if state == "done":
+        status = result.get("status", UNKNOWN)
+        detail = ",".join(result.get("decided_by", ()))
+    elif state == "timeout":
+        status = "timeout"
+        detail = ",".join(result.get("decided_by", ()))
+    else:
+        status = "error"
+        detail = job.get("error") or state
+    return InstanceOutcome(
+        track=track.name,
+        instance=instance.name,
+        status=status,
+        elapsed=float(result.get("elapsed", 0.0)),
+        timeout=budget,
+        expected=instance.expected,
+        detail=detail,
+    )
+
+
 def run_competition(
     instances: Sequence[BenchmarkInstance],
     tracks: Sequence[Track] | None = None,
@@ -200,8 +265,14 @@ def run_competition(
     suite: str | None = None,
     timeout: float | None = None,
     progress: Callable[[str], None] | None = None,
+    daemon: str | None = None,
 ) -> CompetitionReport:
-    """Run every track over every instance and score the matrix."""
+    """Run every track over every instance and score the matrix.
+
+    ``daemon`` targets a running service (a base URL) instead of
+    constructing in-process engines: every (track, instance) cell is
+    submitted as a job via :func:`run_instance_daemon`.
+    """
     tracks = list(tracks) if tracks else None
     if not tracks:
         from repro.bench.tracks import DEFAULT_TRACKS
@@ -213,9 +284,25 @@ def run_competition(
     if not instances:
         raise ValueError("run_competition needs at least one instance")
 
+    client = None
+    if daemon is not None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(daemon)
+
     start = time.perf_counter()
     outcomes: list[InstanceOutcome] = []
     for instance in instances:
+        if client is not None:
+            for track in tracks:
+                outcome = run_instance_daemon(client, track, instance, timeout=timeout)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(
+                        f"  {track.name:<18} {instance.name:<22} "
+                        f"{outcome.status:<8} {outcome.elapsed:7.3f}s"
+                    )
+            continue
         # load once, share across tracks (engines are still per-track);
         # a file outside the supported subset becomes an error outcome
         # for every track instead of sinking the whole run

@@ -12,6 +12,8 @@ Subcommands::
     python -m repro bench     --suite smoke        # track-based competition
     python -m repro analyze   --instances DIR      # static IR + registry audit
     python -m repro lint      src                  # repo-specific lint gate
+    python -m repro serve     --port 8155          # verification daemon
+    python -m repro submit    --daemon URL ...     # submit a job to a daemon
 
 The ``build`` step persists the perception model, the feature envelope
 and characterizers into a directory; the other commands reload from it
@@ -315,6 +317,8 @@ def _bench(args: argparse.Namespace) -> int:
         f"running {len(instances)} instances from {directory} over "
         f"{len(tracks)} track(s)"
     )
+    if args.daemon:
+        print(f"submitting to daemon at {args.daemon}")
     report = run_competition(
         instances,
         tracks,
@@ -322,6 +326,7 @@ def _bench(args: argparse.Namespace) -> int:
         suite=suite,
         timeout=args.timeout,
         progress=print if not args.quiet else None,
+        daemon=args.daemon,
     )
     md_path, json_path = write_reports(report, args.out)
     print(f"\nreports written to {md_path} and {json_path}")
@@ -419,6 +424,97 @@ def _analyze(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json.dumps(payload, indent=2))
         print(f"\nJSON report written to {args.json}")
     return exit_code
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the verification daemon (`repro serve`)."""
+    import signal
+    import threading
+
+    from repro.service import ResultStore, VerificationService, start_server
+
+    if args.memory_store:
+        store = ResultStore()
+    elif args.store:
+        store = ResultStore(args.store)
+    else:
+        store = ResultStore.default()
+    service = VerificationService(
+        store,
+        workers=args.workers,
+        solver=args.solver,
+        precision=args.precision,
+        root=args.root,
+    )
+    server, _thread = start_server(service, host=args.host, port=args.port)
+    print(f"repro daemon listening on {server.url}")
+    if store.path is not None:
+        print(f"result store: {store.path} ({len(store)} entries)")
+
+    stop = threading.Event()
+
+    def _handle(_signum, _frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _handle)
+    signal.signal(signal.SIGTERM, _handle)
+    stop.wait()
+    print("shutting down...")
+    server.shutdown()
+    clean = service.close(drain=not args.no_drain)
+    print("drained" if clean else "jobs still in flight at shutdown deadline")
+    return 0 if clean else 1
+
+
+def _submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running daemon (`repro submit`)."""
+    from repro.service import ServiceClient, ServiceError
+
+    payload: dict = {"method": args.method, "domain": args.domain}
+    if args.suite:
+        if not args.instance:
+            print("error: --suite needs --instance")
+            return 2
+        payload["suite"] = args.suite
+        payload["instance"] = args.instance
+    elif args.model and args.property:
+        payload["model"] = args.model
+        payload["property"] = args.property
+    else:
+        print("error: give either --suite/--instance or --model/--property")
+        return 2
+    if args.solver:
+        payload["solver"] = args.solver
+    if args.timeout is not None:
+        payload["timeout"] = args.timeout
+    if args.priority:
+        payload["priority"] = args.priority
+    if args.refine_budget:
+        payload["refine_budget"] = args.refine_budget
+
+    client = ServiceClient(args.daemon)
+    try:
+        job = client.submit(payload)
+        print(f"submitted {job['id']}")
+        if args.no_wait:
+            return 0
+        job = client.wait_for(job["id"], timeout=args.wait)
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 1
+    result = job.get("result") or {}
+    line = f"{job['id']}: {job['state']}"
+    if result.get("status"):
+        line += f" ({result['status']}"
+        if result.get("decided_by"):
+            line += f", decided by {','.join(result['decided_by'])}"
+        if result.get("store_hits"):
+            line += f", {result['store_hits']} store hit(s)"
+        line += f", {result.get('elapsed', 0.0):.3f}s)"
+    if job.get("error"):
+        line += f" error: {job['error']}"
+    print(line)
+    return 0 if job["state"] == "done" else 1
 
 
 def _lint(args: argparse.Namespace) -> int:
@@ -628,6 +724,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quiet", action="store_true", help="suppress per-instance progress"
     )
+    bench.add_argument(
+        "--daemon",
+        default=None,
+        metavar="URL",
+        help="submit every (track, instance) cell to a running `repro "
+        "serve` daemon instead of constructing in-process engines "
+        "(long-lived caches and the result store apply)",
+    )
     bench.set_defaults(func=_bench)
 
     analyze = sub.add_parser(
@@ -675,6 +779,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--json", default=None, help="write the JSON report here")
     analyze.set_defaults(func=_analyze)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the verification daemon (HTTP/JSON job queue + "
+        "persistent result store)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=8155,
+        help="listen port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="concurrent job executors",
+    )
+    serve.add_argument("--solver", default="branch-and-bound")
+    serve.add_argument(
+        "--precision",
+        default="exact64",
+        choices=["exact64", "fast32"],
+        help="abstraction arithmetic of the daemon's engines",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="FILE",
+        help="result store JSONL path (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro/results.jsonl)",
+    )
+    serve.add_argument(
+        "--memory-store",
+        action="store_true",
+        help="keep the result store in memory only (nothing persisted)",
+    )
+    serve.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="restrict job model/property paths to this directory",
+    )
+    serve.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="on shutdown, cancel queued jobs and interrupt running "
+        "CEGAR loops instead of draining the queue",
+    )
+    serve.set_defaults(func=_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one verification job to a running daemon"
+    )
+    submit.add_argument(
+        "--daemon",
+        default="http://127.0.0.1:8155",
+        metavar="URL",
+        help="daemon base URL",
+    )
+    submit.add_argument("--model", default=None, help="model path (.onnx/.npz)")
+    submit.add_argument("--property", default=None, help="property path (.vnnlib)")
+    submit.add_argument(
+        "--suite",
+        default=None,
+        choices=["smoke"],
+        help="submit a bundled suite instance instead of explicit paths",
+    )
+    submit.add_argument(
+        "--instance", default=None, help="instance name within --suite"
+    )
+    submit.add_argument(
+        "--method", default="exact", choices=["exact", "relaxed", "cegar"]
+    )
+    submit.add_argument(
+        "--domain",
+        default="interval",
+        choices=["interval", "octagon", "zonotope", "symbolic"],
+    )
+    submit.add_argument("--solver", default=None)
+    submit.add_argument(
+        "--timeout", type=float, default=None, help="per-job wall budget (seconds)"
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, help="queue priority (higher runs first)"
+    )
+    submit.add_argument(
+        "--refine-budget",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="CEGAR subproblem budget (cegar method only)",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without waiting for the verdict",
+    )
+    submit.add_argument(
+        "--wait",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="how long to wait for the verdict",
+    )
+    submit.set_defaults(func=_submit)
 
     lint = sub.add_parser(
         "lint", help="repo-specific static lint (AST rules) over Python sources"

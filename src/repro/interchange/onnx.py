@@ -27,10 +27,14 @@ construction.  Serialization goes through the schema-less wire codec in
 dependency.  Exported weights are stored as ONNX ``DOUBLE`` tensors
 (the stack's native float64), so export → import is bit-exact; imported
 files may use ``FLOAT`` or ``DOUBLE``.  The one spec-imposed precision
-loss: ONNX *attributes* are float32, so ``BatchNorm.eps`` /
-``LeakyReLU.alpha`` round-trip exactly only when float32-representable
-(e.g. ``2**-16``, ``0.0625``) and otherwise to within float32 — every
-weight, statistic and integer attribute is always bit-exact.
+loss: ONNX *attributes* are float32, so ``LeakyReLU.alpha`` round-trips
+exactly only when float32-representable (e.g. ``0.0625``) and otherwise
+to within float32 — every weight, statistic and integer attribute is
+always bit-exact.  ``BatchNorm.eps`` is canonicalized to float32 at
+layer construction precisely so this loss cannot reach it: eps folds
+into fused affine weights during lowering, and a finer-grained value
+would leave an exported model's lowering (and the service layer's
+content digest) drifting from the native construction.
 
 ``Dropout`` layers are eval-mode no-ops and lower to nothing, so
 :func:`model_to_onnx_bytes` simply skips them — the exported graph has

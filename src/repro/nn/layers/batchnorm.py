@@ -30,7 +30,14 @@ class BatchNorm(Layer):
         if eps <= 0.0:
             raise ValueError(f"eps must be positive, got {eps}")
         self.momentum = momentum
-        self.eps = eps
+        # eps is canonicalized to float32 precision at construction:
+        # ONNX stores it as a float32 attribute, and since eps folds
+        # into the fused affine weights during lowering, a finer-grained
+        # value would make an exported model's lowering (and content
+        # digest) drift from the native one at the 1e-13 level
+        self.eps = float(np.float32(eps))
+        if self.eps <= 0.0:
+            raise ValueError(f"eps {eps} underflows float32")
         self.gamma: Parameter | None = None
         self.beta: Parameter | None = None
         self.running_mean: np.ndarray | None = None

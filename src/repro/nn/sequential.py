@@ -120,16 +120,38 @@ class Sequential:
         :func:`repro.verification.ir.lower_network` caches programs on
         the model; training invalidates automatically via
         :meth:`backward`, but code mutating parameters directly must
-        call this by hand.
+        call this by hand.  Anything derived from the lowered program —
+        the service layer's model digest, persistent-store entries keyed
+        by it — is dropped too, via the registered invalidation hooks.
         """
         self.__dict__.pop("_lowering_cache", None)
+        self.__dict__.pop("_model_digest", None)
+        for hook in self.__dict__.get("_invalidation_hooks", ()):
+            hook(self)
+
+    def add_invalidation_hook(self, hook) -> None:
+        """Call ``hook(model)`` whenever the lowering cache is invalidated.
+
+        The service layer uses this to propagate retraining into the
+        persistent result store: a weight mutation means the model's
+        digest is about to change, so results stored under the *old*
+        digest are evicted.  Hooks must be idempotent; duplicates are
+        ignored.  They do not survive pickling (see :meth:`__getstate__`).
+        """
+        hooks = self.__dict__.setdefault("_invalidation_hooks", [])
+        if hook not in hooks:
+            hooks.append(hook)
 
     def __getstate__(self) -> dict:
         # lowered programs partially alias the layer weights; shipping
         # them to process-pool workers would duplicate every matrix, and
-        # workers rebuild their own cache on first use anyway
+        # workers rebuild their own cache on first use anyway.  Hooks may
+        # close over unpicklable service state (stores, locks), and the
+        # digest is cheap to recompute — both stay behind.
         state = self.__dict__.copy()
         state.pop("_lowering_cache", None)
+        state.pop("_model_digest", None)
+        state.pop("_invalidation_hooks", None)
         return state
 
     def zero_grad(self) -> None:

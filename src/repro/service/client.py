@@ -1,0 +1,113 @@
+"""Minimal urllib client for the service's HTTP/JSON surface.
+
+Used by ``repro submit``, the bench runner's ``--daemon`` mode and the
+test suite; kept dependency-free so anything that can import the package
+can talk to a daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+from urllib.parse import urlencode
+
+#: terminal job states the client-side wait loop stops on
+_TERMINAL = ("done", "failed", "cancelled", "timeout")
+
+
+class ServiceError(RuntimeError):
+    """An error response (or transport failure) from the daemon."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a running daemon at ``base_url`` (e.g. http://127.0.0.1:8155)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        query: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        url = self.base_url + path
+        if query:
+            url += "?" + urlencode(query)
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=body, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode() or "{}")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}: {detail}", status=exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"{method} {path} failed: {exc.reason}") from None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def submit(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self._request("POST", "/v1/jobs", payload=payload)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str, wait: float | None = None) -> dict[str, Any]:
+        query = {"wait": wait} if wait is not None else None
+        return self._request("GET", f"/v1/jobs/{job_id}", query=query)
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._request("DELETE", f"/v1/jobs/{job_id}")["cancelled"])
+
+    def results(self, model_digest: str) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/results", query={"model": model_digest})[
+            "results"
+        ]
+
+    def model_digests(self) -> list[str]:
+        return self._request("GET", "/v1/results")["models"]
+
+    def invalidate(self, model_digest: str) -> int:
+        return int(
+            self._request("POST", "/v1/invalidate", payload={"model": model_digest})[
+                "invalidated"
+            ]
+        )
+
+    def wait_for(self, job_id: str, timeout: float = 120.0) -> dict[str, Any]:
+        """Block until the job is terminal; raises :class:`ServiceError`
+        on expiry (server-side long-poll, client-side deadline)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(f"job {job_id} still running after {timeout}s")
+            job = self.job(job_id, wait=min(remaining, 30.0))
+            if job["state"] in _TERMINAL:
+                return job

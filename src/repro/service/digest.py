@@ -1,0 +1,176 @@
+"""Content digests keying the persistent result store.
+
+A store entry must outlive the process that wrote it, so every part of
+its key is a digest of *values*, never of Python identities: models are
+hashed over their lowered IR (the canonical form both native
+constructions and ONNX imports share — PR 5 guarantees identical
+``LoweredProgram`` s), risks over their normalized inequality matrix,
+and feature-set provenance over the concrete input box.  Dict iteration
+order, ``id()`` and object addresses never reach the hash, so digests
+are stable across process restarts.
+
+Scalar float op attributes (e.g. ``LeakyReLUOp.alpha``) are
+canonicalized through float32 before hashing: ONNX stores them as
+float32 attributes — the one spec-imposed tolerance of the interchange
+layer — so hashing the float64 value verbatim would give an imported
+model a different digest than the native construction it round-trips.
+Weights and biases stay full float64 (ONNX ``DOUBLE`` raw data is
+bit-exact both ways).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+
+import numpy as np
+
+from repro.nn.sequential import Sequential
+from repro.properties.risk import RiskCondition
+from repro.verification.ir import lower_network
+
+#: digest scheme version — bump when the hashed byte layout changes, so
+#: stale store entries miss instead of colliding with the new scheme
+DIGEST_VERSION = "repro-digest-v1"
+
+
+def _update_array(h: "hashlib._Hash", value: np.ndarray) -> None:
+    array = np.ascontiguousarray(value)
+    if array.dtype.kind == "f":
+        # adding 0.0 collapses -0.0 to +0.0 (and changes nothing else),
+        # so geometrically equal rows that differ only in zero signs —
+        # e.g. a negated ``>=`` row from RiskCondition.as_matrix — hash
+        # identically
+        array = array.astype(np.float64) + 0.0
+    elif array.dtype.kind in "iub":
+        array = array.astype(np.int64)
+    h.update(array.dtype.str.encode())
+    h.update(repr(array.shape).encode())
+    h.update(array.tobytes())
+
+
+def _update_value(h: "hashlib._Hash", value) -> None:
+    if isinstance(value, np.ndarray):
+        _update_array(h, value)
+    elif isinstance(value, (list, tuple)):
+        h.update(f"seq:{len(value)}".encode())
+        for item in value:
+            _update_value(h, item)
+    elif isinstance(value, bool):
+        h.update(f"bool:{value}".encode())
+    elif isinstance(value, (int, np.integer)):
+        h.update(f"int:{int(value)}".encode())
+    elif isinstance(value, (float, np.floating)):
+        # float32 canonicalization: see the module docstring
+        h.update(b"float:")
+        h.update(np.float32(value).tobytes())
+    elif isinstance(value, str):
+        h.update(f"str:{value}".encode())
+    elif value is None:
+        h.update(b"none")
+    else:
+        raise TypeError(
+            f"cannot digest op field of type {type(value).__name__}"
+        )
+
+
+def model_digest(model: Sequential) -> str:
+    """SHA-256 of the model's lowered full program, cached on the model.
+
+    The digest is computed from the canonical IR — op class names, field
+    values in declaration order, weights as float64 bytes — so two
+    models that lower identically (a native construction and its ONNX
+    round-trip) share one digest, and a retrained model gets a new one.
+    The cached value lives in ``model.__dict__`` and is dropped by
+    :meth:`~repro.nn.sequential.Sequential.invalidate_lowering`, i.e.
+    automatically on any training forward/backward pass.
+    """
+    cached = model.__dict__.get("_model_digest")
+    if cached is not None:
+        return cached
+    program = lower_network(model)
+    h = hashlib.sha256()
+    h.update(DIGEST_VERSION.encode())
+    h.update(repr(tuple(model.input_shape)).encode())
+    for op in program.ops:
+        h.update(type(op).__name__.encode())
+        if not is_dataclass(op):
+            raise TypeError(f"op {type(op).__name__} is not a dataclass")
+        for spec in fields(op):
+            h.update(spec.name.encode())
+            _update_value(h, getattr(op, spec.name))
+    digest = h.hexdigest()
+    model.__dict__["_model_digest"] = digest
+    return digest
+
+
+def risk_digest(risk: RiskCondition) -> str:
+    """SHA-256 of the normalized ``A y <= b`` matrix (names excluded).
+
+    Two differently-named risks with the same geometry share a digest —
+    the store caches *answers*, and the answer depends only on the
+    region.  ``>=`` rows normalize to negated ``<=`` rows first.
+    """
+    a, b = risk.as_matrix()
+    h = hashlib.sha256()
+    h.update(DIGEST_VERSION.encode())
+    _update_array(h, a)
+    _update_array(h, b)
+    return h.hexdigest()
+
+
+def property_digest(
+    input_lower: np.ndarray,
+    input_upper: np.ndarray,
+    risks: "tuple[RiskCondition, ...] | list[RiskCondition]",
+) -> str:
+    """Digest of a full property: input box + ordered output disjuncts."""
+    h = hashlib.sha256()
+    h.update(DIGEST_VERSION.encode())
+    _update_array(h, np.asarray(input_lower, dtype=float))
+    _update_array(h, np.asarray(input_upper, dtype=float))
+    for risk in risks:
+        h.update(risk_digest(risk).encode())
+    return h.hexdigest()
+
+
+def query_digest(
+    risk: RiskCondition,
+    input_box: tuple[np.ndarray, np.ndarray] | None,
+    feature_set,
+    *,
+    sound: bool,
+    property_name: str | None = None,
+    characterizer_digest: str | None = None,
+) -> str:
+    """Digest of one verdict question over one registered feature set.
+
+    Hashes the risk geometry plus the set's *content*: the input box
+    when the set has input-region provenance, otherwise the feature
+    set's own arrays (lower/upper, and difference bounds when present).
+    The ``sound`` flag joins the hash because it decides the verdict
+    value (SAFE vs CONDITIONALLY_SAFE) — the same region registered as
+    sound and as data-derived must not share a stored answer.
+    """
+    h = hashlib.sha256()
+    h.update(DIGEST_VERSION.encode())
+    h.update(risk_digest(risk).encode())
+    h.update(b"sound:" + (b"1" if sound else b"0"))
+    if input_box is not None:
+        h.update(b"input-box")
+        _update_array(h, np.asarray(input_box[0], dtype=float))
+        _update_array(h, np.asarray(input_box[1], dtype=float))
+    elif feature_set is not None:
+        h.update(type(feature_set).__name__.encode())
+        for name in ("lower", "upper", "diff_lower", "diff_upper"):
+            value = getattr(feature_set, name, None)
+            if value is not None:
+                h.update(name.encode())
+                _update_array(h, np.asarray(value, dtype=float))
+    else:
+        raise ValueError("query_digest needs an input box or a feature set")
+    if property_name is not None:
+        h.update(f"phi:{property_name}".encode())
+    if characterizer_digest is not None:
+        h.update(f"char:{characterizer_digest}".encode())
+    return h.hexdigest()

@@ -1,0 +1,716 @@
+"""The async job queue over the verification engine.
+
+:class:`VerificationService` owns an asyncio event loop on a background
+thread, a priority heap of submitted jobs, and a thread-pool of job
+executors capped at ``workers``.  Each job answers one (model, property)
+pair the way the bench runner does — per-disjunct queries under a
+genuine wall budget, ``sat`` short-circuits, a late answer scores
+``timeout`` — but against **long-lived per-model engines** whose
+enclosure/encoding caches and persistent result store survive across
+jobs, which is the whole point of running as a daemon.
+
+Job lifecycle::
+
+    queued -> running -> done | failed | cancelled | timeout
+
+- *priorities*: higher runs first among queued jobs (FIFO within a
+  priority);
+- *single-flight*: two concurrent jobs with the same (model digest,
+  property digest, method, domain, precision) key compute once — the
+  follower waits for the leader and copies its outcome;
+- *cancellation*: queued jobs cancel immediately; running CEGAR jobs
+  are executed in budget slices and checkpoint between slices, leaving
+  the engine's cached loop frontier intact for a resubmission to
+  resume;
+- *graceful shutdown*: :meth:`close` either drains the queue or cancels
+  it, interrupts in-flight CEGAR loops at a round boundary (the
+  resumable :class:`~repro.verification.cegar.RefinementTrace` survives
+  in the engine cache), and joins every thread;
+- *fault isolation*: an exception inside a job — including a crashed
+  process-pool worker surfacing as ``BrokenProcessPool`` — fails that
+  job and nothing else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.api import VerificationEngine, VerificationQuery
+from repro.interchange.onnx import import_onnx
+from repro.interchange.vnnlib import VnnLibProperty, read_vnnlib
+from repro.nn.sequential import Sequential
+from repro.service.digest import model_digest, property_digest
+from repro.service.store import ResultStore
+
+#: CEGAR subproblem budget per execution slice; cancellation and wall
+#: budgets are checked between slices, so smaller = more responsive
+_CEGAR_SLICE = 8
+
+#: default CEGAR total budget when neither the job nor a suite sets one
+_CEGAR_BUDGET = 64
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+
+#: states a job never leaves
+TERMINAL_STATES = (
+    JobState.DONE,
+    JobState.FAILED,
+    JobState.CANCELLED,
+    JobState.TIMEOUT,
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One verification job: a model/property pair plus how to answer it.
+
+    ``model`` / ``property`` are paths (``.onnx`` or the native ``.npz``
+    for models, ``.vnnlib`` for properties) resolved against the
+    service's root directory.  ``timeout`` is the per-job wall budget in
+    seconds (bench semantics); ``priority`` orders the queue (higher
+    first); ``label`` is a free-form tag echoed in reports.
+    """
+
+    model: str
+    property: str
+    method: str = "exact"
+    domain: str = "interval"
+    solver: str | None = None
+    timeout: float | None = None
+    priority: int = 0
+    refine_budget: int | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.refine_budget is not None and self.refine_budget <= 0:
+            raise ValueError(
+                f"refine_budget must be positive, got {self.refine_budget}"
+            )
+        if self.method not in ("exact", "relaxed", "cegar"):
+            raise ValueError(
+                f"service jobs answer verdict methods exact/relaxed/cegar, "
+                f"got {self.method!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "model": self.model,
+            "property": self.property,
+            "method": self.method,
+            "domain": self.domain,
+        }
+        if self.solver is not None:
+            out["solver"] = self.solver
+        if self.timeout is not None:
+            out["timeout"] = self.timeout
+        if self.priority:
+            out["priority"] = self.priority
+        if self.refine_budget is not None:
+            out["refine_budget"] = self.refine_budget
+        if self.label is not None:
+            out["label"] = self.label
+        return out
+
+
+@dataclass
+class Job:
+    """A submitted :class:`JobSpec` plus its runtime state."""
+
+    id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    coalesced_with: str | None = None  #: leader job id when single-flighted
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self.done_event.wait(timeout)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "id": self.id,
+            "state": self.state.value,
+            "spec": self.spec.to_dict(),
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        if self.coalesced_with is not None:
+            out["coalesced_with"] = self.coalesced_with
+        return out
+
+
+class ServiceClosed(RuntimeError):
+    """Submit after :meth:`VerificationService.close`."""
+
+
+@dataclass
+class _EngineEntry:
+    """One long-lived per-model engine plus its serialization lock."""
+
+    engine: VerificationEngine
+    model: Sequential
+    digest: str
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: property digest -> registered set name
+    sets: dict[str, str] = field(default_factory=dict)
+
+
+class VerificationService:
+    """The daemon core: submit/inspect/cancel jobs, shared result store.
+
+    Thread-safe: :meth:`submit`, :meth:`job`, :meth:`cancel`,
+    :meth:`metrics` and :meth:`close` may be called from any thread (the
+    HTTP front end calls them from handler threads).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        *,
+        workers: int = 2,
+        solver: str = "branch-and-bound",
+        precision: str = "exact64",
+        root: str | Path | None = None,
+        cegar_slice: int = _CEGAR_SLICE,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if cegar_slice < 1:
+            raise ValueError(f"cegar_slice must be >= 1, got {cegar_slice}")
+        self.store = store if store is not None else ResultStore()
+        self.workers = workers
+        self.solver = solver
+        self.precision = precision
+        self.root = Path(root).resolve() if root is not None else None
+        self.cegar_slice = cegar_slice
+        self.started_at = time.time()
+
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._engines: dict[Path, _EngineEntry] = {}
+        self._engines_lock = threading.Lock()
+        self._inflight: dict[tuple, Job] = {}
+        self._flight_lock = threading.Lock()
+        self._coalesced = 0
+        self._latencies: list[float] = []
+        self._closing = False
+
+        # scheduler state, touched only on the loop thread
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._slots = workers
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-service", daemon=True
+        )
+        self._thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Enqueue a job; returns once it is visible to the scheduler."""
+        if self._closing:
+            raise ServiceClosed("service is shutting down; job rejected")
+        with self._jobs_lock:
+            job = Job(id=f"job-{next(self._ids):06d}", spec=spec)
+            self._jobs[job.id] = job
+        asyncio.run_coroutine_threadsafe(self._admit(job), self._loop).result()
+        return job
+
+    def submit_payload(self, payload: dict[str, Any]) -> Job:
+        """Build a spec from wire JSON (suite references resolved) and submit.
+
+        Accepts either explicit ``model``/``property`` paths or the
+        ``{"suite": "smoke", "instance": "e1-unreachable"}`` convenience,
+        which resolves to the bundled suite's files and inherits the
+        instance's timeout unless the payload overrides it.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("job payload must be a JSON object")
+        payload = dict(payload)
+        suite = payload.pop("suite", None)
+        instance_name = payload.pop("instance", None)
+        if suite is not None:
+            if instance_name is None:
+                raise ValueError("suite submissions need an 'instance' name")
+            from repro.bench.suites import ensure_suite
+
+            _, instances = ensure_suite(suite)
+            matches = [i for i in instances if i.name == instance_name]
+            if not matches:
+                raise ValueError(
+                    f"no instance {instance_name!r} in suite {suite!r}; "
+                    f"known: {[i.name for i in instances]}"
+                )
+            instance = matches[0]
+            payload.setdefault("model", str(instance.model_path))
+            payload.setdefault("property", str(instance.property_path))
+            payload.setdefault("timeout", instance.timeout)
+            payload.setdefault("label", instance.name)
+        known = set(JobSpec.__dataclass_fields__)
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown job fields: {unknown}")
+        if "model" not in payload or "property" not in payload:
+            raise ValueError("job payload needs 'model' and 'property' paths")
+        return self.submit(JobSpec(**payload))
+
+    async def _admit(self, job: Job) -> None:
+        heapq.heappush(self._heap, (-job.spec.priority, next(self._seq), job))
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._heap and self._slots > 0:
+            _, _, job = heapq.heappop(self._heap)
+            if job.terminal:  # cancelled while queued
+                continue
+            self._slots -= 1
+            task = self._loop.create_task(self._run(job))
+            task.add_done_callback(self._release)
+
+    def _release(self, _task: "asyncio.Task") -> None:
+        self._slots += 1
+        self._pump()
+
+    async def _run(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.started = time.time()
+        try:
+            await self._loop.run_in_executor(self._executor, self._execute, job)
+        except Exception as exc:  # the daemon outlives any job
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JobState.FAILED
+        finally:
+            job.finished = time.time()
+            if job.started is not None:
+                self._latencies.append(job.finished - job.started)
+                del self._latencies[:-512]
+            job.done_event.set()
+
+    # -- inspection / cancellation -----------------------------------------
+
+    def job(self, job_id: str) -> Job | None:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; True if it was still cancellable.
+
+        Queued jobs terminate immediately; running jobs get their cancel
+        event set (checked between disjuncts and CEGAR slices) and every
+        live CEGAR loop an interrupt request, so the job checkpoints at
+        the next round boundary with a resumable frontier.
+        """
+        job = self.job(job_id)
+        if job is None or job.terminal:
+            return False
+        job.cancel_event.set()
+        if job.state is JobState.QUEUED:
+            self._finish(job, JobState.CANCELLED)
+            return True
+        with self._engines_lock:
+            entries = list(self._engines.values())
+        for entry in entries:
+            entry.engine.interrupt_cegar()
+        return True
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        job.state = state
+        job.finished = time.time()
+        job.done_event.set()
+
+    # -- execution ---------------------------------------------------------
+
+    def _resolve(self, path_text: str) -> Path:
+        path = Path(path_text)
+        if self.root is not None:
+            path = path if path.is_absolute() else self.root / path
+            path = path.resolve()
+            if self.root != path and self.root not in path.parents:
+                raise ValueError(f"path {path_text!r} escapes the service root")
+        else:
+            path = path.resolve()
+        if not path.is_file():
+            raise FileNotFoundError(f"no such file: {path}")
+        return path
+
+    def _load_model(self, path: Path) -> Sequential:
+        if path.suffix == ".onnx":
+            return import_onnx(path)
+        from repro.nn.serialization import load_model
+
+        return load_model(path)
+
+    def _engine_entry(self, model_path: Path) -> _EngineEntry:
+        with self._engines_lock:
+            entry = self._engines.get(model_path)
+            if entry is None:
+                model = self._load_model(model_path)
+                digest = model_digest(model)
+                cut = model.piecewise_linear_cut_points()[0]
+                engine = VerificationEngine(
+                    model,
+                    cut,
+                    solver=self.solver,
+                    precision=self.precision,
+                    store=self.store,
+                )
+                # a retrained model invalidates its old digest's store
+                # entries — the IR cache's training hook carries it
+                model.add_invalidation_hook(self.store.invalidation_hook(digest))
+                entry = _EngineEntry(engine=engine, model=model, digest=digest)
+                self._engines[model_path] = entry
+        return entry
+
+    def _property_set(self, entry: _EngineEntry, prop: VnnLibProperty) -> tuple[str, str]:
+        """Register the property's input box once per engine; return
+        ``(set name, property digest)``."""
+        model = entry.model
+        if prop.in_dim != int(np.prod(model.input_shape)):
+            raise ValueError(
+                f"property has {prop.in_dim} input variables, model input "
+                f"shape is {model.input_shape}"
+            )
+        if prop.out_dim != int(np.prod(model.output_shape)):
+            raise ValueError(
+                f"property has {prop.out_dim} output variables, model output "
+                f"shape is {model.output_shape}"
+            )
+        digest = property_digest(prop.input_lower, prop.input_upper, prop.disjuncts)
+        set_name = entry.sets.get(digest)
+        if set_name is None:
+            set_name = f"prop-{digest[:12]}"
+            entry.engine.add_static_feature_set(
+                prop.input_lower.reshape(model.input_shape),
+                prop.input_upper.reshape(model.input_shape),
+                name=set_name,
+                overwrite=True,
+            )
+            entry.sets[digest] = set_name
+        return set_name, digest
+
+    def _flight_key(self, entry: _EngineEntry, prop_digest: str, spec: JobSpec) -> tuple:
+        return (
+            entry.digest,
+            prop_digest,
+            spec.method,
+            spec.domain,
+            self.precision,
+            spec.solver or self.solver,
+        )
+
+    def _execute(self, job: Job) -> None:
+        spec = job.spec
+        if job.cancel_event.is_set():
+            self._apply_outcome(job, JobState.CANCELLED, None)
+            return
+        model_path = self._resolve(spec.model)
+        property_path = self._resolve(spec.property)
+        entry = self._engine_entry(model_path)
+        prop = read_vnnlib(property_path)
+        set_name, prop_digest = self._property_set(entry, prop)
+
+        key = self._flight_key(entry, prop_digest, spec)
+        with self._flight_lock:
+            leader = self._inflight.get(key)
+            if leader is None:
+                self._inflight[key] = job
+        if leader is not None:
+            # single-flight: ride the in-flight computation of the same
+            # question instead of queueing a duplicate solve
+            leader.done_event.wait()
+            if leader.state is JobState.DONE and leader.result is not None:
+                job.coalesced_with = leader.id
+                self._coalesced += 1
+                result = dict(leader.result)
+                result["coalesced_with"] = leader.id
+                self._apply_outcome(job, JobState.DONE, result)
+                return
+            # leader failed / was cancelled: fall through and compute
+            with self._flight_lock:
+                self._inflight.setdefault(key, job)
+        try:
+            self._execute_instance(job, entry, prop, set_name)
+        finally:
+            with self._flight_lock:
+                if self._inflight.get(key) is job:
+                    del self._inflight[key]
+
+    def _execute_instance(
+        self, job: Job, entry: _EngineEntry, prop: VnnLibProperty, set_name: str
+    ) -> None:
+        """The bench runner's budget semantics against a shared engine."""
+        from repro.bench.runner import _VERDICT_STATUS  # avoid an import cycle
+        from repro.interchange.instances import UNKNOWN, combine_disjunct_verdicts
+
+        spec = job.spec
+        start = time.monotonic()
+        budget = spec.timeout
+        hits_before = self.store.stats.hits
+        statuses: list[str] = []
+        deciders: set[str] = set()
+        cegar_info: dict[str, Any] | None = None
+        timed_out = False
+        cancelled = False
+        failed: str | None = None
+
+        for disjunct in prop.disjuncts:
+            if job.cancel_event.is_set():
+                cancelled = True
+                break
+            remaining = (
+                None if budget is None else budget - (time.monotonic() - start)
+            )
+            if remaining is not None and remaining <= 0.0:
+                timed_out = True
+                break
+            if spec.method == "cegar":
+                outcome = self._run_cegar_sliced(
+                    job, entry, set_name, disjunct, start, budget
+                )
+                result, cancelled, timed_out = outcome
+            else:
+                query = VerificationQuery(
+                    risk=disjunct,
+                    set_name=set_name,
+                    method=spec.method,
+                    domain=spec.domain,
+                    solver=spec.solver,
+                    time_limit=remaining,
+                )
+                with entry.lock:
+                    result = entry.engine.run_query_safe(query)
+            if result is None:
+                break
+            if not result.ok:
+                failed = result.error or "query error"
+                break
+            if result.decided_by:
+                deciders.add(result.decided_by)
+            if result.cegar is not None:
+                cegar_info = {
+                    "subproblems_processed": result.cegar.subproblems_processed,
+                    "queued": result.cegar.queued,
+                    "parked": result.cegar.parked,
+                    "rounds": len(result.cegar.trace.rounds),
+                }
+            statuses.append(_VERDICT_STATUS.get(result.verdict.verdict, UNKNOWN))
+            if statuses[-1] == "sat":
+                break  # any reachable disjunct decides the instance
+            if cancelled or timed_out:
+                break
+
+        elapsed = time.monotonic() - start
+        if budget is not None and elapsed > budget:
+            # bench semantics: an answer landing after the wall budget
+            # does not count, whatever the solver said
+            timed_out = True
+
+        payload: dict[str, Any] = {
+            "status": combine_disjunct_verdicts(statuses),
+            "statuses": statuses,
+            "decided_by": sorted(deciders),
+            "elapsed": elapsed,
+            "store_hits": self.store.stats.hits - hits_before,
+            "model_digest": entry.digest,
+        }
+        if spec.label is not None:
+            payload["label"] = spec.label
+        if cegar_info is not None:
+            payload["cegar"] = cegar_info
+
+        if cancelled:
+            payload["status"] = UNKNOWN
+            self._apply_outcome(job, JobState.CANCELLED, payload)
+        elif timed_out:
+            payload["status"] = "timeout"
+            self._apply_outcome(job, JobState.TIMEOUT, payload)
+        elif failed is not None:
+            job.error = failed
+            payload["status"] = "error"
+            self._apply_outcome(job, JobState.FAILED, payload)
+        else:
+            self._apply_outcome(job, JobState.DONE, payload)
+
+    def _run_cegar_sliced(
+        self,
+        job: Job,
+        entry: _EngineEntry,
+        set_name: str,
+        disjunct,
+        start: float,
+        budget: float | None,
+    ):
+        """Spend the CEGAR budget in slices, checkpointing between them.
+
+        The engine caches the loop per (set, risk), so every slice
+        resumes the surviving frontier; a cancellation or wall-budget
+        expiry between slices leaves that frontier intact for a
+        resubmitted job to pick up.
+        """
+        spec = job.spec
+        total = spec.refine_budget or _CEGAR_BUDGET
+        spent = 0
+        result = None
+        while spent < total:
+            if job.cancel_event.is_set():
+                return result, True, False
+            remaining = (
+                None if budget is None else budget - (time.monotonic() - start)
+            )
+            if remaining is not None and remaining <= 0.0:
+                return result, False, True
+            query = VerificationQuery(
+                risk=disjunct,
+                set_name=set_name,
+                method="cegar",
+                domain=spec.domain,
+                solver=spec.solver,
+                time_limit=remaining,
+                refine_budget=min(self.cegar_slice, total - spent),
+            )
+            with entry.lock:
+                result = entry.engine.run_query_safe(query)
+            if not result.ok:
+                return result, False, False
+            spent += min(self.cegar_slice, total - spent)
+            decided = (
+                result.verdict is not None
+                and result.verdict.verdict.value != "unknown"
+            )
+            exhausted = result.cegar is not None and result.cegar.queued == 0
+            if decided or exhausted or result.cegar is None:
+                return result, False, False
+        return result, False, False
+
+    def _apply_outcome(
+        self, job: Job, state: JobState, payload: dict[str, Any] | None
+    ) -> None:
+        job.result = payload
+        job.state = state
+
+    # -- store passthrough -------------------------------------------------
+
+    def invalidate(self, model_digest_hex: str) -> int:
+        """Evict a model's stored results (``POST /v1/invalidate``)."""
+        return self.store.invalidate(model_digest_hex)
+
+    def results_for_model(self, model_digest_hex: str) -> list[dict[str, Any]]:
+        return self.store.results_for_model(model_digest_hex)
+
+    # -- metrics -----------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        by_state = {state.value: 0 for state in JobState}
+        for job in jobs:
+            by_state[job.state.value] += 1
+        latencies = sorted(self._latencies)
+
+        def percentile(q: float) -> float | None:
+            if not latencies:
+                return None
+            index = min(len(latencies) - 1, int(q * (len(latencies) - 1) + 0.5))
+            return latencies[index]
+
+        return {
+            "jobs": by_state,
+            "queue_depth": by_state[JobState.QUEUED.value],
+            "running": by_state[JobState.RUNNING.value],
+            "coalesced": self._coalesced,
+            "store": self.store.stats.to_dict(),
+            "store_entries": len(self.store),
+            "engines": len(self._engines),
+            "latency_p50": percentile(0.50),
+            "latency_p95": percentile(0.95),
+            "uptime": time.time() - self.started_at,
+            "closing": self._closing,
+        }
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float | None = 30.0) -> bool:
+        """Stop the service; True when every job reached a terminal state.
+
+        ``drain=True`` finishes queued and running jobs first;
+        ``drain=False`` cancels the queue and interrupts running CEGAR
+        loops at their next round boundary, checkpointing the frontiers
+        in the engine caches (a later daemon with the same store resumes
+        from stored results; an in-process resubmission resumes the
+        frontier itself).  Idempotent.
+        """
+        self._closing = True
+        if not drain:
+            with self._jobs_lock:
+                jobs = list(self._jobs.values())
+            for job in jobs:
+                if not job.terminal:
+                    job.cancel_event.set()
+                    if job.state is JobState.QUEUED:
+                        self._finish(job, JobState.CANCELLED)
+            with self._engines_lock:
+                entries = list(self._engines.values())
+            for entry in entries:
+                entry.engine.interrupt_cegar()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        clean = True
+        for job in self.jobs():
+            wait = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if not job.done_event.wait(wait):
+                clean = False
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._executor.shutdown(wait=clean)
+        if not self._thread.is_alive():
+            self._loop.close()
+        return clean

@@ -526,6 +526,7 @@ class CegarLoop:
         self._pool_size = 1
         self._pool: ProcessPoolExecutor | None = None
         self._poisoned = False
+        self._interrupted = False
         self.counterexample: InputCounterexample | None = None
         self.trace = RefinementTrace()
         self._root_cut_box: Box | None = None
@@ -547,6 +548,21 @@ class CegarLoop:
     def frontier_size(self) -> int:
         """Undecided subregions: still queued plus parked-at-max-depth."""
         return len(self._queue) + len(self._parked)
+
+    def request_interrupt(self) -> None:
+        """Checkpoint at the next round boundary (thread-safe, sticky).
+
+        The running :meth:`run` call finishes its in-flight round — the
+        frontier stays complete, so the loop is still resumable — and
+        returns early with whatever the anytime status is.  The flag
+        clears when the next :meth:`run` call starts.  A no-op on an
+        idle loop beyond making the *next* run return after one round.
+        """
+        self._interrupted = True
+
+    @property
+    def interrupted(self) -> bool:
+        return self._interrupted
 
     @property
     def status(self) -> SolveStatus:
@@ -872,6 +888,7 @@ class CegarLoop:
                 "incomplete; build a fresh loop instead of resuming"
             )
         start = time.perf_counter()
+        self._interrupted = False
         processed_before = self.subproblems_processed
         self._pool = self._make_pool(workers)
         try:
@@ -898,6 +915,7 @@ class CegarLoop:
         while (
             self._queue
             and self.counterexample is None
+            and not self._interrupted
             and self.subproblems_processed - processed_before < budget
         ):
             round_start = time.perf_counter()

@@ -52,10 +52,10 @@ def _op_arrays(op) -> list[np.ndarray]:
 def assert_identical_lowering(native, imported, lower=lowered_full, exact=True):
     """Same op chain, bit-exact parameters, identical shapes.
 
-    ``exact=False`` tolerates the one spec-imposed precision loss: ONNX
-    attributes are float32, so lowerings that fold a non-float32-
-    representable ``BatchNorm.eps`` into adjacent weights agree only to
-    attribute precision.
+    ``exact=False`` tolerates float32 ONNX attribute precision in
+    derived weights; with ``BatchNorm.eps`` now canonicalized to
+    float32 at construction no in-repo layer needs it, but it stays
+    for foreign models imported from float32 tool chains.
     """
     p1, p2 = lower(native), lower(imported)
     assert [type(op).__name__ for op in p1.ops] == [
@@ -114,10 +114,11 @@ class TestConvRoundTrip:
         )
         back = onnx_bytes_to_model(model_to_onnx_bytes(model))
         x = np.random.default_rng(1).random((3, 1, 8, 8))
-        # the default BatchNorm eps (1e-5) is not float32-representable,
-        # so this network agrees to ONNX attribute precision only
-        assert np.allclose(model(x), back(x), rtol=1e-6, atol=1e-12)
-        assert_identical_lowering(model, back, exact=False)
+        # BatchNorm.eps is float32-canonicalized at construction, so
+        # even the default eps round-trips bit-exact through the
+        # float32 ONNX attribute
+        assert np.array_equal(model(x), back(x))
+        assert_identical_lowering(model, back)
         # conv survives in kernel form, not materialized
         assert any(
             isinstance(op, ConvOp) for op in lowered_full(back).ops

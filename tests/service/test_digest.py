@@ -1,0 +1,128 @@
+"""Content digests: determinism, IR parity, invalidation on retraining."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.interchange.onnx import export_onnx, import_onnx
+from repro.nn import Dense, ReLU, Sequential
+from repro.perception.network import build_mlp_perception_network
+from repro.properties.risk import LinearInequality, RiskCondition, output_geq
+from repro.service.digest import (
+    model_digest,
+    property_digest,
+    query_digest,
+    risk_digest,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _mlp(seed: int = 3) -> Sequential:
+    return Sequential(
+        [Dense(8), ReLU(), Dense(8), ReLU(), Dense(2)],
+        input_shape=(3,),
+        seed=seed,
+    )
+
+
+class TestModelDigest:
+    def test_equal_weights_share_a_digest(self):
+        assert model_digest(_mlp(0)) == model_digest(_mlp(0))
+
+    def test_different_weights_differ(self):
+        assert model_digest(_mlp(0)) != model_digest(_mlp(1))
+
+    def test_onnx_round_trip_preserves_the_digest(self, tmp_path):
+        """An imported model must hash like the native construction it
+        round-trips — otherwise the store never hits across the
+        interchange boundary.  Covers MLPs and the conv/pool/LeakyReLU
+        op set (whose float32 ``alpha`` attribute is the risky field)."""
+        native = build_mlp_perception_network(
+            input_dim=6, hidden=(10, 8), feature_width=6, seed=4
+        )
+        path = tmp_path / "m.onnx"
+        export_onnx(native, path)
+        assert model_digest(import_onnx(path)) == model_digest(native)
+
+    def test_conv_model_round_trip_preserves_the_digest(self, tmp_path, tiny_convnet):
+        path = tmp_path / "conv.onnx"
+        export_onnx(tiny_convnet, path)
+        assert model_digest(import_onnx(path)) == model_digest(tiny_convnet)
+
+    def test_digest_is_cached_until_training_invalidates_it(self, rng):
+        model = _mlp(0)
+        before = model_digest(model)
+        assert model.__dict__["_model_digest"] == before
+        # inference passes keep the cache ...
+        model.forward(rng.uniform(size=(2, 3)), training=False)
+        assert "_model_digest" in model.__dict__
+        # ... training passes drop it, and updated weights re-hash fresh
+        model.forward(rng.uniform(size=(2, 3)), training=True)
+        assert "_model_digest" not in model.__dict__
+        for parameter in model.parameters():
+            parameter.value += 0.05
+        model.invalidate_lowering()
+        assert model_digest(model) != before
+
+    def test_digest_is_stable_across_process_restarts(self):
+        """No ``id()``, dict order or address may leak into the hash."""
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.nn import Dense, ReLU, Sequential\n"
+            "from repro.service.digest import model_digest\n"
+            "m = Sequential([Dense(8), ReLU(), Dense(8), ReLU(), Dense(2)],"
+            " input_shape=(3,), seed=3)\n"
+            "print(model_digest(m))\n"
+        )
+        runs = [
+            subprocess.run(
+                [sys.executable, "-c", script, REPO_SRC],
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1] == model_digest(_mlp(3))
+
+
+class TestRiskAndQueryDigests:
+    def test_risk_digest_ignores_names_but_not_geometry(self):
+        a = RiskCondition("steer-left", (output_geq(2, 0, 0.5),))
+        b = RiskCondition("completely-different-name", (output_geq(2, 0, 0.5),))
+        c = RiskCondition("steer-left", (output_geq(2, 0, 0.6),))
+        assert risk_digest(a) == risk_digest(b)
+        assert risk_digest(a) != risk_digest(c)
+
+    def test_risk_digest_normalizes_inequality_direction(self):
+        geq = RiskCondition("r", (output_geq(2, 0, 0.5),))
+        leq = RiskCondition(
+            "r", (LinearInequality((-1.0, 0.0), "<=", -0.5),)
+        )
+        assert risk_digest(geq) == risk_digest(leq)
+
+    def test_property_digest_orders_disjuncts(self):
+        lower, upper = np.zeros(3), np.ones(3)
+        r1 = RiskCondition("a", (output_geq(2, 0, 0.1),))
+        r2 = RiskCondition("b", (output_geq(2, 1, 0.2),))
+        assert property_digest(lower, upper, [r1, r2]) != property_digest(
+            lower, upper, [r2, r1]
+        )
+
+    def test_query_digest_separates_sound_from_data_derived(self):
+        risk = RiskCondition("r", (output_geq(2, 0, 0.5),))
+        box = (np.zeros(3), np.ones(3))
+        sound = query_digest(risk, box, None, sound=True)
+        derived = query_digest(risk, box, None, sound=False)
+        assert sound != derived
+
+    def test_query_digest_depends_on_the_box(self):
+        risk = RiskCondition("r", (output_geq(2, 0, 0.5),))
+        a = query_digest(risk, (np.zeros(3), np.ones(3)), None, sound=True)
+        b = query_digest(risk, (np.zeros(3), np.full(3, 0.5)), None, sound=True)
+        assert a != b
