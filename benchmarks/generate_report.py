@@ -10,7 +10,9 @@ Run:  python benchmarks/generate_report.py
 from __future__ import annotations
 
 import dataclasses
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -243,5 +245,80 @@ def main() -> None:  # noqa: C901 - a linear report script
         )
 
 
+#: headline metric per BENCH file: (json key, display label, format)
+_HEADLINES = (
+    ("speedup_fast32_vs_legacy", "fast32 vs legacy layer-walk", "{:.1f}x"),
+    ("speedup_exact64_vs_legacy", "lowered IR vs legacy layer-walk", "{:.2f}x"),
+    ("portfolio_speedup", "portfolio vs fixed symbolic ladder", "{:.2f}x"),
+    ("stream_memory_ratio", "streamed peak-memory growth (16x grid)", "{:.2f}x"),
+)
+
+
+def collect_trajectory(root: Path) -> list[tuple[str, dict]]:
+    """Every committed ``BENCH_*.json`` at the repo root, PR-ordered."""
+    entries = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            entries.append((path.name, json.loads(path.read_text())))
+        except (OSError, json.JSONDecodeError) as exc:
+            entries.append((path.name, {"error": str(exc)}))
+    return entries
+
+
+def render_trajectory(entries: list[tuple[str, dict]]) -> str:
+    """The performance-trajectory page for ``docs/benchmarks/``."""
+    lines = [
+        "# Performance trajectory",
+        "",
+        "Measured ratios from every committed acceptance benchmark",
+        "(`BENCH_<PR>.json` at the repo root, one file per perf PR;",
+        "regenerate with `python benchmarks/generate_report.py "
+        "--trajectory`).",
+        "",
+        "## Headlines",
+        "",
+        "| source | metric | measured |",
+        "|---|---|---|",
+    ]
+    for name, payload in entries:
+        for key, label, fmt in _HEADLINES:
+            if key in payload:
+                lines.append(
+                    f"| `{name}` | {label} | {fmt.format(payload[key])} |"
+                )
+    lines += ["", "## Raw measurements", ""]
+    for name, payload in entries:
+        lines += [f"### `{name}`", "", "| key | value |", "|---|---|"]
+        for key in sorted(payload):
+            value = payload[key]
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            lines.append(f"| `{key}` | {value} |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_trajectory() -> Path:
+    root = Path(__file__).resolve().parent.parent
+    out_dir = root / "docs" / "benchmarks"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "trajectory.md"
+    out_path.write_text(render_trajectory(collect_trajectory(root)))
+    return out_path
+
+
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trajectory",
+        action="store_true",
+        help="collect BENCH_*.json into docs/benchmarks/trajectory.md "
+        "instead of running the full E1-E10 measurement campaign",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.trajectory:
+        print(f"trajectory written to {write_trajectory()}")
+    else:
+        main()

@@ -49,13 +49,18 @@ compatibility shim over this engine.
 
 from repro.api.campaign import Campaign, CampaignReport, QueryResult
 from repro.api.engine import RegisteredFeatureSet, VerificationEngine
+from repro.api.portfolio import DEFAULT_RACERS, Portfolio, RacerConfig, RacerStats
 from repro.api.query import Method, VerificationQuery
 
 __all__ = [
     "Campaign",
     "CampaignReport",
+    "DEFAULT_RACERS",
     "Method",
+    "Portfolio",
     "QueryResult",
+    "RacerConfig",
+    "RacerStats",
     "RegisteredFeatureSet",
     "VerificationEngine",
     "VerificationQuery",

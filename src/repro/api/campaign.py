@@ -91,6 +91,16 @@ class Campaign:
         """
         if not risks:
             raise ValueError("from_scenario_grid needs at least one risk condition")
+        # an eager grid campaign implies O(grid) engine-side copies
+        # (input boxes, feature sets, per-query results); reject sizes
+        # that cannot fit before anything is allocated, pointing at the
+        # constant-memory streaming path
+        from repro.scenario.regions import ensure_regions_fit
+
+        pixels = int(grid[0].lower.size) if len(grid) else 0
+        ensure_regions_fit(
+            len(grid), pixels, what=f"scenario-grid campaign {name!r}"
+        )
         campaign = cls(name)
         for region in grid:
             for prop in properties:

@@ -527,6 +527,28 @@ class VerificationEngine:
             )
         return names
 
+    def remove_feature_sets(self, names: "list[str] | tuple[str, ...]") -> None:
+        """Unregister feature sets and purge every cache entry they seeded.
+
+        The streaming campaign executor registers each shard's surviving
+        regions only for the solver fallback and removes them right
+        after — without the purge the enclosure/encoding/support/cegar
+        caches would grow O(grid) over a million-region sweep.  Unknown
+        names are ignored (the set may never have been registered).
+        """
+        for name in names:
+            self._sets.pop(name, None)
+            for cache in (
+                self._bounds_cache,
+                self._enclosure_cache,
+                self._encoding_cache,
+                self._support_cache,
+                self._direction_seen,
+                self._cegar_loops,
+            ):
+                for key in [k for k in cache if k[0] == name]:
+                    del cache[key]
+
     def feature_set(self, name: str) -> FeatureSet:
         return self._registered(name).feature_set
 
@@ -1437,6 +1459,25 @@ class VerificationEngine:
             executor=executor,
             cache_stats=cache_stats,
         )
+
+    def run_stream(self, plan, risks, **options):
+        """Stream a scenario campaign in constant memory (see
+        :func:`repro.scenario.streaming.run_stream`).
+
+        The streaming twin of :meth:`add_region_sets` +
+        :meth:`run` over an eager grid: region shards are generated,
+        triaged attack-first, decided, aggregated and discarded, so a
+        million-region sweep peaks at one shard of memory.  ``plan`` is
+        a :class:`~repro.scenario.streaming.StreamPlan`; keyword options
+        are forwarded (``workers``, ``domain``, ``attack_steps``,
+        ``solver_fallback``, ``collect_results``, ...).  Returns a
+        :class:`~repro.scenario.streaming.StreamReport`.
+        """
+        # local import: repro.scenario.streaming imports engine types
+        # for its fallback path, so a module-level import would cycle
+        from repro.scenario.streaming import run_stream
+
+        return run_stream(self, plan, risks, **options)
 
     def _run_parallel(
         self, queries: list[VerificationQuery], workers: int

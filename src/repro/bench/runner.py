@@ -257,6 +257,78 @@ def run_instance_daemon(
     )
 
 
+def _run_cell(
+    track: Track, instance: BenchmarkInstance, timeout: float | None
+) -> InstanceOutcome:
+    """One (track, instance) competition cell, self-contained.
+
+    The parallel runner's pool callable (module-level so it pickles):
+    loads model and property itself — workers share nothing, so every
+    cell's time stays attributable to its configuration alone — and
+    applies the same static-IR pre-check as the sequential loop.
+    """
+    try:
+        model = instance.load_model()
+        prop = instance.load_property()
+    except Exception as exc:
+        return InstanceOutcome(
+            track=track.name,
+            instance=instance.name,
+            status="error",
+            elapsed=0.0,
+            timeout=float(timeout if timeout is not None else instance.timeout),
+            expected=instance.expected,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    from repro.analysis.ir_analysis import model_error_summary
+
+    diagnostics = model_error_summary(model)
+    if diagnostics is not None:
+        return InstanceOutcome(
+            track=track.name,
+            instance=instance.name,
+            status="error",
+            elapsed=0.0,
+            timeout=float(timeout if timeout is not None else instance.timeout),
+            expected=instance.expected,
+            detail=f"static analysis rejected model: {diagnostics}",
+        )
+    return run_instance(track, instance, model, prop, timeout=timeout)
+
+
+def _run_cells_parallel(
+    instances: Sequence[BenchmarkInstance],
+    tracks: Sequence[Track],
+    timeout: float | None,
+    workers: int,
+    progress: Callable[[str], None] | None,
+) -> list[InstanceOutcome]:
+    """All (instance, track) cells on a process pool, sequential order.
+
+    Wall budgets stay **per instance** — each cell enforces its own
+    budget inside the worker — and the returned outcomes are ordered
+    exactly as the sequential loop would have produced them.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    cells = [(instance, track) for instance in instances for track in tracks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_run_cell, track, instance, timeout)
+            for instance, track in cells
+        ]
+        outcomes = []
+        for (instance, track), future in zip(cells, futures):
+            outcome = future.result()
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(
+                    f"  {track.name:<18} {instance.name:<22} "
+                    f"{outcome.status:<8} {outcome.elapsed:7.3f}s"
+                )
+    return outcomes
+
+
 def run_competition(
     instances: Sequence[BenchmarkInstance],
     tracks: Sequence[Track] | None = None,
@@ -266,12 +338,19 @@ def run_competition(
     timeout: float | None = None,
     progress: Callable[[str], None] | None = None,
     daemon: str | None = None,
+    workers: int = 1,
 ) -> CompetitionReport:
     """Run every track over every instance and score the matrix.
 
     ``daemon`` targets a running service (a base URL) instead of
     constructing in-process engines: every (track, instance) cell is
     submitted as a job via :func:`run_instance_daemon`.
+
+    ``workers > 1`` fans the (instance, track) cells out over a process
+    pool (ignored under ``daemon`` — the daemon is the executor there).
+    Per-instance wall budgets still apply inside each worker, and the
+    outcome order matches the sequential loop.  Falls back to the
+    sequential loop if no pool can be constructed.
     """
     tracks = list(tracks) if tracks else None
     if not tracks:
@@ -292,6 +371,26 @@ def run_competition(
 
     start = time.perf_counter()
     outcomes: list[InstanceOutcome] = []
+    if workers > 1 and client is None:
+        try:
+            outcomes = _run_cells_parallel(
+                instances, tracks, timeout, workers, progress
+            )
+        except Exception:  # no pool on this platform — run sequentially
+            outcomes = []
+    if outcomes:
+        scores = [score_track(track.name, outcomes) for track in tracks]
+        return CompetitionReport(
+            instance_dir=str(instance_dir),
+            suite=suite,
+            tracks=tracks,
+            instances=[instance.name for instance in instances],
+            outcomes=outcomes,
+            scores=scores,
+            disagreements=verdict_disagreements(outcomes),
+            total_time=time.perf_counter() - start,
+            timeout=timeout,
+        )
     for instance in instances:
         if client is not None:
             for track in tracks:

@@ -244,6 +244,68 @@ def _refine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_campaign(engine: VerificationEngine, args: argparse.Namespace) -> int:
+    """Streamed scenario sweep (`repro campaign --scenario-grid N --stream`).
+
+    Covers the same grid as the eager scenario-grid campaign — identical
+    scene/perturbation axes, identical enclosure-derived risk thresholds
+    — but through :func:`repro.scenario.streaming.run_stream`: sharded
+    region generation, attack-first triage, and O(shard) peak memory at
+    any grid size.  ``--sample K`` switches to coverage-guided
+    sub-exhaustive sweeping; ``--portfolio`` races the adaptive solver
+    portfolio over every region the prescreen cannot decide.
+    """
+    from repro.scenario.streaming import (
+        StreamPlan,
+        run_stream,
+        stream_enclosure_range,
+    )
+
+    weather_levels = (0.0, 1.0)
+    traffic_levels = (0, 1)
+    per_scene = len(weather_levels) * len(traffic_levels)
+    plan = StreamPlan(
+        n_scenes=-(-args.scenario_grid // per_scene),
+        weather_levels=weather_levels,
+        traffic_levels=traffic_levels,
+        seed=args.seed,
+        shard_size=args.shard_size,
+        limit=args.scenario_grid,
+        sample=args.sample,
+        sample_seed=args.seed,
+    )
+    # same threshold derivation as the eager path (bitwise-identical
+    # enclosure range), computed in O(shard) memory over the plan
+    lo, hi = stream_enclosure_range(engine, plan)
+    risks = [
+        steer_far_left(round(hi + 0.25, 3)),
+        steer_far_left(round(0.5 * (lo + hi), 3)),
+    ]
+    report = run_stream(
+        engine,
+        plan,
+        risks,
+        domain=args.domain,
+        workers=args.workers,
+        portfolio=args.portfolio,
+        progress=print,
+    )
+    print(report.summary())
+    for key, count in sorted(report.decided_by_counts.items()):
+        print(f"  decided by {key:<24} {count}")
+    for axis in sorted(report.coverage):
+        levels = report.coverage[axis]
+        rendered = ", ".join(
+            f"{level}: {sum(verdicts.values())}" for level, verdicts in
+            sorted(levels.items())
+        )
+        print(f"  coverage {axis:<14} {rendered}")
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        print(f"\nreport written to {args.json}")
+    return 1 if report.verdict_counts.get("error") else 0
+
+
 def _campaign(args: argparse.Namespace) -> int:
     engine, meta = _load(
         Path(args.out), solver=args.solver, precision=args.precision
@@ -259,10 +321,25 @@ def _campaign(args: argparse.Namespace) -> int:
                 "--scenario-grid (region sets carry the input boxes "
                 "CEGAR refines); the threshold sweep ignores it"
             )
+    if args.stream:
+        if not args.scenario_grid:
+            print("error: --stream requires --scenario-grid N")
+            return 2
+        return _stream_campaign(engine, args)
+    if args.sample:
+        print("error: --sample requires --stream (coverage-guided "
+              "sampling is a streaming-sweep feature)")
+        return 2
     if args.scenario_grid:
-        campaign = _scenario_grid_campaign(
-            engine, args.scenario_grid, args.seed, domain=args.domain
-        )
+        from repro.scenario.regions import RegionMemoryError
+
+        try:
+            campaign = _scenario_grid_campaign(
+                engine, args.scenario_grid, args.seed, domain=args.domain
+            )
+        except RegionMemoryError as exc:
+            print(f"error: {exc}")
+            return 2
     else:
         reach = engine.run_query(VerificationQuery(method="range")).output_range
         thresholds = np.linspace(reach.lower, reach.upper + 0.5, args.thresholds)
@@ -272,7 +349,12 @@ def _campaign(args: argparse.Namespace) -> int:
             method=args.method,
             domain=args.domain,
         )
-    report = engine.run(campaign, workers=args.workers)
+    if args.portfolio:
+        from repro.api import Portfolio
+
+        report = Portfolio(engine).run(campaign, workers=args.workers)
+    else:
+        report = engine.run(campaign, workers=args.workers)
     print(report.summary())
     for result in report:
         status = (
@@ -327,6 +409,7 @@ def _bench(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         progress=print if not args.quiet else None,
         daemon=args.daemon,
+        workers=args.workers,
     )
     md_path, json_path = write_reports(report, args.out)
     print(f"\nreports written to {md_path} and {json_path}")
@@ -601,6 +684,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--seed", type=int, default=0, help="scenario-grid seed")
     campaign.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the scenario grid in shards (constant memory at any "
+        "size) with an attack-first triage pass; verdict-identical to "
+        "the eager --scenario-grid sweep on the same parameters",
+    )
+    campaign.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=256,
+        metavar="N",
+        help="regions per streamed shard (peak memory is O(shard))",
+    )
+    campaign.add_argument(
+        "--sample",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="coverage-guided sub-exhaustive sweep: stream only K regions "
+        "chosen by a coprime-stride lattice over the weather x camera x "
+        "traffic axes (requires --stream)",
+    )
+    campaign.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race the adaptive (domain, method, precision) portfolio per "
+        "query — first sound decided answer wins, losers are cancelled "
+        "— instead of the engine's fixed strategy ladder",
+    )
+    campaign.add_argument(
         "--domain",
         default="interval",
         choices=["interval", "octagon", "zonotope", "symbolic"],
@@ -723,6 +836,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--quiet", action="store_true", help="suppress per-instance progress"
+    )
+    bench.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="run (track, instance) cells on an N-process pool; wall "
+        "budgets still apply per instance, and the report is ordered "
+        "as if sequential",
     )
     bench.add_argument(
         "--daemon",
@@ -852,7 +974,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--instance", default=None, help="instance name within --suite"
     )
     submit.add_argument(
-        "--method", default="exact", choices=["exact", "relaxed", "cegar"]
+        "--method",
+        default="exact",
+        choices=["exact", "relaxed", "cegar", "portfolio"],
+        help="query strategy; portfolio races the adaptive (domain, "
+        "method, precision) ladder per disjunct",
     )
     submit.add_argument(
         "--domain",

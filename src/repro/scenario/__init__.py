@@ -42,8 +42,17 @@ from repro.scenario.regions import (
     PerturbationAxes,
     Region,
     RegionGrid,
+    RegionMemoryError,
+    ensure_regions_fit,
     region_from_scene,
     scenario_region_grid,
+)
+from repro.scenario.streaming import (
+    StreamPlan,
+    StreamReport,
+    run_stream,
+    stream_enclosure_range,
+    stream_scenario_regions,
 )
 from repro.scenario.traffic import Vehicle
 from repro.scenario.weather import Weather
@@ -56,16 +65,23 @@ __all__ = [
     "PropertyOracle",
     "Region",
     "RegionGrid",
+    "RegionMemoryError",
     "RoadGeometry",
     "SceneConfig",
     "SceneParams",
+    "StreamPlan",
+    "StreamReport",
     "Vehicle",
     "Weather",
     "affordance_names",
     "affordances",
+    "ensure_regions_fit",
     "generate_dataset",
     "region_from_scene",
     "render_scene",
+    "run_stream",
     "sample_scene",
     "scenario_region_grid",
+    "stream_enclosure_range",
+    "stream_scenario_regions",
 ]

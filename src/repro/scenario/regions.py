@@ -57,6 +57,7 @@ and whose region names become engine feature-set names
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -204,6 +205,74 @@ class RegionGrid:
         return RegionGrid(self.regions[:n], self.config)
 
 
+class RegionMemoryError(MemoryError):
+    """An eager region grid would not fit in available memory.
+
+    Raised *before* any allocation happens, with a message pointing at
+    the streaming path (:mod:`repro.scenario.streaming` /
+    ``repro campaign --stream``) that handles arbitrarily large grids
+    in constant memory.
+    """
+
+
+def available_memory_bytes() -> int | None:
+    """Best-effort available physical memory (None when unknowable)."""
+    try:
+        return os.sysconf("SC_AVPHYS_PAGES") * os.sysconf("SC_PAGE_SIZE")
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        return None
+
+
+#: fraction of available memory an eager grid may claim before the
+#: guard rejects it — regions are only the first of several O(grid)
+#: allocations (engine input-box copies, feature sets, query results)
+_MEMORY_FRACTION = 0.5
+
+#: estimated bytes per region pixel: float64 lower + upper bounds, times
+#: an overhead factor for the downstream per-region copies listed above
+_BYTES_PER_PIXEL = 8 * 2 * 3
+
+
+def ensure_regions_fit(
+    n_regions: int,
+    pixels_per_region: int,
+    *,
+    available: int | None = None,
+    what: str = "scenario region grid",
+) -> None:
+    """Reject an eager materialization that would exhaust memory.
+
+    ``available`` overrides the measured available memory (for tests);
+    when memory cannot be measured the check is skipped — an eager
+    build on an exotic platform is better than a false rejection.
+
+    Raises
+    ------
+    RegionMemoryError
+        When ``n_regions`` regions of ``pixels_per_region`` pixels each
+        (plus the engine-side copies they imply) would claim more than
+        half the available memory.
+    """
+    if n_regions <= 0 or pixels_per_region <= 0:
+        return
+    if available is None:
+        available = available_memory_bytes()
+    if available is None:
+        return
+    needed = n_regions * pixels_per_region * _BYTES_PER_PIXEL
+    budget = int(available * _MEMORY_FRACTION)
+    if needed > budget:
+        raise RegionMemoryError(
+            f"{what} with {n_regions} regions needs ~{needed / 2**30:.1f} GiB "
+            f"(budget {budget / 2**30:.1f} GiB of {available / 2**30:.1f} GiB "
+            f"available); materializing it eagerly would OOM mid-allocation. "
+            f"Use the streaming path instead — "
+            f"repro.scenario.streaming.run_stream / StreamPlan, or "
+            f"`repro campaign --scenario-grid N --stream` — which keeps peak "
+            f"memory at one shard regardless of grid size."
+        )
+
+
 def _weather_variants(intensity: float) -> list[Weather]:
     """All 8 corners of the intensity family's parameter box.
 
@@ -308,6 +377,12 @@ def scenario_region_grid(
     if n_scenes <= 0:
         raise ValueError(f"n_scenes must be positive, got {n_scenes}")
     config = config or SceneConfig()
+    n_regions = (
+        n_scenes * len(weather_levels) * len(jitter_levels) * len(traffic_levels)
+    )
+    ensure_regions_fit(
+        n_regions, config.camera.width * config.camera.height_px
+    )
     base_config = replace(config, weather_variation=False, traffic_probability=0.0)
     rng = np.random.default_rng(seed)
     scenes = [sample_scene(rng, base_config) for _ in range(n_scenes)]

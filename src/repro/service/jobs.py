@@ -106,10 +106,10 @@ class JobSpec:
             raise ValueError(
                 f"refine_budget must be positive, got {self.refine_budget}"
             )
-        if self.method not in ("exact", "relaxed", "cegar"):
+        if self.method not in ("exact", "relaxed", "cegar", "portfolio"):
             raise ValueError(
-                f"service jobs answer verdict methods exact/relaxed/cegar, "
-                f"got {self.method!r}"
+                f"service jobs answer verdict methods exact/relaxed/cegar/"
+                f"portfolio, got {self.method!r}"
             )
 
     def to_dict(self) -> dict[str, Any]:
@@ -188,6 +188,9 @@ class _EngineEntry:
     lock: threading.Lock = field(default_factory=threading.Lock)
     #: property digest -> registered set name
     sets: dict[str, str] = field(default_factory=dict)
+    #: lazily-built adaptive racer for ``method == "portfolio"`` jobs —
+    #: cached per engine so win/loss statistics persist across jobs
+    portfolio: Any = None
 
 
 class VerificationService:
@@ -515,6 +518,25 @@ class VerificationService:
                     job, entry, set_name, disjunct, start, budget
                 )
                 result, cancelled, timed_out = outcome
+            elif spec.method == "portfolio":
+                query = VerificationQuery(
+                    risk=disjunct,
+                    set_name=set_name,
+                    method="exact",
+                    domain=spec.domain,
+                    solver=spec.solver,
+                    time_limit=remaining,
+                )
+                with entry.lock:
+                    if entry.portfolio is None:
+                        from repro.api.portfolio import Portfolio
+
+                        entry.portfolio = Portfolio(entry.engine)
+                    result = entry.portfolio.run_query(
+                        query, cancel=job.cancel_event
+                    )
+                if job.cancel_event.is_set():
+                    cancelled = True
             else:
                 query = VerificationQuery(
                     risk=disjunct,

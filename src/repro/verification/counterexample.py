@@ -209,6 +209,94 @@ def pgd_in_boxes(
     return None
 
 
+def pgd_hits_in_boxes(
+    model: Sequential,
+    risk: RiskCondition,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    *,
+    steps: int = 10,
+    step_fraction: float = 0.25,
+) -> list[tuple[int, InputCounterexample]]:
+    """All-hits twin of :func:`pgd_in_boxes` for attack-first triage.
+
+    Where :func:`pgd_in_boxes` stops at the *first* box whose iterate
+    satisfies the risk (the CEGAR concretization contract), the
+    streaming campaign executor wants to falsify as many regions of a
+    shard as one batched ascent can reach: every box keeps climbing for
+    the full ``steps`` budget, each box's first hit is frozen, and all
+    hits are returned together.
+
+    Returns
+    -------
+    list[tuple[int, InputCounterexample]]
+        ``(box index, counterexample)`` for every box that reached the
+        risk, in box order; empty when no search reached it.  Each
+        counterexample is a genuine input-space witness (evaluated with
+        exact forward passes), so the caller may conclude UNSAFE for
+        that box without invoking a solver.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.perception.network import build_mlp_perception_network
+    >>> from repro.properties.risk import RiskCondition, output_geq
+    >>> model = build_mlp_perception_network(
+    ...     input_dim=3, hidden=(4,), feature_width=3, seed=0)
+    >>> lower = np.zeros((2, 3)); upper = np.ones((2, 3))
+    >>> risk = RiskCondition("reach", (output_geq(2, 0, -1e9),))  # always on
+    >>> hits = pgd_hits_in_boxes(model, risk, lower, upper, steps=1)
+    >>> [index for index, _ in hits]
+    [0, 1]
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if lower.shape != upper.shape or lower.shape[1:] != model.input_shape:
+        raise ValueError(
+            f"expected stacked bounds of shape (k, {model.input_shape}), got "
+            f"{lower.shape} / {upper.shape}"
+        )
+    a_matrix, _ = risk.as_matrix()
+    program = _attack_program(model)
+    x = 0.5 * (lower + upper)
+    width = upper - lower
+    k = x.shape[0]
+    hits: dict[int, InputCounterexample] = {}
+    for it in range(steps + 1):
+        if program is not None:
+            outputs = program.apply(x.reshape(k, -1))
+        else:
+            outputs = model.forward(x, training=False)
+        margins = np.asarray(risk.margin(outputs), dtype=float)
+        for index in np.nonzero(margins >= 0.0)[0]:
+            index = int(index)
+            if index not in hits:  # freeze each box's first hit
+                hits[index] = InputCounterexample(
+                    image=x[index].copy(),
+                    output=outputs[index].copy(),
+                    risk_margin=float(margins[index]),
+                    iterations=it,
+                )
+        if it == steps or len(hits) == k:
+            break
+        per_row = np.stack(
+            [np.asarray(ineq.margin(outputs), dtype=float) for ineq in risk.inequalities]
+        )
+        worst = np.argmin(per_row, axis=0)
+        directions = -a_matrix[worst]
+        if program is not None:
+            _, flat_grads = program.value_and_input_gradient(
+                x.reshape(k, -1), directions
+            )
+            grads = flat_grads.reshape(x.shape)
+        else:
+            _, grads = input_gradient(model, x, directions)
+        x = np.clip(x + step_fraction * width * np.sign(grads), lower, upper)
+    return [(index, hits[index]) for index in sorted(hits)]
+
+
 def attack_frontier(
     model: Sequential,
     make_risk,
