@@ -251,6 +251,16 @@ _HEADLINES = (
     ("speedup_exact64_vs_legacy", "lowered IR vs legacy layer-walk", "{:.2f}x"),
     ("portfolio_speedup", "portfolio vs fixed symbolic ladder", "{:.2f}x"),
     ("stream_memory_ratio", "streamed peak-memory growth (16x grid)", "{:.2f}x"),
+    (
+        "node_ratio_full_vs_merged",
+        "width-hard UNSAT proof: full-width vs merged MILP nodes",
+        "{:.1f}x",
+    ),
+    (
+        "structural_speedup",
+        "structural CEGAR vs region-only at equal budget",
+        "{:.0f}x",
+    ),
 )
 
 

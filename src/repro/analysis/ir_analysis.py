@@ -20,6 +20,11 @@ IR011     error     program metadata (out_dim) disagrees with dataflow
 IR012     error     fusion contract: fused op in a MILP view, a fusable
                     affine→relu pair left unfused in a fused view, or a
                     fused op wrapping a mismatched part
+IR013     error     merged-program contract: merge-group metadata
+                    (abstract group → original neuron ids) missing, not
+                    a partition of the source layer, inconsistent with
+                    the op's width, or with non-increasing layer indices
+                    (the group graph must stay acyclic)
 IR007     warning   degenerate (all-zero) affine rows / scale entries
 IR008     warning   dead op (redundant activation, identity elementwise)
 IR009     warning   cumulative Lipschitz growth exceeds the threshold
@@ -27,7 +32,7 @@ IR106     info      coverage gap in a non-requested registered domain
 ========  ========  ====================================================
 
 :func:`validate_program` runs the cheap errors-only structural subset
-(IR001/IR002/IR003/IR005/IR010/IR011) and raises
+(IR001/IR002/IR003/IR005/IR010/IR011/IR013) and raises
 :class:`IRValidationError`; :func:`~repro.verification.ir.lower_network`
 calls it on every cache miss so malformed programs surface as op-indexed
 diagnostics at lowering time.
@@ -344,6 +349,110 @@ def _structural_diagnostics(program: LoweredProgram) -> list[Diagnostic]:
                 f"the dataflow produces {current}",
             )
         )
+    merge_groups = getattr(program, "merge_groups", None)
+    if merge_groups is not None or source.endswith("/merged"):
+        diags.extend(_merge_diagnostics(program, merge_groups))
+    return diags
+
+
+def _merge_diagnostics(
+    program: LoweredProgram, metadata: dict | None
+) -> list[Diagnostic]:
+    """IR013: the merged-program contract.
+
+    A merged program (source tag ``/merged`` or a ``merge_groups``
+    attribute) must carry, for every merged hidden affine op, the map
+    from each abstract group back to the original neuron ids it covers:
+    per rail a *partition* of the source layer (disjoint, covering,
+    in-range), with the op's width equal to the total group count, and
+    layer indices strictly increasing across entries so the
+    group-provenance graph is acyclic.
+    """
+    diags: list[Diagnostic] = []
+
+    def diag(message: str, op_index: int | None = None) -> None:
+        kind = (
+            type(program.ops[op_index]).__name__
+            if op_index is not None and 0 <= op_index < len(program.ops)
+            else None
+        )
+        diags.append(Diagnostic("IR013", "error", message, op_index, kind))
+
+    if not metadata:
+        diag(
+            "merged program carries no merge-group metadata "
+            "(abstract group -> original neuron ids)"
+        )
+        return diags
+    last_layer = -1
+    for op_index in sorted(metadata):
+        entry = metadata[op_index]
+        if (
+            not isinstance(op_index, int)
+            or op_index < 0
+            or op_index >= len(program.ops)
+            or not isinstance(program.ops[op_index], AffineOp)
+        ):
+            diag(
+                f"merge metadata references op {op_index!r}, which is "
+                f"not an affine op of this program"
+            )
+            continue
+        layer = entry.get("layer")
+        width = entry.get("width")
+        inc = entry.get("inc")
+        dec = entry.get("dec")
+        if layer is None or width is None or inc is None or dec is None:
+            diag(
+                "merge metadata entry is missing one of "
+                "layer/width/inc/dec",
+                op_index,
+            )
+            continue
+        if layer <= last_layer:
+            diag(
+                f"merge metadata layer {layer} does not increase over "
+                f"the previous entry ({last_layer}): the group "
+                f"provenance graph must be acyclic",
+                op_index,
+            )
+        last_layer = max(last_layer, int(layer))
+        for rail, groups in (("inc", inc), ("dec", dec)):
+            seen: set[int] = set()
+            for group in groups:
+                if not len(group):
+                    diag(f"empty {rail} group", op_index)
+                    continue
+                for member in group:
+                    if not 0 <= int(member) < int(width):
+                        diag(
+                            f"{rail} group member {member} out of range "
+                            f"[0, {width})",
+                            op_index,
+                        )
+                    elif int(member) in seen:
+                        diag(
+                            f"original neuron {member} appears in two "
+                            f"{rail} groups (groups must be disjoint)",
+                            op_index,
+                        )
+                    seen.add(int(member))
+            if seen != set(range(int(width))) and not any(
+                d.op_index == op_index for d in diags
+            ):
+                diag(
+                    f"{rail} groups cover {len(seen)} of {width} "
+                    f"original neurons (groups must partition the layer)",
+                    op_index,
+                )
+        expected = len(inc) + len(dec)
+        if program.ops[op_index].out_dim != expected:
+            diag(
+                f"op width {program.ops[op_index].out_dim} disagrees "
+                f"with metadata group count {expected} (inc {len(inc)} "
+                f"+ dec {len(dec)})",
+                op_index,
+            )
     return diags
 
 

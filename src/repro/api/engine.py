@@ -134,7 +134,10 @@ class VerificationEngine:
     ``cegar_workers`` / ``cegar_budget`` configure the anytime CEGAR
     rung: the default subproblem budget per ``cegar`` query (overridden
     by :attr:`VerificationQuery.refine_budget`) and the frontier-parallel
-    pool cap for its leaf solves.
+    pool cap for its leaf solves.  ``cegar_structural`` turns on the
+    structural (neuron-merging) refinement axis for every cegar run —
+    including the exact-method fallback — while per-query
+    ``structural=True`` enables it for one query.
 
     Examples
     --------
@@ -167,6 +170,7 @@ class VerificationEngine:
         batch_prescreen: bool = True,
         cegar_workers: int = 1,
         cegar_budget: int = 64,
+        cegar_structural: bool = False,
         precision: str = "exact64",
         store=None,
         **solver_options,
@@ -204,6 +208,9 @@ class VerificationEngine:
         _check_precision(precision)
         self.cegar_workers = cegar_workers
         self.cegar_budget = cegar_budget
+        #: engine-wide default for the structural (neuron-merging) CEGAR
+        #: axis; per-query ``structural=True`` turns it on regardless
+        self.cegar_structural = cegar_structural
         #: "fast32" routes batched abstraction passes (region lifting,
         #: prescreen enclosures) through the float32 raw-speed backend;
         #: results provably contain the exact64 ones, so verdicts stay
@@ -1192,6 +1199,7 @@ class VerificationEngine:
                 "cegar queries need a batched prescreen domain "
                 "(any registered abstract domain), got None"
             )
+        structural = bool(query.structural) or self.cegar_structural
         # resumability is per *configuration*: a re-submitted query with
         # a different backend or domain must not silently resume a loop
         # built for the old one (a different refine_budget, by contrast,
@@ -1202,13 +1210,21 @@ class VerificationEngine:
             solver_name,
             domain,
             tuple(sorted(options.items())),
+            structural,
         )
         loop = self._cegar_loops.get(key) if self.cache_enabled else None
         if loop is not None:
             hits.append("cegar-loop")
         else:
-            base = self._base_encoding(query.set_name, None, "milp", hits)
-            leaf = _ScopedLeafSolver(base, risk, solver_name, options)
+            if structural:
+                # the loop encodes its own (merged) suffix while the
+                # structural axis has merged groups; the shared
+                # original-program encoding would go unused until full
+                # refinement, so don't build it up front
+                leaf = None
+            else:
+                base = self._base_encoding(query.set_name, None, "milp", hits)
+                leaf = _ScopedLeafSolver(base, risk, solver_name, options)
             lower, upper = registered.input_box
             loop = CegarLoop(
                 self.model,
@@ -1220,6 +1236,7 @@ class VerificationEngine:
                     domain=domain,
                     solver=solver_name,
                     solver_options=tuple(sorted(options.items())),
+                    structural=structural,
                 ),
                 batch_prescreen=self.batch_prescreen,
                 leaf_solver=leaf,
@@ -1244,6 +1261,9 @@ class VerificationEngine:
             "open_frontier": cegar.trace.open_frontier,
             "parked": cegar.parked,
         }
+        if structural:
+            stats["structural"] = True
+            stats["structural_splits"] = loop.structural_refinements
         counterexample = None
         if cegar.status is SolveStatus.SAT:
             image = cegar.counterexample.image

@@ -69,6 +69,9 @@ class RacerConfig:
     True
     >>> RacerConfig("cegar", method="cegar", refine_budget=8).apply(q).method
     <Method.CEGAR: 'cegar'>
+    >>> RacerConfig(
+    ...     "merge", method="cegar", structural=True).apply(q).structural
+    True
     """
 
     name: str
@@ -77,11 +80,18 @@ class RacerConfig:
     solver: str | None = None
     precision: str | None = None
     refine_budget: int | None = None
+    #: cegar-only: race with the structural (neuron-merging) axis on
+    structural: bool = False
 
     def __post_init__(self) -> None:
         if Method(self.method) not in (Method.EXACT, Method.RELAXED, Method.CEGAR):
             raise ValueError(
                 f"portfolio racers answer verdict methods, got {self.method!r}"
+            )
+        if self.structural and Method(self.method) is not Method.CEGAR:
+            raise ValueError(
+                f"structural racers must use the cegar method, got "
+                f"{self.method!r}"
             )
 
     def apply(self, query: VerificationQuery) -> VerificationQuery:
@@ -96,6 +106,13 @@ class RacerConfig:
                 self.refine_budget
                 if self.refine_budget is not None
                 else query.refine_budget
+            ),
+            # structural is a cegar-only flag: non-cegar racers must
+            # drop it or the rewritten query would not validate
+            structural=(
+                (self.structural or query.structural)
+                if Method(self.method) is Method.CEGAR
+                else False
             ),
         )
 
@@ -143,13 +160,21 @@ class RacerStats:
 
 #: the stock portfolio: a cheap sound prescreener, the full-precision
 #: ladder, a float32 fast-path screener, an UNSAFE-specialist that skips
-#: prescreening entirely, and an anytime CEGAR refiner
+#: prescreening entirely, an anytime CEGAR refiner, and a structural
+#: (neuron-merging) CEGAR refiner for width-bound instances
 DEFAULT_RACERS: tuple[RacerConfig, ...] = (
     RacerConfig("interval-exact", domain="interval"),
     RacerConfig("symbolic-exact", domain="symbolic"),
     RacerConfig("fast32-screen", domain="interval", precision="fast32"),
     RacerConfig("direct-milp", domain=None),
     RacerConfig("cegar-refine", domain="interval", method="cegar", refine_budget=16),
+    RacerConfig(
+        "structural-cegar",
+        domain="interval",
+        method="cegar",
+        refine_budget=16,
+        structural=True,
+    ),
 )
 
 

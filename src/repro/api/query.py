@@ -103,6 +103,12 @@ class VerificationQuery:
     refine_budget : int, optional
         CEGAR subproblem budget for ``cegar`` queries and the engine's
         cegar fallback (``None`` uses the engine default).
+    structural : bool, optional
+        ``cegar`` only: enable the structural (neuron-merging)
+        refinement axis — the loop starts from a merged suffix program
+        and splits merged neuron groups when that shrinks the violating
+        output bound more than splitting the region would
+        (:mod:`repro.verification.abstraction.merge`).
     anchor, epsilon, delta : optional
         Robustness-only: an L∞ ball of radius ``epsilon`` at ``anchor``
         must keep outputs within ``delta``.
@@ -120,6 +126,8 @@ class VerificationQuery:
     'exact'
     >>> VerificationQuery(risk=risk, method="cegar", refine_budget=32).method
     <Method.CEGAR: 'cegar'>
+    >>> VerificationQuery(risk=risk, method="cegar", structural=True).structural
+    True
     """
 
     risk: RiskCondition | None = None
@@ -136,6 +144,8 @@ class VerificationQuery:
     #: CEGAR subproblem budget for ``cegar`` queries and the engine's
     #: cegar fallback (``None`` uses the engine default)
     refine_budget: int | None = None
+    #: cegar-only: enable the structural (neuron-merging) refinement axis
+    structural: bool = False
     # robustness-only parameters
     anchor: tuple[float, ...] | None = None
     epsilon: float | None = None
@@ -182,6 +192,11 @@ class VerificationQuery:
             raise ValueError(
                 f"refine_budget must be positive, got {self.refine_budget}"
             )
+        if self.structural and self.method is not Method.CEGAR:
+            raise ValueError(
+                f"structural=True is a cegar-only option, got method "
+                f"{self.method.value!r}"
+            )
 
     @property
     def name(self) -> str:
@@ -222,6 +237,8 @@ class VerificationQuery:
             out["output_index"] = self.output_index
         if self.refine_budget is not None:
             out["refine_budget"] = self.refine_budget
+        if self.structural:
+            out["structural"] = True
         if self.domain is not None and self.domain != "interval":
             out["domain"] = self.domain
         if self.metadata:

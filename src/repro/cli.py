@@ -229,11 +229,13 @@ def _refine(args: argparse.Namespace) -> int:
         method="cegar",
         refine_budget=args.budget,
         domain=args.domain,
+        structural=args.structural,
     )
+    axes = "region+structural" if args.structural else "region"
     print(
         f"refining psi = waypoint >= {threshold} over {names[0]} "
         f"(enclosure [{lo:.3f}, {hi:.3f}], budget {args.budget}, "
-        f"workers {args.workers})"
+        f"workers {args.workers}, axes {axes})"
     )
     result = engine.run_query(query)
     print(result.cegar.summary())
@@ -310,6 +312,15 @@ def _campaign(args: argparse.Namespace) -> int:
     engine, meta = _load(
         Path(args.out), solver=args.solver, precision=args.precision
     )
+    if getattr(args, "structural", False):
+        # every cegar run this campaign triggers (including the exact
+        # fallback) gets the neuron-merging axis
+        engine.cegar_structural = True
+        if not args.refine_budget and not args.portfolio:
+            print(
+                "warning: --structural only takes effect where CEGAR "
+                "runs (--refine-budget N or --portfolio)"
+            )
     if args.refine_budget:
         engine.refine_fallback = True
         engine.cegar_budget = args.refine_budget
@@ -574,6 +585,8 @@ def _submit(args: argparse.Namespace) -> int:
         payload["priority"] = args.priority
     if args.refine_budget:
         payload["refine_budget"] = args.refine_budget
+    if args.structural:
+        payload["structural"] = True
 
     client = ServiceClient(args.daemon)
     try:
@@ -737,6 +750,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the anytime CEGAR fallback for UNKNOWN verdicts, "
         "spending N subproblems per query",
     )
+    campaign.add_argument(
+        "--structural",
+        action="store_true",
+        help="run every CEGAR pass (fallback or portfolio racer) with "
+        "the structural neuron-merging refinement axis enabled",
+    )
     campaign.set_defaults(func=_campaign)
 
     refine = sub.add_parser(
@@ -775,6 +794,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="abstraction arithmetic: fast32 runs region lifting and "
         "prescreen enclosures on the float32 raw-speed backend with "
         "outward rounding (sound; MILP solves stay exact64)",
+    )
+    refine.add_argument(
+        "--structural",
+        action="store_true",
+        help="enable the structural (neuron-merging) refinement axis: "
+        "spurious rounds may split a merged neuron group instead of "
+        "the input region, whichever tightens the violating bound more",
     )
     refine.add_argument("--seed", type=int, default=0)
     refine.add_argument("--json", default=None, help="write the JSON result here")
@@ -998,6 +1024,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="CEGAR subproblem budget (cegar method only)",
+    )
+    submit.add_argument(
+        "--structural",
+        action="store_true",
+        help="refine with the structural (neuron-merging) axis; the "
+        "merge state checkpoints with the frontier between slices "
+        "(cegar method only)",
     )
     submit.add_argument(
         "--no-wait",

@@ -74,6 +74,16 @@ def _update_value(h: "hashlib._Hash", value) -> None:
         )
 
 
+def _update_ops(h: "hashlib._Hash", ops) -> None:
+    for op in ops:
+        h.update(type(op).__name__.encode())
+        if not is_dataclass(op):
+            raise TypeError(f"op {type(op).__name__} is not a dataclass")
+        for spec in fields(op):
+            h.update(spec.name.encode())
+            _update_value(h, getattr(op, spec.name))
+
+
 def model_digest(model: Sequential) -> str:
     """SHA-256 of the model's lowered full program, cached on the model.
 
@@ -92,16 +102,27 @@ def model_digest(model: Sequential) -> str:
     h = hashlib.sha256()
     h.update(DIGEST_VERSION.encode())
     h.update(repr(tuple(model.input_shape)).encode())
-    for op in program.ops:
-        h.update(type(op).__name__.encode())
-        if not is_dataclass(op):
-            raise TypeError(f"op {type(op).__name__} is not a dataclass")
-        for spec in fields(op):
-            h.update(spec.name.encode())
-            _update_value(h, getattr(op, spec.name))
+    _update_ops(h, program.ops)
     digest = h.hexdigest()
     model.__dict__["_model_digest"] = digest
     return digest
+
+
+def program_digest(program) -> str:
+    """SHA-256 of a bare :class:`LoweredProgram`, uncached.
+
+    Same op-level byte layout as :func:`model_digest`, but keyed on a
+    program rather than a model — the differential abstraction tests use
+    it to check that a fully refined merge state hands back a program
+    byte-identical to the original (``source`` and attached metadata are
+    deliberately excluded: two programs with equal ops and input width
+    answer every query identically).
+    """
+    h = hashlib.sha256()
+    h.update(DIGEST_VERSION.encode())
+    h.update(f"program:{int(program.in_dim)}".encode())
+    _update_ops(h, program.ops)
+    return h.hexdigest()
 
 
 def risk_digest(risk: RiskCondition) -> str:

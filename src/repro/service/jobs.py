@@ -97,6 +97,10 @@ class JobSpec:
     timeout: float | None = None
     priority: int = 0
     refine_budget: int | None = None
+    #: cegar-only: refine with the structural (neuron-merging) axis; the
+    #: merge state checkpoints with the loop, so slices and resubmitted
+    #: jobs resume both the frontier AND the abstraction level
+    structural: bool = False
     label: str | None = None
 
     def __post_init__(self) -> None:
@@ -110,6 +114,11 @@ class JobSpec:
             raise ValueError(
                 f"service jobs answer verdict methods exact/relaxed/cegar/"
                 f"portfolio, got {self.method!r}"
+            )
+        if self.structural and self.method != "cegar":
+            raise ValueError(
+                f"structural=True is a cegar-only option, got method "
+                f"{self.method!r}"
             )
 
     def to_dict(self) -> dict[str, Any]:
@@ -127,6 +136,8 @@ class JobSpec:
             out["priority"] = self.priority
         if self.refine_budget is not None:
             out["refine_budget"] = self.refine_budget
+        if self.structural:
+            out["structural"] = True
         if self.label is not None:
             out["label"] = self.label
         return out
@@ -562,6 +573,10 @@ class VerificationService:
                     "parked": result.cegar.parked,
                     "rounds": len(result.cegar.trace.rounds),
                 }
+                if spec.structural:
+                    cegar_info["structural_splits"] = sum(
+                        r.structural_splits for r in result.cegar.trace.rounds
+                    )
             statuses.append(_VERDICT_STATUS.get(result.verdict.verdict, UNKNOWN))
             if statuses[-1] == "sat":
                 break  # any reachable disjunct decides the instance
@@ -636,6 +651,7 @@ class VerificationService:
                 solver=spec.solver,
                 time_limit=remaining,
                 refine_budget=min(self.cegar_slice, total - spent),
+                structural=spec.structural,
             )
             with entry.lock:
                 result = entry.engine.run_query_safe(query)

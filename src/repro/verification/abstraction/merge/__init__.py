@@ -1,0 +1,38 @@
+"""Structural abstraction: neuron merging as a second CEGAR axis.
+
+See :mod:`repro.verification.abstraction.merge.abstraction` for the
+two-rail soundness construction, and ``docs/api/merge.md`` for a guided
+tour.
+"""
+
+from repro.verification.abstraction.merge.abstraction import (
+    AbstractionStep,
+    MergeState,
+)
+from repro.verification.abstraction.merge.classify import (
+    RAILS,
+    AffineChain,
+    MergeUnsupported,
+    classify_neurons,
+    extract_chain,
+)
+from repro.verification.abstraction.merge.refinement import (
+    RefinementStep,
+    merged_attack,
+    plan_refinement,
+    refinement_candidates,
+)
+
+__all__ = [
+    "RAILS",
+    "AbstractionStep",
+    "AffineChain",
+    "MergeState",
+    "MergeUnsupported",
+    "RefinementStep",
+    "classify_neurons",
+    "extract_chain",
+    "merged_attack",
+    "plan_refinement",
+    "refinement_candidates",
+]

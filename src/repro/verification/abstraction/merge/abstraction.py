@@ -1,0 +1,408 @@
+"""Sound neuron merging: abstraction state and merged-program builder.
+
+The construction is a *two-rail* over-approximation of an affine/relu
+chain ``h = A_L . relu . A_{L-1} ... relu . A_0``.  Every hidden neuron
+``i`` of layer ``l`` owns two copies:
+
+- an **inc** copy on the upper rail, whose value ``u_i`` satisfies
+  ``u_i >= h_i(x)`` for every ``x`` in the root input box, and
+- a **dec** copy on the lower rail, with ``d_i <= h_i(x)``.
+
+Mixed-sign neurons — those whose outgoing weights are neither all
+non-negative nor all non-positive — are exactly the ones that genuinely
+need both copies; the rails are how they are "split at lowering".
+Within a rail, a :class:`MergeState` partitions the layer's copies into
+groups; inc groups are merged with elementwise **max** weight/bias
+aggregation, dec groups with elementwise **min**.  Merged layer ``l``
+therefore computes one value per group, laid out as
+``[inc groups..., dec groups...]``, and the final layer emits
+``[y_upper | y_lower]`` (outputs are never merged), doubling the output
+dimension.
+
+Soundness invariant (proved per layer by induction):
+
+- rail sandwich: ``y_lower(x) <= y(x) <= y_upper(x)`` pointwise on the
+  root box, hence the merged program's output hull contains the
+  original's for the interval domain, and any risk violation of the
+  original implies one of the rewritten risk (:meth:`MergeState.merged_risk`);
+- refinement (splitting a group) only tightens: the coarser program's
+  rails dominate the finer program's rails pointwise.
+
+The first affine layer reads raw (possibly negative) inputs, so the
+max/min row aggregation alone is not sound there; a bias correction
+derived from the root input box restores the invariant (and vanishes
+for singleton groups).  Later layers read post-ReLU values, which are
+non-negative, so sign-split column sums (``cpos``/``cneg``) suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import AffineOp, PiecewiseLinearNetwork, ReLUOp
+from repro.properties.risk import LinearInequality, RiskCondition
+from repro.verification.abstraction.merge.classify import (
+    RAILS,
+    AffineChain,
+    MergeUnsupported,
+    classify_neurons,
+    extract_chain,
+)
+from repro.verification.ir import LoweredProgram
+
+Group = tuple[int, ...]
+Groups = tuple[Group, ...]
+LayerPartition = tuple[Groups, Groups]  # (inc groups, dec groups)
+
+
+@dataclass(frozen=True)
+class AbstractionStep:
+    """Merge the groups containing ``members`` on ``(layer, rail)``."""
+
+    layer: int
+    rail: str
+    members: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.rail not in RAILS:
+            raise ValueError(f"rail must be one of {RAILS}, got {self.rail!r}")
+        if len(self.members) < 2:
+            raise ValueError("an abstraction step needs at least two members")
+
+
+def _canonical_groups(groups: tuple[Group, ...] | list[Group]) -> Groups:
+    ordered = tuple(tuple(sorted(set(group))) for group in groups)
+    return tuple(sorted(ordered, key=lambda group: group[0]))
+
+
+def _check_partition(groups: Groups, width: int, where: str) -> None:
+    seen: set[int] = set()
+    for group in groups:
+        if not group:
+            raise ValueError(f"empty group in {where}")
+        for member in group:
+            if not 0 <= member < width:
+                raise ValueError(
+                    f"neuron {member} out of range [0, {width}) in {where}"
+                )
+            if member in seen:
+                raise ValueError(f"neuron {member} appears twice in {where}")
+            seen.add(member)
+    if len(seen) != width:
+        raise ValueError(f"groups do not cover all {width} neurons in {where}")
+
+
+class MergeState:
+    """An immutable partition of every hidden layer's inc/dec rail copies.
+
+    Use :meth:`coarsest` (same-class neurons merged) or :meth:`identity`
+    (all singletons — semantically the original program) to construct one,
+    then :meth:`merge` / :meth:`split_group` to move along the lattice.
+    """
+
+    def __init__(
+        self,
+        program: PiecewiseLinearNetwork,
+        input_lower: np.ndarray,
+        input_upper: np.ndarray,
+        partitions: tuple[LayerPartition, ...],
+        *,
+        _chain: AffineChain | None = None,
+    ) -> None:
+        self._source_program = program
+        self.chain = _chain if _chain is not None else extract_chain(program)
+        self.classes = classify_neurons(self.chain)
+        lower = np.asarray(input_lower, dtype=float).reshape(-1)
+        upper = np.asarray(input_upper, dtype=float).reshape(-1)
+        if lower.shape != (self.chain.in_dim,) or upper.shape != lower.shape:
+            raise ValueError(
+                f"input box must have dim {self.chain.in_dim}, got "
+                f"{lower.shape} / {upper.shape}"
+            )
+        self.input_lower = lower
+        self.input_upper = upper
+        if len(partitions) != self.chain.num_hidden:
+            raise ValueError(
+                f"{len(partitions)} layer partitions for "
+                f"{self.chain.num_hidden} hidden layers"
+            )
+        canonical: list[LayerPartition] = []
+        for layer, (inc, dec) in enumerate(partitions):
+            inc_c = _canonical_groups(inc)
+            dec_c = _canonical_groups(dec)
+            width = self.chain.hidden_widths[layer]
+            _check_partition(inc_c, width, f"layer {layer} inc rail")
+            _check_partition(dec_c, width, f"layer {layer} dec rail")
+            canonical.append((inc_c, dec_c))
+        self.partitions: tuple[LayerPartition, ...] = tuple(canonical)
+        self._merged: LoweredProgram | None = None
+        self._risk_cache: dict[int, RiskCondition] = {}
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def coarsest(
+        cls,
+        program: PiecewiseLinearNetwork,
+        input_lower: np.ndarray,
+        input_upper: np.ndarray,
+    ) -> "MergeState":
+        """Merge same-class neurons of each layer on both rails."""
+        chain = extract_chain(program)
+        classes = classify_neurons(chain)
+        partitions: list[LayerPartition] = []
+        for layer in range(chain.num_hidden):
+            by_class: dict[str, list[int]] = {}
+            for neuron, label in enumerate(classes[layer]):
+                by_class.setdefault(label, []).append(neuron)
+            groups = _canonical_groups(
+                [tuple(members) for members in by_class.values()]
+            )
+            partitions.append((groups, groups))
+        return cls(
+            program, input_lower, input_upper, tuple(partitions), _chain=chain
+        )
+
+    @classmethod
+    def identity(
+        cls,
+        program: PiecewiseLinearNetwork,
+        input_lower: np.ndarray,
+        input_upper: np.ndarray,
+    ) -> "MergeState":
+        """All-singleton partition: semantically the original program."""
+        chain = extract_chain(program)
+        partitions: list[LayerPartition] = []
+        for width in chain.hidden_widths:
+            singles = tuple((neuron,) for neuron in range(width))
+            partitions.append((singles, singles))
+        return cls(
+            program, input_lower, input_upper, tuple(partitions), _chain=chain
+        )
+
+    # -- lattice moves ------------------------------------------------
+
+    def _with_groups(self, layer: int, rail: str, groups: Groups) -> "MergeState":
+        inc, dec = self.partitions[layer]
+        replaced = (groups, dec) if rail == "inc" else (inc, groups)
+        partitions = (
+            self.partitions[:layer] + (replaced,) + self.partitions[layer + 1 :]
+        )
+        return MergeState(
+            self._source_program,
+            self.input_lower,
+            self.input_upper,
+            partitions,
+            _chain=self.chain,
+        )
+
+    def merge(self, step: AbstractionStep) -> "MergeState":
+        """Apply an :class:`AbstractionStep`, returning the coarser state."""
+        inc, dec = self.partitions[step.layer]
+        groups = inc if step.rail == "inc" else dec
+        members = set(step.members)
+        touched = [g for g in groups if members & set(g)]
+        untouched = [g for g in groups if not (members & set(g))]
+        merged = tuple(sorted({m for g in touched for m in g}))
+        return self._with_groups(
+            step.layer, step.rail, _canonical_groups([*untouched, merged])
+        )
+
+    def split_group(
+        self, layer: int, rail: str, group: Group, parts: tuple[Group, ...]
+    ) -> "MergeState":
+        """Split ``group`` of ``(layer, rail)`` into ``parts`` (finer state)."""
+        inc, dec = self.partitions[layer]
+        groups = inc if rail == "inc" else dec
+        target = tuple(sorted(group))
+        if target not in groups:
+            raise ValueError(f"{target} is not a group of layer {layer} {rail}")
+        if tuple(sorted(m for part in parts for m in part)) != target:
+            raise ValueError("parts must partition the group being split")
+        rest = [g for g in groups if g != target]
+        return self._with_groups(
+            layer, rail, _canonical_groups([*rest, *parts])
+        )
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def is_refined(self) -> bool:
+        """True when every group on both rails is a singleton."""
+        return all(
+            all(len(group) == 1 for group in rail_groups)
+            for inc, dec in self.partitions
+            for rail_groups in (inc, dec)
+        )
+
+    @property
+    def abstract_neuron_count(self) -> int:
+        """Total merged-value count across hidden layers (both rails)."""
+        return sum(len(inc) + len(dec) for inc, dec in self.partitions)
+
+    @property
+    def original_neuron_count(self) -> int:
+        return sum(self.chain.hidden_widths)
+
+    def groups(self, layer: int, rail: str) -> Groups:
+        inc, dec = self.partitions[layer]
+        return inc if rail == "inc" else dec
+
+    # -- compilation --------------------------------------------------
+
+    def program(self) -> PiecewiseLinearNetwork:
+        """The merged :class:`LoweredProgram` (or the original when refined).
+
+        A fully refined state returns the *original program object*, so
+        verdicts and digests round-trip bit-exactly.
+        """
+        if self.is_refined:
+            return self._source_program
+        if self._merged is None:
+            self._merged = _build_merged(self)
+        return self._merged
+
+    def merged_risk(self, risk: RiskCondition) -> RiskCondition:
+        """Rewrite ``risk`` over ``y`` into a sound risk over ``[y_u | y_l]``.
+
+        For a normalized atom ``a . y <= b`` the rewrite is
+        ``min(a, 0) . y_u + max(a, 0) . y_l <= b``: since
+        ``y_l <= y <= y_u``, the rewritten left side lower-bounds the
+        original one, so every original violation is a merged violation
+        (exclusion of the merged risk soundly excludes the original).
+        """
+        if self.is_refined:
+            return risk
+        cached = self._risk_cache.get(id(risk))
+        if cached is not None:
+            return cached
+        atoms: list[LinearInequality] = []
+        for inequality in risk.inequalities:
+            coeffs, bound = inequality.normalized()
+            a = np.asarray(coeffs, dtype=float)
+            merged = np.concatenate([np.minimum(a, 0.0), np.maximum(a, 0.0)])
+            atoms.append(
+                LinearInequality(tuple(float(c) for c in merged), "<=", float(bound))
+            )
+        rewritten = RiskCondition(
+            f"{risk.name}@merged",
+            tuple(atoms),
+            description=f"two-rail rewrite of {risk.name!r}",
+        )
+        self._risk_cache[id(risk)] = rewritten
+        return rewritten
+
+
+def _railed_rows(
+    weight: np.ndarray, prev_inc: Groups, prev_dec: Groups
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per original neuron, the merged-input rows for its inc/dec copies.
+
+    Reading merged values ``[inc groups | dec groups]`` of the previous
+    layer (all post-ReLU, hence >= 0), an upper bound on
+    ``sum_j w[i, j] * h_j`` takes positive weights against upper rails
+    and negative weights against lower rails; a lower bound swaps them.
+    Group columns sum the sign-split weights of their members.
+    """
+    positive = np.maximum(weight, 0.0)
+    negative = np.minimum(weight, 0.0)
+    inc_cols = [positive[:, list(g)].sum(axis=1) for g in prev_inc] + [
+        negative[:, list(g)].sum(axis=1) for g in prev_dec
+    ]
+    dec_cols = [negative[:, list(g)].sum(axis=1) for g in prev_inc] + [
+        positive[:, list(g)].sum(axis=1) for g in prev_dec
+    ]
+    return np.column_stack(inc_cols), np.column_stack(dec_cols)
+
+
+def _build_merged(state: MergeState) -> LoweredProgram:
+    chain = state.chain
+    partitions = state.partitions
+    # The first layer reads the raw input box: bias corrections below use
+    # max(0, -lower) of the ROOT box, which stays sound on every sub-box.
+    negative_reach = np.maximum(-state.input_lower, 0.0)
+
+    ops: list[AffineOp | ReLUOp] = []
+    metadata: dict[int, dict[str, object]] = {}
+
+    inc0, dec0 = partitions[0]
+    weight0, bias0 = chain.weights[0], chain.biases[0]
+    rows: list[np.ndarray] = []
+    biases: list[float] = []
+    for group in inc0:
+        sub = weight0[list(group)]
+        row = sub.max(axis=0)
+        correction = float(((row - sub.min(axis=0)) * negative_reach).sum())
+        rows.append(row)
+        biases.append(float(bias0[list(group)].max()) + correction)
+    for group in dec0:
+        sub = weight0[list(group)]
+        row = sub.min(axis=0)
+        correction = float(((sub.max(axis=0) - row) * negative_reach).sum())
+        rows.append(row)
+        biases.append(float(bias0[list(group)].min()) - correction)
+    ops.append(AffineOp(np.array(rows), np.array(biases)))
+    metadata[0] = {
+        "layer": 0,
+        "width": chain.hidden_widths[0],
+        "inc": inc0,
+        "dec": dec0,
+    }
+    ops.append(ReLUOp(len(rows)))
+
+    for layer in range(1, chain.num_hidden):
+        prev_inc, prev_dec = partitions[layer - 1]
+        inc_rows, dec_rows = _railed_rows(
+            chain.weights[layer], prev_inc, prev_dec
+        )
+        inc_l, dec_l = partitions[layer]
+        bias = chain.biases[layer]
+        rows = []
+        biases = []
+        for group in inc_l:
+            rows.append(inc_rows[list(group)].max(axis=0))
+            biases.append(float(bias[list(group)].max()))
+        for group in dec_l:
+            rows.append(dec_rows[list(group)].min(axis=0))
+            biases.append(float(bias[list(group)].min()))
+        ops.append(AffineOp(np.array(rows), np.array(biases)))
+        metadata[2 * layer] = {
+            "layer": layer,
+            "width": chain.hidden_widths[layer],
+            "inc": inc_l,
+            "dec": dec_l,
+        }
+        ops.append(ReLUOp(len(rows)))
+
+    prev_inc, prev_dec = partitions[-1]
+    inc_rows, dec_rows = _railed_rows(chain.weights[-1], prev_inc, prev_dec)
+    final_bias = chain.biases[-1]
+    ops.append(
+        AffineOp(
+            np.vstack([inc_rows, dec_rows]),
+            np.concatenate([final_bias, final_bias]),
+        )
+    )
+
+    source = getattr(state._source_program, "source", "")
+    op_layers = getattr(state._source_program, "op_layers", None)
+    program = LoweredProgram(
+        ops,
+        chain.in_dim,
+        op_layers=op_layers,
+        source=f"{source}/merged",
+    )
+    program.merge_groups = metadata
+    from repro.analysis.ir_analysis import validate_program
+
+    validate_program(program)
+    return program
+
+
+__all__ = [
+    "AbstractionStep",
+    "MergeState",
+    "MergeUnsupported",
+]

@@ -1,0 +1,127 @@
+"""Neuron classification for structural (network) abstraction.
+
+Structural abstraction merges hidden neurons of a lowered affine/relu
+program into *abstract* neurons.  The first step is classification: a
+hidden neuron is **inc** when every outgoing weight is non-negative
+(increasing its value can only increase the next layer), **dec** when
+every outgoing weight is non-positive, and **mixed** otherwise.  Mixed
+neurons are handled by the two-rail construction in
+:mod:`repro.verification.abstraction.merge.abstraction`, which splits
+every neuron into an over-approximating (inc) and an
+under-approximating (dec) copy at lowering time.
+
+Only pure affine/relu chains are supported; anything else raises
+:class:`MergeUnsupported` so callers can fall back to region splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import AffineOp, PiecewiseLinearNetwork, ReLUOp
+
+RAILS = ("inc", "dec")
+
+NeuronClass = str
+
+
+class MergeUnsupported(ValueError):
+    """The program is not an affine/relu chain structural merging supports."""
+
+
+@dataclass(frozen=True)
+class AffineChain:
+    """The affine/relu skeleton ``A_0, ReLU, A_1, ..., ReLU, A_L`` of an MLP.
+
+    ``weights[k]`` has shape ``(width_k, width_{k-1})``; the chain has
+    ``len(weights) - 1`` hidden (ReLU) layers.
+    """
+
+    weights: tuple[np.ndarray, ...]
+    biases: tuple[np.ndarray, ...]
+
+    @property
+    def in_dim(self) -> int:
+        return int(self.weights[0].shape[1])
+
+    @property
+    def out_dim(self) -> int:
+        return int(self.weights[-1].shape[0])
+
+    @property
+    def num_hidden(self) -> int:
+        return len(self.weights) - 1
+
+    @property
+    def hidden_widths(self) -> tuple[int, ...]:
+        return tuple(int(w.shape[0]) for w in self.weights[:-1])
+
+    def hidden_values(self, x: np.ndarray) -> list[np.ndarray]:
+        """Post-ReLU activation vector of every hidden layer at ``x``."""
+        values = np.asarray(x, dtype=float)
+        hidden: list[np.ndarray] = []
+        for weight, bias in zip(self.weights[:-1], self.biases[:-1]):
+            values = np.maximum(weight @ values + bias, 0.0)
+            hidden.append(values)
+        return hidden
+
+
+def extract_chain(program: PiecewiseLinearNetwork) -> AffineChain:
+    """Extract the affine/relu chain of ``program`` or raise.
+
+    Raises:
+        MergeUnsupported: the op sequence is not ``Affine (ReLU Affine)+``
+            with at least one hidden layer, or a ReLU width disagrees with
+            its producing affine op.
+    """
+    ops = list(program.ops)
+    if len(ops) < 3 or len(ops) % 2 == 0:
+        raise MergeUnsupported(
+            "structural merging needs an Affine (ReLU Affine)+ chain, "
+            f"got {len(ops)} ops"
+        )
+    weights: list[np.ndarray] = []
+    biases: list[np.ndarray] = []
+    for index, op in enumerate(ops):
+        if index % 2 == 0:
+            if not isinstance(op, AffineOp):
+                raise MergeUnsupported(
+                    f"op {index} must be affine, got {type(op).__name__}"
+                )
+            weights.append(np.asarray(op.weight, dtype=float))
+            biases.append(np.asarray(op.bias, dtype=float))
+        else:
+            if not isinstance(op, ReLUOp):
+                raise MergeUnsupported(
+                    f"op {index} must be ReLU, got {type(op).__name__}"
+                )
+            if op.dim != weights[-1].shape[0]:
+                raise MergeUnsupported(
+                    f"ReLU at op {index} has width {op.dim}, expected "
+                    f"{weights[-1].shape[0]}"
+                )
+    return AffineChain(tuple(weights), tuple(biases))
+
+
+def classify_neurons(chain: AffineChain) -> tuple[tuple[NeuronClass, ...], ...]:
+    """Classify every hidden neuron as ``"inc"``, ``"dec"`` or ``"mixed"``.
+
+    The class is determined by the sign pattern of the neuron's outgoing
+    weight column in the next affine op.
+    """
+    classes: list[tuple[NeuronClass, ...]] = []
+    for layer in range(chain.num_hidden):
+        outgoing = chain.weights[layer + 1]
+        per_layer: list[NeuronClass] = []
+        for neuron in range(outgoing.shape[1]):
+            column = outgoing[:, neuron]
+            if np.all(column >= 0.0):
+                per_layer.append("inc")
+            elif np.all(column <= 0.0):
+                per_layer.append("dec")
+            else:
+                per_layer.append("mixed")
+        classes.append(tuple(per_layer))
+    return tuple(classes)

@@ -61,6 +61,12 @@ from repro.verification.milp.encoder import (
     encode_verification_problem,
 )
 from repro.verification.abstraction.domain import get_domain, registered_domains
+from repro.verification.abstraction.merge import (
+    MergeState,
+    MergeUnsupported,
+    merged_attack,
+    plan_refinement,
+)
 from repro.verification.abstraction.propagate import region_boxes
 from repro.verification.ir import lowered_full
 from repro.verification.output_range import trivial_reachability_risk
@@ -109,11 +115,22 @@ class CegarConfig:
         Options forwarded to the leaf backend's factory (e.g.
         ``(("time_limit", 1.0),)``) — applied both in-process and by
         every pool worker.
+    structural : bool, optional
+        Enable the second refinement axis: the loop starts from a
+        merged (neuron-abstracted) suffix program and, on every
+        spurious round, decides between splitting the input region and
+        splitting a merged neuron group by whichever move shrinks the
+        violating output bound more (see
+        :mod:`repro.verification.abstraction.merge`).  Falls back to
+        pure region splitting when the suffix is not an affine/relu
+        chain.
 
     Examples
     --------
     >>> CegarConfig(domain="interval", solve_depth=3).split
     'width'
+    >>> CegarConfig(structural=True).structural
+    True
     """
 
     domain: str = "interval"
@@ -124,6 +141,7 @@ class CegarConfig:
     split: str = "width"
     round_width: int | None = None
     solver_options: tuple[tuple[str, object], ...] = ()
+    structural: bool = False
 
     def __post_init__(self) -> None:
         if self.domain not in registered_domains():
@@ -173,6 +191,7 @@ class RefinementRound:
     bound_gap: float  #: worst prescreen margin among this round's pops (0 if none)
     unsafe_found: bool
     elapsed: float
+    structural_splits: int = 0  #: merged neuron groups split this round
 
     def to_dict(self) -> dict:
         """JSON-serializable view (what ``CampaignReport`` stores)."""
@@ -188,6 +207,7 @@ class RefinementRound:
             "bound_gap": self.bound_gap,
             "unsafe_found": self.unsafe_found,
             "elapsed": self.elapsed,
+            "structural_splits": self.structural_splits,
         }
 
 
@@ -533,6 +553,15 @@ class CegarLoop:
         self._leaf_solver = leaf_solver
         self._full_network: PiecewiseLinearNetwork | None = None
 
+        # structural (neuron-merging) axis; see CegarConfig.structural
+        self._merge: MergeState | None = None
+        self._merge_failed = False
+        self._merge_version = 0
+        self._merged_leaf_solver: _ScopedLeafSolver | None = None
+        self._merged_leaf_version = -1
+        self._pool_merge_version = 0
+        self._requested_workers = 1
+
     # -- queue ------------------------------------------------------------
 
     def _push(self, sub: Subproblem) -> None:
@@ -598,15 +627,51 @@ class CegarLoop:
             for s in subs
         ]
 
+    def _merge_state(self) -> MergeState | None:
+        """Current abstraction state, or ``None`` when structural is off.
+
+        Built lazily from the root cut box; an unsupported suffix (not
+        an affine/relu chain) permanently disables the structural axis
+        for this loop — region splitting alone still makes progress.
+        """
+        if not self.config.structural or self._merge_failed:
+            return None
+        if self._merge is None:
+            root = self._root_box_at_cut()
+            try:
+                self._merge = MergeState.coarsest(
+                    self.suffix, root.lower, root.upper
+                )
+            except MergeUnsupported:
+                self._merge_failed = True
+                return None
+        return self._merge
+
+    def _active_suffix_risk(self) -> tuple[PiecewiseLinearNetwork, RiskCondition]:
+        """The (program, risk) pair the abstract rungs currently run on.
+
+        The merged pair while the structural axis still has merged
+        groups; the original pair otherwise (fully refined states
+        compile to the original program object, so this is seamless).
+        """
+        state = self._merge_state()
+        if state is None or state.is_refined:
+            return self.suffix, self.risk
+        return state.program(), state.merged_risk(self.risk)
+
+    @property
+    def structural_refinements(self) -> int:
+        """Merged neuron groups split so far (0 when structural is off)."""
+        return self._merge_version
+
     def _prescreen(self, cut_boxes: list[Box]) -> list:
+        suffix, risk = self._active_suffix_risk()
         if self.batch_prescreen:
-            return prescreen_batch(
-                self.suffix, cut_boxes, self.risk, self.config.domain
-            )
+            return prescreen_batch(suffix, cut_boxes, risk, self.config.domain)
         return [
             screen_enclosure(
-                output_enclosure(self.suffix, box, self.config.domain),
-                self.risk,
+                output_enclosure(suffix, box, self.config.domain),
+                risk,
                 self.config.domain,
             )
             for box in cut_boxes
@@ -746,6 +811,34 @@ class CegarLoop:
             dict(self.config.solver_options),
         )
 
+    def _current_leaf_solver(self) -> "_ScopedLeafSolver | None":
+        """The scoped solver matching the active (possibly merged) program.
+
+        While the structural axis has merged groups the loop keeps its
+        own encoding of the *merged* suffix — smaller MILPs are the
+        whole point — rebuilt whenever a structural refinement bumps
+        the merge version.  Otherwise this is the injected/cached
+        original-program solver.
+        """
+        suffix, risk = self._active_suffix_risk()
+        if suffix is self.suffix:
+            self._ensure_leaf_solver()
+            return self._leaf_solver
+        if (
+            self._merged_leaf_solver is None
+            or self._merged_leaf_version != self._merge_version
+            or not self.reuse_encodings
+        ):
+            self._merged_leaf_solver = _ScopedLeafSolver.fresh(
+                suffix,
+                self._root_box_at_cut(),
+                risk,
+                self.config.solver,
+                dict(self.config.solver_options),
+            )
+            self._merged_leaf_version = self._merge_version
+        return self._merged_leaf_solver
+
     def _root_box_at_cut(self) -> Box:
         if self._root_cut_box is None:
             self._root_cut_box = region_boxes(
@@ -805,8 +898,8 @@ class CegarLoop:
             # genuine solve errors (not pool infrastructure) propagate
         results = []
         for _, box in leaves:
-            self._ensure_leaf_solver()  # per-solve re-encode if not reusing
-            results.append(self._leaf_solver.solve(box))
+            solver = self._current_leaf_solver()  # per-solve re-encode if not reusing
+            results.append(solver.solve(box))
         return results
 
     def _discard_pool(self) -> None:
@@ -839,15 +932,19 @@ class CegarLoop:
                 "fork" if "fork" in methods else methods[0]
             )
             root_cut = self._root_box_at_cut()
+            # workers encode the ACTIVE program: the merged suffix when
+            # the structural axis still has merged groups
+            suffix, risk = self._active_suffix_risk()
+            self._pool_merge_version = self._merge_version
             return ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=context,
                 initializer=_pool_leaf_init,
                 initargs=(
-                    self.suffix,
+                    suffix,
                     root_cut.lower,
                     root_cut.upper,
-                    self.risk,
+                    risk,
                     self.config.solver,
                     dict(self.config.solver_options),
                 ),
@@ -857,6 +954,83 @@ class CegarLoop:
             # record it so results don't claim parallelism that never ran
             self._pool_workers = 1
             return None
+
+    def _refresh_pool_if_stale(self) -> None:
+        """Rebuild the round pool after a mid-run structural refinement.
+
+        Workers hold an encoding of the merge state they were forked
+        with; a version bump makes it stale.  A pool already degraded
+        to ``None`` (e.g. after a ``BrokenProcessPool``) stays
+        sequential — refinement must not resurrect dead workers.
+        """
+        if self._pool is not None and self._pool_merge_version != self._merge_version:
+            self._discard_pool()
+            self._pool = self._make_pool(self._requested_workers)
+
+    # -- structural refinement (second CEGAR axis) ------------------------
+
+    def _maybe_structural_refine(
+        self, undecided: list[tuple[Subproblem, Box]]
+    ) -> int:
+        """Split a merged neuron group instead of a region, if it wins.
+
+        The representative spurious subproblem (largest volume popped
+        this round) arbitrates: candidate neuron splits are ordered by
+        the deviation/influence/saturation heuristic against a
+        deterministic merged-PGD witness, the best few are scored by
+        the prescreen margin they leave on the representative's cut
+        box, and the winner is compared against the analogous score of
+        a region bisection.  Returns 1 when the structural move was
+        applied (the merge state advanced), 0 otherwise.
+        """
+        state = self._merge_state()
+        if state is None or state.is_refined:
+            return 0
+        sub, box = undecided[0]
+        domain = self.config.domain
+
+        def margin_after(candidate: MergeState) -> float:
+            screen = prescreen_batch(
+                candidate.program(),
+                [box],
+                candidate.merged_risk(self.risk),
+                domain,
+            )[0]
+            return float(screen.best_possible_margin)
+
+        witness = merged_attack(
+            state,
+            self.risk,
+            box.lower,
+            box.upper,
+            steps=max(self.config.concretize_steps, 4),
+        )
+        step = plan_refinement(state, witness, evaluate=margin_after)
+        if step is None:
+            return 0
+        refined = step.apply(state)
+        structural_margin = margin_after(refined)
+
+        widths = (sub.upper - sub.lower).reshape(-1)
+        if float(widths.max(initial=0.0)) > 0.0 and sub.depth < self.config.max_depth:
+            left, right = self._split(sub)
+            suffix, risk = self._active_suffix_risk()
+            child_screens = prescreen_batch(
+                suffix, self._cut_boxes([left, right]), risk, domain
+            )
+            region_margin = max(
+                float(s.best_possible_margin) for s in child_screens
+            )
+        else:
+            # a point (or max-depth) region cannot split: the
+            # structural axis is the only move left
+            region_margin = np.inf
+
+        if structural_margin < region_margin:
+            self._merge = refined
+            self._merge_version += 1
+            return 1
+        return 0
 
     # -- the loop ---------------------------------------------------------
 
@@ -890,6 +1064,7 @@ class CegarLoop:
         start = time.perf_counter()
         self._interrupted = False
         processed_before = self.subproblems_processed
+        self._requested_workers = workers
         self._pool = self._make_pool(workers)
         try:
             return self._run_rounds(budget, processed_before, start)
@@ -919,6 +1094,7 @@ class CegarLoop:
             and self.subproblems_processed - processed_before < budget
         ):
             round_start = time.perf_counter()
+            self._refresh_pool_if_stale()
             budget_left = budget - (self.subproblems_processed - processed_before)
             subs = self._pop_round(budget_left)
             self.subproblems_processed += len(subs)
@@ -979,6 +1155,20 @@ class CegarLoop:
                     if unsafe_found:
                         undecided = self._terminal_requeue(undecided)
 
+            # two-axis move decision: every surviving subproblem is a
+            # spurious abstract counterexample — either the input region
+            # splits (below) or a merged neuron group does (here),
+            # whichever shrinks the violating output bound more
+            structural_splits = 0
+            if undecided and not unsafe_found:
+                structural_splits = self._maybe_structural_refine(undecided)
+                if structural_splits:
+                    # the tightened abstraction re-screens the same
+                    # regions next round; no region split happened
+                    for sub, _ in undecided:
+                        self._push(sub)
+                    undecided = []
+
             splits = 0
             parked = 0
             for sub, _ in undecided:
@@ -1010,6 +1200,7 @@ class CegarLoop:
                     bound_gap=bound_gap,
                     unsafe_found=unsafe_found,
                     elapsed=time.perf_counter() - round_start,
+                    structural_splits=structural_splits,
                 )
             )
 

@@ -1,0 +1,143 @@
+"""IR013: the merged-program metadata contract.
+
+A program produced by :meth:`MergeState.program` must carry a
+``merge_groups`` map whose per-op records name the source layer, the
+original width, and the inc/dec group partitions; the layer indices
+must strictly increase along the op chain (the group graph is acyclic);
+and each record's groups must partition the original width and agree
+with the merged op's output dimension.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.analysis.ir_analysis import IRValidationError, validate_program
+from repro.verification.abstraction.merge import MergeState
+from repro.verification.ir import AffineOp, LoweredProgram, ReLUOp
+
+
+def _chain_program(seed: int = 7) -> LoweredProgram:
+    rng = np.random.default_rng(seed)
+    dims = (3, 6, 5, 2)
+    ops: list = []
+    for i in range(len(dims) - 1):
+        ops.append(
+            AffineOp(
+                rng.normal(size=(dims[i + 1], dims[i])),
+                rng.normal(size=dims[i + 1]),
+            )
+        )
+        if i < len(dims) - 2:
+            ops.append(ReLUOp(dims[i + 1]))
+    return LoweredProgram(ops, dims[0], source="merge-contract")
+
+
+@pytest.fixture()
+def merged():
+    program = _chain_program()
+    state = MergeState.coarsest(program, -np.ones(3), np.ones(3))
+    return state.program()
+
+
+def _corrupted(merged, mutate):
+    bad = copy.copy(merged)
+    bad.merge_groups = copy.deepcopy(merged.merge_groups)
+    mutate(bad)
+    return bad
+
+
+def _ir013(excinfo) -> list:
+    return [d for d in excinfo.value.diagnostics if d.code == "IR013"]
+
+
+class TestCleanMergedPrograms:
+    def test_built_merged_program_validates(self, merged):
+        validate_program(merged)
+
+    def test_metadata_names_every_merged_affine(self, merged):
+        assert set(merged.merge_groups) == {0, 2}  # both hidden affines
+        layers = [merged.merge_groups[k]["layer"] for k in sorted(merged.merge_groups)]
+        assert layers == sorted(layers)  # acyclic: strictly increasing
+        for record in merged.merge_groups.values():
+            members = [n for g in record["inc"] for n in g]
+            assert sorted(members) == list(range(record["width"]))
+
+    def test_plain_programs_are_exempt(self):
+        validate_program(_chain_program())  # no metadata, no /merged tag
+
+
+class TestContractViolations:
+    def test_merged_source_without_metadata(self, merged):
+        bad = _corrupted(merged, lambda p: setattr(p, "merge_groups", None))
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(bad)
+        assert _ir013(excinfo)
+
+    def test_empty_metadata_map(self, merged):
+        bad = _corrupted(merged, lambda p: setattr(p, "merge_groups", {}))
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(bad)
+        assert _ir013(excinfo)
+
+    def test_group_member_out_of_range(self, merged):
+        def mutate(p):
+            record = p.merge_groups[0]
+            record["inc"] = ((record["width"] + 3,),) + tuple(record["inc"][1:])
+
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(_corrupted(merged, mutate))
+        diags = _ir013(excinfo)
+        assert any("out of range" in d.message for d in diags)
+
+    def test_overlapping_groups_break_the_partition(self, merged):
+        def mutate(p):
+            record = p.merge_groups[0]
+            record["inc"] = tuple(record["inc"]) + ((record["inc"][0][0],),)
+
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(_corrupted(merged, mutate))
+        assert any("two" in d.message for d in _ir013(excinfo))
+
+    def test_incomplete_cover(self, merged):
+        def mutate(p):
+            record = p.merge_groups[0]
+            first = record["inc"][0]
+            record["inc"] = (tuple(first[:-1]),) + tuple(record["inc"][1:])
+
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(_corrupted(merged, mutate))
+        assert _ir013(excinfo)
+
+    def test_non_increasing_layers_are_cyclic(self, merged):
+        def mutate(p):
+            keys = sorted(p.merge_groups)
+            a, b = keys[0], keys[1]
+            p.merge_groups[a]["layer"], p.merge_groups[b]["layer"] = (
+                p.merge_groups[b]["layer"],
+                p.merge_groups[a]["layer"],
+            )
+
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(_corrupted(merged, mutate))
+        assert any("acyclic" in d.message for d in _ir013(excinfo))
+
+    def test_width_disagreeing_with_op(self, merged):
+        def mutate(p):
+            record = p.merge_groups[0]
+            record["dec"] = tuple(record["dec"]) + ((record["width"] - 1,),)
+
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(_corrupted(merged, mutate))
+        assert _ir013(excinfo)
+
+    def test_metadata_pointing_at_a_relu(self, merged):
+        def mutate(p):
+            p.merge_groups[1] = p.merge_groups.pop(0)
+
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_program(_corrupted(merged, mutate))
+        assert any("not an affine op" in d.message for d in _ir013(excinfo))

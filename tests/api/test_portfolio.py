@@ -176,6 +176,86 @@ class TestAdaptiveOrder:
             )
 
 
+class TestStructuralRacer:
+    def test_default_racers_include_structural_cegar(self):
+        structural = [c for c in DEFAULT_RACERS if c.structural]
+        assert [c.name for c in structural] == ["structural-cegar"]
+        assert Method(structural[0].method) is Method.CEGAR
+
+    def test_apply_keeps_structural_a_cegar_only_flag(self):
+        cegar = RacerConfig("s", method="cegar", structural=True)
+        exact = RacerConfig("e", method="exact")
+        query = VerificationQuery(
+            risk=steer_far_left(1.0), set_name="region-000"
+        )
+        assert cegar.apply(query).structural is True
+        # a non-cegar racer must drop the flag even when the incoming
+        # query carries it (replace() would otherwise build an invalid
+        # exact+structural query)
+        structural_query = VerificationQuery(
+            risk=steer_far_left(1.0),
+            set_name="region-000",
+            method=Method.CEGAR,
+            structural=True,
+        )
+        assert exact.apply(structural_query).structural is False
+
+    def test_structural_config_requires_cegar(self):
+        with pytest.raises(ValueError, match="cegar"):
+            RacerConfig("bad", method="exact", structural=True)
+
+    def test_structural_racer_agrees_with_every_solo_racer(
+        self, engine, enclosure_range
+    ):
+        lo, hi = enclosure_range
+        structural = next(c for c in DEFAULT_RACERS if c.structural)
+        for threshold in (round(hi + 1.0, 3), round(0.5 * (lo + hi), 3)):
+            query = VerificationQuery(
+                risk=steer_far_left(threshold), set_name="region-000"
+            )
+            mine = _run_config(engine, structural, query)
+            if not _decided(mine):
+                continue
+            for config in DEFAULT_RACERS:
+                if config.name == structural.name:
+                    continue
+                solo = _run_config(engine, config, query)
+                if not _decided(solo):
+                    continue
+                assert _verdict_side(solo) == _verdict_side(mine), (
+                    f"structural racer disagrees with {config.name} at "
+                    f"threshold {threshold}"
+                )
+
+    def test_broken_structural_racer_sinks_in_adaptive_order(self, model):
+        engine = VerificationEngine(model, 3, solver="highs")
+        engine.add_region_sets(scenario_region_grid(n_scenes=1, seed=3))
+        hi = float(engine.output_enclosures(["region-000"])[0].upper[0])
+        racers = (
+            RacerConfig(
+                "broken-structural",
+                method="cegar",
+                structural=True,
+                solver="no-such-solver",
+            ),
+            RacerConfig("screened", domain="interval"),
+        )
+        portfolio = Portfolio(engine, racers)
+        query = VerificationQuery(
+            risk=steer_far_left(round(hi + 1.0, 3)), set_name="region-000"
+        )
+        for _ in range(3):
+            result = portfolio.run_query(query)
+            assert _decided(result)
+        order = [config.name for config in portfolio.priority()]
+        assert order[-1] == "broken-structural"
+        assert portfolio.stats["broken-structural"].errors >= 1
+        assert (
+            portfolio.stats["screened"].score
+            > portfolio.stats["broken-structural"].score
+        )
+
+
 class TestCampaignRun:
     def test_campaign_verdicts_match_engine_run(self, engine, enclosure_range):
         lo, hi = enclosure_range

@@ -255,6 +255,47 @@ class TestPrioritiesAndCancellation:
         assert service.cancel(job.id) is False
 
 
+class TestStructuralJobs:
+    def test_structural_flag_round_trips_and_reports_splits(self, service):
+        job = submit_wait(service, {**HARD_CEGAR, "structural": True})
+        assert job.state is JobState.DONE
+        assert job.result["status"] == "unsat"
+        assert job.to_dict()["spec"]["structural"] is True
+        # the hard property sits just above the reachable maximum: the
+        # structural axis genuinely splits merged groups on the way
+        assert job.result["cegar"]["structural_splits"] >= 1
+
+    def test_sliced_structural_job_resumes_merge_state(self, bench_dir):
+        # slice=1 forces every round through the service checkpoint: the
+        # merge state must survive each frontier handoff or the job
+        # would re-merge (and re-pay) every slice
+        svc = _slow_service(bench_dir, workers=1)
+        try:
+            job = submit_wait(
+                svc, {**HARD_CEGAR, "structural": True}, timeout=600.0
+            )
+            assert job.state is JobState.DONE
+            assert job.result["status"] == "unsat"
+            assert job.result["cegar"]["structural_splits"] >= 1
+        finally:
+            svc.close(drain=False)
+
+    def test_structural_verdict_matches_plain_cegar(self, service):
+        plain = submit_wait(service, dict(HARD_CEGAR))
+        structural = submit_wait(service, {**HARD_CEGAR, "structural": True})
+        assert plain.result["status"] == structural.result["status"] == "unsat"
+        # the store is verdict-level and method-agnostic on purpose:
+        # structural is a strategy, not a different question, so the
+        # resubmission is legitimately served from the plain run's entry
+        assert structural.result["decided_by"] == ["store"]
+
+    def test_structural_requires_cegar_method(self):
+        with pytest.raises(ValueError, match="cegar"):
+            JobSpec(
+                model="m", property="p", method="exact", structural=True
+            )
+
+
 class TestBudgets:
     def test_budget_exceeded_is_timeout_not_failed(self, service):
         job = submit_wait(
